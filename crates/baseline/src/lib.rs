@@ -1,0 +1,13 @@
+//! # qrw-baseline
+//!
+//! Baseline query rewriters the paper compares against (or cites as
+//! related work): the human-curated rule-based synonym substitution of
+//! §IV-C3 and a SimRank++-style click-graph rewriter (§II-C). Both
+//! implement [`qrw_core::QueryRewriter`] so evaluation harnesses swap them
+//! freely with the neural models.
+
+pub mod rule_based;
+pub mod simrank;
+
+pub use rule_based::RuleBasedRewriter;
+pub use simrank::SimRankRewriter;

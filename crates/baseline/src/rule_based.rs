@@ -1,0 +1,144 @@
+//! The paper's rule-based baseline (§IV-C3):
+//!
+//! > "The method starts from a human-curated synonym phrase dictionary.
+//! > For a given query, it simply replaces the phrase in the query with
+//! > its synonym phrase from the dictionary, to generate the rewritten
+//! > query."
+//!
+//! Substitution is context-free — which is precisely why it mishandles
+//! polysemy ("cherry" the fruit gets the keyboard-brand synonym) and why
+//! its rewrites stay lexically close to the original (Table VII's high F1
+//! / low edit distance).
+
+use qrw_core::QueryRewriter;
+use qrw_data::SynonymDict;
+
+/// Context-free dictionary-substitution rewriter.
+pub struct RuleBasedRewriter {
+    dict: SynonymDict,
+    name: String,
+}
+
+impl RuleBasedRewriter {
+    pub fn new(dict: SynonymDict) -> Self {
+        RuleBasedRewriter { dict, name: "rule-based".to_string() }
+    }
+
+    pub fn dict(&self) -> &SynonymDict {
+        &self.dict
+    }
+
+    /// All single-substitution rewrites of `query`: for every dictionary
+    /// phrase occurring in the query, one rewrite with that occurrence
+    /// replaced. Deduplicated, original excluded.
+    pub fn all_rewrites(&self, query: &[String]) -> Vec<Vec<String>> {
+        let mut out: Vec<Vec<String>> = Vec::new();
+        for (phrase, replacement) in self.dict.iter() {
+            if phrase.len() > query.len() {
+                continue;
+            }
+            for start in 0..=query.len() - phrase.len() {
+                if query[start..start + phrase.len()] != phrase[..] {
+                    continue;
+                }
+                let mut rewritten = Vec::with_capacity(query.len());
+                rewritten.extend_from_slice(&query[..start]);
+                rewritten.extend_from_slice(replacement);
+                rewritten.extend_from_slice(&query[start + phrase.len()..]);
+                if rewritten != query && !out.contains(&rewritten) {
+                    out.push(rewritten);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl QueryRewriter for RuleBasedRewriter {
+    fn rewrite(&self, query: &[String], k: usize) -> Vec<Vec<String>> {
+        let mut all = self.all_rewrites(query);
+        all.truncate(k);
+        all
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrw_data::{Catalog, CatalogConfig};
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn rewriter() -> RuleBasedRewriter {
+        let catalog = Catalog::generate(&CatalogConfig::default());
+        RuleBasedRewriter::new(SynonymDict::from_catalog(&catalog))
+    }
+
+    #[test]
+    fn substitutes_audience_phrase() {
+        let r = rewriter();
+        let rewrites = r.all_rewrites(&toks("phone for grandpa"));
+        assert!(
+            rewrites.iter().any(|rw| rw.contains(&"senior".to_string())),
+            "{rewrites:?}"
+        );
+    }
+
+    #[test]
+    fn substitutes_brand_alias() {
+        let r = rewriter();
+        let rewrites = r.all_rewrites(&toks("ahdi sneaker"));
+        assert!(rewrites.iter().any(|rw| rw[0] == "adidas"), "{rewrites:?}");
+    }
+
+    #[test]
+    fn single_token_change_keeps_rest() {
+        let r = rewriter();
+        for rw in r.all_rewrites(&toks("black phone")) {
+            // Either "black" or "phone" was substituted; the other stays.
+            assert!(rw.contains(&"black".to_string()) || rw.contains(&"phone".to_string()));
+        }
+    }
+
+    #[test]
+    fn no_dictionary_hit_means_no_rewrites() {
+        let r = rewriter();
+        assert!(r.all_rewrites(&toks("xqzv blorp")).is_empty());
+    }
+
+    #[test]
+    fn trait_truncates_to_k() {
+        let r = rewriter();
+        let q = toks("ahdi shoe for grandpa");
+        let all = r.all_rewrites(&q);
+        assert!(all.len() >= 2, "expected several rule hits: {all:?}");
+        assert_eq!(r.rewrite(&q, 1).len(), 1);
+        assert_eq!(r.name(), "rule-based");
+    }
+
+    #[test]
+    fn rewrites_never_equal_original() {
+        let r = rewriter();
+        let q = toks("phone for grandpa");
+        for rw in r.all_rewrites(&q) {
+            assert_ne!(rw, q);
+        }
+    }
+
+    /// The paper's polysemy failure: a fruit-intent "cherry" query still
+    /// gets the context-free dictionary substitution.
+    #[test]
+    fn polysemy_trap_fires_context_free() {
+        let r = rewriter();
+        let rewrites = r.all_rewrites(&toks("sweet cherry"));
+        // Some rule rewrote "cherry" or "sweet" without knowing the
+        // context is fruit.
+        assert!(!rewrites.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! A SimRank++-flavoured click-graph rewriter (related work, §II-C).
+//!
+//! Antonellis et al. generate similar queries from the bipartite
+//! query-item click graph, weighting edges by click counts. We implement
+//! the practical one-step variant production systems use: two queries are
+//! similar in proportion to the click-weighted overlap of their clicked
+//! item sets (weighted Jaccard). The paper dismisses full SimRank as
+//! unscalable; this rewriter exists as the classic comparator and to show
+//! it cannot rewrite *unseen* queries at all (the neural model's edge).
+
+use std::collections::HashMap;
+
+use qrw_core::QueryRewriter;
+use qrw_data::ClickLog;
+
+/// Click-graph nearest-neighbour rewriter.
+pub struct SimRankRewriter {
+    /// query text -> (query index, item -> clicks)
+    profiles: HashMap<String, (usize, HashMap<usize, f64>)>,
+    queries: Vec<Vec<String>>,
+    name: String,
+}
+
+impl SimRankRewriter {
+    /// Builds query click profiles from the log.
+    pub fn new(log: &ClickLog) -> Self {
+        let mut profiles: HashMap<String, (usize, HashMap<usize, f64>)> = HashMap::new();
+        let queries: Vec<Vec<String>> = log.queries.iter().map(|q| q.tokens.clone()).collect();
+        for (qi, q) in log.queries.iter().enumerate() {
+            profiles.insert(q.text(), (qi, HashMap::new()));
+        }
+        for pair in &log.pairs {
+            let text = log.queries[pair.query].text();
+            if let Some((_, items)) = profiles.get_mut(&text) {
+                *items.entry(pair.item).or_default() += f64::from(pair.clicks);
+            }
+        }
+        SimRankRewriter { profiles, queries, name: "simrank-click-graph".to_string() }
+    }
+
+    /// Weighted-Jaccard similarity of two queries' click profiles.
+    pub fn similarity(&self, a: &[String], b: &[String]) -> f64 {
+        let (Some((_, pa)), Some((_, pb))) =
+            (self.profiles.get(&a.join(" ")), self.profiles.get(&b.join(" ")))
+        else {
+            return 0.0;
+        };
+        weighted_jaccard(pa, pb)
+    }
+}
+
+fn weighted_jaccard(a: &HashMap<usize, f64>, b: &HashMap<usize, f64>) -> f64 {
+    let mut min_sum = 0.0;
+    let mut max_sum = 0.0;
+    for (item, &wa) in a {
+        let wb = b.get(item).copied().unwrap_or(0.0);
+        min_sum += wa.min(wb);
+        max_sum += wa.max(wb);
+    }
+    for (item, &wb) in b {
+        if !a.contains_key(item) {
+            max_sum += wb;
+        }
+    }
+    if max_sum == 0.0 {
+        0.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+impl QueryRewriter for SimRankRewriter {
+    /// Known queries return their nearest click-graph neighbours; unseen
+    /// queries return nothing — the structural limitation the neural
+    /// approach removes.
+    fn rewrite(&self, query: &[String], k: usize) -> Vec<Vec<String>> {
+        let text = query.join(" ");
+        let Some((_, profile)) = self.profiles.get(&text) else {
+            return Vec::new();
+        };
+        let mut scored: Vec<(f64, usize)> = self
+            .profiles
+            .values()
+            .filter(|(qi, _)| self.queries[*qi] != query)
+            .map(|(qi, other)| (weighted_jaccard(profile, other), *qi))
+            .filter(|(sim, _)| *sim > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().take(k).map(|(_, qi)| self.queries[qi].clone()).collect()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrw_data::LogConfig;
+
+    fn rewriter() -> (ClickLog, SimRankRewriter) {
+        let log = ClickLog::generate(&LogConfig::default());
+        let r = SimRankRewriter::new(&log);
+        (log, r)
+    }
+
+    #[test]
+    fn known_query_gets_same_category_neighbours() {
+        let (log, r) = rewriter();
+        // Pick a head query with clicks.
+        let q = &log.queries[0];
+        let rewrites = r.rewrite(&q.tokens, 3);
+        if rewrites.is_empty() {
+            return; // head query may have a unique click profile
+        }
+        let text_to_cat: HashMap<String, usize> =
+            log.queries.iter().map(|x| (x.text(), x.category)).collect();
+        for rw in &rewrites {
+            assert_eq!(text_to_cat[&rw.join(" ")], q.category, "{rw:?}");
+        }
+    }
+
+    #[test]
+    fn unseen_query_returns_nothing() {
+        let (_log, r) = rewriter();
+        let unseen = vec!["totally".to_string(), "novel".to_string()];
+        assert!(r.rewrite(&unseen, 3).is_empty());
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let (log, r) = rewriter();
+        let a = &log.queries[0].tokens;
+        let b = &log.queries[1].tokens;
+        let sab = r.similarity(a, b);
+        let sba = r.similarity(b, a);
+        assert!((sab - sba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&sab));
+        // Self-similarity of a clicked query is 1.
+        if log.pairs.iter().any(|p| p.query == 0) {
+            assert!((r.similarity(a, a) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_jaccard_edge_cases() {
+        let empty = HashMap::new();
+        assert_eq!(weighted_jaccard(&empty, &empty), 0.0);
+        let mut a = HashMap::new();
+        a.insert(1usize, 2.0);
+        assert_eq!(weighted_jaccard(&a, &empty), 0.0);
+        assert_eq!(weighted_jaccard(&a, &a), 1.0);
+    }
+}

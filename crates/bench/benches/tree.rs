@@ -1,0 +1,68 @@
+//! Figure 5 / §III-H bench: retrieval cost of separate syntax trees vs the
+//! merged tree over the synthetic item index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qrw_data::{ClickLog, LogConfig};
+use qrw_search::{InvertedIndex, QueryTree};
+
+fn setup() -> (InvertedIndex, Vec<Vec<String>>) {
+    let log = ClickLog::generate(&LogConfig::default());
+    let index =
+        InvertedIndex::build(log.catalog.items.iter().map(|i| i.title_tokens.clone()));
+    // An original query plus rewrites sharing most tokens (the production
+    // pattern §III-H exploits).
+    let queries = vec![
+        toks("red shoes men"),
+        toks("red footwear men"),
+        toks("red shoes senior"),
+        toks("black shoes men"),
+    ];
+    (index, queries)
+}
+
+fn toks(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+fn bench_tree_strategies(c: &mut Criterion) {
+    let (index, queries) = setup();
+    let mut group = c.benchmark_group("fig5_retrieval");
+
+    group.bench_function("separate_trees", |b| {
+        let trees: Vec<QueryTree> =
+            queries.iter().map(|q| QueryTree::and_of_tokens(q)).collect();
+        b.iter(|| {
+            for t in &trees {
+                std::hint::black_box(t.evaluate(&index));
+            }
+        });
+    });
+
+    group.bench_function("merged_positional", |b| {
+        let merged = QueryTree::merge_positional(&queries);
+        b.iter(|| std::hint::black_box(merged.evaluate(&index)));
+    });
+
+    group.bench_function("merged_factored", |b| {
+        let merged = QueryTree::merge_factored(&queries);
+        b.iter(|| std::hint::black_box(merged.evaluate(&index)));
+    });
+
+    group.finish();
+}
+
+fn bench_tree_construction(c: &mut Criterion) {
+    let (_, queries) = setup();
+    let mut group = c.benchmark_group("fig5_construction");
+    group.bench_function("merge_positional", |b| {
+        b.iter(|| std::hint::black_box(QueryTree::merge_positional(&queries)));
+    });
+    group.bench_function("merge_factored", |b| {
+        b.iter(|| std::hint::black_box(QueryTree::merge_factored(&queries)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_strategies, bench_tree_construction);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--smoke] [table1..table8 | fig5..fig9 | ablation-decoding |
+//!        ablation-sampling | ablation-lambda | ablation-lm | all]
+//! ```
+//!
+//! `--smoke` uses the tiny test scale (seconds); the default scale takes
+//! minutes. Output prints our measured values next to the paper's.
+
+use std::time::Instant;
+
+use qrw_bench::experiment::{ExperimentData, Scale, System};
+use qrw_bench::{figures, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let targets: Vec<&str> = if targets.is_empty() { vec!["all"] } else { targets };
+
+    let scale = if smoke { Scale::smoke() } else { Scale::paper() };
+    let wants = |name: &str| targets.iter().any(|t| *t == name || *t == "all");
+
+    // Table 5 and Figure 5 need no trained models.
+    if wants("table5") {
+        section("Table V — latency (ms) of translation components");
+        let reps = if smoke { 3 } else { 10 };
+        println!("{}", tables::format_table5(&tables::table5(reps)));
+    }
+
+    let needs_system = ["table1", "table2", "table3", "table4", "table6", "table7", "table8",
+        "fig5", "fig6", "fig7", "fig8", "ablation-decoding", "ablation-lm",
+        "ablation-sampling", "ablation-lambda"]
+        .iter()
+        .any(|t| wants(t));
+    let needs_data_only = wants("fig9");
+
+    if !needs_system && !needs_data_only {
+        return;
+    }
+
+    let t0 = Instant::now();
+    if needs_system {
+        eprintln!("[repro] building corpus and training joint + separate models…");
+        let sys = System::build(scale.clone());
+        eprintln!("[repro] training done in {:.1}s", t0.elapsed().as_secs_f32());
+
+        if wants("table1") {
+            section("Table I — dataset statistics");
+            println!("{}", tables::table1(&sys));
+            println!("paper: 5.6e9 pairs, avg 6.12 query words / 49.96 title words\n");
+        }
+        if wants("table2") {
+            section("Table II — model hyper-parameters (scaled)");
+            println!("{}\n", tables::table2(&sys));
+        }
+        if wants("table3") {
+            section("Table III — good cases from the separately trained models");
+            println!("{}", tables::format_examples(&tables::example_cases(&sys, &sys.separate, 4)));
+        }
+        if wants("table4") {
+            section("Table IV — good cases from the jointly trained model");
+            println!("{}", tables::format_examples(&tables::example_cases(&sys, &sys.joint, 4)));
+        }
+        if wants("table6") {
+            section("Table VI — oracle (\"human\") relevancy evaluation");
+            println!("{}\n", tables::table6(&sys));
+        }
+        if wants("table7") {
+            section("Table VII — lexical diversity vs semantic relevancy");
+            println!("{}", tables::format_table7(&tables::table7(&sys)));
+        }
+        if wants("table8") {
+            section("Table VIII — A/B user-simulation (relative deltas)");
+            let sessions = if smoke { 400 } else { 4000 };
+            println!("{}", tables::table8(&sys, sessions));
+            println!("paper: UCVR +0.5219%, GMV +1.1054%, QRR -0.0397%\n");
+        }
+        if wants("fig5") {
+            section("Figure 5 — merged syntax tree");
+            println!("{}\n", figures::fig5(&sys));
+        }
+        if wants("fig6") {
+            section("Figure 6 — attention heat maps");
+            println!("{}", figures::fig6(&sys));
+        }
+        if wants("fig7") {
+            section("Figure 7 — separate vs joint convergence");
+            println!("{}", figures::fig7(&sys));
+        }
+        if wants("fig8") {
+            section("Figure 8 — transformer vs attention-RNN");
+            eprintln!("[repro] training attention-RNN ablation…");
+            println!("{}", figures::fig8(&sys));
+        }
+        if wants("fig9") || wants("all") {
+            section("Figure 9 — q2q: pure RNN vs hybrid");
+            eprintln!("[repro] training q2q ablations…");
+            println!("{}", figures::fig9(&sys.data, &sys.scale));
+        }
+        if wants("ablation-decoding") {
+            section("Ablation — decoding strategies (§III-F)");
+            let n = if smoke { 4 } else { 16 };
+            println!("{}", qrw_bench::ablations::format_decoding(
+                &qrw_bench::ablations::decoding_ablation(&sys, n)));
+        }
+        if wants("ablation-sampling") {
+            section("Ablation — inference sampling pool size (§III-F n)");
+            let n = if smoke { 4 } else { 24 };
+            println!("{}", qrw_bench::ablations::format_sampling(
+                &qrw_bench::ablations::sampling_ablation(&sys, n)));
+        }
+        if wants("ablation-lambda") {
+            section("Ablation — cycle-consistency weight λ");
+            eprintln!("[repro] training λ sweep…");
+            let lambdas: &[f32] = if smoke { &[0.0, 0.1] } else { &[0.0, 0.05, 0.1, 0.3] };
+            println!("{}", qrw_bench::ablations::format_lambda(
+                &qrw_bench::ablations::lambda_ablation(&sys, lambdas)));
+        }
+        if wants("ablation-lm") {
+            section("Ablation — GPT-style single LM vs joint pipeline (§V)");
+            eprintln!("[repro] training the GPT-style LM…");
+            let n = if smoke { 4 } else { 24 };
+            let (rows, curve) = qrw_bench::ablations::lm_ablation(&sys, n);
+            println!("{}", qrw_bench::ablations::format_lm_ablation(&rows, &curve));
+        }
+    } else if needs_data_only {
+        let data = ExperimentData::build(&scale);
+        section("Figure 9 — q2q: pure RNN vs hybrid");
+        println!("{}", figures::fig9(&data, &scale));
+    }
+    eprintln!("[repro] total {:.1}s", t0.elapsed().as_secs_f32());
+}
+
+fn section(title: &str) {
+    println!("════════════════════════════════════════════════════════════════");
+    println!("{title}");
+    println!("────────────────────────────────────────────────────────────────");
+}

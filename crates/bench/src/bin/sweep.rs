@@ -1,0 +1,52 @@
+//! Hyper-parameter sweep over the Algorithm 1 training setup, used to
+//! pick the default `Scale::paper()` settings. Runs each configuration
+//! for both the transformer and the attention-RNN architecture and prints
+//! final eval metrics side by side.
+//!
+//! ```text
+//! cargo run --release -p qrw-bench --bin sweep
+//! ```
+
+use qrw_bench::experiment::{train_architecture, ExperimentData, Scale};
+use qrw_core::TrainMode;
+use qrw_nmt::ComponentKind;
+
+fn main() {
+    let base = Scale::paper();
+    let data = ExperimentData::build(&base);
+    println!("vocab {}, q2t pairs {}", data.vocab_size(), data.dataset.q2t.len());
+    println!(
+        "{:<34} {:>12} {:>12} {:>10} {:>10}",
+        "config", "tf:pplQ2T", "rnn:pplQ2T", "tf:logP", "rnn:logP"
+    );
+
+    let grid: Vec<(&str, f32, u64, u64)> = vec![
+        // (label, lr_factor, noam_warmup, steps)
+        ("factor 0.6 warm 60 steps 320", 0.6, 60, 320),
+        ("factor 0.3 warm 120 steps 320", 0.3, 120, 320),
+        ("factor 1.0 warm 120 steps 320", 1.0, 120, 320),
+        ("factor 0.6 warm 60 steps 640", 0.6, 60, 640),
+        ("factor 0.3 warm 120 steps 640", 0.3, 120, 640),
+        ("factor 1.2 warm 200 steps 640", 1.2, 200, 640),
+    ];
+
+    for (label, factor, warm, steps) in grid {
+        let mut scale = base.clone();
+        scale.train.lr_factor = factor;
+        scale.train.noam_warmup = warm;
+        scale.train.steps = steps;
+        scale.train.warmup_steps = steps / 2;
+        scale.train.eval_every = 0;
+        let run = |enc: ComponentKind, dec: ComponentKind| {
+            let (_m, curve) =
+                train_architecture(&data, &scale, enc, dec, TrainMode::Joint, 7);
+            *curve.last().expect("curve has a final point")
+        };
+        let tf = run(ComponentKind::Transformer, ComponentKind::Transformer);
+        let rnn = run(ComponentKind::Rnn, ComponentKind::Rnn);
+        println!(
+            "{:<34} {:>12.3} {:>12.3} {:>10.2} {:>10.2}",
+            label, tf.ppl_q2t, rnn.ppl_q2t, tf.log_prob, rnn.log_prob
+        );
+    }
+}

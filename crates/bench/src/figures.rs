@@ -1,0 +1,347 @@
+//! Reproductions of the paper's figures (5, 6, 7, 8, 9) as text artifacts.
+
+use qrw_core::{Q2QPoint, RewritePipeline, TrainingCurve};
+use qrw_nmt::ComponentKind;
+use qrw_search::{InvertedIndex, QueryTree, RetrievalCost};
+use qrw_tensor::Tensor;
+
+use crate::experiment::{train_architecture, train_q2q_model, ExperimentData, Scale, System};
+
+/// Figure 5 artifact: node counts and retrieval costs of separate vs
+/// merged syntax trees over the real item index.
+#[derive(Clone, Debug)]
+pub struct Fig5 {
+    pub queries: Vec<Vec<String>>,
+    pub merged_display: String,
+    pub separate_nodes: usize,
+    pub merged_nodes: usize,
+    pub separate_cost: RetrievalCost,
+    pub merged_cost: RetrievalCost,
+    pub result_count: usize,
+}
+
+/// Builds the Figure 5 comparison from an original query and its rewrites
+/// evaluated on the catalog's item index.
+pub fn fig5(sys: &System) -> Fig5 {
+    let catalog = &sys.data.log.catalog;
+    let index = InvertedIndex::build(catalog.items.iter().map(|i| i.title_tokens.clone()));
+    // The Figure 5 pattern — an original query plus two rewrites diverging
+    // at one position each — built from a real category's vocabulary so
+    // retrieval is non-empty.
+    let cat = catalog
+        .categories
+        .iter()
+        .find(|c| c.title_terms.len() >= 2 && c.attrs.len() >= 2)
+        .expect("catalog has a category with enough vocabulary");
+    let queries: Vec<Vec<String>> = vec![
+        vec![cat.attrs[0].clone(), cat.title_terms[0].clone()],
+        vec![cat.attrs[0].clone(), cat.title_terms[1].clone()],
+        vec![cat.attrs[1].clone(), cat.title_terms[0].clone()],
+    ];
+    fig5_with(&index, queries)
+}
+
+/// Figure 5 over arbitrary queries and index (used by benches and tests).
+pub fn fig5_with(index: &InvertedIndex, queries: Vec<Vec<String>>) -> Fig5 {
+    let mut separate_nodes = 0usize;
+    let mut separate_cost = RetrievalCost::default();
+    for q in &queries {
+        let tree = QueryTree::and_of_tokens(q);
+        separate_nodes += tree.node_count();
+        let (_, c) = tree.evaluate(index);
+        separate_cost = separate_cost + c;
+    }
+    let merged = QueryTree::merge_positional(&queries);
+    let (docs, merged_cost) = merged.evaluate(index);
+    Fig5 {
+        merged_display: merged.to_string(),
+        separate_nodes,
+        merged_nodes: merged.node_count(),
+        separate_cost,
+        merged_cost,
+        result_count: docs.len(),
+        queries,
+    }
+}
+
+fn tokens(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+impl std::fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "queries:")?;
+        for q in &self.queries {
+            writeln!(f, "  {}", q.join(" & "))?;
+        }
+        writeln!(f, "merged tree: {}", self.merged_display)?;
+        writeln!(
+            f,
+            "nodes: separate {} -> merged {}",
+            self.separate_nodes, self.merged_nodes
+        )?;
+        writeln!(
+            f,
+            "postings scanned: separate {} -> merged {}",
+            self.separate_cost.postings_scanned, self.merged_cost.postings_scanned
+        )?;
+        write!(f, "retrieved docs: {}", self.result_count)
+    }
+}
+
+/// Figure 6: ASCII heat maps of the cross-attention in both translation
+/// hops of one rewrite (query→title above, title→rewrite below).
+pub fn fig6(sys: &System) -> String {
+    // A brand-alias hard query, like the paper's "Ah Di comfy men's shoe".
+    let query = sys
+        .data
+        .log
+        .queries
+        .iter()
+        .find(|q| q.kind == qrw_data::QueryKind::BrandAlias)
+        .map(|q| q.tokens.clone())
+        .unwrap_or_else(|| tokens("ahdi shoe"));
+    let vocab = &sys.data.dataset.vocab;
+    let pipeline = RewritePipeline::new(
+        &sys.joint,
+        vocab,
+        sys.scale.train.beam_width,
+        sys.scale.train.top_n,
+        1106,
+    );
+    let query_ids = vocab.encode(&query);
+    let rewrites = pipeline.rewrite_ids(&query_ids);
+    let Some(best) = rewrites.first() else {
+        return "no rewrite produced".to_string();
+    };
+    let title_ids = vocab.encode(&best.via_title);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "query: \"{}\"  ->  title: \"{}\"  ->  rewrite: \"{}\"\n\n",
+        query.join(" "),
+        best.via_title.join(" "),
+        best.tokens.join(" ")
+    ));
+    // Hop 1: forward model attention (rows = title positions, cols = query).
+    let maps = sys.joint.forward.cross_attention(&query_ids, &title_ids);
+    if let Some(map) = maps.last() {
+        out.push_str("forward (query -> synthetic title) cross-attention:\n");
+        out.push_str(&render_heatmap(map, &with_eos(&query), &with_bos(&best.via_title)));
+    }
+    // Hop 2: backward model attention (rows = rewrite positions, cols = title).
+    let maps = sys.joint.backward.cross_attention(&title_ids, &best.ids);
+    if let Some(map) = maps.last() {
+        out.push_str("\nbackward (title -> rewritten query) cross-attention:\n");
+        out.push_str(&render_heatmap(map, &with_eos(&best.via_title), &with_bos(&best.tokens)));
+    }
+    out
+}
+
+fn with_eos(tokens: &[String]) -> Vec<String> {
+    let mut v = tokens.to_vec();
+    v.push("<eos>".to_string());
+    v
+}
+
+fn with_bos(tokens: &[String]) -> Vec<String> {
+    let mut v = vec!["<bos>".to_string()];
+    v.extend(tokens.iter().cloned());
+    v
+}
+
+/// Renders an attention matrix as shaded blocks with token labels.
+pub fn render_heatmap(map: &Tensor, cols: &[String], rows: &[String]) -> String {
+    const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+    let mut out = String::new();
+    let label_w = rows.iter().map(String::len).max().unwrap_or(4).max(4);
+    for r in 0..map.rows() {
+        let label = rows.get(r).map(String::as_str).unwrap_or("?");
+        out.push_str(&format!("{label:>label_w$} |"));
+        for c in 0..map.cols() {
+            let v = map.get(r, c).clamp(0.0, 1.0);
+            let shade = SHADES[((v * (SHADES.len() - 1) as f32).round() as usize).min(4)];
+            out.push(shade);
+            out.push(shade);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>label_w$} +", ""));
+    out.push_str(&"--".repeat(map.cols()));
+    out.push('\n');
+    // Column legend.
+    out.push_str(&format!("{:>label_w$}  ", ""));
+    for c in 0..map.cols() {
+        let ch = cols.get(c).and_then(|t| t.chars().next()).unwrap_or('?');
+        out.push(ch);
+        out.push(' ');
+    }
+    out.push('\n');
+    out.push_str("columns: ");
+    out.push_str(&cols.join(", "));
+    out.push('\n');
+    out
+}
+
+/// Figure 7/8 artifact: two training curves side by side.
+#[derive(Clone, Debug)]
+pub struct CurveComparison {
+    pub label_a: String,
+    pub label_b: String,
+    pub a: TrainingCurve,
+    pub b: TrainingCurve,
+}
+
+impl std::fmt::Display for CurveComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>6} | {:>10} {:>10} | {:>10} {:>10} | {:>9} {:>9} | {:>7} {:>7}",
+            "step", "pplQ2T:a", "pplQ2T:b", "pplT2Q:a", "pplT2Q:b", "logP:a", "logP:b", "acc:a",
+            "acc:b"
+        )?;
+        writeln!(f, "  a = {}, b = {}", self.label_a, self.label_b)?;
+        for (pa, pb) in self.a.points.iter().zip(&self.b.points) {
+            writeln!(
+                f,
+                "{:>6} | {:>10.3} {:>10.3} | {:>10.3} {:>10.3} | {:>9.2} {:>9.2} | {:>7.3} {:>7.3}",
+                pa.step,
+                pa.ppl_q2t,
+                pb.ppl_q2t,
+                pa.ppl_t2q,
+                pb.ppl_t2q,
+                pa.log_prob,
+                pb.log_prob,
+                pa.accuracy,
+                pb.accuracy
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 7: separate vs joint convergence (curves already produced while
+/// building the [`System`]).
+pub fn fig7(sys: &System) -> CurveComparison {
+    CurveComparison {
+        label_a: "separate".to_string(),
+        label_b: "joint".to_string(),
+        a: sys.separate_curve.clone(),
+        b: sys.joint_curve.clone(),
+    }
+}
+
+/// Figure 8: transformer vs attention-RNN (both jointly trained).
+pub fn fig8(sys: &System) -> CurveComparison {
+    let (_m, rnn_curve) = train_architecture(
+        &sys.data,
+        &sys.scale,
+        ComponentKind::Rnn,
+        ComponentKind::Rnn,
+        qrw_core::TrainMode::Joint,
+        sys.scale.seed + 40,
+    );
+    CurveComparison {
+        label_a: "attention-RNN".to_string(),
+        label_b: "transformer".to_string(),
+        a: rnn_curve,
+        b: sys.joint_curve.clone(),
+    }
+}
+
+/// Figure 9 artifact: q2q curves for the pure-RNN and hybrid models.
+#[derive(Clone, Debug)]
+pub struct Fig9 {
+    pub pure_rnn: Vec<Q2QPoint>,
+    pub hybrid: Vec<Q2QPoint>,
+}
+
+impl std::fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>6} | {:>12} {:>12} | {:>9} {:>9} | {:>9} {:>9}",
+            "step", "ppl:pureRNN", "ppl:hybrid", "acc:pure", "acc:hyb", "logP:pure", "logP:hyb"
+        )?;
+        for (a, b) in self.pure_rnn.iter().zip(&self.hybrid) {
+            writeln!(
+                f,
+                "{:>6} | {:>12.3} {:>12.3} | {:>9.3} {:>9.3} | {:>9.2} {:>9.2}",
+                a.step, a.ppl, b.ppl, a.accuracy, b.accuracy, a.log_prob, b.log_prob
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 9: direct q2q training, pure RNN vs hybrid
+/// (transformer encoder + RNN decoder).
+pub fn fig9(data: &ExperimentData, scale: &Scale) -> Fig9 {
+    let (_m1, pure_rnn) =
+        train_q2q_model(data, scale, ComponentKind::Rnn, ComponentKind::Rnn, scale.seed + 50);
+    let (_m2, hybrid) = train_q2q_model(
+        data,
+        scale,
+        ComponentKind::Transformer,
+        ComponentKind::Rnn,
+        scale.seed + 50,
+    );
+    Fig9 { pure_rnn, hybrid }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentData, Scale, System};
+
+    #[test]
+    fn fig5_merged_tree_is_smaller_and_cheaper() {
+        let index = InvertedIndex::build(vec![
+            tokens("red shoes men new"),
+            tokens("red footwear men sale"),
+            tokens("red shoes senior"),
+            tokens("blue shoes men"),
+        ]);
+        let f = fig5_with(
+            &index,
+            vec![tokens("red shoes men"), tokens("red footwear men"), tokens("red shoes senior")],
+        );
+        assert!(f.merged_nodes < f.separate_nodes);
+        assert!(f.merged_cost.postings_scanned < f.separate_cost.postings_scanned);
+        assert!(f.result_count > 0);
+        let text = f.to_string();
+        assert!(text.contains("merged tree"));
+    }
+
+    #[test]
+    fn heatmap_renders_every_row() {
+        let map = Tensor::from_vec(2, 3, vec![0.9, 0.05, 0.05, 0.1, 0.8, 0.1]);
+        let cols = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let rows = vec!["x".to_string(), "y".to_string()];
+        let s = render_heatmap(&map, &cols, &rows);
+        assert!(s.contains('█') || s.contains('▓'));
+        assert_eq!(s.lines().filter(|l| l.contains('|')).count(), 2);
+    }
+
+    #[test]
+    fn smoke_figures_run() {
+        let sys = System::build(Scale::smoke());
+        let f5 = fig5(&sys);
+        assert!(f5.merged_nodes <= f5.separate_nodes);
+        let f6 = fig6(&sys);
+        assert!(f6.contains("query:") || f6.contains("no rewrite"));
+        let f7 = fig7(&sys);
+        assert_eq!(f7.a.points.len(), f7.b.points.len());
+        assert!(!f7.to_string().is_empty());
+    }
+
+    #[test]
+    fn smoke_fig9_runs() {
+        let scale = Scale::smoke();
+        let data = ExperimentData::build(&scale);
+        let f9 = fig9(&data, &scale);
+        assert!(!f9.pure_rnn.is_empty());
+        assert!(!f9.hybrid.is_empty());
+        assert!(!f9.to_string().is_empty());
+    }
+}

@@ -1,0 +1,529 @@
+//! Cyclic-consistent joint training — the paper's §III-C/§III-D and
+//! Algorithm 1.
+//!
+//! Two translation models are trained on click-log pairs: the forward
+//! (query→title) model maximizes `L_f`, the backward (title→query) model
+//! `L_b`. After `G` warm-up steps the **cycle-consistency likelihood**
+//!
+//! ```text
+//! L_c = Σ_n log Σ_{ŷ ∈ Ỹ} P(ŷ | x_n; θ_f) · P(x_n | ŷ; θ_b)
+//! ```
+//!
+//! joins the objective with weight `λ`, where `Ỹ` is a top-k set of
+//! synthetic titles sampled from the forward model with the top-n sampling
+//! decoder (the tractable approximation of Eq. 4/5). Because both models'
+//! log-likelihoods are nodes of one autodiff tape, the log-sum-exp couples
+//! them and one backward pass produces the Eq. 5 gradients for both
+//! parameter sets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qrw_nmt::{top_n_sampling, Seq2Seq, TopNSampling};
+use qrw_tensor::optim::{Adam, AdamConfig, NoamSchedule};
+use qrw_tensor::{Tape, Var};
+use qrw_data::Pair;
+
+use crate::config::TrainConfig;
+
+/// The forward (query→title) and backward (title→query) models.
+pub struct JointModel {
+    pub forward: Seq2Seq,
+    pub backward: Seq2Seq,
+}
+
+impl JointModel {
+    pub fn new(forward: Seq2Seq, backward: Seq2Seq) -> Self {
+        JointModel { forward, backward }
+    }
+
+    /// The cycle-consistency log-likelihood `log P(x|x)` for one query,
+    /// marginalized over `titles`, as a tape node. Also returns the
+    /// per-title path scores `log P(ŷ|x) + log P(x|ŷ)` (values only).
+    pub fn cyclic_log_likelihood<'t>(
+        &self,
+        tape: &'t Tape,
+        query: &[usize],
+        titles: &[Vec<usize>],
+    ) -> Var<'t> {
+        assert!(!titles.is_empty(), "cyclic term needs at least one synthetic title");
+        let mut paths = Vec::with_capacity(titles.len());
+        for title in titles {
+            if title.is_empty() {
+                continue;
+            }
+            let (nll_f, _) = self.forward.nll_on_tape(tape, query, title, &mut None);
+            let (nll_b, _) = self.backward.nll_on_tape(tape, title, query, &mut None);
+            // log P_f + log P_b = -(nll_f + nll_b)
+            paths.push(nll_f.add(nll_b).scale(-1.0));
+        }
+        assert!(!paths.is_empty(), "all synthetic titles were empty");
+        Var::log_sum_exp_scalars(&paths)
+    }
+
+    /// Samples `k` synthetic titles for `query` from the forward model
+    /// (top-n sampling, §III-F), dropping empties.
+    pub fn sample_titles(
+        &self,
+        query: &[usize],
+        k: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<usize>> {
+        top_n_sampling(&self.forward, query, TopNSampling { k, n }, rng)
+            .into_iter()
+            .map(|h| h.tokens)
+            .filter(|t| !t.is_empty())
+            .collect()
+    }
+
+    /// Evaluation: `log P(x|x)` marginalized over `k` sampled titles
+    /// (the paper's "Log probability" convergence metric).
+    pub fn translate_back_log_prob(
+        &self,
+        query: &[usize],
+        k: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let titles = self.sample_titles(query, k, n, rng);
+        if titles.is_empty() {
+            return f32::NEG_INFINITY;
+        }
+        let paths: Vec<f32> = titles
+            .iter()
+            .map(|t| self.forward.log_prob(query, t) + self.backward.log_prob(t, query))
+            .collect();
+        qrw_tensor::log_sum_exp(&paths)
+    }
+
+    /// Evaluation: fraction of positions where the backward model's argmax
+    /// over a synthetic title reproduces the original query token (the
+    /// paper's "Accuracy" convergence metric).
+    pub fn translate_back_accuracy(
+        &self,
+        query: &[usize],
+        k: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let titles = self.sample_titles(query, k, n, rng);
+        if titles.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for title in &titles {
+            let memory = self.backward.encode(title);
+            let mut state = self.backward.start_state(&memory);
+            let mut prefix = vec![qrw_text::BOS];
+            for &tok in query.iter().chain(std::iter::once(&qrw_text::EOS)) {
+                let lp = self.backward.next_log_probs(&memory, &mut state, &prefix);
+                let argmax = lp
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                if argmax == tok {
+                    correct += 1;
+                }
+                total += 1;
+                prefix.push(tok);
+            }
+        }
+        correct as f32 / total.max(1) as f32
+    }
+}
+
+/// One evaluation snapshot along the training trajectory (a Figure 7/8/9
+/// curve point).
+#[derive(Clone, Copy, Debug)]
+pub struct CurvePoint {
+    pub step: u64,
+    /// Forward (q2t) per-token perplexity on the eval pairs.
+    pub ppl_q2t: f32,
+    /// Backward (t2q) per-token perplexity on the eval pairs.
+    pub ppl_t2q: f32,
+    /// Mean translate-back log-probability over eval queries.
+    pub log_prob: f32,
+    /// Mean translate-back token accuracy over eval queries.
+    pub accuracy: f32,
+}
+
+/// Full training trajectory.
+#[derive(Clone, Debug, Default)]
+pub struct TrainingCurve {
+    pub points: Vec<CurvePoint>,
+}
+
+impl TrainingCurve {
+    pub fn last(&self) -> Option<&CurvePoint> {
+        self.points.last()
+    }
+}
+
+/// Whether the cyclic term is used after warm-up (joint) or never
+/// (the paper's "separate" ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainMode {
+    Separate,
+    Joint,
+}
+
+/// The Algorithm 1 trainer.
+pub struct CyclicTrainer {
+    config: TrainConfig,
+    adam: Adam,
+    schedule: NoamSchedule,
+    rng: StdRng,
+    step: u64,
+}
+
+impl CyclicTrainer {
+    pub fn new(config: TrainConfig, d_model: usize) -> Self {
+        let schedule = NoamSchedule::new(config.lr_factor, d_model, config.noam_warmup);
+        CyclicTrainer {
+            adam: Adam::new(AdamConfig { lr: 0.05, ..Default::default() }),
+            rng: StdRng::seed_from_u64(config.seed),
+            schedule,
+            config,
+            step: 0,
+        }
+    }
+
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Runs Algorithm 1 for `config.steps` steps over `data` (query→title
+    /// pairs), evaluating on `eval` every `eval_every` steps.
+    ///
+    /// `mode == Separate` trains `L_f` and `L_b` only; `Joint` adds the
+    /// `λ L_c` term after `warmup_steps`.
+    pub fn train(
+        &mut self,
+        model: &JointModel,
+        data: &[Pair],
+        eval: &[Pair],
+        mode: TrainMode,
+    ) -> TrainingCurve {
+        assert!(!data.is_empty(), "training data must be non-empty");
+        let mut curve = TrainingCurve::default();
+        // Click-weighted sampling distribution over pairs.
+        let cum = cumulative_weights(data);
+
+        for _ in 0..self.config.steps {
+            self.step += 1;
+            let lr = self.schedule.lr(self.step);
+            let cyclic = mode == TrainMode::Joint && self.step > self.config.warmup_steps;
+
+            model.forward.params().zero_grads();
+            model.backward.params().zero_grads();
+
+            // Example indices are drawn sequentially (deterministic), then
+            // each batch slot gets an independent RNG derived from
+            // (seed, step, slot) so serial and parallel execution use the
+            // same per-example randomness.
+            let indices: Vec<usize> = (0..self.config.batch_size)
+                .map(|_| sample_index(&cum, &mut self.rng))
+                .collect();
+            let step_seed =
+                self.config.seed ^ self.step.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let config = &self.config;
+            let process = |slot: usize, idx: usize| {
+                let mut rng =
+                    StdRng::seed_from_u64(step_seed.wrapping_add(slot as u64 * 0x51_7cc1));
+                example_backward(model, &data[idx], cyclic, config, &mut rng);
+            };
+            if self.config.parallel && self.config.batch_size > 1 {
+                // Gradients accumulate behind each Param's lock; summation
+                // order (and thus low-order float bits) depends on thread
+                // scheduling — the standard data-parallel trade-off.
+                crossbeam::scope(|scope| {
+                    for (slot, &idx) in indices.iter().enumerate() {
+                        scope.spawn(move |_| process(slot, idx));
+                    }
+                })
+                .expect("training worker panicked");
+            } else {
+                for (slot, &idx) in indices.iter().enumerate() {
+                    process(slot, idx);
+                }
+            }
+
+            let scale = 1.0 / self.config.batch_size as f32;
+            for params in [model.forward.params(), model.backward.params()] {
+                for p in params {
+                    p.scale_grad(scale);
+                }
+                params.clip_grad_norm(self.config.grad_clip);
+            }
+            self.adam.step_with_lr(model.forward.params(), lr);
+            self.adam.step_with_lr(model.backward.params(), lr);
+
+            let at_eval =
+                self.config.eval_every > 0 && self.step.is_multiple_of(self.config.eval_every);
+            if at_eval || self.step == self.config.steps {
+                curve.points.push(self.evaluate(model, eval));
+            }
+        }
+        curve
+    }
+
+    /// Computes the Figure 7 metrics on the eval pairs with a fixed RNG so
+    /// curve noise comes from the models, not the evaluation.
+    pub fn evaluate(&self, model: &JointModel, eval: &[Pair]) -> CurvePoint {
+        let mut nll_f = 0.0f64;
+        let mut tok_f = 0usize;
+        let mut nll_b = 0.0f64;
+        let mut tok_b = 0usize;
+        let mut lp = 0.0f64;
+        let mut acc = 0.0f64;
+        let mut n_queries = 0usize;
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5eed);
+        for pair in eval {
+            if pair.src.is_empty() || pair.tgt.is_empty() {
+                continue;
+            }
+            {
+                let tape = Tape::new();
+                let (nll, count) = model.forward.nll_on_tape(&tape, &pair.src, &pair.tgt, &mut None);
+                nll_f += nll.item() as f64;
+                tok_f += count;
+            }
+            {
+                let tape = Tape::new();
+                let (nll, count) = model.backward.nll_on_tape(&tape, &pair.tgt, &pair.src, &mut None);
+                nll_b += nll.item() as f64;
+                tok_b += count;
+            }
+            lp += model
+                .translate_back_log_prob(&pair.src, self.config.beam_width, self.config.top_n, &mut rng)
+                .max(-1e4) as f64;
+            acc += model
+                .translate_back_accuracy(&pair.src, self.config.beam_width, self.config.top_n, &mut rng)
+                as f64;
+            n_queries += 1;
+        }
+        let nq = n_queries.max(1) as f64;
+        CurvePoint {
+            step: self.step,
+            ppl_q2t: ((nll_f / tok_f.max(1) as f64).exp()) as f32,
+            ppl_t2q: ((nll_b / tok_b.max(1) as f64).exp()) as f32,
+            log_prob: (lp / nq) as f32,
+            accuracy: (acc / nq) as f32,
+        }
+    }
+}
+
+fn train_ctx(rng: &mut StdRng, dropout: f32) -> Option<qrw_nmt::layers::TrainCtx<'_>> {
+    if dropout > 0.0 {
+        Some(qrw_nmt::layers::TrainCtx { rng, dropout })
+    } else {
+        None
+    }
+}
+
+/// One Algorithm 1 example: builds the `L_f + L_b (+ λ L_c)` loss on a
+/// fresh tape and flushes gradients into both models' parameters. Safe to
+/// run concurrently across batch slots (parameter gradient accumulation
+/// is locked per parameter).
+fn example_backward(
+    model: &JointModel,
+    pair: &Pair,
+    cyclic: bool,
+    config: &TrainConfig,
+    rng: &mut StdRng,
+) {
+    if pair.src.is_empty() || pair.tgt.is_empty() {
+        return;
+    }
+    let tape = Tape::new();
+    let (nll_f, _) = {
+        let mut ctx = train_ctx(rng, model.forward.config().dropout);
+        model.forward.nll_on_tape(&tape, &pair.src, &pair.tgt, &mut ctx)
+    };
+    let (nll_b, _) = {
+        let mut ctx = train_ctx(rng, model.backward.config().dropout);
+        model.backward.nll_on_tape(&tape, &pair.tgt, &pair.src, &mut ctx)
+    };
+    let mut loss = nll_f.add(nll_b);
+    if cyclic {
+        let titles = model.sample_titles(&pair.src, config.beam_width, config.top_n, rng);
+        if !titles.is_empty() {
+            let lc = model.cyclic_log_likelihood(&tape, &pair.src, &titles);
+            loss = loss.add(lc.scale(-config.lambda));
+        }
+    }
+    tape.backward(loss);
+}
+
+fn cumulative_weights(data: &[Pair]) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(data.len());
+    let mut total = 0.0f64;
+    for p in data {
+        total += f64::from(p.weight.max(1));
+        cum.push(total);
+    }
+    cum
+}
+
+fn sample_index(cum: &[f64], rng: &mut StdRng) -> usize {
+    let total = *cum.last().expect("non-empty data");
+    let draw = rng.gen::<f64>() * total;
+    match cum.binary_search_by(|x| x.total_cmp(&draw)) {
+        Ok(i) | Err(i) => i.min(cum.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrw_nmt::ModelConfig;
+
+    fn tiny_pairs() -> Vec<Pair> {
+        // A 3-pattern toy language: query [10, cat] -> title [20, cat, 21].
+        let mut pairs = Vec::new();
+        for cat in 4..8usize {
+            pairs.push(Pair { src: vec![10, cat], tgt: vec![20, cat, 21], weight: 3 });
+            pairs.push(Pair { src: vec![11, cat], tgt: vec![20, cat, 22], weight: 2 });
+        }
+        pairs
+    }
+
+    fn tiny_joint(seed: u64) -> JointModel {
+        let cfg = ModelConfig::tiny_transformer(24);
+        JointModel::new(Seq2Seq::new(cfg.clone(), seed), Seq2Seq::new(cfg, seed + 1))
+    }
+
+    #[test]
+    fn cyclic_log_likelihood_is_finite_scalar() {
+        let m = tiny_joint(1);
+        let tape = Tape::new();
+        let lc = m.cyclic_log_likelihood(&tape, &[10, 5], &[vec![20, 5, 21], vec![20, 5, 22]]);
+        assert_eq!(lc.shape(), (1, 1));
+        assert!(lc.item().is_finite());
+        assert!(lc.item() < 0.0);
+    }
+
+    #[test]
+    fn cyclic_backward_reaches_both_models() {
+        let m = tiny_joint(2);
+        m.forward.params().zero_grads();
+        m.backward.params().zero_grads();
+        let tape = Tape::new();
+        let lc = m.cyclic_log_likelihood(&tape, &[10, 5], &[vec![20, 5, 21]]);
+        tape.backward(lc.scale(-1.0));
+        assert!(m.forward.params().global_grad_norm() > 0.0);
+        assert!(m.backward.params().global_grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn training_improves_both_perplexities() {
+        let m = tiny_joint(3);
+        let data = tiny_pairs();
+        let cfg = TrainConfig {
+            steps: 60,
+            warmup_steps: 40,
+            batch_size: 4,
+            eval_every: 0,
+            top_n: 4,
+            lr_factor: 0.4,
+            noam_warmup: 20,
+            ..Default::default()
+        };
+        let mut trainer = CyclicTrainer::new(cfg, 32);
+        let before = trainer.evaluate(&m, &data);
+        let curve = trainer.train(&m, &data, &data, TrainMode::Joint);
+        let after = curve.last().unwrap();
+        assert!(after.ppl_q2t < before.ppl_q2t, "{} -> {}", before.ppl_q2t, after.ppl_q2t);
+        assert!(after.ppl_t2q < before.ppl_t2q, "{} -> {}", before.ppl_t2q, after.ppl_t2q);
+        assert!(after.log_prob > before.log_prob);
+    }
+
+    #[test]
+    fn trainer_is_deterministic() {
+        let run = || {
+            let m = tiny_joint(4);
+            let cfg = TrainConfig {
+                steps: 10,
+                warmup_steps: 5,
+                batch_size: 2,
+                eval_every: 0,
+                top_n: 4,
+                ..Default::default()
+            };
+            let mut t = CyclicTrainer::new(cfg, 32);
+            let curve = t.train(&m, &tiny_pairs(), &tiny_pairs()[..2], TrainMode::Joint);
+            curve.last().unwrap().ppl_q2t
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn separate_mode_never_uses_cyclic_term() {
+        // Indistinguishable from joint during warm-up; after warm-up the
+        // runs diverge. Check separate == separate and separate != joint.
+        let run = |mode: TrainMode| {
+            let m = tiny_joint(5);
+            let cfg = TrainConfig {
+                steps: 20,
+                warmup_steps: 5,
+                batch_size: 2,
+                eval_every: 0,
+                top_n: 4,
+                ..Default::default()
+            };
+            let mut t = CyclicTrainer::new(cfg, 32);
+            let curve = t.train(&m, &tiny_pairs(), &tiny_pairs()[..2], mode);
+            curve.last().unwrap().ppl_q2t
+        };
+        assert_eq!(run(TrainMode::Separate), run(TrainMode::Separate));
+        assert_ne!(run(TrainMode::Separate), run(TrainMode::Joint));
+    }
+
+    #[test]
+    fn parallel_training_improves_metrics_too() {
+        let m = tiny_joint(7);
+        let data = tiny_pairs();
+        let cfg = TrainConfig {
+            steps: 40,
+            warmup_steps: 25,
+            batch_size: 4,
+            eval_every: 0,
+            top_n: 4,
+            parallel: true,
+            ..Default::default()
+        };
+        let mut trainer = CyclicTrainer::new(cfg, 32);
+        let before = trainer.evaluate(&m, &data);
+        let curve = trainer.train(&m, &data, &data, TrainMode::Joint);
+        let after = curve.last().unwrap();
+        assert!(after.ppl_q2t < before.ppl_q2t, "{} -> {}", before.ppl_q2t, after.ppl_q2t);
+        assert!(after.ppl_q2t.is_finite());
+    }
+
+    #[test]
+    fn translate_back_metrics_bounded() {
+        let m = tiny_joint(6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let acc = m.translate_back_accuracy(&[10, 5], 2, 4, &mut rng);
+        assert!((0.0..=1.0).contains(&acc));
+        let lp = m.translate_back_log_prob(&[10, 5], 2, 4, &mut rng);
+        assert!(lp < 0.0);
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_pairs() {
+        let data = vec![
+            Pair { src: vec![4], tgt: vec![5], weight: 100 },
+            Pair { src: vec![6], tgt: vec![7], weight: 1 },
+        ];
+        let cum = cumulative_weights(&data);
+        let mut rng = StdRng::seed_from_u64(8);
+        let picks: Vec<usize> = (0..200).map(|_| sample_index(&cum, &mut rng)).collect();
+        let zeros = picks.iter().filter(|&&i| i == 0).count();
+        assert!(zeros > 150, "heavy pair picked only {zeros}/200 times");
+    }
+}

@@ -1,0 +1,247 @@
+//! Skip-gram-with-negative-sampling (SGNS) token embeddings.
+//!
+//! Table VII's cosine-similarity metric uses "an embedding retrieval model
+//! in our production" (DPSR). The equivalent we can train from the same
+//! click data is a classic SGNS model over query-title co-click text:
+//! each (query, clicked title) pair forms one pseudo-sentence, so query
+//! terms and the title terms they co-occur with land close together in
+//! embedding space — exactly the semantic-similarity signal the paper's
+//! metric taps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SGNS hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SgnsConfig {
+    pub dim: usize,
+    pub window: usize,
+    pub negatives: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        SgnsConfig { dim: 24, window: 4, negatives: 4, epochs: 8, lr: 0.05, seed: 41 }
+    }
+}
+
+/// Trained token embeddings.
+pub struct EmbeddingModel {
+    dim: usize,
+    /// Input vectors, `vocab x dim`, row-major.
+    vectors: Vec<f32>,
+    vocab_size: usize,
+}
+
+impl EmbeddingModel {
+    /// Trains SGNS over `sentences` of token ids drawn from `0..vocab_size`.
+    pub fn train(sentences: &[Vec<usize>], vocab_size: usize, config: &SgnsConfig) -> Self {
+        assert!(vocab_size > 0 && config.dim > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let dim = config.dim;
+        let init = |rng: &mut StdRng| -> Vec<f32> {
+            (0..vocab_size * dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32).collect()
+        };
+        let mut input = init(&mut rng);
+        let mut output = vec![0.0f32; vocab_size * dim];
+
+        // Unigram^0.75 negative-sampling table.
+        let mut counts = vec![1.0f64; vocab_size];
+        for s in sentences {
+            for &t in s {
+                assert!(t < vocab_size, "token id {t} out of range {vocab_size}");
+                counts[t] += 1.0;
+            }
+        }
+        let weights: Vec<f64> = counts.iter().map(|c| c.powf(0.75)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cum = Vec::with_capacity(vocab_size);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cum.push(acc);
+        }
+        let draw_negative = |rng: &mut StdRng| -> usize {
+            let x = rng.gen::<f64>();
+            match cum.binary_search_by(|p| p.total_cmp(&x)) {
+                Ok(i) | Err(i) => i.min(vocab_size - 1),
+            }
+        };
+
+        for _ in 0..config.epochs {
+            for sentence in sentences {
+                for (center_pos, &center) in sentence.iter().enumerate() {
+                    let lo = center_pos.saturating_sub(config.window);
+                    let hi = (center_pos + config.window + 1).min(sentence.len());
+                    for (ctx_pos, &ctx) in sentence.iter().enumerate().take(hi).skip(lo) {
+                        if ctx_pos == center_pos {
+                            continue;
+                        }
+                        sgns_update(
+                            &mut input,
+                            &mut output,
+                            dim,
+                            center,
+                            ctx,
+                            1.0,
+                            config.lr,
+                        );
+                        for _ in 0..config.negatives {
+                            let neg = draw_negative(&mut rng);
+                            if neg != ctx {
+                                sgns_update(
+                                    &mut input,
+                                    &mut output,
+                                    dim,
+                                    center,
+                                    neg,
+                                    0.0,
+                                    config.lr,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        EmbeddingModel { dim, vectors: input, vocab_size }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding row of one token.
+    pub fn token_vector(&self, id: usize) -> &[f32] {
+        assert!(id < self.vocab_size, "token id out of range");
+        &self.vectors[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Mean-pooled embedding of a token sequence (zero vector if empty).
+    pub fn embed(&self, ids: &[usize]) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        if ids.is_empty() {
+            return v;
+        }
+        for &id in ids {
+            for (a, b) in v.iter_mut().zip(self.token_vector(id)) {
+                *a += b;
+            }
+        }
+        let inv = 1.0 / ids.len() as f32;
+        v.iter_mut().for_each(|x| *x *= inv);
+        v
+    }
+
+    /// Cosine similarity of two token sequences' embeddings.
+    pub fn cosine(&self, a: &[usize], b: &[usize]) -> f32 {
+        cosine(&self.embed(a), &self.embed(b))
+    }
+}
+
+fn sgns_update(
+    input: &mut [f32],
+    output: &mut [f32],
+    dim: usize,
+    center: usize,
+    target: usize,
+    label: f32,
+    lr: f32,
+) {
+    let ci = center * dim;
+    let ti = target * dim;
+    let mut dot = 0.0f32;
+    for d in 0..dim {
+        dot += input[ci + d] * output[ti + d];
+    }
+    let pred = 1.0 / (1.0 + (-dot).exp());
+    let g = lr * (label - pred);
+    for d in 0..dim {
+        let in_v = input[ci + d];
+        let out_v = output[ti + d];
+        input[ci + d] += g * out_v;
+        output[ti + d] += g * in_v;
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0 when either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine: dimension mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two token "topics" that never co-occur: {4,5,6} and {7,8,9}.
+    fn topic_sentences() -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for _ in 0..30 {
+            out.push(vec![4, 5, 6, 4, 5, 6]);
+            out.push(vec![7, 8, 9, 7, 8, 9]);
+        }
+        out
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn co_occurring_tokens_are_closer_than_cross_topic() {
+        let model = EmbeddingModel::train(&topic_sentences(), 10, &SgnsConfig::default());
+        let within = cosine(model.token_vector(4), model.token_vector(5));
+        let across = cosine(model.token_vector(4), model.token_vector(8));
+        assert!(
+            within > across + 0.2,
+            "within-topic {within} not above cross-topic {across}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = EmbeddingModel::train(&topic_sentences(), 10, &SgnsConfig::default());
+        let b = EmbeddingModel::train(&topic_sentences(), 10, &SgnsConfig::default());
+        assert_eq!(a.vectors, b.vectors);
+    }
+
+    #[test]
+    fn embed_means_token_vectors() {
+        let model = EmbeddingModel::train(&topic_sentences(), 10, &SgnsConfig::default());
+        let e = model.embed(&[4, 5]);
+        for (d, &ed) in e.iter().enumerate() {
+            let mean = (model.token_vector(4)[d] + model.token_vector(5)[d]) / 2.0;
+            assert!((ed - mean).abs() < 1e-6);
+        }
+        assert!(model.embed(&[]).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sequence_cosine_reflects_topic_overlap() {
+        let model = EmbeddingModel::train(&topic_sentences(), 10, &SgnsConfig::default());
+        let same = model.cosine(&[4, 5], &[5, 6]);
+        let diff = model.cosine(&[4, 5], &[8, 9]);
+        assert!(same > diff);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_tokens() {
+        let sentences = vec![vec![99usize]];
+        let _ = EmbeddingModel::train(&sentences, 10, &SgnsConfig::default());
+    }
+}

@@ -1,0 +1,34 @@
+//! # qrw-core
+//!
+//! The paper's primary contribution: **query rewriting as cycle-consistent
+//! translation**.
+//!
+//! * [`cyclic`] — the joint model, the cycle-consistency likelihood
+//!   (Eq. 3) with its sampled-subset gradient approximation (Eq. 5), and
+//!   the Algorithm 1 trainer with warm-up; produces the Figure 7/8
+//!   convergence curves.
+//! * [`pipeline`] — the two-stage inference pipeline of §III-E/Figure 3
+//!   and the [`pipeline::QueryRewriter`] trait all rewriters implement.
+//! * [`q2q`] — the §III-G direct query→query serving model (Figure 9).
+//! * [`embed`] — SGNS embeddings standing in for the production embedding
+//!   model behind Table VII's cosine metric.
+//! * [`lm_rewriter`] — the §V GPT-style single-LM alternative
+//!   (`query <sep1> title <sep2> query2`), for the ablation bench.
+//! * [`config`] — Algorithm 1 / §IV-A hyper-parameters and the Table II
+//!   record.
+
+pub mod config;
+pub mod cyclic;
+pub mod embed;
+pub mod lm_rewriter;
+pub mod persist;
+pub mod pipeline;
+pub mod q2q;
+
+pub use config::{HyperparamTable, TrainConfig};
+pub use cyclic::{CurvePoint, CyclicTrainer, JointModel, TrainMode, TrainingCurve};
+pub use embed::{cosine, EmbeddingModel, SgnsConfig};
+pub use lm_rewriter::{make_lm, train_lm, LmCorpus, LmPoint, LmRewriter, LmTrainConfig};
+pub use persist::{load_joint, load_model, save_joint, save_model};
+pub use pipeline::{QueryRewriter, RewritePipeline, ScoredRewrite};
+pub use q2q::{evaluate_q2q, train_q2q, Q2QPoint, Q2QRewriter, Q2QTrainConfig};

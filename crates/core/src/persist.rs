@@ -1,0 +1,112 @@
+//! Model persistence: checkpointing trained models to disk so offline
+//! training (the paper's GPU-side job) and online serving (the CPU-side
+//! KV-precompute and q2q deployment) can run as separate processes.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use qrw_nmt::Seq2Seq;
+use qrw_tensor::serialize;
+
+use crate::cyclic::JointModel;
+
+/// Saves one model's parameters to `path`.
+pub fn save_model(model: &Seq2Seq, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, serialize::save(model.params()))
+}
+
+/// Restores parameters into an already-constructed model of the same
+/// configuration (parameters are matched by name and shape).
+pub fn load_model(model: &Seq2Seq, path: impl AsRef<Path>) -> io::Result<()> {
+    let bytes = fs::read(path)?;
+    serialize::load(model.params(), &bytes)
+}
+
+/// Saves a joint model as `<stem>.forward.qrw` + `<stem>.backward.qrw`.
+pub fn save_joint(model: &JointModel, stem: impl AsRef<Path>) -> io::Result<()> {
+    let stem = stem.as_ref();
+    save_model(&model.forward, with_suffix(stem, "forward"))?;
+    save_model(&model.backward, with_suffix(stem, "backward"))
+}
+
+/// Restores a joint model saved with [`save_joint`].
+pub fn load_joint(model: &JointModel, stem: impl AsRef<Path>) -> io::Result<()> {
+    let stem = stem.as_ref();
+    load_model(&model.forward, with_suffix(stem, "forward"))?;
+    load_model(&model.backward, with_suffix(stem, "backward"))
+}
+
+fn with_suffix(stem: &Path, which: &str) -> std::path::PathBuf {
+    let mut name = stem.as_os_str().to_os_string();
+    name.push(format!(".{which}.qrw"));
+    std::path::PathBuf::from(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrw_nmt::ModelConfig;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qrw-persist-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn model_roundtrip_preserves_behaviour() {
+        let dir = tmpdir();
+        let path = dir.join("model.qrw");
+        let a = Seq2Seq::new(ModelConfig::tiny_transformer(20), 1);
+        let lp = a.log_prob(&[5, 6], &[7]);
+        save_model(&a, &path).unwrap();
+
+        let b = Seq2Seq::new(ModelConfig::tiny_transformer(20), 2);
+        assert_ne!(b.log_prob(&[5, 6], &[7]), lp);
+        load_model(&b, &path).unwrap();
+        assert_eq!(b.log_prob(&[5, 6], &[7]), lp);
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn joint_roundtrip() {
+        let dir = tmpdir();
+        let stem = dir.join("joint");
+        let cfg = ModelConfig::tiny_transformer(20);
+        let a = JointModel::new(Seq2Seq::new(cfg.clone(), 1), Seq2Seq::new(cfg.clone(), 2));
+        save_joint(&a, &stem).unwrap();
+        let b = JointModel::new(Seq2Seq::new(cfg.clone(), 3), Seq2Seq::new(cfg, 4));
+        load_joint(&b, &stem).unwrap();
+        assert_eq!(
+            a.forward.log_prob(&[5], &[6]),
+            b.forward.log_prob(&[5], &[6])
+        );
+        assert_eq!(
+            a.backward.log_prob(&[6], &[5]),
+            b.backward.log_prob(&[6], &[5])
+        );
+        fs::remove_file(with_suffix(&stem, "forward")).unwrap();
+        fs::remove_file(with_suffix(&stem, "backward")).unwrap();
+    }
+
+    #[test]
+    fn load_into_mismatched_config_fails() {
+        let dir = tmpdir();
+        let path = dir.join("mismatch.qrw");
+        let a = Seq2Seq::new(ModelConfig::tiny_transformer(20), 1);
+        save_model(&a, &path).unwrap();
+        let mut bigger = ModelConfig::tiny_transformer(20);
+        bigger.d_model = 16;
+        bigger.d_ff = 32;
+        let b = Seq2Seq::new(bigger, 1);
+        assert!(load_model(&b, &path).is_err());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let a = Seq2Seq::new(ModelConfig::tiny_transformer(20), 1);
+        assert!(load_model(&a, "/nonexistent/nope.qrw").is_err());
+    }
+}

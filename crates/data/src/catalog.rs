@@ -1,0 +1,656 @@
+//! The synthetic e-commerce catalog.
+//!
+//! This is the stand-in for the paper's proprietary JD.com corpus. It is
+//! built so that each failure mode the paper motivates exists *by
+//! construction*, with ground truth we can evaluate against:
+//!
+//! * **Two vocabulary registers.** Every category has *query terms* (what
+//!   users type: "phone") and *title terms* (what items are indexed with:
+//!   "smartphone"), with deliberate mismatch for the hard categories —
+//!   the inverted index cannot match "phone for grandpa" against
+//!   "senior smartphone".
+//! * **Colloquial brand aliases** ("ahdi" for "adidas" — the paper's
+//!   "Ah Di" example) that appear only in queries, never in titles.
+//! * **Audience descriptors**: query phrases like "for grandpa" that map to
+//!   title words like "senior".
+//! * **Polysemy**: "apple" is both a phone brand and a fruit; "cherry" is
+//!   both a keyboard brand and a fruit — the paper's rule-based-failure
+//!   example.
+//!
+//! A handful of hand-written *flagship* categories mirror the paper's
+//! Table III/IV examples; procedural categories add scale.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::words::WordMaker;
+
+/// What a token can mean, for the ground-truth intent oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Names a category (query- or title-register term).
+    Category(usize),
+    /// Names a brand (formal name or colloquial alias).
+    Brand(usize),
+    /// Names a target audience ("grandpa", "senior").
+    Audience(usize),
+    /// A product attribute (color, size...).
+    Attr,
+    /// Marketing filler / stop word; carries no intent.
+    Junk,
+}
+
+/// A product category with its two lexical registers.
+#[derive(Clone, Debug)]
+pub struct Category {
+    pub id: usize,
+    pub name: &'static str,
+    /// Words users type when searching this category.
+    pub query_terms: Vec<String>,
+    /// Words item titles use for this category.
+    pub title_terms: Vec<String>,
+    /// Attribute pool (colors, variants) shared by query and title registers.
+    pub attrs: Vec<String>,
+    /// Brands selling in this category.
+    pub brand_ids: Vec<usize>,
+    /// Base price scale of the category.
+    pub base_price: f32,
+    /// True if query and title registers are disjoint (semantic-gap
+    /// categories, the paper's hard cases).
+    pub hard: bool,
+}
+
+/// A brand with formal title-register name and query-register aliases.
+#[derive(Clone, Debug)]
+pub struct Brand {
+    pub id: usize,
+    pub formal: String,
+    pub aliases: Vec<String>,
+}
+
+/// A target-audience descriptor.
+#[derive(Clone, Debug)]
+pub struct Audience {
+    pub id: usize,
+    /// Query-side phrase, e.g. `["for", "grandpa"]`.
+    pub query_phrase: Vec<String>,
+    /// Title-side terms, e.g. `["senior", "elderly"]`.
+    pub title_terms: Vec<String>,
+}
+
+/// A catalog item with ground-truth semantic slots.
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub id: usize,
+    pub category: usize,
+    pub brand: usize,
+    pub audience: Option<usize>,
+    pub attrs: Vec<String>,
+    pub model: String,
+    pub price: f32,
+    /// Popularity weight for click sampling.
+    pub popularity: f32,
+    pub title_tokens: Vec<String>,
+}
+
+impl Item {
+    pub fn title(&self) -> String {
+        self.title_tokens.join(" ")
+    }
+}
+
+/// Catalog generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CatalogConfig {
+    /// Procedural categories generated in addition to the flagships.
+    pub procedural_categories: usize,
+    /// Brands per procedural category.
+    pub brands_per_category: usize,
+    /// Items per (category, brand) pair.
+    pub items_per_brand: usize,
+    pub seed: u64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            procedural_categories: 12,
+            brands_per_category: 3,
+            items_per_brand: 6,
+            seed: 17,
+        }
+    }
+}
+
+impl CatalogConfig {
+    /// A small catalog for unit tests.
+    pub fn tiny() -> Self {
+        CatalogConfig {
+            procedural_categories: 2,
+            brands_per_category: 2,
+            items_per_brand: 2,
+            seed: 17,
+        }
+    }
+}
+
+/// The full synthetic catalog plus the token-sense lexicon the relevance
+/// oracle uses.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    pub categories: Vec<Category>,
+    pub brands: Vec<Brand>,
+    pub audiences: Vec<Audience>,
+    pub items: Vec<Item>,
+    pub marketing_words: Vec<String>,
+    lexicon: HashMap<String, Vec<Sense>>,
+}
+
+impl Catalog {
+    /// Generates a catalog deterministically from the config's seed.
+    pub fn generate(config: &CatalogConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut words = WordMaker::new(StdRng::seed_from_u64(config.seed.wrapping_add(1)));
+        let mut builder = Builder::new();
+
+        builder.add_flagships(&mut words);
+        builder.add_procedural(config, &mut words, &mut rng);
+        builder.add_marketing(&mut words);
+        builder.generate_items(config, &mut rng, &mut words);
+        builder.finish()
+    }
+
+    /// Possible senses of a token (empty slice for unknown tokens).
+    pub fn senses(&self, token: &str) -> &[Sense] {
+        self.lexicon.get(token).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn category(&self, id: usize) -> &Category {
+        &self.categories[id]
+    }
+
+    pub fn brand(&self, id: usize) -> &Brand {
+        &self.brands[id]
+    }
+
+    pub fn audience(&self, id: usize) -> &Audience {
+        &self.audiences[id]
+    }
+
+    pub fn item(&self, id: usize) -> &Item {
+        &self.items[id]
+    }
+
+    /// Ground-truth graded relevance of `item` to an intent described by
+    /// slots. Category match is necessary; brand/audience/attr matches add
+    /// credit; a specified-but-mismatched brand is disqualifying.
+    pub fn relevance(
+        &self,
+        item: &Item,
+        category: usize,
+        brand: Option<usize>,
+        audience: Option<usize>,
+        attr: Option<&str>,
+    ) -> f32 {
+        if item.category != category {
+            return 0.0;
+        }
+        let mut score: f32 = 0.55;
+        match brand {
+            Some(b) if item.brand == b => score += 0.2,
+            Some(_) => return 0.1, // wrong brand: nearly irrelevant
+            None => score += 0.1,
+        }
+        match audience {
+            Some(a) if item.audience == Some(a) => score += 0.2,
+            Some(_) => score -= 0.25,
+            None => score += 0.05,
+        }
+        if let Some(a) = attr {
+            if item.attrs.iter().any(|x| x == a) {
+                score += 0.1;
+            } else {
+                score -= 0.05;
+            }
+        }
+        score.clamp(0.0, 1.0)
+    }
+}
+
+struct Builder {
+    categories: Vec<Category>,
+    brands: Vec<Brand>,
+    audiences: Vec<Audience>,
+    items: Vec<Item>,
+    marketing_words: Vec<String>,
+    lexicon: HashMap<String, Vec<Sense>>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            categories: Vec::new(),
+            brands: Vec::new(),
+            audiences: Vec::new(),
+            items: Vec::new(),
+            marketing_words: Vec::new(),
+            lexicon: HashMap::new(),
+        }
+    }
+
+    fn tag(&mut self, token: &str, sense: Sense) {
+        let senses = self.lexicon.entry(token.to_string()).or_default();
+        if !senses.contains(&sense) {
+            senses.push(sense);
+        }
+    }
+
+    fn add_brand(&mut self, formal: &str, aliases: &[&str]) -> usize {
+        let id = self.brands.len();
+        self.brands.push(Brand {
+            id,
+            formal: formal.to_string(),
+            aliases: aliases.iter().map(|s| s.to_string()).collect(),
+        });
+        self.tag(formal, Sense::Brand(id));
+        for a in aliases {
+            self.tag(a, Sense::Brand(id));
+        }
+        id
+    }
+
+    fn add_audience(&mut self, query_phrase: &[&str], title_terms: &[&str]) -> usize {
+        let id = self.audiences.len();
+        self.audiences.push(Audience {
+            id,
+            query_phrase: query_phrase.iter().map(|s| s.to_string()).collect(),
+            title_terms: title_terms.iter().map(|s| s.to_string()).collect(),
+        });
+        // "for" is a connective, not an audience marker.
+        for (i, w) in query_phrase.iter().enumerate() {
+            if i == 0 && *w == "for" {
+                self.tag(w, Sense::Junk);
+            } else {
+                self.tag(w, Sense::Audience(id));
+            }
+        }
+        for w in title_terms {
+            self.tag(w, Sense::Audience(id));
+        }
+        id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_category(
+        &mut self,
+        name: &'static str,
+        query_terms: &[&str],
+        title_terms: &[&str],
+        attrs: &[&str],
+        brand_ids: Vec<usize>,
+        base_price: f32,
+        hard: bool,
+    ) -> usize {
+        let id = self.categories.len();
+        for t in query_terms.iter().chain(title_terms) {
+            self.tag(t, Sense::Category(id));
+        }
+        for a in attrs {
+            self.tag(a, Sense::Attr);
+        }
+        self.categories.push(Category {
+            id,
+            name,
+            query_terms: query_terms.iter().map(|s| s.to_string()).collect(),
+            title_terms: title_terms.iter().map(|s| s.to_string()).collect(),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+            brand_ids,
+            base_price,
+            hard,
+        });
+        id
+    }
+
+    /// Hand-written categories mirroring the paper's running examples.
+    fn add_flagships(&mut self, words: &mut WordMaker) {
+        for w in [
+            "phone", "cellphone", "smartphone", "handset", "apple", "pixelia", "huaxin", "ahdi",
+            "adidas", "cherry", "fruit", "fresh", "produce", "milkpowder", "formula", "adult",
+            "infant", "coin", "commemorative", "keepsake", "shoe", "sneaker", "shoes", "footwear",
+            "wrinkle", "cream", "skincare", "antiaging", "keyboard", "mechanical", "typeboard",
+            "for", "grandpa", "senior", "elderly", "kids", "children", "girlfriend", "gift",
+            "red", "black", "golden", "64g", "128g", "900g", "level3", "zodiac", "leather",
+            "mesh", "moisturizing", "firming", "rgb", "wireless", "sweet", "organic",
+        ] {
+            words.reserve(w);
+        }
+
+        // Audiences.
+        let grandpa = self.add_audience(&["for", "grandpa"], &["senior", "elderly"]);
+        let kids = self.add_audience(&["for", "kids"], &["children", "infant"]);
+        let girlfriend = self.add_audience(&["for", "girlfriend"], &["gift"]);
+
+        // Brands. "apple" and "cherry" are the polysemy traps.
+        let apple = self.add_brand("apple", &["apple"]);
+        let pixelia = self.add_brand("pixelia", &["pix"]);
+        let huaxin = self.add_brand("huaxin", &["hua"]);
+        let adidas = self.add_brand("adidas", &["ahdi"]);
+        let nova = self.add_brand("novastep", &["nova"]);
+        let cherry_brand = self.add_brand("cherry", &["cherry"]);
+        let keylab = self.add_brand("keylab", &["keylab"]);
+        let milko = self.add_brand("milko", &["milko"]);
+        let heartland = self.add_brand("heartland", &["heart"]);
+        let mint = self.add_brand("mintworks", &["mint"]);
+        let dermo = self.add_brand("dermova", &["dermo"]);
+        let orchard = self.add_brand("orchardia", &["orchard"]);
+
+        // Categories. `hard: true` marks a register gap between query and
+        // title vocabulary.
+        self.add_category(
+            "phones",
+            &["phone", "cellphone"],
+            &["smartphone", "handset"],
+            &["black", "golden", "64g", "128g"],
+            vec![apple, pixelia, huaxin],
+            900.0,
+            true,
+        );
+        self.add_category(
+            "shoes",
+            &["shoe", "sneaker"],
+            &["shoes", "footwear"],
+            &["red", "black", "leather", "mesh"],
+            vec![adidas, nova],
+            80.0,
+            false,
+        );
+        self.add_category(
+            "milkpowder",
+            &["milkpowder"],
+            &["formula", "milkpowder"],
+            &["900g", "level3"],
+            vec![milko, heartland],
+            30.0,
+            false,
+        );
+        self.add_category(
+            "coins",
+            &["coin"],
+            &["commemorative", "keepsake"],
+            &["zodiac", "golden"],
+            vec![mint],
+            15.0,
+            true,
+        );
+        self.add_category(
+            "skincare",
+            &["wrinkle", "cream"],
+            &["skincare", "antiaging"],
+            &["moisturizing", "firming"],
+            vec![dermo],
+            45.0,
+            true,
+        );
+        self.add_category(
+            "keyboards",
+            &["keyboard"],
+            &["mechanical", "typeboard"],
+            &["rgb", "wireless", "red"],
+            vec![cherry_brand, keylab],
+            60.0,
+            false,
+        );
+        self.add_category(
+            "fruit",
+            &["fruit", "apple", "cherry"],
+            &["fresh", "produce"],
+            &["sweet", "organic", "red"],
+            vec![orchard],
+            5.0,
+            false,
+        );
+
+        let _ = (grandpa, kids, girlfriend);
+    }
+
+    fn add_procedural(&mut self, config: &CatalogConfig, words: &mut WordMaker, rng: &mut StdRng) {
+        // A few extra procedural audiences.
+        for _ in 0..2 {
+            let who = words.word(2);
+            let title_a = words.word(2);
+            let who_leak = who.clone();
+            self.add_audience(&["for", &who_leak], &[&title_a]);
+        }
+        for _ in 0..config.procedural_categories {
+            let hard = rng.gen_bool(0.4);
+            let q_term = words.word(2);
+            let t_term = if hard { words.word(2) } else { q_term.clone() };
+            let extra_t = words.word(2);
+            let attrs: Vec<String> = (0..3).map(|_| words.word(1)).collect();
+            let mut brand_ids = Vec::new();
+            for _ in 0..config.brands_per_category {
+                let formal = words.word(2);
+                // Half the brands get a colloquial query-side alias.
+                if rng.gen_bool(0.5) {
+                    let alias = words.word(1);
+                    brand_ids.push(self.add_brand(&formal, &[&alias]));
+                } else {
+                    brand_ids.push(self.add_brand(&formal, &[]));
+                }
+            }
+            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            self.add_category(
+                "procedural",
+                &[&q_term],
+                &[&t_term, &extra_t],
+                &attr_refs,
+                brand_ids,
+                rng.gen_range(10.0..500.0),
+                hard,
+            );
+        }
+    }
+
+    fn add_marketing(&mut self, words: &mut WordMaker) {
+        for w in ["new", "official", "authentic", "2020", "sale", "original"] {
+            words.reserve(w);
+            self.marketing_words.push(w.to_string());
+            self.tag(w, Sense::Junk);
+        }
+        for _ in 0..6 {
+            let w = words.word(2);
+            self.tag(&w, Sense::Junk);
+            self.marketing_words.push(w);
+        }
+    }
+
+    fn generate_items(&mut self, config: &CatalogConfig, rng: &mut StdRng, words: &mut WordMaker) {
+        let audiences_n = self.audiences.len();
+        let mut new_items = Vec::new();
+        for cat in &self.categories {
+            for &brand_id in &cat.brand_ids {
+                for _ in 0..config.items_per_brand {
+                    let id = new_items.len();
+                    let audience = if rng.gen_bool(0.35) {
+                        Some(rng.gen_range(0..audiences_n))
+                    } else {
+                        None
+                    };
+                    let mut attrs = Vec::new();
+                    let n_attrs = rng.gen_range(1..=2.min(cat.attrs.len()));
+                    while attrs.len() < n_attrs {
+                        let a = cat.attrs[rng.gen_range(0..cat.attrs.len())].clone();
+                        if !attrs.contains(&a) {
+                            attrs.push(a);
+                        }
+                    }
+                    let model = words.model_code();
+                    let price = cat.base_price * rng.gen_range(0.5..2.0);
+                    // Zipf-ish popularity.
+                    let popularity = 1.0 / (1.0 + rng.gen_range(0.0..30.0f32));
+
+                    let brand = &self.brands[brand_id];
+                    let mut title = vec![brand.formal.clone(), model.clone()];
+                    if let Some(a) = audience {
+                        let terms = &self.audiences[a].title_terms;
+                        title.push(terms[rng.gen_range(0..terms.len())].clone());
+                    }
+                    title.push(cat.title_terms[rng.gen_range(0..cat.title_terms.len())].clone());
+                    title.extend(attrs.iter().cloned());
+                    // Marketing filler pads titles toward the paper's
+                    // long-title regime.
+                    for _ in 0..rng.gen_range(2..5) {
+                        title.push(
+                            self.marketing_words[rng.gen_range(0..self.marketing_words.len())]
+                                .clone(),
+                        );
+                    }
+                    // Secondary category term: titles often repeat category
+                    // vocabulary.
+                    if rng.gen_bool(0.5) {
+                        title.push(
+                            cat.title_terms[rng.gen_range(0..cat.title_terms.len())].clone(),
+                        );
+                    }
+                    new_items.push(Item {
+                        id,
+                        category: cat.id,
+                        brand: brand_id,
+                        audience,
+                        attrs,
+                        model,
+                        price,
+                        popularity,
+                        title_tokens: title,
+                    });
+                }
+            }
+        }
+        self.items = new_items;
+    }
+
+    fn finish(self) -> Catalog {
+        Catalog {
+            categories: self.categories,
+            brands: self.brands,
+            audiences: self.audiences,
+            items: self.items,
+            marketing_words: self.marketing_words,
+            lexicon: self.lexicon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(&CatalogConfig::default())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = catalog();
+        let b = catalog();
+        assert_eq!(a.items.len(), b.items.len());
+        assert_eq!(a.items[0].title_tokens, b.items[0].title_tokens);
+        assert_eq!(a.brands.len(), b.brands.len());
+    }
+
+    #[test]
+    fn flagship_polysemy_exists() {
+        let c = catalog();
+        let senses = c.senses("apple");
+        assert!(senses.iter().any(|s| matches!(s, Sense::Brand(_))));
+        assert!(senses.iter().any(|s| matches!(s, Sense::Category(_))));
+        let senses = c.senses("cherry");
+        assert!(senses.iter().any(|s| matches!(s, Sense::Brand(_))));
+        assert!(senses.iter().any(|s| matches!(s, Sense::Category(_))));
+    }
+
+    #[test]
+    fn aliases_never_appear_in_titles() {
+        let c = catalog();
+        // "ahdi" is query register only.
+        for item in &c.items {
+            assert!(!item.title_tokens.iter().any(|t| t == "ahdi"), "{:?}", item.title_tokens);
+        }
+    }
+
+    #[test]
+    fn hard_categories_have_register_gap() {
+        let c = catalog();
+        for cat in c.categories.iter().filter(|c| c.hard) {
+            for q in &cat.query_terms {
+                assert!(
+                    !cat.title_terms.contains(q),
+                    "hard category {} shares term {q}",
+                    cat.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn items_cover_every_category() {
+        let c = catalog();
+        for cat in &c.categories {
+            assert!(
+                c.items.iter().any(|i| i.category == cat.id),
+                "category {} has no items",
+                cat.id
+            );
+        }
+    }
+
+    #[test]
+    fn item_titles_contain_brand_and_category_term() {
+        let c = catalog();
+        for item in &c.items {
+            let brand = &c.brands[item.brand].formal;
+            assert!(item.title_tokens.contains(brand));
+            let cat = &c.categories[item.category];
+            assert!(item.title_tokens.iter().any(|t| cat.title_terms.contains(t)));
+        }
+    }
+
+    #[test]
+    fn relevance_rules() {
+        let c = catalog();
+        let item = &c.items[0];
+        // Exact category, matching brand, matching audience is high.
+        let hi = c.relevance(item, item.category, Some(item.brand), item.audience, None);
+        assert!(hi >= 0.8, "{hi}");
+        // Wrong category is zero.
+        let other_cat = (item.category + 1) % c.categories.len();
+        assert_eq!(c.relevance(item, other_cat, None, None, None), 0.0);
+        // Wrong brand is disqualifying.
+        let other_brand = (item.brand + 1) % c.brands.len();
+        assert!(c.relevance(item, item.category, Some(other_brand), None, None) <= 0.1);
+    }
+
+    #[test]
+    fn lexicon_covers_all_title_tokens_except_models() {
+        let c = catalog();
+        for item in &c.items {
+            for tok in &item.title_tokens {
+                if tok == &item.model {
+                    continue;
+                }
+                assert!(!c.senses(tok).is_empty(), "token {tok} has no sense");
+            }
+        }
+    }
+
+    #[test]
+    fn prices_scale_with_category() {
+        let c = catalog();
+        for item in &c.items {
+            let base = c.categories[item.category].base_price;
+            assert!(item.price >= base * 0.5 && item.price <= base * 2.0);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Ground-truth intent parsing of arbitrary query/rewrite text.
+//!
+//! This powers the simulated "human" relevance evaluation (Table VI) and
+//! the A/B user model: given any token sequence — including model-generated
+//! rewrites — recover the most plausible intent slots using the catalog's
+//! lexicon, with context-based disambiguation of polysemous tokens
+//! (the "cherry" case: brand next to "keyboard", fruit next to "sweet").
+
+use std::collections::HashSet;
+
+use crate::catalog::{Catalog, Sense};
+
+/// The intent slots recovered from a token sequence.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedIntent {
+    pub categories: HashSet<usize>,
+    pub brands: HashSet<usize>,
+    pub audiences: HashSet<usize>,
+    pub attrs: HashSet<String>,
+    /// Tokens with no catalog sense at all (model codes, garbage).
+    pub unknown: Vec<String>,
+}
+
+impl ParsedIntent {
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+            && self.brands.is_empty()
+            && self.audiences.is_empty()
+            && self.attrs.is_empty()
+    }
+}
+
+/// Parses `tokens` into intent slots.
+///
+/// Disambiguation rule for tokens with several senses: if any *other*
+/// token unambiguously names a category, prefer the sense consistent with
+/// that category (a brand selling in it, or the category itself);
+/// otherwise prefer the brand sense (users typing a bare brand usually
+/// mean the brand — matching the paper's observation that rule-based
+/// dictionaries get this wrong without context).
+pub fn parse_intent(catalog: &Catalog, tokens: &[String]) -> ParsedIntent {
+    let mut out = ParsedIntent::default();
+
+    // Pass 1: unambiguous category evidence.
+    let mut anchor_categories: HashSet<usize> = HashSet::new();
+    for tok in tokens {
+        let senses = catalog.senses(tok);
+        let cats: Vec<usize> = senses
+            .iter()
+            .filter_map(|s| match s {
+                Sense::Category(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        if cats.len() == 1 && senses.len() == 1 {
+            anchor_categories.insert(cats[0]);
+        }
+    }
+
+    // Pass 2: resolve every token.
+    for tok in tokens {
+        let senses = catalog.senses(tok);
+        if senses.is_empty() {
+            out.unknown.push(tok.clone());
+            continue;
+        }
+        let chosen = if senses.len() == 1 {
+            senses[0]
+        } else {
+            disambiguate(catalog, senses, &anchor_categories)
+        };
+        match chosen {
+            Sense::Category(c) => {
+                out.categories.insert(c);
+            }
+            Sense::Brand(b) => {
+                out.brands.insert(b);
+                // A brand implies its categories as weak category evidence
+                // when no category token is present.
+                if anchor_categories.is_empty() {
+                    for cat in &catalog.categories {
+                        if cat.brand_ids.contains(&b) {
+                            out.categories.insert(cat.id);
+                        }
+                    }
+                }
+            }
+            Sense::Audience(a) => {
+                out.audiences.insert(a);
+            }
+            Sense::Attr => {
+                out.attrs.insert(tok.clone());
+            }
+            Sense::Junk => {}
+        }
+    }
+    // Anchored categories always count.
+    out.categories.extend(anchor_categories);
+    out
+}
+
+fn disambiguate(catalog: &Catalog, senses: &[Sense], anchors: &HashSet<usize>) -> Sense {
+    if !anchors.is_empty() {
+        // Prefer a sense consistent with an anchored category.
+        for s in senses {
+            match s {
+                Sense::Brand(b)
+                    if anchors
+                        .iter()
+                        .any(|&c| catalog.category(c).brand_ids.contains(b)) =>
+                {
+                    return *s;
+                }
+                Sense::Category(c) if anchors.contains(c) => return *s,
+                _ => {}
+            }
+        }
+        // An anchored category exists but this token's senses point
+        // elsewhere: prefer its category sense (e.g. "apple" next to
+        // "fruit" anchors; keep fruit-category reading).
+        for s in senses {
+            if matches!(s, Sense::Category(_)) {
+                return *s;
+            }
+        }
+    }
+    // No context: bare polysemous tokens read as brands.
+    for s in senses {
+        if matches!(s, Sense::Brand(_)) {
+            return *s;
+        }
+    }
+    senses[0]
+}
+
+/// Graded ground-truth relevance of a rewrite to the original query's
+/// intent, in `[0, 1]`.
+///
+/// This is the simulated human labeler: category agreement dominates,
+/// brand/audience slot agreement refines, introducing a *wrong* brand or
+/// audience is penalized, and an empty/unparseable rewrite scores zero.
+pub fn intent_relevance(catalog: &Catalog, original: &[String], rewrite: &[String]) -> f32 {
+    let orig = parse_intent(catalog, original);
+    let new = parse_intent(catalog, rewrite);
+    if new.is_empty() {
+        return 0.0;
+    }
+    if orig.is_empty() {
+        // Nothing to compare against; neutral.
+        return 0.5;
+    }
+    let mut score = 0.0f32;
+    // Category agreement.
+    if orig.categories.is_empty() && new.categories.is_empty() {
+        score += 0.3;
+    } else if orig.categories.intersection(&new.categories).next().is_some() {
+        score += 0.6;
+    } else if !orig.categories.is_empty() && !new.categories.is_empty() {
+        return 0.05; // category drift: irrelevant rewrite
+    } else {
+        score += 0.2;
+    }
+    // Brand slot.
+    if orig.brands.is_empty() {
+        score += if new.brands.is_empty() { 0.2 } else { 0.1 };
+    } else if orig.brands.intersection(&new.brands).next().is_some() {
+        score += 0.2;
+    } else if new.brands.is_empty() {
+        score += 0.1; // dropped the brand: generalization
+    } // introduced wrong brand: no credit
+    // Audience slot.
+    if orig.audiences.is_empty() {
+        score += if new.audiences.is_empty() { 0.2 } else { 0.1 };
+    } else if orig.audiences.intersection(&new.audiences).next().is_some() {
+        score += 0.2;
+    } else if new.audiences.is_empty() {
+        score += 0.05;
+    }
+    score.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(&CatalogConfig::default())
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_hard_audience_query() {
+        let c = catalog();
+        let p = parse_intent(&c, &toks("phone for grandpa"));
+        assert_eq!(p.categories.len(), 1);
+        assert_eq!(p.audiences.len(), 1);
+        assert!(p.brands.is_empty());
+    }
+
+    #[test]
+    fn polysemous_apple_is_brand_without_context() {
+        let c = catalog();
+        let p = parse_intent(&c, &toks("apple"));
+        assert!(!p.brands.is_empty(), "bare 'apple' should read as the brand");
+    }
+
+    #[test]
+    fn polysemous_apple_is_fruit_with_fruit_context() {
+        let c = catalog();
+        let p = parse_intent(&c, &toks("sweet apple fruit"));
+        // "fruit" anchors the fruit category; "apple" resolves to category.
+        let fruit_cat = c
+            .categories
+            .iter()
+            .find(|cat| cat.name == "fruit")
+            .unwrap()
+            .id;
+        assert!(p.categories.contains(&fruit_cat));
+    }
+
+    #[test]
+    fn cherry_disambiguates_by_context() {
+        let c = catalog();
+        let with_kb = parse_intent(&c, &toks("cherry keyboard"));
+        assert!(!with_kb.brands.is_empty(), "keyboard context keeps the brand");
+        let with_fruit = parse_intent(&c, &toks("cherry fruit sweet"));
+        let fruit_cat = c.categories.iter().find(|cat| cat.name == "fruit").unwrap().id;
+        assert!(with_fruit.categories.contains(&fruit_cat));
+    }
+
+    #[test]
+    fn relevance_same_intent_rewrites_high() {
+        let c = catalog();
+        // "phone for grandpa" vs the title-register equivalent.
+        let r = intent_relevance(&c, &toks("phone for grandpa"), &toks("senior smartphone"));
+        assert!(r >= 0.8, "{r}");
+    }
+
+    #[test]
+    fn relevance_category_drift_is_near_zero() {
+        let c = catalog();
+        let r = intent_relevance(&c, &toks("phone for grandpa"), &toks("fresh produce"));
+        assert!(r <= 0.1, "{r}");
+    }
+
+    #[test]
+    fn relevance_zero_for_unparseable_rewrite() {
+        let c = catalog();
+        assert_eq!(intent_relevance(&c, &toks("phone"), &toks("zz9x qqq")), 0.0);
+    }
+
+    #[test]
+    fn relevance_penalizes_wrong_brand_introduction() {
+        let c = catalog();
+        let with_brand = intent_relevance(&c, &toks("cellphone"), &toks("huaxin smartphone"));
+        let no_brand = intent_relevance(&c, &toks("cellphone"), &toks("smartphone handset"));
+        assert!(no_brand > with_brand, "{no_brand} vs {with_brand}");
+    }
+
+    #[test]
+    fn unknown_tokens_are_reported() {
+        let c = catalog();
+        let p = parse_intent(&c, &toks("phone x99pro"));
+        assert_eq!(p.unknown, vec!["x99pro".to_string()]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # qrw-data
+//!
+//! Synthetic e-commerce data substrate for the cycle-consistent
+//! query-rewriting reproduction. Substitutes the paper's proprietary
+//! JD.com click logs with a generator whose catalog realizes, by
+//! construction, every failure mode the paper motivates (vocabulary
+//! register mismatch, colloquial brand aliases, audience phrases,
+//! polysemy) — with ground truth available for oracle evaluation.
+//!
+//! * [`catalog`] — categories / brands / audiences / items + lexicon.
+//! * [`generator`] — query intents and aggregated click logs.
+//! * [`dataset`] — q2t / q2q training pairs and eval splits (§III-B, §III-G).
+//! * [`intent`] — ground-truth intent parsing and graded relevance
+//!   (the simulated human labeler of Table VI).
+//! * [`synonyms`] — the curated dictionary behind the rule-based baseline.
+//! * [`stats`] — Table I dataset statistics.
+
+pub mod catalog;
+pub mod dataset;
+pub mod generator;
+pub mod intent;
+pub mod io;
+pub mod stats;
+pub mod synonyms;
+mod words;
+
+pub use catalog::{Catalog, CatalogConfig, Item, Sense};
+pub use dataset::{Dataset, DatasetConfig, Pair};
+pub use generator::{ClickLog, ClickPair, GeneratedQuery, LogConfig, QueryKind};
+pub use intent::{intent_relevance, parse_intent, ParsedIntent};
+pub use io::{export_pairs_tsv, import_pairs_tsv, ExternalCorpus};
+pub use stats::DataStats;
+pub use synonyms::SynonymDict;

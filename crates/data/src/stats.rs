@@ -1,0 +1,90 @@
+//! Dataset statistics — the reproduction of Table I.
+
+use std::collections::HashSet;
+
+use crate::generator::ClickLog;
+
+/// The Table I statistics row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataStats {
+    pub query_item_pairs: usize,
+    pub search_sessions: u64,
+    pub vocab_size: usize,
+    pub avg_query_words: f64,
+    pub avg_title_words: f64,
+}
+
+impl DataStats {
+    /// Computes statistics over the generated click log.
+    pub fn compute(log: &ClickLog) -> Self {
+        let mut vocab: HashSet<&str> = HashSet::new();
+        let mut query_words = 0usize;
+        let mut query_count = 0usize;
+        for pair in &log.pairs {
+            let q = &log.queries[pair.query];
+            query_words += q.tokens.len();
+            query_count += 1;
+            for t in &q.tokens {
+                vocab.insert(t);
+            }
+        }
+        let mut title_words = 0usize;
+        let mut title_count = 0usize;
+        let mut seen_items: HashSet<usize> = HashSet::new();
+        for pair in &log.pairs {
+            if seen_items.insert(pair.item) {
+                let title = &log.catalog.item(pair.item).title_tokens;
+                title_words += title.len();
+                title_count += 1;
+                for t in title {
+                    vocab.insert(t);
+                }
+            }
+        }
+        DataStats {
+            query_item_pairs: log.pairs.len(),
+            search_sessions: log.sessions,
+            vocab_size: vocab.len(),
+            avg_query_words: query_words as f64 / query_count.max(1) as f64,
+            avg_title_words: title_words as f64 / title_count.max(1) as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for DataStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "# Query-Item Pairs : {}", self.query_item_pairs)?;
+        writeln!(f, "# Search Sessions  : {}", self.search_sessions)?;
+        writeln!(f, "Vocab Size         : {}", self.vocab_size)?;
+        writeln!(f, "# Avg Query Words  : {:.2}", self.avg_query_words)?;
+        write!(f, "# Avg Title Words  : {:.2}", self.avg_title_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::LogConfig;
+
+    #[test]
+    fn stats_shape_matches_paper_regime() {
+        let log = ClickLog::generate(&LogConfig::default());
+        let s = DataStats::compute(&log);
+        assert!(s.query_item_pairs > 100);
+        assert!(s.search_sessions > 500);
+        assert!(s.vocab_size > 50);
+        // The paper's regime: queries ~6 words, titles ~50. Scaled down,
+        // the *ordering* must hold with a clear margin.
+        assert!(s.avg_title_words > s.avg_query_words * 2.0);
+        assert!(s.avg_query_words >= 1.0 && s.avg_query_words < 6.0);
+    }
+
+    #[test]
+    fn display_has_all_rows() {
+        let log = ClickLog::generate(&LogConfig::tiny());
+        let text = DataStats::compute(&log).to_string();
+        for needle in ["Pairs", "Sessions", "Vocab", "Query Words", "Title Words"] {
+            assert!(text.contains(needle));
+        }
+    }
+}

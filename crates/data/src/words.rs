@@ -1,0 +1,97 @@
+//! Deterministic pseudo-word generation for the procedural part of the
+//! catalog. Words are pronounceable syllable chains, unique per generator,
+//! so generated corpora are readable in the example tables and stable
+//! across runs with the same seed.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const ONSETS: &[&str] = &[
+    "b", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "ch",
+    "sh", "st", "br", "kr",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou"];
+
+/// Generates unique pronounceable pseudo-words.
+pub struct WordMaker {
+    rng: StdRng,
+    used: HashSet<String>,
+}
+
+impl WordMaker {
+    pub fn new(rng: StdRng) -> Self {
+        WordMaker { rng, used: HashSet::new() }
+    }
+
+    /// A fresh word of `syllables` syllables, never returned before.
+    pub fn word(&mut self, syllables: usize) -> String {
+        assert!(syllables > 0, "word needs at least one syllable");
+        loop {
+            let mut w = String::new();
+            for _ in 0..syllables {
+                w.push_str(ONSETS[self.rng.gen_range(0..ONSETS.len())]);
+                w.push_str(VOWELS[self.rng.gen_range(0..VOWELS.len())]);
+            }
+            if self.used.insert(w.clone()) {
+                return w;
+            }
+        }
+    }
+
+    /// A fresh alphanumeric model code like `x78s`.
+    pub fn model_code(&mut self) -> String {
+        loop {
+            let letter = (b'a' + self.rng.gen_range(0..26u8)) as char;
+            let num = self.rng.gen_range(10..100u32);
+            let suffix = ["", "s", "x", "pro", "plus"][self.rng.gen_range(0..5)];
+            let w = format!("{letter}{num}{suffix}");
+            if self.used.insert(w.clone()) {
+                return w;
+            }
+        }
+    }
+
+    /// Marks an externally-chosen word as used so procedural words never
+    /// collide with the hand-written flagship vocabulary.
+    pub fn reserve(&mut self, word: &str) {
+        self.used.insert(word.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_are_unique_and_deterministic() {
+        let mut a = WordMaker::new(StdRng::seed_from_u64(1));
+        let mut b = WordMaker::new(StdRng::seed_from_u64(1));
+        let wa: Vec<String> = (0..50).map(|_| a.word(2)).collect();
+        let wb: Vec<String> = (0..50).map(|_| b.word(2)).collect();
+        assert_eq!(wa, wb);
+        let set: HashSet<&String> = wa.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn reserved_words_are_never_generated() {
+        let mut m = WordMaker::new(StdRng::seed_from_u64(2));
+        // Reserve every 1-syllable word... too many; instead reserve one
+        // specific next word by replaying.
+        let mut probe = WordMaker::new(StdRng::seed_from_u64(2));
+        let next = probe.word(2);
+        m.reserve(&next);
+        assert_ne!(m.word(2), next);
+    }
+
+    #[test]
+    fn model_codes_look_alphanumeric() {
+        let mut m = WordMaker::new(StdRng::seed_from_u64(3));
+        let code = m.model_code();
+        assert!(code.chars().next().unwrap().is_ascii_alphabetic());
+        assert!(code.chars().any(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,124 @@
+//! Diversity metrics over a *set* of decoded sequences.
+//!
+//! §III-F's motivation for the top-n sampling decoder is that beam search
+//! "outputs very similar sequences that lack diversity — some synthetic
+//! item titles only differ in a blank space, or a single token". These
+//! metrics quantify that claim for the decoding ablation
+//! (`repro ablation-decoding`).
+
+use std::collections::HashSet;
+
+use qrw_text::ngram::ngrams;
+
+use crate::lexical::{edit_distance, ngram_f1};
+
+/// Distinct-n: distinct n-grams divided by total n-grams across the set.
+/// 1.0 = every n-gram unique; near 0 = heavy repetition.
+pub fn distinct_n(sequences: &[Vec<String>], n: usize) -> f64 {
+    let mut total = 0usize;
+    let mut distinct: HashSet<String> = HashSet::new();
+    for seq in sequences {
+        for g in ngrams(seq, n) {
+            total += 1;
+            distinct.insert(g);
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        distinct.len() as f64 / total as f64
+    }
+}
+
+/// Mean pairwise token edit distance between all sequence pairs.
+/// Higher = more diverse. 0 when fewer than two sequences.
+pub fn mean_pairwise_edit_distance(sequences: &[Vec<String>]) -> f64 {
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for (i, a) in sequences.iter().enumerate() {
+        for b in &sequences[i + 1..] {
+            total += edit_distance(a, b) as f64;
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64
+    }
+}
+
+/// Mean pairwise unigram+bigram F1 ("self-F1"): 1.0 = identical outputs,
+/// lower = more diverse. 0 when fewer than two sequences.
+pub fn self_f1(sequences: &[Vec<String>]) -> f64 {
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for (i, a) in sequences.iter().enumerate() {
+        for b in &sequences[i + 1..] {
+            total += ngram_f1(a, b);
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64
+    }
+}
+
+/// Fraction of sequences whose first token is unique within the set —
+/// the property the top-n decoder's first step enforces by construction.
+pub fn distinct_first_token_rate(sequences: &[Vec<String>]) -> f64 {
+    if sequences.is_empty() {
+        return 0.0;
+    }
+    let firsts: Vec<Option<&String>> = sequences.iter().map(|s| s.first()).collect();
+    let unique: HashSet<_> = firsts.iter().collect();
+    unique.len() as f64 / firsts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(texts: &[&str]) -> Vec<Vec<String>> {
+        texts
+            .iter()
+            .map(|t| t.split_whitespace().map(str::to_string).collect())
+            .collect()
+    }
+
+    #[test]
+    fn identical_sequences_have_min_diversity() {
+        let s = seqs(&["red shoe", "red shoe", "red shoe"]);
+        assert!((self_f1(&s) - 1.0).abs() < 1e-12);
+        assert_eq!(mean_pairwise_edit_distance(&s), 0.0);
+        assert!((distinct_n(&s, 1) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((distinct_first_token_rate(&s) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sequences_have_max_diversity() {
+        let s = seqs(&["red shoe", "senior phone", "golden coin"]);
+        assert_eq!(self_f1(&s), 0.0);
+        assert_eq!(mean_pairwise_edit_distance(&s), 2.0);
+        assert!((distinct_n(&s, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(distinct_first_token_rate(&s), 1.0);
+    }
+
+    #[test]
+    fn near_duplicates_rank_between() {
+        let dup = seqs(&["red shoe new", "red shoe sale"]);
+        let div = seqs(&["red shoe new", "golden coin zodiac"]);
+        assert!(self_f1(&dup) > self_f1(&div));
+        assert!(mean_pairwise_edit_distance(&dup) < mean_pairwise_edit_distance(&div));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(distinct_n(&[], 1), 0.0);
+        assert_eq!(self_f1(&seqs(&["only one"])), 0.0);
+        assert_eq!(mean_pairwise_edit_distance(&seqs(&["x"])), 0.0);
+        assert_eq!(distinct_first_token_rate(&[]), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Lexical similarity metrics of Table VII: n-gram F1 and edit distance.
+
+use qrw_text::ngram::uni_bi_gram_set;
+
+/// The paper's F1: queries are represented as the set of their unigrams
+/// and bigrams; precision = overlap / rewrite n-grams, recall = overlap /
+/// original n-grams, F1 = 2pr/(p+r). Higher means the rewrite is
+/// lexically *closer* to the original.
+///
+/// ```
+/// use qrw_metrics::ngram_f1;
+/// let toks = |s: &str| s.split(' ').map(String::from).collect::<Vec<_>>();
+/// assert_eq!(ngram_f1(&toks("red shoe"), &toks("red shoe")), 1.0);
+/// assert_eq!(ngram_f1(&toks("red shoe"), &toks("senior phone")), 0.0);
+/// ```
+pub fn ngram_f1(original: &[String], rewrite: &[String]) -> f64 {
+    let orig = uni_bi_gram_set(original);
+    let new = uni_bi_gram_set(rewrite);
+    if orig.is_empty() || new.is_empty() {
+        return 0.0;
+    }
+    let overlap = orig.intersection(&new).count() as f64;
+    if overlap == 0.0 {
+        return 0.0;
+    }
+    let precision = overlap / new.len() as f64;
+    let recall = overlap / orig.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Levenshtein distance between token sequences (the paper computes edit
+/// distance between rewritten and original queries; tokens are our unit,
+/// matching segmented Chinese characters/words).
+pub fn edit_distance(a: &[String], b: &[String]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ta) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, tb) in b.iter().enumerate() {
+            let cost = usize::from(ta != tb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn f1_identical_queries_is_one() {
+        let q = toks("red men shoe");
+        assert!((ngram_f1(&q, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_disjoint_queries_is_zero() {
+        assert_eq!(ngram_f1(&toks("red shoe"), &toks("senior phone")), 0.0);
+    }
+
+    #[test]
+    fn f1_partial_overlap_reference_value() {
+        // original: {red, shoe, red·shoe}; rewrite: {red, boot, red·boot}
+        // overlap = {red} -> p = r = 1/3, F1 = 1/3.
+        let f1 = ngram_f1(&toks("red shoe"), &toks("red boot"));
+        assert!((f1 - 1.0 / 3.0).abs() < 1e-9, "{f1}");
+    }
+
+    #[test]
+    fn f1_empty_is_zero() {
+        assert_eq!(ngram_f1(&[], &toks("a")), 0.0);
+        assert_eq!(ngram_f1(&toks("a"), &[]), 0.0);
+    }
+
+    #[test]
+    fn edit_distance_reference_values() {
+        assert_eq!(edit_distance(&toks("a b c"), &toks("a b c")), 0);
+        assert_eq!(edit_distance(&toks("a b c"), &toks("a x c")), 1);
+        assert_eq!(edit_distance(&toks("a b"), &toks("a b c")), 1);
+        assert_eq!(edit_distance(&toks("a b c"), &toks("x y")), 3);
+        assert_eq!(edit_distance(&[], &toks("x y")), 2);
+    }
+
+    proptest! {
+        /// Metric axioms: identity, symmetry, triangle inequality.
+        #[test]
+        fn edit_distance_axioms(
+            a in proptest::collection::vec("[a-c]{1,2}", 0..6),
+            b in proptest::collection::vec("[a-c]{1,2}", 0..6),
+            c in proptest::collection::vec("[a-c]{1,2}", 0..6),
+        ) {
+            let a: Vec<String> = a; let b: Vec<String> = b; let c: Vec<String> = c;
+            prop_assert_eq!(edit_distance(&a, &a), 0);
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+            prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+            // Bounded by the longer sequence.
+            prop_assert!(edit_distance(&a, &b) <= a.len().max(b.len()));
+        }
+
+        /// F1 is symmetric and in [0,1].
+        #[test]
+        fn f1_bounds_and_symmetry(
+            a in proptest::collection::vec("[a-c]{1,2}", 1..6),
+            b in proptest::collection::vec("[a-c]{1,2}", 1..6),
+        ) {
+            let a: Vec<String> = a; let b: Vec<String> = b;
+            let f = ngram_f1(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+            prop_assert!((f - ngram_f1(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

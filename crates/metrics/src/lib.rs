@@ -1,0 +1,22 @@
+//! # qrw-metrics
+//!
+//! Rewrite-quality evaluation for the cycle-consistent query-rewriting
+//! reproduction:
+//!
+//! * [`lexical`] — Table VII's n-gram F1 and token edit distance,
+//! * [`report`] — per-rewriter Table VII aggregation (with the SGNS
+//!   embedding cosine from `qrw-core`),
+//! * [`oracle`] — the simulated human labeler producing Table VI
+//!   win/tie/lose comparisons from catalog ground truth.
+
+pub mod diversity;
+pub mod lexical;
+pub mod oracle;
+pub mod report;
+
+pub use diversity::{
+    distinct_first_token_rate, distinct_n, mean_pairwise_edit_distance, self_f1,
+};
+pub use lexical::{edit_distance, ngram_f1};
+pub use oracle::{human_eval, judge_pair, rewrite_set_relevance, WinTieLose};
+pub use report::{evaluate_rewriter, RewriterReport};

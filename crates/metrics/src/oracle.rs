@@ -1,0 +1,173 @@
+//! The simulated human labeler behind Table VI.
+//!
+//! The paper asks human judges to compare two systems' rewrites of the
+//! same query and record win / tie / lose. Our generator's ground truth
+//! lets an oracle compute the same judgement: each system's rewrites are
+//! scored with [`qrw_data::intent_relevance`]; a system wins a query when
+//! its mean rewrite relevance is clearly higher.
+
+use qrw_data::{intent_relevance, Catalog};
+
+/// Aggregated pairwise human-evaluation outcome (Table VI row).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WinTieLose {
+    pub win: usize,
+    pub tie: usize,
+    pub lose: usize,
+}
+
+impl WinTieLose {
+    pub fn total(&self) -> usize {
+        self.win + self.tie + self.lose
+    }
+
+    pub fn win_rate(&self) -> f64 {
+        self.win as f64 / self.total().max(1) as f64
+    }
+
+    pub fn tie_rate(&self) -> f64 {
+        self.tie as f64 / self.total().max(1) as f64
+    }
+
+    pub fn lose_rate(&self) -> f64 {
+        self.lose as f64 / self.total().max(1) as f64
+    }
+}
+
+impl std::fmt::Display for WinTieLose {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lose {:>5.1}%  tie {:>5.1}%  win {:>5.1}%",
+            100.0 * self.lose_rate(),
+            100.0 * self.tie_rate(),
+            100.0 * self.win_rate()
+        )
+    }
+}
+
+/// Mean oracle relevance of a rewrite set against the original query.
+/// An empty rewrite set scores 0 (the system produced nothing useful).
+pub fn rewrite_set_relevance(
+    catalog: &Catalog,
+    original: &[String],
+    rewrites: &[Vec<String>],
+) -> f64 {
+    if rewrites.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = rewrites
+        .iter()
+        .map(|rw| f64::from(intent_relevance(catalog, original, rw)))
+        .sum();
+    sum / rewrites.len() as f64
+}
+
+/// Pairwise judgement of system A vs system B on one query, with a
+/// labeler indifference band `tie_margin`.
+pub fn judge_pair(
+    catalog: &Catalog,
+    original: &[String],
+    rewrites_a: &[Vec<String>],
+    rewrites_b: &[Vec<String>],
+    tie_margin: f64,
+) -> std::cmp::Ordering {
+    let ra = rewrite_set_relevance(catalog, original, rewrites_a);
+    let rb = rewrite_set_relevance(catalog, original, rewrites_b);
+    if (ra - rb).abs() <= tie_margin {
+        std::cmp::Ordering::Equal
+    } else if ra > rb {
+        std::cmp::Ordering::Greater
+    } else {
+        std::cmp::Ordering::Less
+    }
+}
+
+/// Runs the Table VI evaluation of system A against system B over a query
+/// set, returning A's win/tie/lose.
+pub fn human_eval<'q>(
+    catalog: &Catalog,
+    queries: impl IntoIterator<Item = &'q Vec<String>>,
+    mut rewrites_a: impl FnMut(&[String]) -> Vec<Vec<String>>,
+    mut rewrites_b: impl FnMut(&[String]) -> Vec<Vec<String>>,
+    tie_margin: f64,
+) -> WinTieLose {
+    let mut out = WinTieLose::default();
+    for q in queries {
+        let a = rewrites_a(q);
+        let b = rewrites_b(q);
+        match judge_pair(catalog, q, &a, &b, tie_margin) {
+            std::cmp::Ordering::Greater => out.win += 1,
+            std::cmp::Ordering::Equal => out.tie += 1,
+            std::cmp::Ordering::Less => out.lose += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrw_data::CatalogConfig;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn catalog() -> Catalog {
+        Catalog::generate(&CatalogConfig::default())
+    }
+
+    #[test]
+    fn good_rewrite_beats_bad_rewrite() {
+        let c = catalog();
+        let q = toks("phone for grandpa");
+        let good = vec![toks("senior smartphone")];
+        let bad = vec![toks("fresh produce")];
+        assert_eq!(
+            judge_pair(&c, &q, &good, &bad, 0.05),
+            std::cmp::Ordering::Greater
+        );
+        assert_eq!(judge_pair(&c, &q, &bad, &good, 0.05), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn identical_sets_tie() {
+        let c = catalog();
+        let q = toks("phone");
+        let rw = vec![toks("smartphone")];
+        assert_eq!(judge_pair(&c, &q, &rw, &rw, 0.05), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn empty_rewrites_score_zero() {
+        let c = catalog();
+        assert_eq!(rewrite_set_relevance(&c, &toks("phone"), &[]), 0.0);
+    }
+
+    #[test]
+    fn human_eval_counts_sum() {
+        let c = catalog();
+        let queries = [toks("phone"), toks("shoe"), toks("coin")];
+        let wtl = human_eval(
+            &c,
+            queries.iter(),
+            |q| vec![q.to_vec()],
+            |_q| vec![],
+            0.05,
+        );
+        assert_eq!(wtl.total(), 3);
+        // A always produced something parseable; B nothing: A never loses.
+        assert_eq!(wtl.lose, 0);
+        assert!(wtl.win >= 2);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let wtl = WinTieLose { win: 1, tie: 2, lose: 1 };
+        let s = wtl.to_string();
+        assert!(s.contains("win"));
+        assert!(s.contains("25.0%"));
+        assert!(s.contains("50.0%"));
+    }
+}

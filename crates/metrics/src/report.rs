@@ -1,0 +1,145 @@
+//! Table VII aggregation: F1 / edit distance / cosine similarity of a
+//! rewriter's output over an evaluation query set.
+
+use qrw_core::{EmbeddingModel, QueryRewriter};
+use qrw_text::Vocab;
+
+use crate::lexical::{edit_distance, ngram_f1};
+
+/// One Table VII row.
+#[derive(Clone, Debug)]
+pub struct RewriterReport {
+    pub name: String,
+    /// Mean unigram+bigram F1 against the original query (↑ = more similar).
+    pub f1: f64,
+    /// Mean token Levenshtein distance (↓ = more similar).
+    pub edit_distance: f64,
+    /// Mean embedding cosine similarity (↑ = more semantically relevant).
+    pub cosine: f64,
+    /// Fraction of queries for which the system produced ≥ 1 rewrite.
+    pub coverage: f64,
+    /// Number of (query, rewrite) pairs measured.
+    pub pairs: usize,
+}
+
+impl std::fmt::Display for RewriterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<18} F1 {:.3}   EditDist {:.3}   Cosine {:.3}   coverage {:.0}%",
+            self.name,
+            self.f1,
+            self.edit_distance,
+            self.cosine,
+            100.0 * self.coverage
+        )
+    }
+}
+
+/// Evaluates `rewriter` on `queries`, producing up to `k` rewrites per
+/// query and averaging the three Table VII metrics over all (query,
+/// rewrite) pairs.
+pub fn evaluate_rewriter(
+    rewriter: &dyn QueryRewriter,
+    queries: &[Vec<String>],
+    k: usize,
+    vocab: &Vocab,
+    embeddings: &EmbeddingModel,
+) -> RewriterReport {
+    let mut f1_sum = 0.0;
+    let mut ed_sum = 0.0;
+    let mut cos_sum = 0.0;
+    let mut pairs = 0usize;
+    let mut covered = 0usize;
+    for q in queries {
+        let rewrites = rewriter.rewrite(q, k);
+        if !rewrites.is_empty() {
+            covered += 1;
+        }
+        for rw in &rewrites {
+            f1_sum += ngram_f1(q, rw);
+            ed_sum += edit_distance(q, rw) as f64;
+            let q_ids = vocab.encode(q);
+            let rw_ids = vocab.encode(rw);
+            cos_sum += f64::from(embeddings.cosine(&q_ids, &rw_ids));
+            pairs += 1;
+        }
+    }
+    let denom = pairs.max(1) as f64;
+    RewriterReport {
+        name: rewriter.name().to_string(),
+        f1: f1_sum / denom,
+        edit_distance: ed_sum / denom,
+        cosine: cos_sum / denom,
+        coverage: covered as f64 / queries.len().max(1) as f64,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrw_core::SgnsConfig;
+
+    struct EchoPlus;
+    impl QueryRewriter for EchoPlus {
+        fn rewrite(&self, query: &[String], _k: usize) -> Vec<Vec<String>> {
+            let mut rw = query.to_vec();
+            rw.push("extra".to_string());
+            vec![rw]
+        }
+        fn name(&self) -> &str {
+            "echo-plus"
+        }
+    }
+
+    struct Silent;
+    impl QueryRewriter for Silent {
+        fn rewrite(&self, _query: &[String], _k: usize) -> Vec<Vec<String>> {
+            Vec::new()
+        }
+        fn name(&self) -> &str {
+            "silent"
+        }
+    }
+
+    fn fixtures() -> (Vocab, EmbeddingModel, Vec<Vec<String>>) {
+        let mut vocab = Vocab::new();
+        for w in ["red", "shoe", "extra", "phone"] {
+            vocab.insert(w);
+        }
+        let sentences = vec![vec![4usize, 5, 6], vec![6, 7, 4]];
+        let emb = EmbeddingModel::train(&sentences, vocab.len(), &SgnsConfig::default());
+        let queries = vec![
+            vec!["red".to_string(), "shoe".to_string()],
+            vec!["phone".to_string()],
+        ];
+        (vocab, emb, queries)
+    }
+
+    #[test]
+    fn near_identical_rewrites_have_high_f1_low_edit() {
+        let (vocab, emb, queries) = fixtures();
+        let report = evaluate_rewriter(&EchoPlus, &queries, 3, &vocab, &emb);
+        assert!(report.f1 > 0.5, "{report}");
+        assert!((report.edit_distance - 1.0).abs() < 1e-9);
+        assert!((report.coverage - 1.0).abs() < 1e-9);
+        assert_eq!(report.pairs, 2);
+    }
+
+    #[test]
+    fn silent_rewriter_reports_zero_coverage() {
+        let (vocab, emb, queries) = fixtures();
+        let report = evaluate_rewriter(&Silent, &queries, 3, &vocab, &emb);
+        assert_eq!(report.pairs, 0);
+        assert_eq!(report.coverage, 0.0);
+        assert_eq!(report.f1, 0.0);
+    }
+
+    #[test]
+    fn display_contains_metrics() {
+        let (vocab, emb, queries) = fixtures();
+        let s = evaluate_rewriter(&EchoPlus, &queries, 1, &vocab, &emb).to_string();
+        assert!(s.contains("F1") && s.contains("EditDist") && s.contains("Cosine"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Model configuration.
+//!
+//! The paper's Table II uses a 4-layer transformer for query→title and a
+//! 1-layer transformer for title→query, FFN width 1024, dropout 0.1. Our
+//! defaults are scaled down so experiments run in seconds on one CPU core;
+//! the `paper_*` constructors record the paper's numbers for reference.
+
+/// Which recurrent/attention architecture a component uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// Vanilla tanh RNN.
+    Rnn,
+    /// Gated recurrent unit.
+    Gru,
+    /// Transformer (self-attention).
+    Transformer,
+}
+
+impl std::fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComponentKind::Rnn => write!(f, "RNN"),
+            ComponentKind::Gru => write!(f, "GRU"),
+            ComponentKind::Transformer => write!(f, "Transformer"),
+        }
+    }
+}
+
+/// Hyper-parameters of one encoder-decoder translation model.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Shared source/target vocabulary size (ids include the 4 specials).
+    pub vocab: usize,
+    /// Embedding / hidden dimensionality.
+    pub d_model: usize,
+    /// Feed-forward inner width (transformer FFN).
+    pub d_ff: usize,
+    /// Attention heads (transformer components).
+    pub heads: usize,
+    /// Encoder stack depth (transformer) — RNN encoders are single-layer.
+    pub enc_layers: usize,
+    /// Decoder stack depth (transformer) — RNN decoders are single-layer.
+    pub dec_layers: usize,
+    /// Encoder architecture.
+    pub enc_kind: ComponentKind,
+    /// Decoder architecture.
+    pub dec_kind: ComponentKind,
+    /// Dropout rate applied during training.
+    pub dropout: f32,
+    /// Label smoothing ε applied to the training loss only (evaluation
+    /// and scoring always use the unsmoothed likelihood). 0 disables.
+    pub label_smoothing: f32,
+    /// Maximum source length (longer inputs are truncated).
+    pub max_src_len: usize,
+    /// Maximum target length generated / scored.
+    pub max_tgt_len: usize,
+}
+
+impl ModelConfig {
+    /// A small transformer suitable for unit tests and fast experiments.
+    pub fn tiny_transformer(vocab: usize) -> Self {
+        ModelConfig {
+            vocab,
+            d_model: 32,
+            d_ff: 64,
+            heads: 2,
+            enc_layers: 1,
+            dec_layers: 1,
+            enc_kind: ComponentKind::Transformer,
+            dec_kind: ComponentKind::Transformer,
+            dropout: 0.0,
+            label_smoothing: 0.0,
+            max_src_len: 24,
+            max_tgt_len: 24,
+        }
+    }
+
+    /// Scaled-down analog of the paper's query→title model (4-layer
+    /// transformer in the paper; 2 layers here).
+    pub fn forward_q2t(vocab: usize) -> Self {
+        ModelConfig {
+            d_model: 48,
+            d_ff: 96,
+            heads: 4,
+            enc_layers: 2,
+            dec_layers: 2,
+            dropout: 0.1,
+            ..ModelConfig::tiny_transformer(vocab)
+        }
+    }
+
+    /// Scaled-down analog of the paper's title→query model (1-layer
+    /// transformer, "more like a text summarization model").
+    pub fn backward_t2q(vocab: usize) -> Self {
+        ModelConfig {
+            d_model: 48,
+            d_ff: 96,
+            heads: 4,
+            enc_layers: 1,
+            dec_layers: 1,
+            dropout: 0.1,
+            ..ModelConfig::tiny_transformer(vocab)
+        }
+    }
+
+    /// Attention-based RNN model [Bahdanau et al.] of the same width.
+    pub fn attn_rnn(vocab: usize) -> Self {
+        ModelConfig {
+            enc_kind: ComponentKind::Rnn,
+            dec_kind: ComponentKind::Rnn,
+            ..ModelConfig::forward_q2t(vocab)
+        }
+    }
+
+    /// §III-G hybrid: transformer encoder + RNN decoder.
+    pub fn hybrid(vocab: usize) -> Self {
+        ModelConfig { dec_kind: ComponentKind::Rnn, ..ModelConfig::forward_q2t(vocab) }
+    }
+
+    /// Table V latency configuration: 1 layer, vocab 3000, beam 3,
+    /// max 15 decode steps.
+    pub fn latency_bench(enc: ComponentKind, dec: ComponentKind) -> Self {
+        ModelConfig {
+            vocab: 3000,
+            d_model: 64,
+            d_ff: 128,
+            heads: 4,
+            enc_layers: 1,
+            dec_layers: 1,
+            enc_kind: enc,
+            dec_kind: dec,
+            dropout: 0.0,
+            label_smoothing: 0.0,
+            max_src_len: 24,
+            max_tgt_len: 15,
+        }
+    }
+
+    /// Head dimensionality.
+    pub fn d_head(&self) -> usize {
+        assert_eq!(self.d_model % self.heads, 0, "d_model must divide by heads");
+        self.d_model / self.heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_head_divides() {
+        let c = ModelConfig::tiny_transformer(100);
+        assert_eq!(c.d_head() * c.heads, c.d_model);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn d_head_panics_on_mismatch() {
+        let mut c = ModelConfig::tiny_transformer(100);
+        c.heads = 5;
+        let _ = c.d_head();
+    }
+
+    #[test]
+    fn paper_analog_configs_are_asymmetric() {
+        // The paper: q2t needs more memorization capacity than t2q.
+        let f = ModelConfig::forward_q2t(100);
+        let b = ModelConfig::backward_t2q(100);
+        assert!(f.enc_layers > b.enc_layers);
+    }
+
+    #[test]
+    fn latency_bench_matches_paper_setup() {
+        let c = ModelConfig::latency_bench(ComponentKind::Transformer, ComponentKind::Rnn);
+        assert_eq!(c.vocab, 3000);
+        assert_eq!(c.enc_layers, 1);
+        assert_eq!(c.max_tgt_len, 15);
+    }
+}

@@ -1,0 +1,473 @@
+//! Sequence decoding algorithms (§III-F).
+//!
+//! The paper finds greedy search (single output) and beam search (near
+//! duplicate outputs) unsuitable for generating the *diverse* candidate
+//! sets its inference pipeline needs, and introduces the **top-n sampling
+//! decoder**: distinct most-likely tokens at the first step, then sampling
+//! from the renormalized top-n token distribution at every later step.
+//! Diverse beam search (the paper's §V future-work pointer) is also
+//! implemented for the ablation benches.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use qrw_text::{BOS, EOS};
+
+use crate::seq2seq::{DecodeState, Seq2Seq};
+
+/// A decoded candidate: raw token ids (no BOS/EOS) and its model log-prob
+/// `log P(tokens, EOS | src)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hypothesis {
+    pub tokens: Vec<usize>,
+    pub log_prob: f32,
+}
+
+struct Candidate {
+    prefix: Vec<usize>,
+    state: DecodeState,
+    log_prob: f32,
+    finished: bool,
+}
+
+impl Candidate {
+    fn hypothesis(&self) -> Hypothesis {
+        Hypothesis { tokens: self.prefix[1..].to_vec(), log_prob: self.log_prob }
+    }
+}
+
+/// Greedy decoding: the single locally-most-likely sequence.
+pub fn greedy(model: &Seq2Seq, src: &[usize]) -> Hypothesis {
+    let memory = model.encode(src);
+    let mut cand = Candidate {
+        prefix: vec![BOS],
+        state: model.start_state(&memory),
+        log_prob: 0.0,
+        finished: false,
+    };
+    for _ in 0..=model.max_tgt_len() {
+        let lp = model.next_log_probs(&memory, &mut cand.state, &cand.prefix);
+        let (tok, tok_lp) = argmax(&lp);
+        cand.log_prob += tok_lp;
+        if tok == EOS {
+            cand.finished = true;
+            break;
+        }
+        cand.prefix.push(tok);
+    }
+    cand.hypothesis()
+}
+
+/// GNMT-style length-normalization factor: `((5 + len) / 6)^alpha`.
+/// `alpha = 0` disables normalization (pure log-probability ranking).
+pub fn length_penalty(len: usize, alpha: f32) -> f32 {
+    ((5.0 + len as f32) / 6.0).powf(alpha)
+}
+
+/// Standard beam search with `beam` parallel sequences; returns finished
+/// hypotheses (best-first), falling back to unfinished ones at the length
+/// cap.
+pub fn beam_search(model: &Seq2Seq, src: &[usize], beam: usize) -> Vec<Hypothesis> {
+    beam_search_normalized(model, src, beam, 0.0)
+}
+
+/// Beam search ranking finished hypotheses by length-normalized score
+/// `log_prob / length_penalty(len, alpha)`. Raw log-probability favours
+/// short sequences; positive `alpha` counteracts that (GNMT uses ~0.6).
+/// Returned hypotheses still carry the *raw* model log-probability.
+pub fn beam_search_normalized(
+    model: &Seq2Seq,
+    src: &[usize],
+    beam: usize,
+    alpha: f32,
+) -> Vec<Hypothesis> {
+    assert!(beam > 0, "beam width must be positive");
+    let memory = model.encode(src);
+    let mut live = vec![Candidate {
+        prefix: vec![BOS],
+        state: model.start_state(&memory),
+        log_prob: 0.0,
+        finished: false,
+    }];
+    let mut done: Vec<Candidate> = Vec::new();
+
+    for _ in 0..=model.max_tgt_len() {
+        let mut expansions: Vec<(usize, usize, f32)> = Vec::new(); // (cand, token, new_lp)
+        for (ci, cand) in live.iter_mut().enumerate() {
+            let lp = model.next_log_probs(&memory, &mut cand.state, &cand.prefix);
+            for (tok, &tok_lp) in lp.iter().enumerate() {
+                if tok_lp.is_finite() {
+                    expansions.push((ci, tok, cand.log_prob + tok_lp));
+                }
+            }
+        }
+        expansions.sort_by(|a, b| b.2.total_cmp(&a.2));
+        expansions.truncate(beam);
+
+        let mut next = Vec::with_capacity(beam);
+        for (ci, tok, new_lp) in expansions {
+            let parent = &live[ci];
+            let mut cand = Candidate {
+                prefix: parent.prefix.clone(),
+                state: parent.state.clone(),
+                log_prob: new_lp,
+                finished: tok == EOS,
+            };
+            if tok != EOS {
+                cand.prefix.push(tok);
+                next.push(cand);
+            } else {
+                done.push(cand);
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        live = next;
+    }
+    done.extend(live);
+    done.sort_by(|a, b| {
+        let na = a.log_prob / length_penalty(a.prefix.len() - 1, alpha);
+        let nb = b.log_prob / length_penalty(b.prefix.len() - 1, alpha);
+        nb.total_cmp(&na)
+    });
+    done.truncate(beam);
+    done.iter().map(Candidate::hypothesis).collect()
+}
+
+/// Configuration of the paper's top-n sampling decoder (Figure 4).
+#[derive(Clone, Copy, Debug)]
+pub struct TopNSampling {
+    /// Number of candidate sequences to maintain (`k`, the paper uses 3).
+    pub k: usize,
+    /// Sampling pool size per step (`n`, the paper uses 40).
+    pub n: usize,
+}
+
+impl Default for TopNSampling {
+    fn default() -> Self {
+        TopNSampling { k: 3, n: 40 }
+    }
+}
+
+/// Top-n sampling decoding.
+///
+/// Step 1 takes the `k` *most likely distinct* first tokens — the paper's
+/// key step for diversity. Every later step samples a token among the top
+/// `n` by renormalized probability, independently per candidate sequence.
+/// Returned hypotheses carry the true model log-prob of the sampled
+/// sequence and are sorted best-first.
+pub fn top_n_sampling(
+    model: &Seq2Seq,
+    src: &[usize],
+    cfg: TopNSampling,
+    rng: &mut StdRng,
+) -> Vec<Hypothesis> {
+    assert!(cfg.k > 0 && cfg.n > 0, "k and n must be positive");
+    let memory = model.encode(src);
+    let mut start_state = model.start_state(&memory);
+    let first_lp = model.next_log_probs(&memory, &mut start_state, &[BOS]);
+
+    // First step: the k most likely distinct tokens (EOS excluded so no
+    // candidate is empty).
+    let mut order: Vec<usize> = (0..first_lp.len())
+        .filter(|&t| t != EOS && first_lp[t].is_finite())
+        .collect();
+    order.sort_by(|&a, &b| first_lp[b].total_cmp(&first_lp[a]));
+    order.truncate(cfg.k);
+
+    let mut candidates: Vec<Candidate> = order
+        .into_iter()
+        .map(|tok| {
+            let mut state = model.start_state(&memory);
+            // Recurrent states must consume the first token; stateless
+            // decoders recompute from the prefix anyway.
+            let lp = model.next_log_probs(&memory, &mut state, &[BOS]);
+            debug_assert!((lp[tok] - first_lp[tok]).abs() < 1e-4);
+            Candidate {
+                prefix: vec![BOS, tok],
+                state,
+                log_prob: first_lp[tok],
+                finished: false,
+            }
+        })
+        .collect();
+
+    for _ in 0..model.max_tgt_len() {
+        if candidates.iter().all(|c| c.finished) {
+            break;
+        }
+        for cand in candidates.iter_mut().filter(|c| !c.finished) {
+            let lp = model.next_log_probs(&memory, &mut cand.state, &cand.prefix);
+            let tok = sample_top_n(&lp, cfg.n, rng);
+            cand.log_prob += lp[tok];
+            if tok == EOS || cand.prefix.len() > model.max_tgt_len() {
+                cand.finished = true;
+            } else {
+                cand.prefix.push(tok);
+            }
+        }
+    }
+    let mut hyps: Vec<Hypothesis> = candidates.iter().map(Candidate::hypothesis).collect();
+    hyps.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
+    hyps
+}
+
+/// Diverse beam search [Vijayakumar et al. 2016]: `groups` groups of
+/// `beam_per_group` beams; each group's token scores are penalized by how
+/// often earlier groups already chose that token at the current step.
+pub fn diverse_beam_search(
+    model: &Seq2Seq,
+    src: &[usize],
+    groups: usize,
+    beam_per_group: usize,
+    diversity_penalty: f32,
+) -> Vec<Hypothesis> {
+    assert!(groups > 0 && beam_per_group > 0);
+    let memory = model.encode(src);
+    let new_candidate = || Candidate {
+        prefix: vec![BOS],
+        state: model.start_state(&memory),
+        log_prob: 0.0,
+        finished: false,
+    };
+    let mut group_live: Vec<Vec<Candidate>> = (0..groups).map(|_| vec![new_candidate()]).collect();
+    let mut done: Vec<Candidate> = Vec::new();
+
+    for _ in 0..=model.max_tgt_len() {
+        let mut step_counts: Vec<(usize, usize)> = Vec::new(); // (token, count)
+        let mut any_live = false;
+        for live in group_live.iter_mut() {
+            if live.is_empty() {
+                continue;
+            }
+            let mut expansions: Vec<(usize, usize, f32, f32)> = Vec::new(); // cand, tok, true_lp, scored
+            for (ci, cand) in live.iter_mut().enumerate() {
+                let lp = model.next_log_probs(&memory, &mut cand.state, &cand.prefix);
+                for (tok, &tok_lp) in lp.iter().enumerate() {
+                    if !tok_lp.is_finite() {
+                        continue;
+                    }
+                    let penalty = step_counts
+                        .iter()
+                        .find(|(t, _)| *t == tok)
+                        .map_or(0.0, |(_, c)| *c as f32);
+                    expansions.push((
+                        ci,
+                        tok,
+                        cand.log_prob + tok_lp,
+                        cand.log_prob + tok_lp - diversity_penalty * penalty,
+                    ));
+                }
+            }
+            expansions.sort_by(|a, b| b.3.total_cmp(&a.3));
+            expansions.truncate(beam_per_group);
+
+            let mut next = Vec::with_capacity(beam_per_group);
+            for (ci, tok, true_lp, _scored) in expansions {
+                bump(&mut step_counts, tok);
+                let parent = &live[ci];
+                let mut cand = Candidate {
+                    prefix: parent.prefix.clone(),
+                    state: parent.state.clone(),
+                    log_prob: true_lp,
+                    finished: tok == EOS,
+                };
+                if tok != EOS {
+                    cand.prefix.push(tok);
+                    next.push(cand);
+                } else {
+                    done.push(cand);
+                }
+            }
+            any_live |= !next.is_empty();
+            *live = next;
+        }
+        if !any_live {
+            break;
+        }
+    }
+    for live in group_live {
+        done.extend(live);
+    }
+    done.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
+    done.truncate(groups * beam_per_group);
+    done.iter().map(Candidate::hypothesis).collect()
+}
+
+fn bump(counts: &mut Vec<(usize, usize)>, tok: usize) {
+    if let Some(slot) = counts.iter_mut().find(|(t, _)| *t == tok) {
+        slot.1 += 1;
+    } else {
+        counts.push((tok, 1));
+    }
+}
+
+fn argmax(lp: &[f32]) -> (usize, f32) {
+    let mut best = 0;
+    for (i, &v) in lp.iter().enumerate() {
+        if v > lp[best] {
+            best = i;
+        }
+    }
+    (best, lp[best])
+}
+
+/// Samples one token among the `n` most likely, proportionally to their
+/// renormalized probabilities.
+fn sample_top_n(lp: &[f32], n: usize, rng: &mut StdRng) -> usize {
+    let mut order: Vec<usize> = (0..lp.len()).filter(|&t| lp[t].is_finite()).collect();
+    order.sort_by(|&a, &b| lp[b].total_cmp(&lp[a]));
+    order.truncate(n.max(1));
+    let max = lp[order[0]];
+    let weights: Vec<f32> = order.iter().map(|&t| (lp[t] - max).exp()).collect();
+    let total: f32 = weights.iter().sum();
+    let mut draw = rng.gen::<f32>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return order[i];
+        }
+    }
+    *order.last().expect("top-n pool is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ComponentKind, ModelConfig};
+    use rand::SeedableRng;
+
+    fn tiny_model() -> Seq2Seq {
+        Seq2Seq::new(ModelConfig::tiny_transformer(24), 5)
+    }
+
+    fn rnn_model() -> Seq2Seq {
+        let mut cfg = ModelConfig::tiny_transformer(24);
+        cfg.enc_kind = ComponentKind::Gru;
+        cfg.dec_kind = ComponentKind::Gru;
+        Seq2Seq::new(cfg, 5)
+    }
+
+    #[test]
+    fn greedy_terminates_and_has_no_specials() {
+        for m in [tiny_model(), rnn_model()] {
+            let h = greedy(&m, &[5, 6, 7]);
+            assert!(h.tokens.len() <= m.max_tgt_len() + 1);
+            assert!(h.tokens.iter().all(|&t| t >= qrw_text::NUM_SPECIALS));
+            assert!(h.log_prob < 0.0);
+        }
+    }
+
+    #[test]
+    fn beam_returns_at_most_beam_sorted_hypotheses() {
+        let m = tiny_model();
+        let hyps = beam_search(&m, &[5, 6], 4);
+        assert!(!hyps.is_empty() && hyps.len() <= 4);
+        for w in hyps.windows(2) {
+            assert!(w[0].log_prob >= w[1].log_prob);
+        }
+    }
+
+    #[test]
+    fn beam_width_one_matches_greedy_tokens() {
+        let m = tiny_model();
+        let g = greedy(&m, &[7, 8]);
+        let b = &beam_search(&m, &[7, 8], 1)[0];
+        // Width-1 beam may stop earlier on EOS rank order, but when both
+        // finish they must agree.
+        assert_eq!(g.tokens, b.tokens);
+        assert!((g.log_prob - b.log_prob).abs() < 1e-3);
+    }
+
+    #[test]
+    fn length_penalty_reference_values() {
+        assert_eq!(length_penalty(1, 0.0), 1.0);
+        assert_eq!(length_penalty(1, 0.6), 1.0); // (6/6)^a == 1
+        assert!(length_penalty(10, 0.6) > 1.0);
+        assert!(length_penalty(10, 0.6) < length_penalty(10, 1.0));
+    }
+
+    #[test]
+    fn normalized_beam_favours_longer_hypotheses() {
+        let m = tiny_model();
+        let raw = beam_search_normalized(&m, &[5, 6], 4, 0.0);
+        let norm = beam_search_normalized(&m, &[5, 6], 4, 2.0);
+        // Exploration is identical; only the final ranking (and therefore
+        // which candidates survive truncation) changes. A strong alpha
+        // keeps the top hypothesis at least as long, and the returned
+        // ranking respects the normalized score.
+        assert!(norm[0].tokens.len() >= raw[0].tokens.len());
+        for w in norm.windows(2) {
+            let a = w[0].log_prob / length_penalty(w[0].tokens.len() + 1, 2.0);
+            let b = w[1].log_prob / length_penalty(w[1].tokens.len() + 1, 2.0);
+            assert!(a >= b - 1e-5, "normalized ranking violated: {a} < {b}");
+        }
+    }
+
+    #[test]
+    fn top_n_first_tokens_are_distinct() {
+        for m in [tiny_model(), rnn_model()] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let hyps = top_n_sampling(&m, &[5, 6], TopNSampling { k: 3, n: 5 }, &mut rng);
+            assert_eq!(hyps.len(), 3);
+            let mut firsts: Vec<usize> = hyps.iter().filter_map(|h| h.tokens.first().copied()).collect();
+            firsts.sort_unstable();
+            firsts.dedup();
+            assert_eq!(firsts.len(), hyps.iter().filter(|h| !h.tokens.is_empty()).count());
+        }
+    }
+
+    #[test]
+    fn top_n_is_deterministic_per_seed() {
+        let m = tiny_model();
+        let cfg = TopNSampling { k: 3, n: 6 };
+        let a = top_n_sampling(&m, &[5, 6], cfg, &mut StdRng::seed_from_u64(9));
+        let b = top_n_sampling(&m, &[5, 6], cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_n_log_probs_are_true_model_scores() {
+        let m = tiny_model();
+        let mut rng = StdRng::seed_from_u64(2);
+        for h in top_n_sampling(&m, &[5, 6, 7], TopNSampling { k: 2, n: 4 }, &mut rng) {
+            if h.tokens.is_empty() {
+                continue;
+            }
+            let lp = m.log_prob(&[5, 6, 7], &h.tokens);
+            // A candidate that hit the length cap never emitted EOS, so its
+            // running score excludes the EOS term that log_prob includes.
+            let unfinished_ok = h.tokens.len() >= m.max_tgt_len();
+            assert!(
+                (lp - h.log_prob).abs() < 1e-2 || unfinished_ok,
+                "{} vs {}",
+                lp,
+                h.log_prob
+            );
+        }
+    }
+
+    #[test]
+    fn diverse_beam_produces_group_diverse_outputs() {
+        let m = tiny_model();
+        let hyps = diverse_beam_search(&m, &[5, 6], 3, 1, 10.0);
+        assert!(hyps.len() >= 2);
+        // A strong penalty forces distinct first tokens across groups.
+        let firsts: Vec<Option<usize>> = hyps.iter().map(|h| h.tokens.first().copied()).collect();
+        let mut unique = firsts.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), firsts.len(), "{firsts:?}");
+    }
+
+    #[test]
+    fn sample_top_n_respects_pool() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lp = vec![-0.1, -5.0, -0.2, f32::NEG_INFINITY, -9.0];
+        for _ in 0..50 {
+            let t = sample_top_n(&lp, 2, &mut rng);
+            assert!(t == 0 || t == 2);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Reusable neural layers built on the `qrw-tensor` tape.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use qrw_tensor::{init, Param, ParamSet, Tape, Tensor, Var};
+
+/// Training-time context: the dropout RNG and rate. `None` means inference.
+pub struct TrainCtx<'r> {
+    pub rng: &'r mut StdRng,
+    pub dropout: f32,
+}
+
+impl TrainCtx<'_> {
+    /// Applies inverted dropout to `x` if the rate is positive.
+    pub fn dropout<'t>(&mut self, x: Var<'t>) -> Var<'t> {
+        if self.dropout <= 0.0 {
+            return x;
+        }
+        let (rows, cols) = x.shape();
+        let keep = 1.0 - self.dropout;
+        let scale = 1.0 / keep;
+        let data = (0..rows * cols)
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        x.dropout_mask(Tensor::from_vec(rows, cols, data))
+    }
+}
+
+/// Applies dropout through an optional context, passing through on `None`.
+pub fn maybe_dropout<'t>(ctx: &mut Option<TrainCtx<'_>>, x: Var<'t>) -> Var<'t> {
+    match ctx {
+        Some(c) => c.dropout(x),
+        None => x,
+    }
+}
+
+/// A dense layer `y = x W + b`.
+pub struct Linear {
+    pub w: Param,
+    pub b: Param,
+}
+
+impl Linear {
+    pub fn new(params: &mut ParamSet, rng: &mut StdRng, name: &str, d_in: usize, d_out: usize) -> Self {
+        Linear {
+            w: params.add(format!("{name}.w"), init::xavier(rng, d_in, d_out)),
+            b: params.add(format!("{name}.b"), init::zeros(1, d_out)),
+        }
+    }
+
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        x.matmul(tape.param(&self.w)).add_broadcast_row(tape.param(&self.b))
+    }
+
+    /// Inference-only forward on plain tensors: reads the weights in place
+    /// instead of copying them onto a tape. Decoding projects hidden
+    /// states to vocabulary logits every step, so this path keeps online
+    /// serving free of per-step weight copies.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        self.w
+            .with_value(|w| self.b.with_value(|b| x.matmul(w).add_row_broadcast(b)))
+    }
+}
+
+/// Learned layer normalization.
+pub struct LayerNorm {
+    pub gain: Param,
+    pub bias: Param,
+}
+
+impl LayerNorm {
+    pub fn new(params: &mut ParamSet, name: &str, dim: usize) -> Self {
+        LayerNorm {
+            gain: params.add(format!("{name}.gain"), init::ones(1, dim)),
+            bias: params.add(format!("{name}.bias"), init::zeros(1, dim)),
+        }
+    }
+
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        x.layer_norm(tape.param(&self.gain), tape.param(&self.bias))
+    }
+}
+
+/// Token embedding table, with the transformer's `sqrt(d)` scaling.
+pub struct Embedding {
+    pub table: Param,
+    d_model: usize,
+}
+
+impl Embedding {
+    pub fn new(params: &mut ParamSet, rng: &mut StdRng, name: &str, vocab: usize, d_model: usize) -> Self {
+        Embedding {
+            table: params.add(format!("{name}.emb"), init::embedding(rng, vocab, d_model)),
+            d_model,
+        }
+    }
+
+    pub fn forward<'t>(&self, tape: &'t Tape, ids: &[usize]) -> Var<'t> {
+        tape.gather_rows(&self.table, ids).scale((self.d_model as f32).sqrt())
+    }
+}
+
+/// Multi-head scaled dot-product attention.
+///
+/// `forward` optionally records the head-averaged attention matrix into
+/// `attn_sink`, which the Figure 6 heat-map harness reads.
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    d_head: usize,
+}
+
+impl MultiHeadAttention {
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+    ) -> Self {
+        assert_eq!(d_model % heads, 0, "d_model must divide by heads");
+        MultiHeadAttention {
+            wq: Linear::new(params, rng, &format!("{name}.wq"), d_model, d_model),
+            wk: Linear::new(params, rng, &format!("{name}.wk"), d_model, d_model),
+            wv: Linear::new(params, rng, &format!("{name}.wv"), d_model, d_model),
+            wo: Linear::new(params, rng, &format!("{name}.wo"), d_model, d_model),
+            heads,
+            d_head: d_model / heads,
+        }
+    }
+
+    /// Attention of `q_in` over `kv_in`. `mask` (if given) is added to the
+    /// raw scores (`0` = visible, `-1e9` = hidden).
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        q_in: Var<'t>,
+        kv_in: Var<'t>,
+        mask: Option<&Tensor>,
+        attn_sink: Option<&mut Vec<Tensor>>,
+    ) -> Var<'t> {
+        let q = self.wq.forward(tape, q_in);
+        let k = self.wk.forward(tape, kv_in);
+        let v = self.wv.forward(tape, kv_in);
+        let scale = 1.0 / (self.d_head as f32).sqrt();
+        let mut ctxs = Vec::with_capacity(self.heads);
+        let mut attn_avg: Option<Tensor> = None;
+        for h in 0..self.heads {
+            let off = h * self.d_head;
+            let qh = q.slice_cols(off, self.d_head);
+            let kh = k.slice_cols(off, self.d_head);
+            let vh = v.slice_cols(off, self.d_head);
+            let mut scores = qh.matmul_transpose_b(kh).scale(scale);
+            if let Some(m) = mask {
+                scores = scores.add_const(m);
+            }
+            let attn = scores.row_softmax();
+            if attn_sink.is_some() {
+                let a = attn.value();
+                match &mut attn_avg {
+                    Some(acc) => acc.add_assign(&a),
+                    slot @ None => *slot = Some(a),
+                }
+            }
+            ctxs.push(attn.matmul(vh));
+        }
+        if let (Some(sink), Some(acc)) = (attn_sink, attn_avg) {
+            sink.push(acc.scale(1.0 / self.heads as f32));
+        }
+        let merged = Var::concat_cols(&ctxs);
+        self.wo.forward(tape, merged)
+    }
+}
+
+/// Position-wise feed-forward network `relu(x W1 + b1) W2 + b2`.
+pub struct FeedForward {
+    lin1: Linear,
+    lin2: Linear,
+}
+
+impl FeedForward {
+    pub fn new(params: &mut ParamSet, rng: &mut StdRng, name: &str, d_model: usize, d_ff: usize) -> Self {
+        FeedForward {
+            lin1: Linear::new(params, rng, &format!("{name}.ff1"), d_model, d_ff),
+            lin2: Linear::new(params, rng, &format!("{name}.ff2"), d_ff, d_model),
+        }
+    }
+
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        self.lin2.forward(tape, self.lin1.forward(tape, x).relu())
+    }
+}
+
+/// Sinusoidal positional-encoding table (`max_len x d_model`), a constant.
+pub fn positional_encoding(max_len: usize, d_model: usize) -> Tensor {
+    let mut pe = Tensor::zeros(max_len, d_model);
+    for pos in 0..max_len {
+        for i in 0..d_model / 2 {
+            let angle = pos as f32 / 10_000f32.powf(2.0 * i as f32 / d_model as f32);
+            pe.set(pos, 2 * i, angle.sin());
+            if 2 * i + 1 < d_model {
+                pe.set(pos, 2 * i + 1, angle.cos());
+            }
+        }
+    }
+    pe
+}
+
+/// Causal (lower-triangular) additive mask: position `i` may attend to
+/// positions `j <= i`.
+pub fn causal_mask(len: usize) -> Tensor {
+    let mut m = Tensor::zeros(len, len);
+    for i in 0..len {
+        for j in i + 1..len {
+            m.set(i, j, -1e9);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut params = ParamSet::new();
+        let lin = Linear::new(&mut params, &mut rng(), "l", 3, 5);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(2, 3));
+        let y = lin.forward(&tape, x);
+        assert_eq!(y.shape(), (2, 5));
+        // Zero input -> bias (zero-initialized) output.
+        assert!(y.value().data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let mut params = ParamSet::new();
+        let ln = LayerNorm::new(&mut params, "ln", 4);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(1, 4, vec![1., 2., 3., 4.]));
+        let y = ln.forward(&tape, x).value();
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn embedding_scales_by_sqrt_d() {
+        let mut params = ParamSet::new();
+        let emb = Embedding::new(&mut params, &mut rng(), "e", 10, 16);
+        let tape = Tape::new();
+        let x = emb.forward(&tape, &[3]);
+        let raw = emb.table.value();
+        for c in 0..16 {
+            assert!((x.value().get(0, c) - raw.get(3, c) * 4.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mha_output_shape_and_mask_effect() {
+        let mut params = ParamSet::new();
+        let mha = MultiHeadAttention::new(&mut params, &mut rng(), "a", 8, 2);
+        let tape = Tape::new();
+        let x = tape.constant(init::uniform(&mut rng(), 4, 8, 1.0));
+        let open = mha.forward(&tape, x, x, None, None).value();
+        assert_eq!(open.shape(), (4, 8));
+        let masked = mha.forward(&tape, x, x, Some(&causal_mask(4)), None).value();
+        // First row sees only itself under the causal mask, so it differs
+        // from the unmasked version; last row sees everything, so it matches.
+        assert!(open.row_slice(0) != masked.row_slice(0));
+        for (a, b) in open.row_slice(3).iter().zip(masked.row_slice(3)) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mha_records_attention_when_asked() {
+        let mut params = ParamSet::new();
+        let mha = MultiHeadAttention::new(&mut params, &mut rng(), "a", 8, 2);
+        let tape = Tape::new();
+        let q = tape.constant(init::uniform(&mut rng(), 3, 8, 1.0));
+        let kv = tape.constant(init::uniform(&mut rng(), 5, 8, 1.0));
+        let mut sink = Vec::new();
+        mha.forward(&tape, q, kv, None, Some(&mut sink));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].shape(), (3, 5));
+        // Head-averaged attention rows still sum to 1.
+        for r in 0..3 {
+            let s: f32 = sink[0].row_slice(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn positional_encoding_matches_reference_values() {
+        let pe = positional_encoding(4, 6);
+        assert_eq!(pe.get(0, 0), 0.0);
+        assert_eq!(pe.get(0, 1), 1.0);
+        assert!((pe.get(1, 0) - 1f32.sin()).abs() < 1e-6);
+        // Distinct positions get distinct encodings.
+        assert!(pe.row_slice(1) != pe.row_slice(2));
+    }
+
+    #[test]
+    fn causal_mask_is_lower_triangular() {
+        let m = causal_mask(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                if j > i {
+                    assert_eq!(m.get(i, j), -1e9);
+                } else {
+                    assert_eq!(m.get(i, j), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let mut r = rng();
+        let mut ctx = TrainCtx { rng: &mut r, dropout: 0.0 };
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::full(2, 2, 3.0));
+        let y = ctx.dropout(x);
+        assert_eq!(y.value().data(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn dropout_scales_kept_entries() {
+        let mut r = rng();
+        let mut ctx = TrainCtx { rng: &mut r, dropout: 0.5 };
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::full(10, 10, 1.0));
+        let y = ctx.dropout(x).value();
+        for &v in y.data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+        // Some kept, some dropped at rate 0.5 over 100 entries.
+        assert!(y.data().contains(&0.0));
+        assert!(y.data().iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,415 @@
+//! Recurrent encoder and attention decoder (vanilla RNN and GRU cells).
+//!
+//! These provide the paper's comparison points: the attention-based NMT
+//! model of Bahdanau et al. (Figure 8), the GRU latency row of Table V, and
+//! the RNN decoder used by the §III-G hybrid online-serving model.
+
+use rand::rngs::StdRng;
+
+use qrw_tensor::{ParamSet, Tape, Tensor, Var};
+
+use crate::config::ComponentKind;
+use crate::layers::{maybe_dropout, Embedding, Linear, TrainCtx};
+
+/// A single-step recurrent cell: `(input [1,d_in], hidden [1,d]) -> hidden'`.
+pub enum Cell {
+    Rnn(RnnCell),
+    Gru(GruCell),
+}
+
+impl Cell {
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+        name: &str,
+        kind: ComponentKind,
+        d_in: usize,
+        d_hidden: usize,
+    ) -> Self {
+        match kind {
+            ComponentKind::Rnn => Cell::Rnn(RnnCell::new(params, rng, name, d_in, d_hidden)),
+            ComponentKind::Gru => Cell::Gru(GruCell::new(params, rng, name, d_in, d_hidden)),
+            ComponentKind::Transformer => {
+                panic!("transformer is not a recurrent cell kind")
+            }
+        }
+    }
+
+    pub fn step<'t>(&self, tape: &'t Tape, x: Var<'t>, h: Var<'t>) -> Var<'t> {
+        match self {
+            Cell::Rnn(c) => c.step(tape, x, h),
+            Cell::Gru(c) => c.step(tape, x, h),
+        }
+    }
+}
+
+/// `h' = tanh(x Wx + h Wh + b)`.
+pub struct RnnCell {
+    wx: Param2,
+    wh: Param2,
+    b: Param2,
+}
+
+/// Internal alias to keep field declarations short.
+type Param2 = qrw_tensor::Param;
+
+impl RnnCell {
+    pub fn new(params: &mut ParamSet, rng: &mut StdRng, name: &str, d_in: usize, d: usize) -> Self {
+        RnnCell {
+            wx: params.add(format!("{name}.wx"), qrw_tensor::init::xavier(rng, d_in, d)),
+            wh: params.add(format!("{name}.wh"), qrw_tensor::init::xavier(rng, d, d)),
+            b: params.add(format!("{name}.b"), qrw_tensor::init::zeros(1, d)),
+        }
+    }
+
+    pub fn step<'t>(&self, tape: &'t Tape, x: Var<'t>, h: Var<'t>) -> Var<'t> {
+        x.matmul(tape.param(&self.wx))
+            .add(h.matmul(tape.param(&self.wh)))
+            .add_broadcast_row(tape.param(&self.b))
+            .tanh()
+    }
+}
+
+/// Standard GRU update with reset and update gates.
+pub struct GruCell {
+    wxz: Param2,
+    whz: Param2,
+    bz: Param2,
+    wxr: Param2,
+    whr: Param2,
+    br: Param2,
+    wxn: Param2,
+    whn: Param2,
+    bn: Param2,
+}
+
+impl GruCell {
+    pub fn new(params: &mut ParamSet, rng: &mut StdRng, name: &str, d_in: usize, d: usize) -> Self {
+        let mut mk = |suffix: &str, rows: usize, cols: usize, rng: &mut StdRng| {
+            params.add(format!("{name}.{suffix}"), qrw_tensor::init::xavier(rng, rows, cols))
+        };
+        let wxz = mk("wxz", d_in, d, rng);
+        let whz = mk("whz", d, d, rng);
+        let wxr = mk("wxr", d_in, d, rng);
+        let whr = mk("whr", d, d, rng);
+        let wxn = mk("wxn", d_in, d, rng);
+        let whn = mk("whn", d, d, rng);
+        let bz = params.add(format!("{name}.bz"), qrw_tensor::init::zeros(1, d));
+        let br = params.add(format!("{name}.br"), qrw_tensor::init::zeros(1, d));
+        let bn = params.add(format!("{name}.bn"), qrw_tensor::init::zeros(1, d));
+        GruCell { wxz, whz, bz, wxr, whr, br, wxn, whn, bn }
+    }
+
+    pub fn step<'t>(&self, tape: &'t Tape, x: Var<'t>, h: Var<'t>) -> Var<'t> {
+        let z = x
+            .matmul(tape.param(&self.wxz))
+            .add(h.matmul(tape.param(&self.whz)))
+            .add_broadcast_row(tape.param(&self.bz))
+            .sigmoid();
+        let r = x
+            .matmul(tape.param(&self.wxr))
+            .add(h.matmul(tape.param(&self.whr)))
+            .add_broadcast_row(tape.param(&self.br))
+            .sigmoid();
+        let n = x
+            .matmul(tape.param(&self.wxn))
+            .add(r.mul(h).matmul(tape.param(&self.whn)))
+            .add_broadcast_row(tape.param(&self.bn))
+            .tanh();
+        // h' = (1 - z) ⊙ n + z ⊙ h
+        z.one_minus().mul(n).add(z.mul(h))
+    }
+}
+
+/// Recurrent encoder: runs the cell left-to-right over embedded tokens and
+/// exposes every hidden state as the attention memory.
+pub struct RnnEncoder {
+    embed: Embedding,
+    cell: Cell,
+    d_model: usize,
+}
+
+impl RnnEncoder {
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+        name: &str,
+        kind: ComponentKind,
+        vocab: usize,
+        d_model: usize,
+    ) -> Self {
+        RnnEncoder {
+            embed: Embedding::new(params, rng, &format!("{name}.src"), vocab, d_model),
+            cell: Cell::new(params, rng, &format!("{name}.enc_cell"), kind, d_model, d_model),
+            d_model,
+        }
+    }
+
+    /// Encodes `src` into a `len x d_model` memory of hidden states.
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        src: &[usize],
+        ctx: &mut Option<TrainCtx<'_>>,
+    ) -> Var<'t> {
+        assert!(!src.is_empty(), "encoder input must be non-empty");
+        let x = self.embed.forward(tape, src);
+        let x = maybe_dropout(ctx, x);
+        let mut h = tape.constant(Tensor::zeros(1, self.d_model));
+        let mut states = Vec::with_capacity(src.len());
+        for t in 0..src.len() {
+            let xt = x.slice_rows(t, 1);
+            h = self.cell.step(tape, xt, h);
+            states.push(h);
+        }
+        Var::stack_rows(&states)
+    }
+}
+
+/// Bahdanau-style additive attention: scores each memory row against the
+/// current decoder state.
+pub struct AdditiveAttention {
+    wa: Param2,
+    ua: Param2,
+    v: Param2,
+}
+
+impl AdditiveAttention {
+    pub fn new(params: &mut ParamSet, rng: &mut StdRng, name: &str, d: usize) -> Self {
+        AdditiveAttention {
+            wa: params.add(format!("{name}.wa"), qrw_tensor::init::xavier(rng, d, d)),
+            ua: params.add(format!("{name}.ua"), qrw_tensor::init::xavier(rng, d, d)),
+            v: params.add(format!("{name}.v"), qrw_tensor::init::xavier(rng, d, 1)),
+        }
+    }
+
+    /// Returns `(context [1,d], weights [1,n])` of state `h` over `memory`.
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        memory: Var<'t>,
+        h: Var<'t>,
+    ) -> (Var<'t>, Var<'t>) {
+        // e = tanh(M Ua + broadcast(h Wa)) v   ->  [n,1]
+        let proj = memory
+            .matmul(tape.param(&self.ua))
+            .add_broadcast_row(h.matmul(tape.param(&self.wa)))
+            .tanh();
+        let e = proj.matmul(tape.param(&self.v));
+        let alpha = e.transpose().row_softmax(); // [1,n]
+        let ctx = alpha.matmul(memory); // [1,d]
+        (ctx, alpha)
+    }
+}
+
+/// Attention RNN decoder: at each step embeds the previous token, attends
+/// over the memory, and feeds `[token ; context]` into the recurrent cell.
+pub struct AttnRnnDecoder {
+    embed: Embedding,
+    cell: Cell,
+    attention: AdditiveAttention,
+    /// Projects the final memory row into the initial decoder state.
+    init: Linear,
+    d_model: usize,
+}
+
+impl AttnRnnDecoder {
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+        name: &str,
+        kind: ComponentKind,
+        vocab: usize,
+        d_model: usize,
+    ) -> Self {
+        AttnRnnDecoder {
+            embed: Embedding::new(params, rng, &format!("{name}.tgt"), vocab, d_model),
+            cell: Cell::new(params, rng, &format!("{name}.dec_cell"), kind, 2 * d_model, d_model),
+            attention: AdditiveAttention::new(params, rng, &format!("{name}.attn"), d_model),
+            init: Linear::new(params, rng, &format!("{name}.init"), d_model, d_model),
+            d_model,
+        }
+    }
+
+    /// Initial decoder state from the last memory row.
+    pub fn initial_state<'t>(&self, tape: &'t Tape, memory: Var<'t>) -> Var<'t> {
+        let (rows, _) = memory.shape();
+        let last = memory.slice_rows(rows - 1, 1);
+        self.init.forward(tape, last).tanh()
+    }
+
+    /// Teacher-forced decode. Returns hidden states (`tgt_in.len() x d`).
+    /// Pushes the full `tgt_len x src_len` attention matrix into
+    /// `attn_sink` when provided.
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        tgt_in: &[usize],
+        memory: Var<'t>,
+        ctx: &mut Option<TrainCtx<'_>>,
+        attn_sink: Option<&mut Vec<Tensor>>,
+    ) -> Var<'t> {
+        assert!(!tgt_in.is_empty(), "decoder input must be non-empty");
+        let x = self.embed.forward(tape, tgt_in);
+        let x = maybe_dropout(ctx, x);
+        let mut h = self.initial_state(tape, memory);
+        let mut outputs = Vec::with_capacity(tgt_in.len());
+        let mut attn_rows = Vec::new();
+        for t in 0..tgt_in.len() {
+            let (attn_ctx, alpha) = self.attention.forward(tape, memory, h);
+            let xt = x.slice_rows(t, 1);
+            let inp = Var::concat_cols(&[xt, attn_ctx]);
+            h = self.cell.step(tape, inp, h);
+            outputs.push(h);
+            if attn_sink.is_some() {
+                attn_rows.push(alpha.value());
+            }
+        }
+        if let Some(sink) = attn_sink {
+            let refs: Vec<&Tensor> = attn_rows.iter().collect();
+            sink.push(Tensor::stack_rows(&refs));
+        }
+        Var::stack_rows(&outputs)
+    }
+
+    /// One inference step: consumes `token` with hidden state `h`
+    /// (both plain tensors), returning the new hidden state.
+    pub fn step_inference(&self, memory: &Tensor, h: &Tensor, token: usize) -> Tensor {
+        let tape = Tape::new();
+        let mem = tape.constant(memory.clone());
+        let hv = tape.constant(h.clone());
+        let (attn_ctx, _alpha) = self.attention.forward(&tape, mem, hv);
+        let xt = self.embed.forward(&tape, &[token]);
+        let inp = Var::concat_cols(&[xt, attn_ctx]);
+        self.cell.step(&tape, inp, hv).value()
+    }
+
+    /// Initial inference state from a plain memory tensor.
+    pub fn initial_state_inference(&self, memory: &Tensor) -> Tensor {
+        let tape = Tape::new();
+        let mem = tape.constant(memory.clone());
+        self.initial_state(&tape, mem).value()
+    }
+
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn rnn_cell_shapes() {
+        let mut params = ParamSet::new();
+        let cell = RnnCell::new(&mut params, &mut rng(), "c", 6, 4);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(1, 6));
+        let h = tape.constant(Tensor::zeros(1, 4));
+        assert_eq!(cell.step(&tape, x, h).shape(), (1, 4));
+    }
+
+    #[test]
+    fn gru_cell_zero_input_keeps_bounded_state() {
+        let mut params = ParamSet::new();
+        let cell = GruCell::new(&mut params, &mut rng(), "g", 4, 4);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(1, 4));
+        let mut h = tape.constant(Tensor::full(1, 4, 0.5));
+        for _ in 0..10 {
+            h = cell.step(&tape, x, h);
+        }
+        assert!(h.value().data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gru_interpolates_between_h_and_candidate() {
+        // With z forced to 1 (by huge bias) h' == h.
+        let mut params = ParamSet::new();
+        let cell = GruCell::new(&mut params, &mut rng(), "g", 2, 2);
+        cell.bz.set_value(Tensor::full(1, 2, 50.0));
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::full(1, 2, 0.3));
+        let h = tape.constant(Tensor::from_vec(1, 2, vec![0.7, -0.2]));
+        let h2 = cell.step(&tape, x, h);
+        for (a, b) in h2.value().data().iter().zip(h.value().data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn encoder_memory_shape() {
+        let mut params = ParamSet::new();
+        let enc = RnnEncoder::new(&mut params, &mut rng(), "e", ComponentKind::Gru, 10, 8);
+        let tape = Tape::new();
+        let m = enc.forward(&tape, &[4, 5, 6], &mut None);
+        assert_eq!(m.shape(), (3, 8));
+    }
+
+    #[test]
+    fn attention_weights_sum_to_one() {
+        let mut params = ParamSet::new();
+        let mut r = rng();
+        let attn = AdditiveAttention::new(&mut params, &mut r, "a", 4);
+        let tape = Tape::new();
+        let mem = tape.constant(qrw_tensor::init::uniform(&mut r, 5, 4, 1.0));
+        let h = tape.constant(qrw_tensor::init::uniform(&mut r, 1, 4, 1.0));
+        let (ctx, alpha) = attn.forward(&tape, mem, h);
+        assert_eq!(ctx.shape(), (1, 4));
+        assert_eq!(alpha.shape(), (1, 5));
+        let s: f32 = alpha.value().data().iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn decoder_training_and_inference_agree() {
+        // Teacher-forced hidden states must equal step-by-step inference.
+        let mut params = ParamSet::new();
+        let mut r = rng();
+        let enc = RnnEncoder::new(&mut params, &mut r, "m", ComponentKind::Gru, 12, 6);
+        let dec = AttnRnnDecoder::new(&mut params, &mut r, "m", ComponentKind::Gru, 12, 6);
+        let tape = Tape::new();
+        let memory = enc.forward(&tape, &[4, 5], &mut None);
+        let tgt_in = [1usize, 6, 7];
+        let hidden = dec.forward(&tape, &tgt_in, memory, &mut None, None).value();
+
+        let mem_t = memory.value();
+        let mut h = dec.initial_state_inference(&mem_t);
+        for (t, &tok) in tgt_in.iter().enumerate() {
+            h = dec.step_inference(&mem_t, &h, tok);
+            for c in 0..6 {
+                assert!(
+                    (h.get(0, c) - hidden.get(t, c)).abs() < 1e-4,
+                    "step {t} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_attention_sink_shape() {
+        let mut params = ParamSet::new();
+        let mut r = rng();
+        let enc = RnnEncoder::new(&mut params, &mut r, "m", ComponentKind::Rnn, 12, 6);
+        let dec = AttnRnnDecoder::new(&mut params, &mut r, "m", ComponentKind::Rnn, 12, 6);
+        let tape = Tape::new();
+        let memory = enc.forward(&tape, &[4, 5, 6, 7], &mut None);
+        let mut sink = Vec::new();
+        dec.forward(&tape, &[1, 8], memory, &mut None, Some(&mut sink));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].shape(), (2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a recurrent cell")]
+    fn transformer_kind_is_rejected_for_cells() {
+        let mut params = ParamSet::new();
+        let _ = Cell::new(&mut params, &mut rng(), "c", ComponentKind::Transformer, 4, 4);
+    }
+}

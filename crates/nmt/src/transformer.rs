@@ -1,0 +1,264 @@
+//! Transformer encoder and decoder stacks (post-norm, as in
+//! "Attention Is All You Need", which the paper uses as its skeleton).
+
+use rand::rngs::StdRng;
+
+use qrw_tensor::{ParamSet, Tape, Tensor, Var};
+
+use crate::layers::{
+    causal_mask, maybe_dropout, positional_encoding, Embedding, FeedForward, LayerNorm,
+    MultiHeadAttention, TrainCtx,
+};
+
+struct EncoderLayer {
+    self_attn: MultiHeadAttention,
+    ffn: FeedForward,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+}
+
+impl EncoderLayer {
+    fn new(params: &mut ParamSet, rng: &mut StdRng, name: &str, d_model: usize, d_ff: usize, heads: usize) -> Self {
+        EncoderLayer {
+            self_attn: MultiHeadAttention::new(params, rng, &format!("{name}.self"), d_model, heads),
+            ffn: FeedForward::new(params, rng, &format!("{name}.ffn"), d_model, d_ff),
+            norm1: LayerNorm::new(params, &format!("{name}.norm1"), d_model),
+            norm2: LayerNorm::new(params, &format!("{name}.norm2"), d_model),
+        }
+    }
+
+    fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>, ctx: &mut Option<TrainCtx<'_>>) -> Var<'t> {
+        let attn = self.self_attn.forward(tape, x, x, None, None);
+        let attn = maybe_dropout(ctx, attn);
+        let x = self.norm1.forward(tape, x.add(attn));
+        let ff = maybe_dropout(ctx, self.ffn.forward(tape, x));
+        self.norm2.forward(tape, x.add(ff))
+    }
+}
+
+/// A stack of transformer encoder layers with token + positional embedding.
+pub struct TransformerEncoder {
+    embed: Embedding,
+    layers: Vec<EncoderLayer>,
+    pe: Tensor,
+}
+
+impl TransformerEncoder {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+        name: &str,
+        vocab: usize,
+        d_model: usize,
+        d_ff: usize,
+        heads: usize,
+        n_layers: usize,
+        max_len: usize,
+    ) -> Self {
+        TransformerEncoder {
+            embed: Embedding::new(params, rng, &format!("{name}.src"), vocab, d_model),
+            layers: (0..n_layers)
+                .map(|i| EncoderLayer::new(params, rng, &format!("{name}.enc{i}"), d_model, d_ff, heads))
+                .collect(),
+            pe: positional_encoding(max_len, d_model),
+        }
+    }
+
+    /// Encodes `src` ids into a `len x d_model` memory.
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        src: &[usize],
+        ctx: &mut Option<TrainCtx<'_>>,
+    ) -> Var<'t> {
+        assert!(!src.is_empty(), "encoder input must be non-empty");
+        assert!(src.len() <= self.pe.rows(), "source longer than positional table");
+        let mut x = self
+            .embed
+            .forward(tape, src)
+            .add_const(&self.pe.slice_rows(0, src.len()));
+        x = maybe_dropout(ctx, x);
+        for layer in &self.layers {
+            x = layer.forward(tape, x, ctx);
+        }
+        x
+    }
+}
+
+struct DecoderLayer {
+    self_attn: MultiHeadAttention,
+    cross_attn: MultiHeadAttention,
+    ffn: FeedForward,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+    norm3: LayerNorm,
+}
+
+impl DecoderLayer {
+    fn new(params: &mut ParamSet, rng: &mut StdRng, name: &str, d_model: usize, d_ff: usize, heads: usize) -> Self {
+        DecoderLayer {
+            self_attn: MultiHeadAttention::new(params, rng, &format!("{name}.self"), d_model, heads),
+            cross_attn: MultiHeadAttention::new(params, rng, &format!("{name}.cross"), d_model, heads),
+            ffn: FeedForward::new(params, rng, &format!("{name}.ffn"), d_model, d_ff),
+            norm1: LayerNorm::new(params, &format!("{name}.norm1"), d_model),
+            norm2: LayerNorm::new(params, &format!("{name}.norm2"), d_model),
+            norm3: LayerNorm::new(params, &format!("{name}.norm3"), d_model),
+        }
+    }
+
+    fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        x: Var<'t>,
+        memory: Var<'t>,
+        mask: &Tensor,
+        ctx: &mut Option<TrainCtx<'_>>,
+        attn_sink: Option<&mut Vec<Tensor>>,
+    ) -> Var<'t> {
+        let sa = self.self_attn.forward(tape, x, x, Some(mask), None);
+        let sa = maybe_dropout(ctx, sa);
+        let x = self.norm1.forward(tape, x.add(sa));
+        let ca = self.cross_attn.forward(tape, x, memory, None, attn_sink);
+        let ca = maybe_dropout(ctx, ca);
+        let x = self.norm2.forward(tape, x.add(ca));
+        let ff = maybe_dropout(ctx, self.ffn.forward(tape, x));
+        self.norm3.forward(tape, x.add(ff))
+    }
+}
+
+/// A stack of transformer decoder layers producing hidden states (the
+/// output projection to vocabulary logits lives in [`crate::seq2seq`]).
+pub struct TransformerDecoder {
+    embed: Embedding,
+    layers: Vec<DecoderLayer>,
+    pe: Tensor,
+}
+
+impl TransformerDecoder {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+        name: &str,
+        vocab: usize,
+        d_model: usize,
+        d_ff: usize,
+        heads: usize,
+        n_layers: usize,
+        max_len: usize,
+    ) -> Self {
+        TransformerDecoder {
+            embed: Embedding::new(params, rng, &format!("{name}.tgt"), vocab, d_model),
+            layers: (0..n_layers)
+                .map(|i| DecoderLayer::new(params, rng, &format!("{name}.dec{i}"), d_model, d_ff, heads))
+                .collect(),
+            pe: positional_encoding(max_len, d_model),
+        }
+    }
+
+    /// Teacher-forced decode of `tgt_in` (BOS-prefixed) against `memory`.
+    /// Returns hidden states, one row per target position.
+    ///
+    /// When `attn_sink` is provided, each layer pushes its head-averaged
+    /// cross-attention matrix (`tgt_len x src_len`).
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        tgt_in: &[usize],
+        memory: Var<'t>,
+        ctx: &mut Option<TrainCtx<'_>>,
+        mut attn_sink: Option<&mut Vec<Tensor>>,
+    ) -> Var<'t> {
+        assert!(!tgt_in.is_empty(), "decoder input must be non-empty");
+        assert!(tgt_in.len() <= self.pe.rows(), "target longer than positional table");
+        let mask = causal_mask(tgt_in.len());
+        let mut x = self
+            .embed
+            .forward(tape, tgt_in)
+            .add_const(&self.pe.slice_rows(0, tgt_in.len()));
+        x = maybe_dropout(ctx, x);
+        for layer in &self.layers {
+            x = layer.forward(tape, x, memory, &mask, ctx, attn_sink.as_deref_mut());
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn build() -> (ParamSet, TransformerEncoder, TransformerDecoder) {
+        let mut params = ParamSet::new();
+        let mut r = rng();
+        let enc = TransformerEncoder::new(&mut params, &mut r, "m", 20, 8, 16, 2, 2, 12);
+        let dec = TransformerDecoder::new(&mut params, &mut r, "m", 20, 8, 16, 2, 2, 12);
+        (params, enc, dec)
+    }
+
+    #[test]
+    fn encoder_output_shape() {
+        let (_p, enc, _d) = build();
+        let tape = Tape::new();
+        let m = enc.forward(&tape, &[5, 6, 7], &mut None);
+        assert_eq!(m.shape(), (3, 8));
+    }
+
+    #[test]
+    fn decoder_output_shape_and_attention_sink() {
+        let (_p, enc, dec) = build();
+        let tape = Tape::new();
+        let m = enc.forward(&tape, &[5, 6, 7, 8], &mut None);
+        let mut sink = Vec::new();
+        let h = dec.forward(&tape, &[1, 5, 6], m, &mut None, Some(&mut sink));
+        assert_eq!(h.shape(), (3, 8));
+        assert_eq!(sink.len(), 2); // one cross-attention map per layer
+        assert_eq!(sink[0].shape(), (3, 4));
+    }
+
+    /// The causal mask makes prefix hidden states independent of suffix
+    /// tokens: decoding `[a, b]` then `[a, b, c]` must agree on rows 0-1.
+    #[test]
+    fn decoder_is_causal() {
+        let (_p, enc, dec) = build();
+        let tape = Tape::new();
+        let m = enc.forward(&tape, &[5, 6], &mut None);
+        let h2 = dec.forward(&tape, &[1, 7], m, &mut None, None).value();
+        let h3 = dec.forward(&tape, &[1, 7, 9], m, &mut None, None).value();
+        for r in 0..2 {
+            for c in 0..8 {
+                assert!(
+                    (h2.get(r, c) - h3.get(r, c)).abs() < 1e-4,
+                    "row {r} col {c}: {} vs {}",
+                    h2.get(r, c),
+                    h3.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_p1, enc1, _d1) = build();
+        let (_p2, enc2, _d2) = build();
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = enc1.forward(&t1, &[4, 5], &mut None).value();
+        let b = enc2.forward(&t2, &[4, 5], &mut None).value();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn encoder_rejects_empty_input() {
+        let (_p, enc, _d) = build();
+        let tape = Tape::new();
+        enc.forward(&tape, &[], &mut None);
+    }
+}

@@ -1,0 +1,375 @@
+//! Inverted index with sorted posting lists and BM25 scoring.
+//!
+//! The candidate-retrieval stage of the paper's search engine: documents
+//! (item titles) are indexed by token; boolean syntax trees evaluate to
+//! candidate sets by posting-list intersection/union; BM25 ranks the
+//! survivors.
+
+use std::collections::HashMap;
+
+/// A tokenized document in the index.
+#[derive(Clone, Debug)]
+pub struct Doc {
+    pub tokens: Vec<String>,
+}
+
+/// Inverted index over tokenized documents. Document ids are the
+/// insertion order (`0..len`).
+#[derive(Clone, Debug, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<usize>>,
+    docs: Vec<Doc>,
+    total_tokens: usize,
+    /// Tombstones: catalogs churn, so documents can be removed without
+    /// rebuilding posting lists. Raw postings keep deleted ids; boolean
+    /// evaluation and BM25 account for liveness, and [`compact`]
+    /// (InvertedIndex::compact) rebuilds when tombstones accumulate.
+    deleted: Vec<bool>,
+    alive_docs: usize,
+    alive_tokens: usize,
+}
+
+impl InvertedIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index from tokenized documents.
+    pub fn build<I>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<String>>,
+    {
+        let mut index = InvertedIndex::new();
+        for d in docs {
+            index.add_doc(d);
+        }
+        index
+    }
+
+    /// Adds a document, returning its id.
+    pub fn add_doc(&mut self, tokens: Vec<String>) -> usize {
+        let id = self.docs.len();
+        self.total_tokens += tokens.len();
+        self.alive_tokens += tokens.len();
+        self.alive_docs += 1;
+        for tok in &tokens {
+            let list = self.postings.entry(tok.clone()).or_default();
+            // Postings stay sorted and deduplicated because ids ascend.
+            if list.last() != Some(&id) {
+                list.push(id);
+            }
+        }
+        self.docs.push(Doc { tokens });
+        self.deleted.push(false);
+        id
+    }
+
+    /// Tombstones a document: it stops matching queries and contributing
+    /// to BM25 statistics, but its id stays allocated until [`compact`]
+    /// (InvertedIndex::compact). Returns false if already deleted or out
+    /// of range.
+    pub fn remove_doc(&mut self, id: usize) -> bool {
+        if id >= self.docs.len() || self.deleted[id] {
+            return false;
+        }
+        self.deleted[id] = true;
+        self.alive_docs -= 1;
+        self.alive_tokens -= self.docs[id].tokens.len();
+        true
+    }
+
+    /// True if `id` exists and is not tombstoned.
+    pub fn is_alive(&self, id: usize) -> bool {
+        id < self.docs.len() && !self.deleted[id]
+    }
+
+    /// Number of live (non-deleted) documents.
+    pub fn live_len(&self) -> usize {
+        self.alive_docs
+    }
+
+    /// Rebuilds the index without tombstoned documents. Returns the
+    /// old-id → new-id mapping (`None` for removed docs).
+    pub fn compact(&mut self) -> Vec<Option<usize>> {
+        let mut mapping = Vec::with_capacity(self.docs.len());
+        let mut fresh = InvertedIndex::new();
+        for (id, doc) in self.docs.iter().enumerate() {
+            if self.deleted[id] {
+                mapping.push(None);
+            } else {
+                mapping.push(Some(fresh.add_doc(doc.tokens.clone())));
+            }
+        }
+        *self = fresh;
+        mapping
+    }
+
+    /// Retains only the live documents of a sorted id list.
+    pub fn filter_alive(&self, ids: &mut Vec<usize>) {
+        if self.alive_docs != self.docs.len() {
+            ids.retain(|&d| !self.deleted[d]);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    pub fn doc(&self, id: usize) -> &Doc {
+        &self.docs[id]
+    }
+
+    /// Sorted posting list of a token (empty for unseen tokens).
+    pub fn postings(&self, token: &str) -> &[usize] {
+        self.postings.get(token).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Document frequency of a token among live documents.
+    pub fn doc_freq(&self, token: &str) -> usize {
+        if self.alive_docs == self.docs.len() {
+            self.postings(token).len()
+        } else {
+            self.postings(token).iter().filter(|&&d| !self.deleted[d]).count()
+        }
+    }
+
+    /// Average live-document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.alive_docs == 0 {
+            0.0
+        } else {
+            self.alive_tokens as f64 / self.alive_docs as f64
+        }
+    }
+
+    /// BM25 score of `doc_id` for a bag-of-tokens query
+    /// (k1 = 1.2, b = 0.75).
+    pub fn bm25(&self, query: &[String], doc_id: usize) -> f64 {
+        const K1: f64 = 1.2;
+        const B: f64 = 0.75;
+        let doc = &self.docs[doc_id];
+        let dl = doc.tokens.len() as f64;
+        let avg = self.avg_doc_len().max(1e-9);
+        let n = self.alive_docs as f64;
+        let mut score = 0.0;
+        for tok in query {
+            let tf = doc.tokens.iter().filter(|t| *t == tok).count() as f64;
+            if tf == 0.0 {
+                continue;
+            }
+            let df = self.doc_freq(tok) as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            score += idf * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * dl / avg));
+        }
+        score
+    }
+
+    /// Brute-force AND retrieval over live documents, for correctness
+    /// tests.
+    pub fn brute_force_and(&self, query: &[String]) -> Vec<usize> {
+        (0..self.docs.len())
+            .filter(|&id| !self.deleted[id])
+            .filter(|&id| {
+                query
+                    .iter()
+                    .all(|tok| self.docs[id].tokens.iter().any(|t| t == tok))
+            })
+            .collect()
+    }
+}
+
+/// Intersection of two sorted id lists.
+pub fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Union of two sorted id lists.
+pub fn union_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn sample_index() -> InvertedIndex {
+        InvertedIndex::build(vec![
+            toks("red shoes men"),
+            toks("black shoes women"),
+            toks("red phone case"),
+            toks("red red shoes"),
+        ])
+    }
+
+    #[test]
+    fn postings_are_sorted_and_deduped() {
+        let idx = sample_index();
+        assert_eq!(idx.postings("red"), &[0, 2, 3]);
+        assert_eq!(idx.postings("shoes"), &[0, 1, 3]);
+        assert_eq!(idx.postings("unknown"), &[] as &[usize]);
+        assert_eq!(idx.doc_freq("red"), 3);
+    }
+
+    #[test]
+    fn bm25_prefers_matching_docs() {
+        let idx = sample_index();
+        let q = toks("red shoes");
+        let s0 = idx.bm25(&q, 0);
+        let s1 = idx.bm25(&q, 1);
+        let s2 = idx.bm25(&q, 2);
+        assert!(s0 > s1, "full match beats partial: {s0} vs {s1}");
+        assert!(s0 > s2);
+        assert!(idx.bm25(&toks("nothing"), 0) == 0.0);
+    }
+
+    #[test]
+    fn bm25_rewards_term_frequency() {
+        let idx = sample_index();
+        let q = toks("red");
+        assert!(idx.bm25(&q, 3) > idx.bm25(&q, 2));
+    }
+
+    #[test]
+    fn intersect_and_union_reference() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(union_sorted(&[1, 3], &[2, 3, 4]), vec![1, 2, 3, 4]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<usize>::new());
+        assert_eq!(union_sorted(&[], &[1]), vec![1]);
+    }
+
+    #[test]
+    fn remove_doc_hides_it_from_retrieval_and_stats() {
+        let mut idx = sample_index();
+        let n = idx.len();
+        assert!(idx.remove_doc(0));
+        assert!(!idx.remove_doc(0), "double delete reports false");
+        assert!(!idx.remove_doc(99), "out of range reports false");
+        assert!(!idx.is_alive(0));
+        assert_eq!(idx.live_len(), n - 1);
+        // Raw postings keep the id; brute force and doc_freq do not.
+        assert!(idx.postings("red").contains(&0));
+        assert!(!idx.brute_force_and(&toks("red shoes men")).contains(&0));
+        assert_eq!(idx.doc_freq("men"), 0);
+        // Live stats re-average over the remaining docs only.
+        let expected = (idx.len() - 1) as f64 * 3.0 / (idx.len() - 1) as f64;
+        assert!((idx.avg_doc_len() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_evaluation_skips_tombstoned_docs() {
+        use crate::tree::QueryTree;
+        let mut idx = sample_index();
+        let (before, _) = QueryTree::and_of_tokens(&toks("red shoes")).evaluate(&idx);
+        assert!(before.contains(&0));
+        idx.remove_doc(0);
+        let (after, _) = QueryTree::and_of_tokens(&toks("red shoes")).evaluate(&idx);
+        assert!(!after.contains(&0));
+        assert_eq!(after.len(), before.len() - 1);
+    }
+
+    #[test]
+    fn compact_remaps_ids_densely() {
+        let mut idx = sample_index();
+        idx.remove_doc(1);
+        idx.remove_doc(3);
+        let mapping = idx.compact();
+        assert_eq!(mapping.len(), 4);
+        assert_eq!(mapping[1], None);
+        assert_eq!(mapping[3], None);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.live_len(), 2);
+        // Doc 2 ("red phone case") survived under its new id.
+        let new2 = mapping[2].unwrap();
+        assert_eq!(idx.doc(new2).tokens, toks("red phone case"));
+        assert_eq!(idx.brute_force_and(&toks("phone")), vec![new2]);
+    }
+
+    #[test]
+    fn topk_skips_tombstoned_docs() {
+        use crate::topk::{bm25_topk_exhaustive, bm25_topk_maxscore};
+        let mut idx = sample_index();
+        idx.remove_doc(3); // the best "red shoes" doc
+        let a = bm25_topk_exhaustive(&idx, &toks("red shoes"), 3);
+        let b = bm25_topk_maxscore(&idx, &toks("red shoes"), 3);
+        assert!(a.iter().all(|s| s.doc != 3));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.doc, y.doc);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersect_union_match_sets(
+            a in proptest::collection::btree_set(0usize..40, 0..15),
+            b in proptest::collection::btree_set(0usize..40, 0..15),
+        ) {
+            let av: Vec<usize> = a.iter().copied().collect();
+            let bv: Vec<usize> = b.iter().copied().collect();
+            let inter: Vec<usize> = a.intersection(&b).copied().collect();
+            let uni: Vec<usize> = a.union(&b).copied().collect();
+            prop_assert_eq!(intersect_sorted(&av, &bv), inter);
+            prop_assert_eq!(union_sorted(&av, &bv), uni);
+        }
+
+        #[test]
+        fn prop_postings_match_brute_force(docs in proptest::collection::vec(
+            proptest::collection::vec("[a-d]", 1..6), 1..10)
+        ) {
+            let docs: Vec<Vec<String>> = docs;
+            let idx = InvertedIndex::build(docs.clone());
+            for tok in ["a", "b", "c", "d"] {
+                let expected: Vec<usize> = docs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.iter().any(|t| t == tok))
+                    .map(|(i, _)| i)
+                    .collect();
+                prop_assert_eq!(idx.postings(tok), expected.as_slice());
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The online key-value rewrite cache of §III-G.
+//!
+//! The paper precomputes rewrites for the top 8M queries offline and
+//! serves them from a KV store in under 5 ms, covering >80% of traffic;
+//! long-tail queries fall through to the fast q2q model. This module is
+//! that store: a concurrent map with hit/miss accounting so the serving
+//! pipeline can report coverage.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Concurrent rewrite cache: query text → precomputed rewrites.
+#[derive(Default)]
+pub struct RewriteCache {
+    map: RwLock<HashMap<String, Vec<Vec<String>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RewriteCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Precomputes (stores) the rewrites for one query.
+    pub fn insert(&self, query: &[String], rewrites: Vec<Vec<String>>) {
+        self.map.write().insert(query.join(" "), rewrites);
+    }
+
+    /// Looks up rewrites, counting the hit or miss.
+    pub fn get(&self, query: &[String]) -> Option<Vec<Vec<String>>> {
+        let key = query.join(" ");
+        let guard = self.map.read();
+        match guard.get(&key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Number of precomputed queries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let cache = RewriteCache::new();
+        cache.insert(&toks("phone for grandpa"), vec![toks("senior smartphone")]);
+        let got = cache.get(&toks("phone for grandpa")).unwrap();
+        assert_eq!(got, vec![toks("senior smartphone")]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let cache = RewriteCache::new();
+        cache.insert(&toks("a"), vec![]);
+        assert!(cache.get(&toks("a")).is_some());
+        assert!(cache.get(&toks("b")).is_none());
+        assert!(cache.get(&toks("a")).is_some());
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        let cache = RewriteCache::new();
+        assert_eq!(cache.hit_rate(), 0.0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes() {
+        use std::sync::Arc;
+        let cache = Arc::new(RewriteCache::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let q = vec![format!("q{}", (t * 50 + i) % 20)];
+                    c.insert(&q, vec![vec![format!("r{i}")]]);
+                    let _ = c.get(&q);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 20);
+        assert_eq!(cache.hits() + cache.misses(), 200);
+    }
+}

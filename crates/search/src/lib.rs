@@ -1,0 +1,28 @@
+//! # qrw-search
+//!
+//! Search-engine substrate for the cycle-consistent query-rewriting
+//! reproduction:
+//!
+//! * [`index`] — inverted index with sorted postings and BM25,
+//! * [`tree`] — boolean syntax trees and the §III-H merged-tree
+//!   optimization (Figure 5), with retrieval-cost accounting,
+//! * [`kv`] — the §III-G precomputed-rewrite KV cache,
+//! * [`serving`] — the serving pipeline (cache → q2q fallback →
+//!   merged-tree retrieval → ranking),
+//! * [`ab`] — the Table VIII A/B user-behaviour simulator.
+
+pub mod ab;
+pub mod eval;
+pub mod index;
+pub mod kv;
+pub mod serving;
+pub mod topk;
+pub mod tree;
+
+pub use ab::{run_ab, AbConfig, AbOutcome, ArmMetrics};
+pub use eval::{recall_at_k, reciprocal_rank, QualityAccumulator, RetrievalQuality};
+pub use index::InvertedIndex;
+pub use kv::RewriteCache;
+pub use serving::{RewriteSource, SearchEngine, SearchResponse, ServingConfig};
+pub use topk::{bm25_topk_exhaustive, bm25_topk_maxscore, ScoredDoc};
+pub use tree::{QueryTree, RetrievalCost};

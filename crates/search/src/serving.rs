@@ -1,0 +1,276 @@
+//! The end-to-end serving pipeline: rewrite lookup (KV cache with q2q
+//! fallback), merged-syntax-tree retrieval, BM25 ranking (§III-G/§III-H).
+
+use qrw_core::QueryRewriter;
+
+use crate::index::InvertedIndex;
+use crate::kv::RewriteCache;
+use crate::tree::{QueryTree, RetrievalCost};
+
+/// Serving knobs mirroring the paper's online setup.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingConfig {
+    /// At most this many rewrites augment the query (paper: 3).
+    pub max_rewrites: usize,
+    /// Each rewrite may add at most this many candidates (paper: 1000).
+    pub max_extra_candidates: usize,
+    /// Results returned after ranking.
+    pub top_k: usize,
+    /// Use the §III-H merged tree (vs one tree per query).
+    pub merged_tree: bool,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig { max_rewrites: 3, max_extra_candidates: 1000, top_k: 10, merged_tree: true }
+    }
+}
+
+/// Where the rewrites used by a request came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RewriteSource {
+    /// Precomputed top-query entry served from the KV store.
+    Cache,
+    /// Computed online by the fallback (q2q) model.
+    Fallback,
+    /// No rewriter available / produced nothing.
+    None,
+}
+
+/// One search response with retrieval accounting.
+#[derive(Clone, Debug)]
+pub struct SearchResponse {
+    /// Ranked doc ids, best first, length ≤ `top_k`.
+    pub ranked: Vec<usize>,
+    /// The full unranked candidate set (base ∪ extra), for callers that
+    /// apply their own ranking stage (e.g. the A/B simulator's stand-in
+    /// for the production deep ranker).
+    pub candidates: Vec<usize>,
+    /// Docs retrieved by the original query alone.
+    pub base_candidates: usize,
+    /// Docs added by rewrites (after the per-rewrite cap).
+    pub extra_candidates: usize,
+    pub rewrites_used: Vec<Vec<String>>,
+    pub rewrite_source: RewriteSource,
+    pub cost: RetrievalCost,
+}
+
+/// The search engine: index + rewrite plumbing.
+pub struct SearchEngine {
+    index: InvertedIndex,
+}
+
+impl SearchEngine {
+    pub fn new(index: InvertedIndex) -> Self {
+        SearchEngine { index }
+    }
+
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Baseline retrieval: original query only.
+    pub fn search_baseline(&self, query: &[String], config: &ServingConfig) -> SearchResponse {
+        let (docs, cost) = QueryTree::and_of_tokens(query).evaluate(&self.index);
+        let ranked = self.rank(query, &docs, config.top_k);
+        SearchResponse {
+            base_candidates: docs.len(),
+            extra_candidates: 0,
+            ranked,
+            candidates: docs,
+            rewrites_used: Vec::new(),
+            rewrite_source: RewriteSource::None,
+            cost,
+        }
+    }
+
+    /// Full §III-G serving path: cache → fallback rewriter → merged-tree
+    /// retrieval → ranking.
+    pub fn search_with_rewrites(
+        &self,
+        query: &[String],
+        cache: Option<&RewriteCache>,
+        fallback: Option<&dyn QueryRewriter>,
+        config: &ServingConfig,
+    ) -> SearchResponse {
+        let (mut rewrites, source) = match cache.and_then(|c| c.get(query)) {
+            Some(cached) => (cached, RewriteSource::Cache),
+            None => match fallback {
+                Some(rw) => (rw.rewrite(query, config.max_rewrites), RewriteSource::Fallback),
+                None => (Vec::new(), RewriteSource::None),
+            },
+        };
+        rewrites.truncate(config.max_rewrites);
+        rewrites.retain(|r| !r.is_empty() && r != query);
+
+        // Original-query candidates always survive in full.
+        let (base_docs, base_cost) = QueryTree::and_of_tokens(query).evaluate(&self.index);
+        let mut cost = base_cost;
+        let mut extra: Vec<usize> = Vec::new();
+
+        if !rewrites.is_empty() {
+            if config.merged_tree {
+                let mut all = vec![query.to_vec()];
+                all.extend(rewrites.iter().cloned());
+                let (docs, c) = QueryTree::merge_factored(&all).evaluate(&self.index);
+                cost = c; // the merged tree replaces the single-query tree
+                extra = docs.into_iter().filter(|d| !base_docs.contains(d)).collect();
+            } else {
+                for rw in &rewrites {
+                    let (docs, c) = QueryTree::and_of_tokens(rw).evaluate(&self.index);
+                    cost = cost + c;
+                    for d in docs {
+                        if !base_docs.contains(&d) && !extra.contains(&d) {
+                            extra.push(d);
+                        }
+                    }
+                }
+            }
+            extra.truncate(config.max_extra_candidates * rewrites.len());
+        }
+
+        // Rank the union with BM25 against the original query, extended by
+        // the rewrites' vocabulary so semantically-matched docs can score.
+        let mut rank_query: Vec<String> = query.to_vec();
+        for rw in &rewrites {
+            for tok in rw {
+                if !rank_query.contains(tok) {
+                    rank_query.push(tok.clone());
+                }
+            }
+        }
+        let mut candidates = base_docs.clone();
+        candidates.extend(extra.iter().copied());
+        let ranked = self.rank(&rank_query, &candidates, config.top_k);
+
+        SearchResponse {
+            base_candidates: base_docs.len(),
+            extra_candidates: extra.len(),
+            ranked,
+            candidates,
+            rewrites_used: rewrites,
+            rewrite_source: source,
+            cost,
+        }
+    }
+
+    fn rank(&self, query: &[String], candidates: &[usize], top_k: usize) -> Vec<usize> {
+        let mut scored: Vec<(f64, usize)> = candidates
+            .iter()
+            .map(|&d| (self.index.bm25(query, d), d))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().take(top_k).map(|(_, d)| d).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn engine() -> SearchEngine {
+        SearchEngine::new(InvertedIndex::build(vec![
+            toks("senior smartphone black official"),
+            toks("smartphone golden new"),
+            toks("sneaker red sale"),
+            toks("senior handset classic"),
+        ]))
+    }
+
+    struct FixedRewriter(Vec<Vec<String>>);
+    impl QueryRewriter for FixedRewriter {
+        fn rewrite(&self, _query: &[String], k: usize) -> Vec<Vec<String>> {
+            self.0.iter().take(k).cloned().collect()
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn baseline_misses_semantic_matches() {
+        let e = engine();
+        let resp = e.search_baseline(&toks("phone for grandpa"), &ServingConfig::default());
+        assert!(resp.ranked.is_empty(), "term mismatch should retrieve nothing");
+    }
+
+    #[test]
+    fn rewrites_recover_semantic_matches() {
+        let e = engine();
+        let rw = FixedRewriter(vec![toks("senior smartphone")]);
+        let resp = e.search_with_rewrites(
+            &toks("phone for grandpa"),
+            None,
+            Some(&rw),
+            &ServingConfig::default(),
+        );
+        assert_eq!(resp.rewrite_source, RewriteSource::Fallback);
+        assert!(resp.ranked.contains(&0), "{resp:?}");
+        assert!(resp.extra_candidates > 0);
+    }
+
+    #[test]
+    fn cache_takes_precedence_over_fallback() {
+        let e = engine();
+        let cache = RewriteCache::new();
+        cache.insert(&toks("phone for grandpa"), vec![toks("senior handset")]);
+        let rw = FixedRewriter(vec![toks("senior smartphone")]);
+        let resp = e.search_with_rewrites(
+            &toks("phone for grandpa"),
+            Some(&cache),
+            Some(&rw),
+            &ServingConfig::default(),
+        );
+        assert_eq!(resp.rewrite_source, RewriteSource::Cache);
+        assert_eq!(resp.rewrites_used, vec![toks("senior handset")]);
+        assert!(resp.ranked.contains(&3));
+    }
+
+    #[test]
+    fn merged_and_separate_retrieval_agree_on_results() {
+        let e = engine();
+        let rw = FixedRewriter(vec![toks("senior smartphone"), toks("senior handset")]);
+        let q = toks("smartphone");
+        let merged = e.search_with_rewrites(
+            &q,
+            None,
+            Some(&rw),
+            &ServingConfig { merged_tree: true, ..Default::default() },
+        );
+        let separate = e.search_with_rewrites(
+            &q,
+            None,
+            Some(&rw),
+            &ServingConfig { merged_tree: false, ..Default::default() },
+        );
+        let mut a = merged.ranked.clone();
+        let mut b = separate.ranked.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rewrite_equal_to_query_is_dropped() {
+        let e = engine();
+        let q = toks("smartphone");
+        let rw = FixedRewriter(vec![toks("smartphone")]);
+        let resp = e.search_with_rewrites(&q, None, Some(&rw), &ServingConfig::default());
+        assert!(resp.rewrites_used.is_empty());
+        assert_eq!(resp.extra_candidates, 0);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let e = engine();
+        let resp = e.search_baseline(
+            &toks("smartphone"),
+            &ServingConfig { top_k: 1, ..Default::default() },
+        );
+        assert_eq!(resp.ranked.len(), 1);
+    }
+}

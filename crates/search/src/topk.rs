@@ -1,0 +1,260 @@
+//! Top-k disjunctive BM25 retrieval with MaxScore dynamic pruning.
+//!
+//! The inverted-index AND trees of [`crate::tree`] implement the paper's
+//! *candidate generation*; ranking the candidates (or serving weak-AND
+//! style recall queries) needs top-k scored retrieval. This module
+//! provides document-at-a-time BM25 top-k with the classic MaxScore
+//! optimization: terms are sorted by their score upper bound, and once a
+//! document cannot beat the current k-th score from the "optional" terms
+//! alone, its scoring is skipped entirely.
+//!
+//! The exhaustive scorer is kept as the reference; a property test pins
+//! the two to identical results.
+
+use crate::index::InvertedIndex;
+
+/// A scored document.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredDoc {
+    pub doc: usize,
+    pub score: f64,
+}
+
+/// Exhaustive reference: scores every document containing at least one
+/// query term. Duplicate query terms are deduplicated (set-of-terms
+/// semantics, matching the MaxScore path).
+pub fn bm25_topk_exhaustive(index: &InvertedIndex, query: &[String], k: usize) -> Vec<ScoredDoc> {
+    let terms = dedup(query);
+    let mut candidates: Vec<usize> = Vec::new();
+    for tok in &terms {
+        for &d in index.postings(tok) {
+            if index.is_alive(d) && !candidates.contains(&d) {
+                candidates.push(d);
+            }
+        }
+    }
+    let mut scored: Vec<ScoredDoc> = candidates
+        .into_iter()
+        .map(|doc| ScoredDoc { doc, score: index.bm25(&terms, doc) })
+        .collect();
+    sort_topk(&mut scored, k);
+    scored
+}
+
+/// MaxScore top-k: equivalent results to [`bm25_topk_exhaustive`], with
+/// documents skipped when their optional-term upper bound cannot reach
+/// the current threshold.
+pub fn bm25_topk_maxscore(index: &InvertedIndex, query: &[String], k: usize) -> Vec<ScoredDoc> {
+    if k == 0 || index.is_empty() {
+        return Vec::new();
+    }
+    let terms = dedup(query);
+    // Per-term upper bound on its BM25 contribution:
+    // idf * (k1 + 1) bounds tf*(k1+1)/(tf+K) since the fraction < k1+1;
+    // we use the tight per-term bound computed from the term's best tf.
+    let mut infos: Vec<(String, f64)> = terms
+        .into_iter()
+        .filter(|t| index.doc_freq(t) > 0)
+        .map(|t| {
+            let ub = index
+                .postings(&t)
+                .iter()
+                .map(|&d| index.bm25(std::slice::from_ref(&t), d))
+                .fold(0.0f64, f64::max);
+            (t, ub)
+        })
+        .collect();
+    if infos.is_empty() {
+        return Vec::new();
+    }
+    // Ascending upper bound: the prefix is the "optional" set.
+    infos.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    // Suffix sums of upper bounds: bound_from[i] = sum of ub over terms i..
+    let mut bound_from = vec![0.0f64; infos.len() + 1];
+    for i in (0..infos.len()).rev() {
+        bound_from[i] = bound_from[i + 1] + infos[i].1;
+    }
+
+    let mut heap: Vec<ScoredDoc> = Vec::with_capacity(k + 1); // small k: sorted vec as heap
+    let mut threshold = f64::NEG_INFINITY;
+
+    // The number of leading (lowest-bound) terms that alone cannot beat
+    // the threshold; documents appearing only in those postings are
+    // skipped without scoring.
+    let mut first_required = 0usize;
+
+    // Document-at-a-time over the union of required-term postings, plus
+    // (until a threshold forms) all postings.
+    let mut cursors: Vec<usize> = vec![0; infos.len()];
+    loop {
+        // Next candidate doc: the minimum current posting among terms that
+        // can still introduce new competitive documents (the non-skipped
+        // set: required terms; while threshold is -inf, all terms).
+        let mut next_doc = usize::MAX;
+        for (i, (term, _)) in infos.iter().enumerate() {
+            if i < first_required {
+                continue;
+            }
+            let list = index.postings(term);
+            if cursors[i] < list.len() {
+                next_doc = next_doc.min(list[cursors[i]]);
+            }
+        }
+        if next_doc == usize::MAX {
+            break;
+        }
+        // Upper bound for this doc: full term-set bound. Skip scoring when
+        // it cannot beat the threshold (cheap reject).
+        if heap.len() == k && bound_from[0] <= threshold {
+            break;
+        }
+        if !index.is_alive(next_doc) {
+            advance_past(index, &infos, &mut cursors, next_doc);
+            continue;
+        }
+        let score = score_doc(index, &infos, next_doc);
+        if heap.len() < k {
+            heap.push(ScoredDoc { doc: next_doc, score });
+            if heap.len() == k {
+                sort_topk(&mut heap, k);
+                threshold = heap.last().map(|s| s.score).unwrap_or(f64::NEG_INFINITY);
+            }
+        } else if score > threshold {
+            heap.pop();
+            heap.push(ScoredDoc { doc: next_doc, score });
+            sort_topk(&mut heap, k);
+            threshold = heap.last().map(|s| s.score).unwrap_or(threshold);
+        }
+        advance_past(index, &infos, &mut cursors, next_doc);
+        // Grow the optional set: terms whose collective bound can no
+        // longer reach the threshold on their own are no longer allowed
+        // to introduce candidates.
+        if heap.len() == k {
+            while first_required < infos.len() && bound_from[first_required + 1] > 0.0 && {
+                // Documents found only via optional terms score at most
+                // bound_from[0] - bound_from[first_required+1] ... use the
+                // standard MaxScore rule: optional prefix bound <= threshold.
+                bound_from[0] - bound_from[first_required + 1] <= threshold
+                    && first_required + 1 < infos.len()
+            } {
+                first_required += 1;
+            }
+        }
+    }
+    // Fewer than k matches never triggered the threshold path: sort now.
+    sort_topk(&mut heap, k);
+    heap
+}
+
+fn advance_past(
+    index: &InvertedIndex,
+    infos: &[(String, f64)],
+    cursors: &mut [usize],
+    doc: usize,
+) {
+    for (i, (term, _)) in infos.iter().enumerate() {
+        let list = index.postings(term);
+        while cursors[i] < list.len() && list[cursors[i]] <= doc {
+            cursors[i] += 1;
+        }
+    }
+}
+
+fn score_doc(index: &InvertedIndex, infos: &[(String, f64)], doc: usize) -> f64 {
+    let terms: Vec<String> = infos.iter().map(|(t, _)| t.clone()).collect();
+    index.bm25(&terms, doc)
+}
+
+fn sort_topk(scored: &mut Vec<ScoredDoc>, k: usize) {
+    scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
+    scored.truncate(k);
+}
+
+fn dedup(query: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::with_capacity(query.len());
+    for t in query {
+        if !out.contains(t) {
+            out.push(t.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn sample_index() -> InvertedIndex {
+        InvertedIndex::build(vec![
+            toks("red shoes men new"),
+            toks("black shoes women"),
+            toks("red phone case red"),
+            toks("red red shoes sale"),
+            toks("green dress"),
+        ])
+    }
+
+    #[test]
+    fn exhaustive_matches_manual_expectation() {
+        let idx = sample_index();
+        let top = bm25_topk_exhaustive(&idx, &toks("red shoes"), 2);
+        assert_eq!(top.len(), 2);
+        // Doc 3 ("red red shoes sale") has the highest combined tf.
+        assert_eq!(top[0].doc, 3);
+        assert!(top[0].score >= top[1].score);
+    }
+
+    #[test]
+    fn maxscore_matches_exhaustive_on_sample() {
+        let idx = sample_index();
+        for k in [1, 2, 3, 10] {
+            let a = bm25_topk_exhaustive(&idx, &toks("red shoes"), k);
+            let b = bm25_topk_maxscore(&idx, &toks("red shoes"), k);
+            assert_eq!(a.len(), b.len(), "k={k}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.doc, y.doc, "k={k}");
+                assert!((x.score - y.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let idx = sample_index();
+        assert!(bm25_topk_maxscore(&idx, &toks("red"), 0).is_empty());
+        assert!(bm25_topk_maxscore(&idx, &toks("zzz"), 3).is_empty());
+        assert!(bm25_topk_maxscore(&InvertedIndex::new(), &toks("red"), 3).is_empty());
+        // Duplicate query terms behave like the deduplicated query.
+        let a = bm25_topk_maxscore(&idx, &toks("red red shoes"), 3);
+        let b = bm25_topk_maxscore(&idx, &toks("red shoes"), 3);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// MaxScore always returns exactly the exhaustive top-k.
+        #[test]
+        fn prop_maxscore_equals_exhaustive(
+            docs in proptest::collection::vec(proptest::collection::vec("[a-e]", 1..6), 1..20),
+            query in proptest::collection::vec("[a-e]", 1..4),
+            k in 1usize..6,
+        ) {
+            let docs: Vec<Vec<String>> = docs;
+            let query: Vec<String> = query;
+            let idx = InvertedIndex::build(docs);
+            let a = bm25_topk_exhaustive(&idx, &query, k);
+            let b = bm25_topk_maxscore(&idx, &query, k);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x.score - y.score).abs() < 1e-9);
+                prop_assert_eq!(x.doc, y.doc);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Deterministic weight initialization.
+//!
+//! Every experiment in this reproduction is seeded, so all initializers take
+//! an explicit RNG rather than pulling entropy from the environment.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Uniform initialization in `[-limit, limit]`.
+pub fn uniform(rng: &mut StdRng, rows: usize, cols: usize, limit: f32) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform initialization: `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// The standard choice for the linear and attention projections.
+pub fn xavier(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rng, rows, cols, limit)
+}
+
+/// Embedding-table initialization: `N(0, 1/sqrt(dim))`-ish uniform range,
+/// matching the transformer convention of scaling embeddings by `sqrt(d)`.
+pub fn embedding(rng: &mut StdRng, vocab: usize, dim: usize) -> Tensor {
+    let limit = 1.0 / (dim as f32).sqrt();
+    uniform(rng, vocab, dim, limit)
+}
+
+/// All-zeros (biases).
+pub fn zeros(rows: usize, cols: usize) -> Tensor {
+    Tensor::zeros(rows, cols)
+}
+
+/// All-ones (layer-norm gains).
+pub fn ones(rows: usize, cols: usize) -> Tensor {
+    Tensor::full(rows, cols, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier(&mut StdRng::seed_from_u64(7), 4, 4);
+        let b = xavier(&mut StdRng::seed_from_u64(7), 4, 4);
+        assert_eq!(a, b);
+        let c = xavier(&mut StdRng::seed_from_u64(8), 4, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let t = xavier(&mut StdRng::seed_from_u64(1), 10, 20);
+        let limit = (6.0 / 30.0f32).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= limit + 1e-6));
+        // Not degenerate.
+        assert!(t.data().iter().any(|v| v.abs() > limit / 10.0));
+    }
+
+    #[test]
+    fn ones_and_zeros() {
+        assert!(zeros(2, 2).data().iter().all(|&v| v == 0.0));
+        assert!(ones(2, 2).data().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,32 @@
+//! # qrw-tensor
+//!
+//! A minimal CPU tensor library with reverse-mode automatic differentiation,
+//! built as the neural-network substrate for the reproduction of *"Query
+//! Rewriting via Cycle-Consistent Translation for E-Commerce Search"*
+//! (ICDE 2021).
+//!
+//! The paper's models are standard NMT encoder-decoders (transformer,
+//! attention-RNN, GRU); this crate provides exactly the op set they need:
+//!
+//! * [`Tensor`] — dense row-major `f32` matrices with the usual kernels
+//!   (matmul, softmax, layer norm building blocks).
+//! * [`Tape`] / [`Var`] — an eager autodiff tape with a closed op set; every
+//!   backward rule is finite-difference tested.
+//! * [`Param`] / [`ParamSet`] — shared trainable parameters; gradients
+//!   accumulate across tapes, which is what lets the cycle-consistency loss
+//!   couple two separate models in one backward pass.
+//! * [`optim`] — Adam and the Noam schedule, the paper's §IV-A training
+//!   setup.
+//! * [`init`] — deterministic, seeded initializers.
+//! * [`serialize`] — tiny binary checkpoints.
+
+pub mod init;
+pub mod optim;
+pub mod param;
+pub mod serialize;
+pub mod tape;
+pub mod tensor;
+
+pub use param::{Param, ParamSet};
+pub use tape::{Gradients, Tape, Var};
+pub use tensor::{log_sum_exp, Tensor};

@@ -1,0 +1,181 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! The paper trains with Adam (lr = 0.05, β₁ = 0.9, β₂ = 0.999, ε = 1e-8)
+//! under the Noam schedule from "Attention Is All You Need" (§IV-A).
+
+use std::collections::HashMap;
+
+use crate::param::{Param, ParamSet};
+
+/// Adam optimizer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AdamConfig {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        // The paper's §IV-A settings.
+        AdamConfig { lr: 0.05, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+struct Moments {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Adam with bias correction. Keeps first/second-moment state per parameter
+/// id, so the same optimizer instance can drive several [`ParamSet`]s (the
+/// forward and backward translation models in joint training).
+pub struct Adam {
+    config: AdamConfig,
+    step: u64,
+    state: HashMap<u64, Moments>,
+}
+
+impl Adam {
+    pub fn new(config: AdamConfig) -> Self {
+        Adam { config, step: 0, state: HashMap::new() }
+    }
+
+    /// Number of completed optimization steps.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one update to every parameter in `params` using its
+    /// accumulated gradient, with learning rate `lr`, then leaves gradients
+    /// untouched (call [`ParamSet::zero_grads`] afterwards).
+    pub fn step_with_lr(&mut self, params: &ParamSet, lr: f32) {
+        self.step += 1;
+        let t = self.step as f32;
+        let AdamConfig { beta1, beta2, eps, .. } = self.config;
+        let bias1 = 1.0 - beta1.powf(t);
+        let bias2 = 1.0 - beta2.powf(t);
+        for p in params {
+            self.update_param(p, lr, beta1, beta2, eps, bias1, bias2);
+        }
+    }
+
+    /// One update at the configured base learning rate.
+    pub fn step(&mut self, params: &ParamSet) {
+        self.step_with_lr(params, self.config.lr);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn update_param(
+        &mut self,
+        p: &Param,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        bias1: f32,
+        bias2: f32,
+    ) {
+        let n = p.len();
+        let moments = self
+            .state
+            .entry(p.id())
+            .or_insert_with(|| Moments { m: vec![0.0; n], v: vec![0.0; n] });
+        debug_assert_eq!(moments.m.len(), n, "parameter resized mid-training");
+        p.update(|value, grad| {
+            for i in 0..n {
+                let g = grad[i];
+                let m = &mut moments.m[i];
+                let v = &mut moments.v[i];
+                *m = beta1 * *m + (1.0 - beta1) * g;
+                *v = beta2 * *v + (1.0 - beta2) * g * g;
+                let m_hat = *m / bias1;
+                let v_hat = *v / bias2;
+                value[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
+    }
+}
+
+/// The Noam learning-rate schedule:
+/// `lr(step) = factor * d_model^-0.5 * min(step^-0.5, step * warmup^-1.5)`.
+#[derive(Clone, Copy, Debug)]
+pub struct NoamSchedule {
+    pub factor: f32,
+    pub d_model: usize,
+    pub warmup_steps: u64,
+}
+
+impl NoamSchedule {
+    pub fn new(factor: f32, d_model: usize, warmup_steps: u64) -> Self {
+        assert!(warmup_steps > 0, "Noam warmup must be positive");
+        NoamSchedule { factor, d_model, warmup_steps }
+    }
+
+    /// Learning rate at 1-indexed `step`.
+    pub fn lr(&self, step: u64) -> f32 {
+        let step = step.max(1) as f32;
+        let warmup = self.warmup_steps as f32;
+        self.factor
+            * (self.d_model as f32).powf(-0.5)
+            * step.powf(-0.5).min(step * warmup.powf(-1.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    /// Minimizing f(x) = (x - 3)^2 should converge to 3.
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut set = ParamSet::new();
+        let x = set.add("x", Tensor::scalar(0.0));
+        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..Default::default() });
+        for _ in 0..500 {
+            set.zero_grads();
+            let v = x.value().item();
+            x.accumulate_grad(&Tensor::scalar(2.0 * (v - 3.0)));
+            adam.step(&set);
+        }
+        assert!((x.value().item() - 3.0).abs() < 1e-2, "got {}", x.value().item());
+    }
+
+    #[test]
+    fn adam_state_survives_across_param_sets() {
+        let mut s1 = ParamSet::new();
+        let p = s1.add("p", Tensor::scalar(1.0));
+        let mut s2 = ParamSet::new();
+        s2.push(p.clone());
+        let mut adam = Adam::new(AdamConfig::default());
+        p.accumulate_grad(&Tensor::scalar(1.0));
+        adam.step(&s1);
+        let after_one = p.value().item();
+        p.zero_grad();
+        p.accumulate_grad(&Tensor::scalar(1.0));
+        adam.step(&s2); // same moments entry: no state reset
+        assert_eq!(adam.steps(), 2);
+        assert!(p.value().item() < after_one);
+    }
+
+    #[test]
+    fn noam_warms_up_then_decays() {
+        let s = NoamSchedule::new(1.0, 64, 100);
+        assert!(s.lr(10) < s.lr(50));
+        assert!(s.lr(50) < s.lr(100));
+        assert!(s.lr(100) > s.lr(400));
+        // Peak is at warmup.
+        let peak = s.lr(100);
+        for step in [1, 10, 99, 101, 1000] {
+            assert!(s.lr(step) <= peak + 1e-9);
+        }
+    }
+
+    #[test]
+    fn noam_step_zero_is_safe() {
+        let s = NoamSchedule::new(1.0, 64, 100);
+        assert!(s.lr(0).is_finite());
+    }
+}

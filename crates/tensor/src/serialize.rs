@@ -1,0 +1,168 @@
+//! Checkpoint serialization for parameter sets.
+//!
+//! A deliberately tiny binary format (no external schema): magic, version,
+//! then `name / rows / cols / f32 data` records in parameter order. Loading
+//! matches by name and checks shapes, so a checkpoint can be restored into a
+//! freshly-constructed model of the same configuration.
+
+use std::collections::HashMap;
+use std::io;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::param::ParamSet;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"QRWT";
+const VERSION: u32 = 1;
+
+/// Serializes all parameters of `params` into a checkpoint buffer.
+pub fn save(params: &ParamSet) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        let name = p.name();
+        let bytes = name.as_bytes();
+        buf.put_u32_le(bytes.len() as u32);
+        buf.put_slice(bytes);
+        let v = p.value();
+        buf.put_u32_le(v.rows() as u32);
+        buf.put_u32_le(v.cols() as u32);
+        for &x in v.data() {
+            buf.put_f32_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Parses a checkpoint into `(name, tensor)` records.
+pub fn parse(mut buf: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
+    if buf.remaining() < 12 {
+        return Err(bad("checkpoint too short"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad checkpoint magic"));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(bad(format!("unsupported checkpoint version {version}")));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(bad("truncated record header"));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len + 8 {
+            return Err(bad("truncated record"));
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| bad("parameter name is not UTF-8"))?;
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| bad("parameter shape overflow"))?;
+        if buf.remaining() < n * 4 {
+            return Err(bad("truncated tensor data"));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(buf.get_f32_le());
+        }
+        out.push((name, Tensor::from_vec(rows, cols, data)));
+    }
+    Ok(out)
+}
+
+/// Restores parameter values by name into `params`.
+///
+/// Every parameter in `params` must have a same-shaped record in the
+/// checkpoint; extra records are ignored.
+pub fn load(params: &ParamSet, buf: &[u8]) -> io::Result<()> {
+    let records = parse(buf)?;
+    let by_name: HashMap<&str, &Tensor> =
+        records.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    for p in params {
+        let name = p.name();
+        let t = by_name
+            .get(name.as_str())
+            .ok_or_else(|| bad(format!("checkpoint is missing parameter '{name}'")))?;
+        if t.shape() != p.shape() {
+            return Err(bad(format!(
+                "shape mismatch for '{name}': checkpoint {:?}, model {:?}",
+                t.shape(),
+                p.shape()
+            )));
+        }
+        p.set_value((*t).clone());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> ParamSet {
+        let mut set = ParamSet::new();
+        set.add("w", Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        set.add("b", Tensor::row(vec![-1.5, 0.25]));
+        set
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let src = sample_set();
+        let bytes = save(&src);
+        let dst = sample_set();
+        for p in &dst {
+            p.set_value(Tensor::zeros(p.shape().0, p.shape().1));
+        }
+        load(&dst, &bytes).unwrap();
+        for (a, b) in src.iter().zip(dst.iter()) {
+            assert_eq!(a.value(), b.value());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load(&sample_set(), b"NOPE\0\0\0\0\0\0\0\0").unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_missing_param() {
+        let mut partial = ParamSet::new();
+        partial.add("w", Tensor::zeros(2, 2));
+        let bytes = save(&partial);
+        let err = load(&sample_set(), &bytes).unwrap_err();
+        assert!(err.to_string().contains("missing parameter 'b'"));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let mut other = ParamSet::new();
+        other.add("w", Tensor::zeros(3, 3));
+        other.add("b", Tensor::row(vec![0.0, 0.0]));
+        let bytes = save(&other);
+        let err = load(&sample_set(), &bytes).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = save(&sample_set());
+        let err = load(&sample_set(), &bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+}

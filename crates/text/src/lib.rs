@@ -1,0 +1,13 @@
+//! # qrw-text
+//!
+//! Text utilities for the cycle-consistent query-rewriting reproduction:
+//! vocabularies with special tokens, a normalizing whitespace tokenizer
+//! (the synthetic corpus is pre-segmented, mirroring segmented Chinese in
+//! the paper), and the n-gram machinery behind the Table VII F1 metric.
+
+pub mod ngram;
+pub mod tokenize;
+pub mod vocab;
+
+pub use tokenize::{detokenize, tokenize};
+pub use vocab::{Vocab, BOS, EOS, NUM_SPECIALS, PAD, UNK};

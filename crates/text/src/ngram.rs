@@ -1,0 +1,63 @@
+//! N-gram extraction, used by the Table VII F1 metric (unigrams + bigrams).
+
+use std::collections::HashSet;
+
+/// All contiguous n-grams of order `n`, as joined strings.
+///
+/// Returns an empty vector when `tokens.len() < n` or `n == 0`.
+pub fn ngrams(tokens: &[String], n: usize) -> Vec<String> {
+    if n == 0 || tokens.len() < n {
+        return Vec::new();
+    }
+    tokens.windows(n).map(|w| w.join("\u{1}")).collect()
+}
+
+/// The paper's Table VII query representation: the *set* of all unigrams and
+/// bigrams of the query.
+pub fn uni_bi_gram_set(tokens: &[String]) -> HashSet<String> {
+    let mut set: HashSet<String> = ngrams(tokens, 1).into_iter().collect();
+    set.extend(ngrams(tokens, 2));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn unigrams_and_bigrams() {
+        let t = toks("a b c");
+        assert_eq!(ngrams(&t, 1).len(), 3);
+        assert_eq!(ngrams(&t, 2).len(), 2);
+        assert_eq!(ngrams(&t, 3).len(), 1);
+        assert!(ngrams(&t, 4).is_empty());
+        assert!(ngrams(&t, 0).is_empty());
+    }
+
+    #[test]
+    fn bigram_separator_avoids_collisions() {
+        // "a b" + "c" must not equal "a" + "b c" as bigram keys.
+        let x = ngrams(&toks("ab c"), 1);
+        let y = ngrams(&toks("a bc"), 2);
+        assert!(x.iter().all(|g| !y.contains(g)));
+    }
+
+    #[test]
+    fn uni_bi_set_counts() {
+        let set = uni_bi_gram_set(&toks("red men shoe"));
+        assert_eq!(set.len(), 3 + 2);
+        let single = uni_bi_gram_set(&toks("shoe"));
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_tokens_dedupe_in_set() {
+        let set = uni_bi_gram_set(&toks("a a a"));
+        // unigrams: {a}; bigrams: {a·a}
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Tokenization.
+//!
+//! The synthetic corpus is already space-separated ASCII (our stand-in for
+//! the paper's segmented Chinese), so the tokenizer is a normalizing
+//! whitespace splitter: lowercase, strip punctuation at token edges, drop
+//! empty tokens.
+
+/// Splits `text` into normalized tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split_whitespace()
+        .map(normalize_token)
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// Lowercases and trims leading/trailing non-alphanumeric characters.
+/// Interior punctuation (e.g. "8plus", "iphone-12") is preserved.
+fn normalize_token(tok: &str) -> String {
+    tok.trim_matches(|c: char| !c.is_alphanumeric())
+        .to_lowercase()
+}
+
+/// Joins tokens back into a canonical space-separated string.
+pub fn detokenize(tokens: &[String]) -> String {
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(tokenize("Apple iPhone 12"), vec!["apple", "iphone", "12"]);
+    }
+
+    #[test]
+    fn strips_edge_punctuation_keeps_interior() {
+        assert_eq!(tokenize("(red) men's iphone-12!"), vec!["red", "men's", "iphone-12"]);
+    }
+
+    #[test]
+    fn drops_empty_tokens() {
+        assert_eq!(tokenize("  ...  a  !!! "), vec!["a"]);
+        assert!(tokenize("???").is_empty());
+    }
+
+    #[test]
+    fn detokenize_roundtrip_on_canonical_text() {
+        let t = tokenize("senior phone 4g");
+        assert_eq!(detokenize(&t), "senior phone 4g");
+        assert_eq!(tokenize(&detokenize(&t)), t);
+    }
+}

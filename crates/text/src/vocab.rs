@@ -1,0 +1,219 @@
+//! Token vocabulary with the special tokens the sequence models need.
+//!
+//! Ids `0..4` are reserved: `<pad>`, `<bos>`, `<eos>`, `<unk>`. Encoding an
+//! out-of-vocabulary token maps to `<unk>`; decoding strips specials.
+
+use std::collections::HashMap;
+
+/// Reserved id of the padding token.
+pub const PAD: usize = 0;
+/// Reserved id of the beginning-of-sequence token.
+pub const BOS: usize = 1;
+/// Reserved id of the end-of-sequence token.
+pub const EOS: usize = 2;
+/// Reserved id of the unknown token.
+pub const UNK: usize = 3;
+
+/// Number of reserved special tokens.
+pub const NUM_SPECIALS: usize = 4;
+
+/// A bidirectional token <-> id map.
+///
+/// ```
+/// use qrw_text::{Vocab, UNK};
+/// let mut v = Vocab::new();
+/// v.insert("senior");
+/// v.insert("smartphone");
+/// let ids = v.encode(&["senior".into(), "smartphone".into(), "???".into()]);
+/// assert_eq!(ids[2], UNK);
+/// assert_eq!(v.decode(&ids), "senior smartphone");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// An empty vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab { token_to_id: HashMap::new(), id_to_token: Vec::new() };
+        for tok in ["<pad>", "<bos>", "<eos>", "<unk>"] {
+            v.insert(tok);
+        }
+        v
+    }
+
+    /// Builds a vocabulary from an iterator of already-tokenized texts,
+    /// keeping tokens that occur at least `min_count` times, in order of
+    /// first appearance (deterministic for a deterministic corpus).
+    pub fn build<'a>(
+        texts: impl IntoIterator<Item = &'a [String]> + Clone,
+        min_count: usize,
+    ) -> Self {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for text in texts.clone() {
+            for tok in text {
+                *counts.entry(tok.as_str()).or_default() += 1;
+            }
+        }
+        let mut v = Vocab::new();
+        for text in texts {
+            for tok in text {
+                if counts[tok.as_str()] >= min_count {
+                    v.insert(tok);
+                }
+            }
+        }
+        v
+    }
+
+    /// Inserts a token if absent; returns its id either way.
+    pub fn insert(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len();
+        self.token_to_id.insert(token.to_string(), id);
+        self.id_to_token.push(token.to_string());
+        id
+    }
+
+    /// Total number of ids, including specials.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        // Never true in practice: specials are always present.
+        self.id_to_token.is_empty()
+    }
+
+    /// Id of `token`, or `None` if out of vocabulary.
+    pub fn id(&self, token: &str) -> Option<usize> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Id of `token`, or [`UNK`].
+    pub fn id_or_unk(&self, token: &str) -> usize {
+        self.id(token).unwrap_or(UNK)
+    }
+
+    /// Token text for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn token(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Encodes tokens to ids, mapping unknowns to [`UNK`].
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id_or_unk(t)).collect()
+    }
+
+    /// Encodes and wraps with `<bos> ... <eos>`.
+    pub fn encode_with_bounds(&self, tokens: &[String]) -> Vec<usize> {
+        let mut ids = Vec::with_capacity(tokens.len() + 2);
+        ids.push(BOS);
+        ids.extend(tokens.iter().map(|t| self.id_or_unk(t)));
+        ids.push(EOS);
+        ids
+    }
+
+    /// Decodes ids back to a space-joined string, skipping special tokens.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            if id < NUM_SPECIALS {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(self.token(id));
+        }
+        out
+    }
+
+    /// Iterates over `(id, token)` pairs, specials included.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.id_to_token.iter().enumerate().map(|(i, t)| (i, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn specials_are_reserved() {
+        let v = Vocab::new();
+        assert_eq!(v.id("<pad>"), Some(PAD));
+        assert_eq!(v.id("<bos>"), Some(BOS));
+        assert_eq!(v.id("<eos>"), Some(EOS));
+        assert_eq!(v.id("<unk>"), Some(UNK));
+        assert_eq!(v.len(), NUM_SPECIALS);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.insert("phone");
+        let b = v.insert("phone");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), NUM_SPECIALS + 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut v = Vocab::new();
+        for t in ["red", "shoe", "men"] {
+            v.insert(t);
+        }
+        let tokens = toks("red shoe men");
+        let ids = v.encode(&tokens);
+        assert_eq!(v.decode(&ids), "red shoe men");
+    }
+
+    #[test]
+    fn unknown_tokens_map_to_unk() {
+        let v = Vocab::new();
+        assert_eq!(v.encode(&toks("mystery")), vec![UNK]);
+        assert_eq!(v.decode(&[UNK]), "");
+    }
+
+    #[test]
+    fn bounds_wrap() {
+        let mut v = Vocab::new();
+        v.insert("a");
+        let ids = v.encode_with_bounds(&toks("a"));
+        assert_eq!(ids.first(), Some(&BOS));
+        assert_eq!(ids.last(), Some(&EOS));
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn build_respects_min_count() {
+        let texts = [toks("a b a"), toks("a c")];
+        let refs: Vec<&[String]> = texts.iter().map(|t| t.as_slice()).collect();
+        let v = Vocab::build(refs.iter().copied(), 2);
+        assert!(v.id("a").is_some());
+        assert!(v.id("b").is_none());
+        assert!(v.id("c").is_none());
+    }
+
+    #[test]
+    fn build_order_is_first_appearance() {
+        let texts = [toks("z y"), toks("x z")];
+        let refs: Vec<&[String]> = texts.iter().map(|t| t.as_slice()).collect();
+        let v = Vocab::build(refs.iter().copied(), 1);
+        assert_eq!(v.id("z"), Some(NUM_SPECIALS));
+        assert_eq!(v.id("y"), Some(NUM_SPECIALS + 1));
+        assert_eq!(v.id("x"), Some(NUM_SPECIALS + 2));
+    }
+}

@@ -1,0 +1,51 @@
+//! Hard-query showcase: the three failure modes the paper motivates
+//! (natural-language audience queries, colloquial brand aliases,
+//! polysemy), comparing the rule-based baseline against the jointly
+//! trained neural pipeline under the oracle relevance judge.
+//!
+//! ```text
+//! cargo run --release --example hard_queries
+//! ```
+
+use cycle_rewrite::prelude::*;
+use qrw_bench::experiment::{Scale, System};
+use qrw_data::intent_relevance;
+
+fn main() {
+    println!("building corpus and training joint model (takes a minute)…");
+    let sys = System::build(Scale::paper());
+    let catalog = &sys.data.log.catalog;
+
+    let rule = RuleBasedRewriter::new(SynonymDict::from_catalog(catalog));
+    let neural = RewritePipeline::new(&sys.joint, &sys.data.dataset.vocab, 3, 8, 11);
+
+    let mut shown = 0;
+    for kind in [QueryKind::HardAudience, QueryKind::BrandAlias, QueryKind::Polysemous] {
+        println!("\n=== {kind:?} queries ===");
+        for q in sys.data.log.queries.iter().filter(|q| q.kind == kind).take(3) {
+            println!("query: \"{}\"", q.text());
+            let rule_rewrites = rule.rewrite(&q.tokens, 3);
+            let neural_rewrites = neural.rewrite(&q.tokens, 3);
+            print_side("rule-based", catalog, &q.tokens, &rule_rewrites);
+            print_side("neural    ", catalog, &q.tokens, &neural_rewrites);
+            shown += 1;
+        }
+    }
+    assert!(shown > 0, "no hard queries in the corpus");
+}
+
+fn print_side(
+    label: &str,
+    catalog: &Catalog,
+    original: &[String],
+    rewrites: &[Vec<String>],
+) {
+    if rewrites.is_empty() {
+        println!("  {label}: (no rewrite)");
+        return;
+    }
+    for rw in rewrites {
+        let rel = intent_relevance(catalog, original, rw);
+        println!("  {label}: \"{}\"  [oracle relevance {rel:.2}]", rw.join(" "));
+    }
+}

@@ -1,0 +1,107 @@
+//! The §III-G online serving architecture end to end:
+//!
+//! 1. Precompute rewrites for head queries offline (two-hop pipeline) into
+//!    the KV cache — the paper's "top 8M queries, >80% of traffic" tier.
+//! 2. Serve long-tail queries through the fast distilled q2q model
+//!    (hybrid transformer-encoder + RNN-decoder).
+//! 3. Retrieve with the §III-H merged syntax tree.
+//!
+//! ```text
+//! cargo run --release --example serving_pipeline
+//! ```
+
+use std::time::Instant;
+
+use cycle_rewrite::prelude::*;
+use qrw_bench::experiment::{train_q2q_model, ExperimentData, Scale, System};
+
+fn main() {
+    println!("building corpus and training models (takes a minute)…");
+    let sys = System::build(Scale::paper());
+    let data: &ExperimentData = &sys.data;
+    let vocab = &data.dataset.vocab;
+
+    // Distill the q2q serving model (hybrid architecture).
+    let (q2q_model, _) = train_q2q_model(
+        data,
+        &sys.scale,
+        ComponentKind::Transformer,
+        ComponentKind::Rnn,
+        77,
+    );
+    let q2q = Q2QRewriter::new(&q2q_model, vocab, 8, 78);
+
+    // Offline tier: precompute head-query rewrites into the KV store.
+    let pipeline = RewritePipeline::new(&sys.joint, vocab, 3, 8, 79);
+    let cache = RewriteCache::new();
+    let mut head: Vec<&qrw_data::GeneratedQuery> = data.log.queries.iter().collect();
+    head.sort_by_key(|q| std::cmp::Reverse(q.frequency));
+    let head_count = head.len() / 5; // "top queries" tier
+    let t0 = Instant::now();
+    for q in &head[..head_count] {
+        cache.insert(&q.tokens, pipeline.rewrite(&q.tokens, 3));
+    }
+    println!(
+        "precomputed {} head queries in {:.2}s ({:.0} ms/query offline)",
+        head_count,
+        t0.elapsed().as_secs_f64(),
+        t0.elapsed().as_secs_f64() * 1000.0 / head_count as f64
+    );
+
+    // Online tier: serve a traffic sample; measure latency per source.
+    let engine = SearchEngine::new(InvertedIndex::build(
+        data.log.catalog.items.iter().map(|i| i.title_tokens.clone()),
+    ));
+    let serving = ServingConfig::default();
+    let mut cache_ms = (0.0f64, 0u32);
+    let mut fallback_ms = (0.0f64, 0u32);
+    // Sample head and tail traffic: strided iteration reaches past the
+    // precomputed tier so the q2q fallback is exercised too.
+    for q in data.log.queries.iter().step_by(6).take(60) {
+        let t = Instant::now();
+        let resp = engine.search_with_rewrites(&q.tokens, Some(&cache), Some(&q2q), &serving);
+        let ms = t.elapsed().as_secs_f64() * 1000.0;
+        match resp.rewrite_source {
+            qrw_search::RewriteSource::Cache => {
+                cache_ms.0 += ms;
+                cache_ms.1 += 1;
+            }
+            _ => {
+                fallback_ms.0 += ms;
+                fallback_ms.1 += 1;
+            }
+        }
+    }
+    println!("KV cache hit rate: {:.0}%", 100.0 * cache.hit_rate());
+    if cache_ms.1 > 0 {
+        println!(
+            "cache-tier serving:    {:>8.2} ms/query over {} queries",
+            cache_ms.0 / f64::from(cache_ms.1),
+            cache_ms.1
+        );
+    }
+    if fallback_ms.1 > 0 {
+        println!(
+            "q2q-fallback serving:  {:>8.2} ms/query over {} queries",
+            fallback_ms.0 / f64::from(fallback_ms.1),
+            fallback_ms.1
+        );
+    }
+
+    // Show one hard query traveling the whole path.
+    if let Some(q) = data.log.queries.iter().find(|q| q.kind == QueryKind::HardAudience) {
+        let baseline = engine.search_baseline(&q.tokens, &serving);
+        let with_rw = engine.search_with_rewrites(&q.tokens, Some(&cache), Some(&q2q), &serving);
+        println!("\nhard query \"{}\":", q.text());
+        println!("  baseline retrieved {} candidates", baseline.base_candidates);
+        println!(
+            "  with rewrites {:?} (source {:?}): +{} extra candidates",
+            with_rw.rewrites_used.iter().map(|r| r.join(" ")).collect::<Vec<_>>(),
+            with_rw.rewrite_source,
+            with_rw.extra_candidates
+        );
+        for &doc in with_rw.ranked.iter().take(3) {
+            println!("    hit: {}", engine.index().doc(doc).tokens.join(" "));
+        }
+    }
+}
