@@ -2,8 +2,7 @@
 //! components at the paper's measurement configuration (1 layer,
 //! vocabulary 3000, beam 3, max 15 decode steps).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use qrw_bench::harness::{bench, group};
 use qrw_nmt::{ComponentKind, ModelConfig, Seq2Seq};
 use qrw_text::BOS;
 
@@ -14,40 +13,30 @@ fn latency_models() -> Vec<(ComponentKind, Seq2Seq)> {
         .collect()
 }
 
-fn bench_encoders(c: &mut Criterion) {
+fn main() {
     let src: Vec<usize> = (10..22).collect();
-    let mut group = c.benchmark_group("table5_encoder");
+
+    group("table5_encoder");
     for (kind, model) in latency_models() {
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &model, |b, m| {
-            b.iter(|| std::hint::black_box(m.encode(&src)));
+        bench(&format!("encode/{kind:?}"), 2, 20, || {
+            std::hint::black_box(model.encode(&src));
         });
     }
-    group.finish();
-}
 
-fn bench_decoders(c: &mut Criterion) {
-    let src: Vec<usize> = (10..22).collect();
-    let mut group = c.benchmark_group("table5_decoder");
-    group.sample_size(10);
+    group("table5_decoder");
     for (kind, model) in latency_models() {
         let memory = model.encode(&src);
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &model, |b, m| {
-            b.iter(|| {
-                // Beam 3 x 15 steps, the Table V decoding workload.
-                for beam in 0..3usize {
-                    let mut state = m.start_state(&memory);
-                    let mut prefix = vec![BOS];
-                    for step in 0..15usize {
-                        let lp = m.next_log_probs(&memory, &mut state, &prefix);
-                        std::hint::black_box(&lp);
-                        prefix.push(10 + ((step + beam) % 12));
-                    }
+        bench(&format!("decode/{kind:?}"), 1, 10, || {
+            // Beam 3 x 15 steps, the Table V decoding workload.
+            for beam in 0..3usize {
+                let mut state = model.start_state(&memory);
+                let mut prefix = vec![BOS];
+                for step in 0..15usize {
+                    let lp = model.next_log_probs(&memory, &mut state, &prefix);
+                    std::hint::black_box(&lp);
+                    prefix.push(10 + ((step + beam) % 12));
                 }
-            });
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_encoders, bench_decoders);
-criterion_main!(benches);

@@ -2,14 +2,13 @@
 //! direct q2q model vs the precomputed KV cache — the latency ladder that
 //! motivates the paper's online architecture.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use qrw_bench::experiment::{make_joint, ExperimentData, Scale};
+use qrw_bench::harness::{bench, group};
 use qrw_core::{Q2QRewriter, QueryRewriter, RewritePipeline};
 use qrw_nmt::{ModelConfig, Seq2Seq};
 use qrw_search::RewriteCache;
 
-fn bench_serving_ladder(c: &mut Criterion) {
+fn main() {
     let scale = Scale::smoke();
     let data = ExperimentData::build(&scale);
     let vocab = &data.dataset.vocab;
@@ -18,27 +17,21 @@ fn bench_serving_ladder(c: &mut Criterion) {
 
     let query = data.log.queries[0].tokens.clone();
 
-    let mut group = c.benchmark_group("serving_ladder");
-    group.sample_size(10);
+    group("serving_ladder");
 
-    group.bench_function("two_hop_pipeline", |b| {
-        let pipeline = RewritePipeline::new(&joint, vocab, 3, 8, 1);
-        b.iter(|| std::hint::black_box(pipeline.rewrite(&query, 3)));
+    let pipeline = RewritePipeline::new(&joint, vocab, 3, 8, 1);
+    bench("two_hop_pipeline", 1, 10, || {
+        std::hint::black_box(pipeline.rewrite(&query, 3));
     });
 
-    group.bench_function("q2q_direct_hybrid", |b| {
-        let rw = Q2QRewriter::new(&q2q, vocab, 8, 2);
-        b.iter(|| std::hint::black_box(rw.rewrite(&query, 3)));
+    let rw = Q2QRewriter::new(&q2q, vocab, 8, 2);
+    bench("q2q_direct_hybrid", 1, 10, || {
+        std::hint::black_box(rw.rewrite(&query, 3));
     });
 
-    group.bench_function("kv_cache_hit", |b| {
-        let cache = RewriteCache::new();
-        cache.insert(&query, vec![vec!["senior".to_string(), "smartphone".to_string()]]);
-        b.iter(|| std::hint::black_box(cache.get(&query)));
+    let cache = RewriteCache::new();
+    cache.insert(&query, vec![vec!["senior".to_string(), "smartphone".to_string()]]);
+    bench("kv_cache_hit", 10, 100, || {
+        std::hint::black_box(cache.get(&query));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_serving_ladder);
-criterion_main!(benches);

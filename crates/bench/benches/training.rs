@@ -3,58 +3,22 @@
 //! quantifying why Algorithm 1 defers the cyclic term ("we find this step
 //! is much more time consuming than other steps", §III-D).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use qrw_bench::experiment::{make_joint, ExperimentData, Scale};
+use qrw_bench::harness::{bench, group};
 use qrw_core::{CyclicTrainer, TrainConfig, TrainMode};
 
-fn bench_training_steps(c: &mut Criterion) {
+fn main() {
     let scale = Scale::smoke();
     let data = ExperimentData::build(&scale);
-    let mut group = c.benchmark_group("algorithm1_step");
-    group.sample_size(10);
 
     // A "step" here is a full single-step training run, isolating the
     // marginal cost of the cyclic term via the warm-up boundary.
-    let one_step = |warmup: u64, mode: TrainMode| {
+    let one_step = |warmup: u64, batch_size: usize, parallel: bool| {
         let model = make_joint(data.vocab_size(), 9);
         let cfg = TrainConfig {
             steps: 1,
             warmup_steps: warmup,
-            batch_size: 4,
-            eval_every: 0,
-            top_n: 6,
-            ..Default::default()
-        };
-        let mut trainer = CyclicTrainer::new(cfg, model.forward.config().d_model);
-        let eval = data.eval_pairs(2);
-        trainer.train(&model, &data.dataset.q2t, &eval, mode);
-    };
-
-    group.bench_function("warmup_step_lf_lb_only", |b| {
-        b.iter(|| one_step(10, TrainMode::Joint)); // step 1 <= warmup 10
-    });
-
-    group.bench_function("cyclic_step_with_lc", |b| {
-        b.iter(|| one_step(0, TrainMode::Joint)); // warmup over: cyclic active
-    });
-
-    group.finish();
-}
-
-/// Serial vs crossbeam-parallel batch execution of one cyclic step.
-fn bench_parallel_batch(c: &mut Criterion) {
-    let scale = Scale::smoke();
-    let data = ExperimentData::build(&scale);
-    let mut group = c.benchmark_group("parallel_batch");
-    group.sample_size(10);
-
-    let one_step = |parallel: bool| {
-        let model = make_joint(data.vocab_size(), 9);
-        let cfg = TrainConfig {
-            steps: 1,
-            warmup_steps: 0,
-            batch_size: 8,
+            batch_size,
             eval_every: 0,
             top_n: 6,
             parallel,
@@ -65,10 +29,11 @@ fn bench_parallel_batch(c: &mut Criterion) {
         trainer.train(&model, &data.dataset.q2t, &eval, TrainMode::Joint);
     };
 
-    group.bench_function("serial_batch8", |b| b.iter(|| one_step(false)));
-    group.bench_function("parallel_batch8", |b| b.iter(|| one_step(true)));
-    group.finish();
-}
+    group("algorithm1_step");
+    bench("warmup_step_lf_lb_only", 1, 10, || one_step(10, 4, false)); // step 1 <= warmup 10
+    bench("cyclic_step_with_lc", 1, 10, || one_step(0, 4, false)); // warmup over: cyclic active
 
-criterion_group!(benches, bench_training_steps, bench_parallel_batch);
-criterion_main!(benches);
+    group("parallel_batch");
+    bench("serial_batch8", 1, 10, || one_step(0, 8, false));
+    bench("parallel_batch8", 1, 10, || one_step(0, 8, true));
+}

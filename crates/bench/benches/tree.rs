@@ -1,8 +1,7 @@
 //! Figure 5 / §III-H bench: retrieval cost of separate syntax trees vs the
 //! merged tree over the synthetic item index.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use qrw_bench::harness::{bench, group};
 use qrw_data::{ClickLog, LogConfig};
 use qrw_search::{InvertedIndex, QueryTree};
 
@@ -25,44 +24,30 @@ fn toks(s: &str) -> Vec<String> {
     s.split_whitespace().map(str::to_string).collect()
 }
 
-fn bench_tree_strategies(c: &mut Criterion) {
+fn main() {
     let (index, queries) = setup();
-    let mut group = c.benchmark_group("fig5_retrieval");
 
-    group.bench_function("separate_trees", |b| {
-        let trees: Vec<QueryTree> =
-            queries.iter().map(|q| QueryTree::and_of_tokens(q)).collect();
-        b.iter(|| {
-            for t in &trees {
-                std::hint::black_box(t.evaluate(&index));
-            }
-        });
+    group("fig5_retrieval");
+    let trees: Vec<QueryTree> = queries.iter().map(|q| QueryTree::and_of_tokens(q)).collect();
+    bench("separate_trees", 3, 30, || {
+        for t in &trees {
+            std::hint::black_box(t.evaluate(&index));
+        }
+    });
+    let positional = QueryTree::merge_positional(&queries);
+    bench("merged_positional", 3, 30, || {
+        std::hint::black_box(positional.evaluate(&index));
+    });
+    let factored = QueryTree::merge_factored(&queries);
+    bench("merged_factored", 3, 30, || {
+        std::hint::black_box(factored.evaluate(&index));
     });
 
-    group.bench_function("merged_positional", |b| {
-        let merged = QueryTree::merge_positional(&queries);
-        b.iter(|| std::hint::black_box(merged.evaluate(&index)));
+    group("fig5_construction");
+    bench("merge_positional", 3, 30, || {
+        std::hint::black_box(QueryTree::merge_positional(&queries));
     });
-
-    group.bench_function("merged_factored", |b| {
-        let merged = QueryTree::merge_factored(&queries);
-        b.iter(|| std::hint::black_box(merged.evaluate(&index)));
+    bench("merge_factored", 3, 30, || {
+        std::hint::black_box(QueryTree::merge_factored(&queries));
     });
-
-    group.finish();
 }
-
-fn bench_tree_construction(c: &mut Criterion) {
-    let (_, queries) = setup();
-    let mut group = c.benchmark_group("fig5_construction");
-    group.bench_function("merge_positional", |b| {
-        b.iter(|| std::hint::black_box(QueryTree::merge_positional(&queries)));
-    });
-    group.bench_function("merge_factored", |b| {
-        b.iter(|| std::hint::black_box(QueryTree::merge_factored(&queries)));
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_tree_strategies, bench_tree_construction);
-criterion_main!(benches);

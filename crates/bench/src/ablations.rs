@@ -6,8 +6,7 @@
 //! * **GPT-style single LM** (§V): the `query <sep1> title <sep2> query2`
 //!   language model against the jointly trained two-model pipeline.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrw_tensor::rng::StdRng;
 
 use qrw_core::{
     make_lm, train_lm, LmCorpus, LmRewriter, LmTrainConfig, QueryRewriter, RewritePipeline,

@@ -1,0 +1,82 @@
+//! A tiny manual benchmark harness (no external deps, works offline).
+//!
+//! Criterion replacement for hermetic builds: warm up, sample the closure
+//! wall-clock a fixed number of times, report median / min / max. The
+//! numbers are not statistically rigorous — they exist so `cargo bench`
+//! still surfaces the paper's latency ladders without crates.io access.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary (nanoseconds per iteration).
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    pub median_ns: u128,
+    pub min_ns: u128,
+    pub max_ns: u128,
+}
+
+/// Times `f` for `samples` runs after `warmup` unrecorded runs and prints a
+/// one-line summary. Returns the summary for programmatic assertions.
+pub fn bench(name: &str, warmup: usize, samples: usize, mut f: impl FnMut()) -> Sample {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<u128> = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    let s = Sample {
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        max_ns: times[times.len() - 1],
+    };
+    println!(
+        "{name:<40} median {:>12}   min {:>12}   max {:>12}",
+        fmt_ns(s.median_ns),
+        fmt_ns(s.min_ns),
+        fmt_ns(s.max_ns)
+    );
+    s
+}
+
+/// Prints a group header, mirroring Criterion's visual grouping.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+fn fmt_ns(ns: u128) -> String {
+    let d = Duration::from_nanos(ns as u64);
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_ordered_stats() {
+        let s = bench("noop", 1, 5, || {
+            std::hint::black_box(2 + 2);
+        });
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.500us");
+        assert_eq!(fmt_ns(2_000_000), "2.000ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+    }
+}

@@ -3,12 +3,14 @@
 //! The experiment harness of the reproduction: [`experiment`] builds and
 //! trains every model once, [`tables`] and [`figures`] regenerate each of
 //! the paper's tables (I–VIII) and figures (5–9). The `repro` binary
-//! drives them; Criterion benches under `benches/` time the
-//! latency-sensitive pieces (Table V, Figure 5, §III-G serving).
+//! drives them; the dependency-free [`harness`] times the benches under
+//! `benches/` covering the latency-sensitive pieces (Table V, Figure 5,
+//! §III-G serving).
 
 pub mod ablations;
 pub mod experiment;
 pub mod figures;
+pub mod harness;
 pub mod tables;
 
 pub use experiment::{ExperimentData, Scale, System};

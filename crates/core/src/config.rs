@@ -29,7 +29,7 @@ pub struct TrainConfig {
     /// RNG seed for batching / sampling / dropout.
     pub seed: u64,
     /// Compute the batch's per-example backward passes on worker threads
-    /// (crossbeam scoped). Per-example randomness is identical to serial
+    /// (std scoped threads). Per-example randomness is identical to serial
     /// mode, but gradient summation order — and thus low-order float bits
     /// — depends on scheduling.
     pub parallel: bool,

@@ -16,8 +16,7 @@
 //! them and one backward pass produces the Eq. 5 gradients for both
 //! parameter sets.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qrw_tensor::rng::StdRng;
 
 use qrw_nmt::{top_n_sampling, Seq2Seq, TopNSampling};
 use qrw_tensor::optim::{Adam, AdamConfig, NoamSchedule};
@@ -239,13 +238,14 @@ impl CyclicTrainer {
             if self.config.parallel && self.config.batch_size > 1 {
                 // Gradients accumulate behind each Param's lock; summation
                 // order (and thus low-order float bits) depends on thread
-                // scheduling — the standard data-parallel trade-off.
-                crossbeam::scope(|scope| {
+                // scheduling — the standard data-parallel trade-off. A
+                // worker panic propagates when the scope joins; training is
+                // offline, so unlike the serve path it may fail loudly.
+                std::thread::scope(|scope| {
                     for (slot, &idx) in indices.iter().enumerate() {
-                        scope.spawn(move |_| process(slot, idx));
+                        scope.spawn(move || process(slot, idx));
                     }
-                })
-                .expect("training worker panicked");
+                });
             } else {
                 for (slot, &idx) in indices.iter().enumerate() {
                     process(slot, idx);

@@ -8,8 +8,7 @@
 //! embedding space — exactly the semantic-similarity signal the paper's
 //! metric taps.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qrw_tensor::rng::StdRng;
 
 /// SGNS hyper-parameters.
 #[derive(Clone, Copy, Debug)]

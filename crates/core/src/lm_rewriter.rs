@@ -11,8 +11,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qrw_tensor::rng::StdRng;
 
 use qrw_data::{ClickLog, Dataset};
 use qrw_nmt::{CausalLm, CausalLmConfig};

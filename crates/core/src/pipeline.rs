@@ -14,8 +14,7 @@
 
 use std::cell::RefCell;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrw_tensor::rng::StdRng;
 
 use qrw_nmt::{top_n_sampling, TopNSampling};
 use qrw_text::Vocab;

@@ -8,8 +8,7 @@
 
 use std::cell::RefCell;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qrw_tensor::rng::StdRng;
 
 use qrw_data::Pair;
 use qrw_nmt::{top_n_sampling, Seq2Seq, TopNSampling};

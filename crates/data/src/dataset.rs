@@ -8,8 +8,7 @@
 //!   same item — §III-G,
 //! * a held-out evaluation split of queries.
 
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
+use qrw_tensor::rng::StdRng;
 
 use qrw_text::{tokenize, Vocab};
 
@@ -64,7 +63,7 @@ impl Dataset {
 
         // Split queries into train/eval.
         let mut order: Vec<usize> = (0..log.queries.len()).collect();
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let n_eval = ((log.queries.len() as f64) * config.eval_fraction).round() as usize;
         let eval_queries: Vec<usize> = order[..n_eval].to_vec();
         let train_queries: Vec<usize> = order[n_eval..].to_vec();

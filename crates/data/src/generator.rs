@@ -5,8 +5,7 @@
 //! of hard natural-language queries; pairs with fewer than `min_clicks`
 //! clicks are dropped (the paper drops single-click pairs as accidental).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qrw_tensor::rng::StdRng;
 
 use crate::catalog::{Catalog, CatalogConfig};
 

@@ -5,8 +5,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use qrw_tensor::rng::StdRng;
 
 const ONSETS: &[&str] = &[
     "b", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "ch",
@@ -63,7 +62,6 @@ impl WordMaker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn words_are_unique_and_deterministic() {

@@ -8,8 +8,7 @@
 //! Diverse beam search (the paper's §V future-work pointer) is also
 //! implemented for the ablation benches.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use qrw_tensor::rng::StdRng;
 
 use qrw_text::{BOS, EOS};
 
@@ -163,7 +162,9 @@ pub fn top_n_sampling(
     cfg: TopNSampling,
     rng: &mut StdRng,
 ) -> Vec<Hypothesis> {
-    assert!(cfg.k > 0 && cfg.n > 0, "k and n must be positive");
+    // `k == 0` yields no hypotheses and `n` is clamped to 1 when sampling:
+    // degenerate configs degrade instead of panicking, since this decoder
+    // sits on the online serving path.
     let memory = model.encode(src);
     let mut start_state = model.start_state(&memory);
     let first_lp = model.next_log_probs(&memory, &mut start_state, &[BOS]);
@@ -317,6 +318,12 @@ fn argmax(lp: &[f32]) -> (usize, f32) {
 /// renormalized probabilities.
 fn sample_top_n(lp: &[f32], n: usize, rng: &mut StdRng) -> usize {
     let mut order: Vec<usize> = (0..lp.len()).filter(|&t| lp[t].is_finite()).collect();
+    if order.is_empty() {
+        // Fully degenerate distribution (every log-prob is NaN/-inf, e.g.
+        // a poisoned model). Emit PAD, which downstream special-token
+        // filters drop; the serve path must not panic.
+        return 0;
+    }
     order.sort_by(|&a, &b| lp[b].total_cmp(&lp[a]));
     order.truncate(n.max(1));
     let max = lp[order[0]];
@@ -329,14 +336,15 @@ fn sample_top_n(lp: &[f32], n: usize, rng: &mut StdRng) -> usize {
             return order[i];
         }
     }
-    *order.last().expect("top-n pool is non-empty")
+    // Rounding left `draw` positive past the last weight (or every weight
+    // was zero): the least-likely pooled token is the consistent choice.
+    order[order.len() - 1]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::{ComponentKind, ModelConfig};
-    use rand::SeedableRng;
 
     fn tiny_model() -> Seq2Seq {
         Seq2Seq::new(ModelConfig::tiny_transformer(24), 5)

@@ -1,7 +1,6 @@
 //! Reusable neural layers built on the `qrw-tensor` tape.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use qrw_tensor::rng::StdRng;
 
 use qrw_tensor::{init, Param, ParamSet, Tape, Tensor, Var};
 
@@ -225,7 +224,6 @@ pub fn causal_mask(len: usize) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

@@ -8,9 +8,7 @@
 //! pre-trained-weights advantage is out of scope, which is also why the
 //! paper found it did not yet beat the jointly trained NMT pair).
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use qrw_tensor::rng::StdRng;
 
 use qrw_tensor::{ParamSet, Tape, Tensor, Var};
 use qrw_text::BOS;

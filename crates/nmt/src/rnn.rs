@@ -4,7 +4,7 @@
 //! model of Bahdanau et al. (Figure 8), the GRU latency row of Table V, and
 //! the RNN decoder used by the §III-G hybrid online-serving model.
 
-use rand::rngs::StdRng;
+use qrw_tensor::rng::StdRng;
 
 use qrw_tensor::{ParamSet, Tape, Tensor, Var};
 
@@ -299,7 +299,6 @@ impl AttnRnnDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(11)

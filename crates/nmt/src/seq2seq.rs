@@ -5,8 +5,7 @@
 //! pure transformer (the main models), attention-RNN (Figure 8 baseline),
 //! GRU (Table V), and the §III-G hybrid (transformer encoder + RNN decoder).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrw_tensor::rng::StdRng;
 
 use qrw_tensor::{ParamSet, Tape, Tensor, Var};
 use qrw_text::{BOS, EOS, PAD, UNK};
@@ -374,8 +373,7 @@ mod tests {
         let plain = Seq2Seq::new(ModelConfig::tiny_transformer(30), 3);
         assert_eq!(m.log_prob(&[5, 6], &[7]), plain.log_prob(&[5, 6], &[7]));
         // Training path (ctx = Some): smoothed loss differs.
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = qrw_tensor::rng::StdRng::seed_from_u64(1);
         let tape = Tape::new();
         let mut ctx = Some(TrainCtx { rng: &mut rng, dropout: 0.0 });
         let (smoothed, _) = m.nll_on_tape(&tape, &[5, 6], &[7], &mut ctx);

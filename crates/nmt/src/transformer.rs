@@ -1,7 +1,7 @@
 //! Transformer encoder and decoder stacks (post-norm, as in
 //! "Attention Is All You Need", which the paper uses as its skeleton).
 
-use rand::rngs::StdRng;
+use qrw_tensor::rng::StdRng;
 
 use qrw_tensor::{ParamSet, Tape, Tensor, Var};
 
@@ -188,7 +188,6 @@ impl TransformerDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)

@@ -1,10 +1,9 @@
-//! Property-based tests for the sequence decoders over randomly
+//! Property-style tests for the sequence decoders over randomly
 //! initialized (untrained) models — the invariants must hold regardless
-//! of weights.
+//! of weights. Cases are drawn from a seeded generator, so every run is
+//! reproducible.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrw_tensor::rng::StdRng;
 
 use qrw_nmt::{
     beam_search, diverse_beam_search, greedy, top_n_sampling, ComponentKind, ModelConfig,
@@ -20,26 +19,29 @@ fn model(seed: u64, enc: ComponentKind, dec: ComponentKind) -> Seq2Seq {
     Seq2Seq::new(cfg, seed)
 }
 
-fn arb_src() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(4usize..20, 1..6)
+fn rand_src(rng: &mut StdRng) -> Vec<usize> {
+    let len = rng.gen_range(1usize..6);
+    (0..len).map(|_| rng.gen_range(4usize..20)).collect()
 }
 
-fn arb_kinds() -> impl Strategy<Value = (ComponentKind, ComponentKind)> {
-    prop_oneof![
-        Just((ComponentKind::Transformer, ComponentKind::Transformer)),
-        Just((ComponentKind::Gru, ComponentKind::Gru)),
-        Just((ComponentKind::Transformer, ComponentKind::Rnn)),
-    ]
+fn rand_kinds(rng: &mut StdRng) -> (ComponentKind, ComponentKind) {
+    match rng.gen_range(0usize..3) {
+        0 => (ComponentKind::Transformer, ComponentKind::Transformer),
+        1 => (ComponentKind::Gru, ComponentKind::Gru),
+        _ => (ComponentKind::Transformer, ComponentKind::Rnn),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+const CASES: usize = 12;
 
-    /// Hypotheses never contain special tokens and respect the length cap.
-    #[test]
-    fn no_specials_and_bounded_length(
-        seed in 0u64..50, src in arb_src(), kinds in arb_kinds()
-    ) {
+/// Hypotheses never contain special tokens and respect the length cap.
+#[test]
+fn no_specials_and_bounded_length() {
+    let mut cases = StdRng::seed_from_u64(0x0DEC_0001);
+    for _ in 0..CASES {
+        let seed = cases.gen_range(0u64..50);
+        let src = rand_src(&mut cases);
+        let kinds = rand_kinds(&mut cases);
         let m = model(seed, kinds.0, kinds.1);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut all = beam_search(&m, &src, 3);
@@ -47,60 +49,80 @@ proptest! {
         all.extend(top_n_sampling(&m, &src, TopNSampling { k: 3, n: 5 }, &mut rng));
         all.extend(diverse_beam_search(&m, &src, 2, 2, 0.5));
         for h in all {
-            prop_assert!(h.tokens.len() <= m.max_tgt_len() + 1);
-            prop_assert!(h.tokens.iter().all(|&t| (NUM_SPECIALS..20).contains(&t)));
-            prop_assert!(h.log_prob <= 0.0);
+            assert!(h.tokens.len() <= m.max_tgt_len() + 1);
+            assert!(h.tokens.iter().all(|&t| (NUM_SPECIALS..20).contains(&t)));
+            assert!(h.log_prob <= 0.0);
         }
     }
+}
 
-    /// Beam results are sorted and the best beam matches the true model
-    /// score of its own tokens.
-    #[test]
-    fn beam_scores_are_consistent(seed in 0u64..50, src in arb_src()) {
+/// Beam results are sorted and the best beam matches the true model
+/// score of its own tokens.
+#[test]
+fn beam_scores_are_consistent() {
+    let mut cases = StdRng::seed_from_u64(0x0DEC_0002);
+    for _ in 0..CASES {
+        let seed = cases.gen_range(0u64..50);
+        let src = rand_src(&mut cases);
         let m = model(seed, ComponentKind::Transformer, ComponentKind::Transformer);
         let hyps = beam_search(&m, &src, 3);
-        prop_assert!(!hyps.is_empty());
+        assert!(!hyps.is_empty());
         for w in hyps.windows(2) {
-            prop_assert!(w[0].log_prob >= w[1].log_prob);
+            assert!(w[0].log_prob >= w[1].log_prob);
         }
         let best = &hyps[0];
         if best.tokens.len() < m.max_tgt_len() {
             // Finished hypothesis: the reported score is log P(tokens,EOS|src).
             let lp = m.log_prob(&src, &best.tokens);
-            prop_assert!((lp - best.log_prob).abs() < 1e-2, "{lp} vs {}", best.log_prob);
+            assert!((lp - best.log_prob).abs() < 1e-2, "{lp} vs {}", best.log_prob);
         }
     }
+}
 
-    /// A wider beam returns at least as many hypotheses, all distinct.
-    /// (Note: beam search is NOT monotonic in width — a wider beam can
-    /// prune the narrow beam's path mid-sequence — so we deliberately do
-    /// not assert score dominance.)
-    #[test]
-    fn wider_beam_more_distinct_hypotheses(seed in 0u64..30, src in arb_src()) {
+/// A wider beam returns at least as many hypotheses, all distinct.
+/// (Note: beam search is NOT monotonic in width — a wider beam can
+/// prune the narrow beam's path mid-sequence — so we deliberately do
+/// not assert score dominance.)
+#[test]
+fn wider_beam_more_distinct_hypotheses() {
+    let mut cases = StdRng::seed_from_u64(0x0DEC_0003);
+    for _ in 0..CASES {
+        let seed = cases.gen_range(0u64..30);
+        let src = rand_src(&mut cases);
         let m = model(seed, ComponentKind::Transformer, ComponentKind::Transformer);
         let narrow = beam_search(&m, &src, 1);
         let wide = beam_search(&m, &src, 4);
-        prop_assert!(wide.len() >= narrow.len());
+        assert!(wide.len() >= narrow.len());
         let mut tokens: Vec<&Vec<usize>> = wide.iter().map(|h| &h.tokens).collect();
         let before = tokens.len();
         tokens.sort();
         tokens.dedup();
-        prop_assert_eq!(before, tokens.len(), "duplicate hypotheses in beam output");
+        assert_eq!(before, tokens.len(), "duplicate hypotheses in beam output");
     }
+}
 
-    /// Greedy equals width-1 beam search.
-    #[test]
-    fn greedy_is_beam_one(seed in 0u64..30, src in arb_src()) {
+/// Greedy equals width-1 beam search.
+#[test]
+fn greedy_is_beam_one() {
+    let mut cases = StdRng::seed_from_u64(0x0DEC_0004);
+    for _ in 0..CASES {
+        let seed = cases.gen_range(0u64..30);
+        let src = rand_src(&mut cases);
         let m = model(seed, ComponentKind::Gru, ComponentKind::Gru);
         let g = greedy(&m, &src);
         let b = beam_search(&m, &src, 1);
-        prop_assert_eq!(&g.tokens, &b[0].tokens);
+        assert_eq!(&g.tokens, &b[0].tokens);
     }
+}
 
-    /// Top-n sampling first tokens are pairwise distinct (the §III-F
-    /// diversity-by-construction step).
-    #[test]
-    fn top_n_first_tokens_distinct(seed in 0u64..50, src in arb_src()) {
+/// Top-n sampling first tokens are pairwise distinct (the §III-F
+/// diversity-by-construction step).
+#[test]
+fn top_n_first_tokens_distinct() {
+    let mut cases = StdRng::seed_from_u64(0x0DEC_0005);
+    for _ in 0..CASES {
+        let seed = cases.gen_range(0u64..50);
+        let src = rand_src(&mut cases);
         let m = model(seed, ComponentKind::Transformer, ComponentKind::Transformer);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
         let hyps = top_n_sampling(&m, &src, TopNSampling { k: 3, n: 6 }, &mut rng);
@@ -108,18 +130,23 @@ proptest! {
         let mut unique = firsts.clone();
         unique.sort_unstable();
         unique.dedup();
-        prop_assert_eq!(unique.len(), firsts.len());
+        assert_eq!(unique.len(), firsts.len());
     }
+}
 
-    /// log P(tgt|src) via the model equals the sum of stepwise
-    /// next-token log-probabilities (chain rule) for arbitrary targets.
-    #[test]
-    fn chain_rule_holds(
-        seed in 0u64..30,
-        src in arb_src(),
-        tgt in proptest::collection::vec(4usize..20, 1..5),
-        kinds in arb_kinds(),
-    ) {
+/// log P(tgt|src) via the model equals the sum of stepwise
+/// next-token log-probabilities (chain rule) for arbitrary targets.
+#[test]
+fn chain_rule_holds() {
+    let mut cases = StdRng::seed_from_u64(0x0DEC_0006);
+    for _ in 0..CASES {
+        let seed = cases.gen_range(0u64..30);
+        let src = rand_src(&mut cases);
+        let tgt: Vec<usize> = {
+            let len = cases.gen_range(1usize..5);
+            (0..len).map(|_| cases.gen_range(4usize..20)).collect()
+        };
+        let kinds = rand_kinds(&mut cases);
         let m = model(seed, kinds.0, kinds.1);
         let lp = m.log_prob(&src, &tgt);
         let memory = m.encode(&src);
@@ -131,6 +158,6 @@ proptest! {
             total += lps[tok];
             prefix.push(tok);
         }
-        prop_assert!((lp - total).abs() < 2e-3, "{lp} vs {total}");
+        assert!((lp - total).abs() < 2e-3, "{lp} vs {total}");
     }
 }

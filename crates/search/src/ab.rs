@@ -21,8 +21,7 @@
 //! Reported: UCVR (user conversion rate), GMV (gross merchandise value)
 //! and QRR (query reformulation rate), as relative deltas.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qrw_tensor::rng::StdRng;
 
 use qrw_core::QueryRewriter;
 use qrw_data::ClickLog;

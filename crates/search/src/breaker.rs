@@ -1,0 +1,219 @@
+//! A circuit breaker around the online q2q rewriter.
+//!
+//! When the online model times out or errors repeatedly, continuing to
+//! call it burns the entire deadline budget on a rewriter that will fail
+//! anyway. The breaker opens after a run of consecutive failures, fails
+//! fast for a cooldown measured in *observed requests* (not wall-clock, so
+//! tests are deterministic), then lets a limited number of trial requests
+//! through (half-open); enough successes close it again, any failure
+//! re-opens it.
+
+use qrw_tensor::sync::Mutex;
+
+/// Breaker tuning. The defaults are deliberately small so misbehaviour is
+/// detected within a handful of requests.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Requests that must arrive while open before moving to half-open.
+    pub cooldown_requests: u32,
+    /// Consecutive half-open successes that close the breaker.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown_requests: 5, half_open_successes: 2 }
+    }
+}
+
+/// Breaker state, visible in health reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow through normally.
+    Closed,
+    /// Calls are rejected; counts down the cooldown.
+    Open,
+    /// Trial calls are allowed; success closes, failure re-opens.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_requests_seen: u32,
+    half_open_successes: u32,
+    times_opened: u64,
+}
+
+/// Deterministic request-count-based circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                open_requests_seen: 0,
+                half_open_successes: 0,
+                times_opened: 0,
+            }),
+        }
+    }
+
+    /// Asks permission for one call, advancing the cooldown when open.
+    /// Returns `false` while the breaker is failing fast.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                inner.open_requests_seen += 1;
+                if inner.open_requests_seen >= self.config.cooldown_requests {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.half_open_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.half_open_successes += 1;
+                if inner.half_open_successes >= self.config.half_open_successes {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive_failures = 0;
+                }
+            }
+            // A success report while open (e.g. a call admitted just before
+            // opening) doesn't change the cooldown.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed (errored/timed-out/panicked) call.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    Self::open(&mut inner);
+                }
+            }
+            BreakerState::HalfOpen => Self::open(&mut inner),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn open(inner: &mut Inner) {
+        inner.state = BreakerState::Open;
+        inner.open_requests_seen = 0;
+        inner.half_open_successes = 0;
+        inner.times_opened += 1;
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// How many times the breaker has opened over its lifetime.
+    pub fn times_opened(&self) -> u64 {
+        self.inner.lock().times_opened
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_requests: 4,
+            half_open_successes: 2,
+        })
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures() {
+        let b = breaker();
+        for _ in 0..2 {
+            assert!(b.allow());
+            b.record_failure();
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_failure_run() {
+        let b = breaker();
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_after_cooldown_then_closes_on_successes() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown: three rejected requests, the fourth is the trial.
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.times_opened(), 1);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        for _ in 0..4 {
+            b.allow();
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.times_opened(), 2);
+        assert!(!b.allow());
+    }
+}

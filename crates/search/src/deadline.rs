@@ -1,0 +1,95 @@
+//! Per-request deadline budgets.
+//!
+//! The paper's serving SLA ("100 queries per second ... online latency
+//! within 100ms", §III-G) means every stage must be able to answer "do I
+//! still have time?" and degrade instead of overrunning. A
+//! [`DeadlineBudget`] is created per request and threaded through
+//! rewrite → retrieval → rank.
+//!
+//! Besides real wall-clock time, the budget accepts *synthetic* charges:
+//! the fault injector charges a simulated latency spike without sleeping,
+//! so resilience tests are fast and fully deterministic.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// A per-request time budget. Cheap to create; not shared across threads.
+#[derive(Clone, Debug)]
+pub struct DeadlineBudget {
+    started: Instant,
+    total: Option<Duration>,
+    /// Simulated latency charged on top of real elapsed time.
+    synthetic: Cell<Duration>,
+}
+
+impl DeadlineBudget {
+    /// A budget of `total` starting now.
+    pub fn new(total: Duration) -> Self {
+        DeadlineBudget { started: Instant::now(), total: Some(total), synthetic: Cell::new(Duration::ZERO) }
+    }
+
+    /// A budget that never expires (offline evaluation, tests).
+    pub fn unlimited() -> Self {
+        DeadlineBudget { started: Instant::now(), total: None, synthetic: Cell::new(Duration::ZERO) }
+    }
+
+    /// Real elapsed time plus any synthetic charges.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed() + self.synthetic.get()
+    }
+
+    /// Time left, or `None` when unlimited. Saturates at zero.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.total.map(|t| t.saturating_sub(self.elapsed()))
+    }
+
+    /// Whether the budget has run out.
+    pub fn expired(&self) -> bool {
+        matches!(self.remaining(), Some(Duration::ZERO))
+    }
+
+    /// True when at least `d` is left (always true for unlimited budgets).
+    pub fn has_at_least(&self, d: Duration) -> bool {
+        match self.remaining() {
+            None => true,
+            Some(r) => r >= d,
+        }
+    }
+
+    /// Charges simulated latency against the budget without sleeping.
+    pub fn charge(&self, d: Duration) {
+        self.synthetic.set(self.synthetic.get() + d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = DeadlineBudget::unlimited();
+        b.charge(Duration::from_secs(3600));
+        assert!(!b.expired());
+        assert!(b.has_at_least(Duration::from_secs(1)));
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn synthetic_charge_expires_budget() {
+        let b = DeadlineBudget::new(Duration::from_millis(100));
+        assert!(!b.expired());
+        b.charge(Duration::from_millis(40));
+        assert!(b.has_at_least(Duration::from_millis(10)));
+        b.charge(Duration::from_millis(70));
+        assert!(b.expired());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn elapsed_includes_both_clocks() {
+        let b = DeadlineBudget::new(Duration::from_secs(10));
+        b.charge(Duration::from_millis(5));
+        assert!(b.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,107 @@
+//! The serving-path error taxonomy.
+//!
+//! Every failure a user query can hit during serving is named here, so the
+//! degradation ladder in [`crate::serving`] can record *why* a request was
+//! served from a lower rung instead of panicking or silently returning
+//! nothing. Training-time code may still fail loudly; the serve path must
+//! stay total.
+
+use std::fmt;
+
+/// The pipeline stage an error was observed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Rewrite acquisition (cache lookup, online model, baseline rules).
+    Rewrite,
+    /// Candidate retrieval over the inverted index.
+    Retrieval,
+    /// BM25 ranking of the candidate union.
+    Rank,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Rewrite => "rewrite",
+            Stage::Retrieval => "retrieval",
+            Stage::Rank => "rank",
+        })
+    }
+}
+
+/// A failure on the user-query-reachable serving path.
+///
+/// None of these abort a request: the resilient serving path maps each
+/// onto a degradation (drop to a lower rewrite rung, skip expansion, or
+/// return an unranked prefix) and records the event on the response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The per-request deadline budget ran out before/inside `stage`.
+    DeadlineExceeded { stage: Stage },
+    /// The circuit breaker around the online rewriter is open.
+    BreakerOpen,
+    /// A rewriter returned an error-like condition (injected model error
+    /// or internal failure), identified by the rewriter's name.
+    ModelError { rewriter: String },
+    /// A rewriter panicked; the panic was caught at the engine boundary.
+    ModelPanic { rewriter: String },
+    /// A rewriter ran fine but produced no usable rewrites.
+    EmptyOutput { rewriter: String },
+    /// A cached entry failed validation (empty rewrite, blank token, or
+    /// oversized rewrite) and was discarded.
+    PoisonedCacheEntry,
+    /// The query exceeded the configured token limit and was truncated.
+    QueryTruncated { tokens: usize, max: usize },
+    /// The engine itself panicked outside any rewriter; caught at the
+    /// outermost boundary and served as raw-query-only.
+    EnginePanic,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded in {stage} stage")
+            }
+            ServeError::BreakerOpen => write!(f, "circuit breaker open for online rewriter"),
+            ServeError::ModelError { rewriter } => write!(f, "rewriter '{rewriter}' failed"),
+            ServeError::ModelPanic { rewriter } => write!(f, "rewriter '{rewriter}' panicked"),
+            ServeError::EmptyOutput { rewriter } => {
+                write!(f, "rewriter '{rewriter}' produced no rewrites")
+            }
+            ServeError::PoisonedCacheEntry => write!(f, "poisoned cache entry discarded"),
+            ServeError::QueryTruncated { tokens, max } => {
+                write!(f, "query of {tokens} tokens truncated to {max}")
+            }
+            ServeError::EnginePanic => write!(f, "engine panic caught at serve boundary"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_stage() {
+        let e = ServeError::DeadlineExceeded { stage: Stage::Retrieval };
+        assert_eq!(e.to_string(), "deadline exceeded in retrieval stage");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ServeError::BreakerOpen, ServeError::BreakerOpen);
+        assert_ne!(
+            ServeError::ModelError { rewriter: "a".into() },
+            ServeError::ModelError { rewriter: "b".into() }
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ServeError::EnginePanic);
+        assert!(e.to_string().contains("panic"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Seeded, deterministic fault injection for the serving path.
+//!
+//! Production failure modes — latency spikes in the online model, model
+//! errors, poisoned KV entries, outright panics — are rare enough that
+//! they never show up in ordinary tests. The [`FaultInjector`] makes them
+//! reproducible: a SplitMix64 stream drives which fault (if any) each
+//! online-rewrite call experiences, and latency spikes are charged to the
+//! request's [`DeadlineBudget`](crate::deadline::DeadlineBudget)
+//! synthetically, so no test ever sleeps.
+
+use std::time::Duration;
+
+use qrw_tensor::rng::StdRng;
+use qrw_tensor::sync::Mutex;
+
+use crate::kv::RewriteCache;
+
+/// The fault drawn for one online-rewrite call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: the call proceeds normally.
+    None,
+    /// The model "takes" this much extra latency (charged synthetically).
+    Latency(Duration),
+    /// The model returns an error.
+    ModelError,
+    /// The model panics mid-call.
+    Panic,
+}
+
+/// Per-call fault probabilities. Draws are ordered panic → error →
+/// latency, so with all probabilities at 1.0 every call panics.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    pub panic_prob: f64,
+    pub error_prob: f64,
+    pub latency_spike_prob: f64,
+    /// Synthetic latency added by a spike.
+    pub latency_spike: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            panic_prob: 0.0,
+            error_prob: 0.0,
+            latency_spike_prob: 0.0,
+            latency_spike: Duration::from_millis(200),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Every online call fails with `fault`.
+    pub fn always(fault: Fault) -> Self {
+        let mut cfg = FaultConfig::default();
+        match fault {
+            Fault::None => {}
+            Fault::Panic => cfg.panic_prob = 1.0,
+            Fault::ModelError => cfg.error_prob = 1.0,
+            Fault::Latency(d) => {
+                cfg.latency_spike_prob = 1.0;
+                cfg.latency_spike = d;
+            }
+        }
+        cfg
+    }
+}
+
+/// Deterministic fault source: same seed and call sequence → same faults.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: Mutex<StdRng>,
+}
+
+impl FaultInjector {
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        FaultInjector { config, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// Draws the fault for the next online-rewrite call.
+    pub fn draw(&self) -> Fault {
+        let mut rng = self.rng.lock();
+        if rng.gen_bool(self.config.panic_prob) {
+            Fault::Panic
+        } else if rng.gen_bool(self.config.error_prob) {
+            Fault::ModelError
+        } else if rng.gen_bool(self.config.latency_spike_prob) {
+            Fault::Latency(self.config.latency_spike)
+        } else {
+            Fault::None
+        }
+    }
+
+    /// Plants an invalid entry for `query` in the cache: one rewrite with a
+    /// blank token, which must fail the serving path's validation rather
+    /// than propagate into retrieval.
+    pub fn poison_cache(&self, cache: &RewriteCache, query: &[String]) {
+        cache.insert(query, vec![vec![String::new()]]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let cfg = FaultConfig {
+            panic_prob: 0.2,
+            error_prob: 0.3,
+            latency_spike_prob: 0.3,
+            latency_spike: Duration::from_millis(50),
+        };
+        let a = FaultInjector::new(7, cfg);
+        let b = FaultInjector::new(7, cfg);
+        let seq_a: Vec<Fault> = (0..100).map(|_| a.draw()).collect();
+        let seq_b: Vec<Fault> = (0..100).map(|_| b.draw()).collect();
+        assert_eq!(seq_a, seq_b);
+        // With these probabilities all four outcomes occur.
+        for want in [Fault::None, Fault::Panic, Fault::ModelError] {
+            assert!(seq_a.contains(&want), "{want:?} never drawn");
+        }
+        assert!(seq_a.iter().any(|f| matches!(f, Fault::Latency(_))));
+    }
+
+    #[test]
+    fn always_constructors_are_total() {
+        assert_eq!(FaultInjector::new(1, FaultConfig::always(Fault::Panic)).draw(), Fault::Panic);
+        assert_eq!(
+            FaultInjector::new(1, FaultConfig::always(Fault::ModelError)).draw(),
+            Fault::ModelError
+        );
+        let d = Duration::from_millis(10);
+        assert_eq!(
+            FaultInjector::new(1, FaultConfig::always(Fault::Latency(d))).draw(),
+            Fault::Latency(d)
+        );
+        assert_eq!(FaultInjector::new(1, FaultConfig::default()).draw(), Fault::None);
+    }
+
+    #[test]
+    fn poisoned_entry_is_visibly_invalid() {
+        let cache = RewriteCache::new();
+        let q = vec!["phone".to_string()];
+        FaultInjector::new(3, FaultConfig::default()).poison_cache(&cache, &q);
+        let entry = cache.get(&q).unwrap();
+        assert!(entry.iter().any(|r| r.iter().any(|t| t.is_empty())));
+    }
+}

@@ -1,0 +1,176 @@
+//! Serving health accounting: which ladder rung served each request, why
+//! requests degraded, and how long each stage took.
+//!
+//! Counters are plain relaxed atomics — they are monotone event counts
+//! read only for reporting, so no cross-counter consistency is needed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::breaker::BreakerState;
+use crate::error::{ServeError, Stage};
+use crate::serving::RewriteSource;
+
+/// Internal counter block owned by the engine.
+#[derive(Debug, Default)]
+pub struct HealthCounters {
+    requests: AtomicU64,
+    served_cache: AtomicU64,
+    served_online: AtomicU64,
+    served_baseline: AtomicU64,
+    served_raw: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    breaker_rejections: AtomicU64,
+    model_errors: AtomicU64,
+    panics_caught: AtomicU64,
+    empty_outputs: AtomicU64,
+    poisoned_entries: AtomicU64,
+    truncated_queries: AtomicU64,
+    rewrite_micros: AtomicU64,
+    retrieval_micros: AtomicU64,
+    rank_micros: AtomicU64,
+}
+
+impl HealthCounters {
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_source(&self, source: RewriteSource) {
+        let counter = match source {
+            RewriteSource::Cache => &self.served_cache,
+            RewriteSource::Fallback => &self.served_online,
+            RewriteSource::Baseline => &self.served_baseline,
+            RewriteSource::None => &self.served_raw,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_error(&self, error: &ServeError) {
+        let counter = match error {
+            ServeError::DeadlineExceeded { .. } => &self.deadline_exceeded,
+            ServeError::BreakerOpen => &self.breaker_rejections,
+            ServeError::ModelError { .. } => &self.model_errors,
+            ServeError::ModelPanic { .. } | ServeError::EnginePanic => &self.panics_caught,
+            ServeError::EmptyOutput { .. } => &self.empty_outputs,
+            ServeError::PoisonedCacheEntry => &self.poisoned_entries,
+            ServeError::QueryTruncated { .. } => &self.truncated_queries,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_stage_latency(&self, stage: Stage, elapsed: Duration) {
+        let counter = match stage {
+            Stage::Rewrite => &self.rewrite_micros,
+            Stage::Retrieval => &self.retrieval_micros,
+            Stage::Rank => &self.rank_micros,
+        };
+        counter.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, breaker_state: BreakerState, breaker_opens: u64) -> HealthReport {
+        HealthReport {
+            requests: self.requests.load(Ordering::Relaxed),
+            served_cache: self.served_cache.load(Ordering::Relaxed),
+            served_online: self.served_online.load(Ordering::Relaxed),
+            served_baseline: self.served_baseline.load(Ordering::Relaxed),
+            served_raw: self.served_raw.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            model_errors: self.model_errors.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            empty_outputs: self.empty_outputs.load(Ordering::Relaxed),
+            poisoned_entries: self.poisoned_entries.load(Ordering::Relaxed),
+            truncated_queries: self.truncated_queries.load(Ordering::Relaxed),
+            rewrite_micros: self.rewrite_micros.load(Ordering::Relaxed),
+            retrieval_micros: self.retrieval_micros.load(Ordering::Relaxed),
+            rank_micros: self.rank_micros.load(Ordering::Relaxed),
+            breaker_state,
+            breaker_opens,
+        }
+    }
+}
+
+/// Point-in-time health snapshot returned by
+/// [`SearchEngine::health_report`](crate::serving::SearchEngine::health_report).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Requests served through the resilient path.
+    pub requests: u64,
+    /// Requests whose rewrites came from each ladder rung.
+    pub served_cache: u64,
+    pub served_online: u64,
+    pub served_baseline: u64,
+    pub served_raw: u64,
+    /// Degradation events by cause.
+    pub deadline_exceeded: u64,
+    pub breaker_rejections: u64,
+    pub model_errors: u64,
+    pub panics_caught: u64,
+    pub empty_outputs: u64,
+    pub poisoned_entries: u64,
+    pub truncated_queries: u64,
+    /// Cumulative per-stage latency (µs), including synthetic charges.
+    pub rewrite_micros: u64,
+    pub retrieval_micros: u64,
+    pub rank_micros: u64,
+    /// Breaker status at snapshot time.
+    pub breaker_state: BreakerState,
+    pub breaker_opens: u64,
+}
+
+impl HealthReport {
+    /// Fraction of requests that got *some* rewrite (any rung above raw).
+    pub fn rewrite_coverage(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        let rewritten = self.served_cache + self.served_online + self.served_baseline;
+        rewritten as f64 / self.requests as f64
+    }
+
+    /// Total degradation events recorded.
+    pub fn degradations(&self) -> u64 {
+        self.deadline_exceeded
+            + self.breaker_rejections
+            + self.model_errors
+            + self.panics_caught
+            + self.empty_outputs
+            + self.poisoned_entries
+            + self.truncated_queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_up_into_the_report() {
+        let c = HealthCounters::default();
+        c.record_request();
+        c.record_request();
+        c.record_source(RewriteSource::Cache);
+        c.record_source(RewriteSource::None);
+        c.record_error(&ServeError::BreakerOpen);
+        c.record_error(&ServeError::ModelPanic { rewriter: "x".into() });
+        c.record_stage_latency(Stage::Rank, Duration::from_micros(250));
+        let r = c.snapshot(BreakerState::Closed, 0);
+        assert_eq!(r.requests, 2);
+        assert_eq!(r.served_cache, 1);
+        assert_eq!(r.served_raw, 1);
+        assert_eq!(r.breaker_rejections, 1);
+        assert_eq!(r.panics_caught, 1);
+        assert_eq!(r.rank_micros, 250);
+        assert_eq!(r.degradations(), 2);
+        assert!((r.rewrite_coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_has_zero_coverage() {
+        let c = HealthCounters::default();
+        let r = c.snapshot(BreakerState::Closed, 0);
+        assert_eq!(r.rewrite_coverage(), 0.0);
+        assert_eq!(r.degradations(), 0);
+    }
+}

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use qrw_tensor::sync::RwLock;
 
 /// Concurrent rewrite cache: query text → precomputed rewrites.
 #[derive(Default)]

@@ -10,9 +10,20 @@
 //! * [`serving`] — the serving pipeline (cache → q2q fallback →
 //!   merged-tree retrieval → ranking),
 //! * [`ab`] — the Table VIII A/B user-behaviour simulator.
+//!
+//! Serving resilience lives in five companion modules: [`error`] (the
+//! [`ServeError`] taxonomy), [`deadline`] (per-request budgets),
+//! [`breaker`] (the circuit breaker around the online rewriter),
+//! [`fault`] (seeded deterministic fault injection for tests) and
+//! [`health`] (per-rung / per-stage serving counters).
 
 pub mod ab;
+pub mod breaker;
+pub mod deadline;
+pub mod error;
 pub mod eval;
+pub mod fault;
+pub mod health;
 pub mod index;
 pub mod kv;
 pub mod serving;
@@ -20,9 +31,14 @@ pub mod topk;
 pub mod tree;
 
 pub use ab::{run_ab, AbConfig, AbOutcome, ArmMetrics};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use deadline::DeadlineBudget;
+pub use error::{ServeError, Stage};
 pub use eval::{recall_at_k, reciprocal_rank, QualityAccumulator, RetrievalQuality};
+pub use fault::{Fault, FaultConfig, FaultInjector};
+pub use health::HealthReport;
 pub use index::InvertedIndex;
 pub use kv::RewriteCache;
-pub use serving::{RewriteSource, SearchEngine, SearchResponse, ServingConfig};
+pub use serving::{RewriteLadder, RewriteSource, SearchEngine, SearchResponse, ServingConfig};
 pub use topk::{bm25_topk_exhaustive, bm25_topk_maxscore, ScoredDoc};
 pub use tree::{QueryTree, RetrievalCost};

@@ -1,8 +1,30 @@
 //! The end-to-end serving pipeline: rewrite lookup (KV cache with q2q
 //! fallback), merged-syntax-tree retrieval, BM25 ranking (§III-G/§III-H).
+//!
+//! # Serving resilience
+//!
+//! [`SearchEngine::search_resilient`] is the fault-tolerant entry point.
+//! It never panics and always returns a well-formed [`SearchResponse`]:
+//! rewrites are acquired down an explicit degradation ladder
+//!
+//! ```text
+//! KV cache → online q2q model → rule-based baseline → raw query only
+//! ```
+//!
+//! where each rung is guarded by the per-request [`DeadlineBudget`], the
+//! online rung additionally by a [`CircuitBreaker`], and every rewriter
+//! call by `catch_unwind`. Degradations are recorded on the response
+//! (`degradations`) and aggregated into [`SearchEngine::health_report`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use qrw_core::QueryRewriter;
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::deadline::DeadlineBudget;
+use crate::error::{ServeError, Stage};
+use crate::fault::{Fault, FaultInjector};
+use crate::health::{HealthCounters, HealthReport};
 use crate::index::InvertedIndex;
 use crate::kv::RewriteCache;
 use crate::tree::{QueryTree, RetrievalCost};
@@ -18,23 +40,48 @@ pub struct ServingConfig {
     pub top_k: usize,
     /// Use the §III-H merged tree (vs one tree per query).
     pub merged_tree: bool,
+    /// Queries longer than this are truncated (and the truncation is
+    /// recorded as a degradation) before any stage runs.
+    pub max_query_tokens: usize,
 }
 
 impl Default for ServingConfig {
     fn default() -> Self {
-        ServingConfig { max_rewrites: 3, max_extra_candidates: 1000, top_k: 10, merged_tree: true }
+        ServingConfig {
+            max_rewrites: 3,
+            max_extra_candidates: 1000,
+            top_k: 10,
+            merged_tree: true,
+            max_query_tokens: 64,
+        }
     }
 }
 
-/// Where the rewrites used by a request came from.
+/// Where the rewrites used by a request came from — equivalently, the
+/// degradation-ladder rung that served it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RewriteSource {
     /// Precomputed top-query entry served from the KV store.
     Cache,
     /// Computed online by the fallback (q2q) model.
     Fallback,
-    /// No rewriter available / produced nothing.
+    /// Produced by the rule-based baseline after the neural rungs
+    /// degraded.
+    Baseline,
+    /// No rewriter available / produced nothing: raw query only.
     None,
+}
+
+/// The rewrite rungs available to [`SearchEngine::search_resilient`],
+/// ordered best-first. Any rung may be absent.
+#[derive(Clone, Copy, Default)]
+pub struct RewriteLadder<'a> {
+    /// Rung 1: precomputed KV cache.
+    pub cache: Option<&'a RewriteCache>,
+    /// Rung 2: online q2q model (guarded by the circuit breaker).
+    pub online: Option<&'a dyn QueryRewriter>,
+    /// Rung 3: cheap rule-based rewriter.
+    pub baseline: Option<&'a dyn QueryRewriter>,
 }
 
 /// One search response with retrieval accounting.
@@ -53,24 +100,63 @@ pub struct SearchResponse {
     pub rewrites_used: Vec<Vec<String>>,
     pub rewrite_source: RewriteSource,
     pub cost: RetrievalCost,
+    /// Every degradation this request suffered, in the order observed.
+    /// Empty for a request served at full quality.
+    pub degradations: Vec<ServeError>,
 }
 
-/// The search engine: index + rewrite plumbing.
+/// The search engine: index + rewrite plumbing + serving health.
 pub struct SearchEngine {
     index: InvertedIndex,
+    breaker: CircuitBreaker,
+    health: HealthCounters,
 }
 
 impl SearchEngine {
     pub fn new(index: InvertedIndex) -> Self {
-        SearchEngine { index }
+        Self::with_breaker(index, BreakerConfig::default())
+    }
+
+    /// An engine with custom circuit-breaker tuning.
+    pub fn with_breaker(index: InvertedIndex, breaker: BreakerConfig) -> Self {
+        SearchEngine {
+            index,
+            breaker: CircuitBreaker::new(breaker),
+            health: HealthCounters::default(),
+        }
     }
 
     pub fn index(&self) -> &InvertedIndex {
         &self.index
     }
 
+    /// The breaker guarding the online rewriter rung.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Snapshot of serving health: per-rung counts, degradation causes,
+    /// per-stage latency sums and breaker status.
+    pub fn health_report(&self) -> HealthReport {
+        self.health.snapshot(self.breaker.state(), self.breaker.times_opened())
+    }
+
     /// Baseline retrieval: original query only.
     pub fn search_baseline(&self, query: &[String], config: &ServingConfig) -> SearchResponse {
+        if query.is_empty() {
+            // An empty AND tree would match the whole index; an empty
+            // query retrieves nothing instead.
+            return SearchResponse {
+                ranked: Vec::new(),
+                candidates: Vec::new(),
+                base_candidates: 0,
+                extra_candidates: 0,
+                rewrites_used: Vec::new(),
+                rewrite_source: RewriteSource::None,
+                cost: RetrievalCost::default(),
+                degradations: Vec::new(),
+            };
+        }
         let (docs, cost) = QueryTree::and_of_tokens(query).evaluate(&self.index);
         let ranked = self.rank(query, &docs, config.top_k);
         SearchResponse {
@@ -81,6 +167,7 @@ impl SearchEngine {
             rewrites_used: Vec::new(),
             rewrite_source: RewriteSource::None,
             cost,
+            degradations: Vec::new(),
         }
     }
 
@@ -103,13 +190,238 @@ impl SearchEngine {
         rewrites.truncate(config.max_rewrites);
         rewrites.retain(|r| !r.is_empty() && r != query);
 
+        let budget = DeadlineBudget::unlimited();
+        let mut events = Vec::new();
+        self.retrieve_and_rank(query, rewrites, source, config, &budget, &mut events)
+    }
+
+    /// Fault-tolerant serving entry point. Never panics; always returns a
+    /// well-formed response. Rewrites come from the highest healthy rung
+    /// of `ladder`; `budget` is consulted before each stage and the online
+    /// model call; `faults` (tests only) deterministically injects latency
+    /// spikes, model errors and panics into the online rung.
+    pub fn search_resilient(
+        &self,
+        query: &[String],
+        ladder: RewriteLadder<'_>,
+        config: &ServingConfig,
+        budget: &DeadlineBudget,
+        faults: Option<&FaultInjector>,
+    ) -> SearchResponse {
+        self.health.record_request();
+        let guarded = catch_unwind(AssertUnwindSafe(|| {
+            self.serve_inner(query, ladder, config, budget, faults)
+        }));
+        let response = match guarded {
+            Ok(resp) => resp,
+            Err(_) => {
+                // The engine itself panicked (not a rewriter — those are
+                // caught per-rung). Serve the raw query as a last resort;
+                // if even that panics, return an empty well-formed
+                // response.
+                let err = ServeError::EnginePanic;
+                let mut resp = catch_unwind(AssertUnwindSafe(|| {
+                    let (query, _) = sanitize_query(query, config);
+                    self.search_baseline(&query, config)
+                }))
+                .unwrap_or_else(|_| SearchResponse {
+                    ranked: Vec::new(),
+                    candidates: Vec::new(),
+                    base_candidates: 0,
+                    extra_candidates: 0,
+                    rewrites_used: Vec::new(),
+                    rewrite_source: RewriteSource::None,
+                    cost: RetrievalCost::default(),
+                    degradations: Vec::new(),
+                });
+                resp.degradations.push(err);
+                resp
+            }
+        };
+        for e in &response.degradations {
+            self.health.record_error(e);
+        }
+        self.health.record_source(response.rewrite_source);
+        response
+    }
+
+    fn serve_inner(
+        &self,
+        query: &[String],
+        ladder: RewriteLadder<'_>,
+        config: &ServingConfig,
+        budget: &DeadlineBudget,
+        faults: Option<&FaultInjector>,
+    ) -> SearchResponse {
+        let mut events: Vec<ServeError> = Vec::new();
+        let (query, truncated) = sanitize_query(query, config);
+        if let Some(e) = truncated {
+            events.push(e);
+        }
+
+        let t0 = budget.elapsed();
+        let (rewrites, source) =
+            self.acquire_rewrites(&query, ladder, config, budget, faults, &mut events);
+        self.health.record_stage_latency(Stage::Rewrite, budget.elapsed().saturating_sub(t0));
+
+        self.retrieve_and_rank(&query, rewrites, source, config, budget, &mut events)
+    }
+
+    /// Walks the degradation ladder until a rung yields usable rewrites.
+    fn acquire_rewrites(
+        &self,
+        query: &[String],
+        ladder: RewriteLadder<'_>,
+        config: &ServingConfig,
+        budget: &DeadlineBudget,
+        faults: Option<&FaultInjector>,
+        events: &mut Vec<ServeError>,
+    ) -> (Vec<Vec<String>>, RewriteSource) {
+        if query.is_empty() {
+            return (Vec::new(), RewriteSource::None);
+        }
+
+        // Rung 1: KV cache. Cheap enough to try regardless of budget, but
+        // entries are validated — a poisoned entry must not reach
+        // retrieval.
+        if let Some(cache) = ladder.cache {
+            if let Some(cached) = cache.get(query) {
+                let any_invalid = cached.iter().any(|r| !valid_rewrite(r, config));
+                let cleaned = clean_rewrites(cached, query, config);
+                if !cleaned.is_empty() {
+                    return (cleaned, RewriteSource::Cache);
+                }
+                events.push(if any_invalid {
+                    ServeError::PoisonedCacheEntry
+                } else {
+                    ServeError::EmptyOutput { rewriter: "kv-cache".to_string() }
+                });
+            }
+        }
+
+        // Rung 2: online q2q model, guarded by budget, breaker and
+        // catch_unwind.
+        if let Some(online) = ladder.online {
+            if budget.expired() {
+                events.push(ServeError::DeadlineExceeded { stage: Stage::Rewrite });
+            } else if !self.breaker.allow() {
+                events.push(ServeError::BreakerOpen);
+            } else {
+                let fault = faults.map_or(Fault::None, FaultInjector::draw);
+                if let Fault::Latency(spike) = fault {
+                    budget.charge(spike);
+                }
+                if budget.expired() {
+                    events.push(ServeError::DeadlineExceeded { stage: Stage::Rewrite });
+                    self.breaker.record_failure();
+                } else {
+                    match self.call_rewriter(online, query, config, fault) {
+                        Ok(cleaned) if !cleaned.is_empty() => {
+                            self.breaker.record_success();
+                            return (cleaned, RewriteSource::Fallback);
+                        }
+                        Ok(_) => {
+                            // Healthy call, nothing usable: not a breaker
+                            // failure.
+                            self.breaker.record_success();
+                            events.push(ServeError::EmptyOutput {
+                                rewriter: online.name().to_string(),
+                            });
+                        }
+                        Err(e) => {
+                            self.breaker.record_failure();
+                            events.push(e);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Rung 3: rule-based baseline. Deliberately NOT budget-gated: its
+        // cost is bounded (dictionary substitution), and salvaging a
+        // blown-deadline request with cheap rewrites is exactly what the
+        // ladder is for. Panic isolation still applies.
+        if let Some(baseline) = ladder.baseline {
+            match self.call_rewriter(baseline, query, config, Fault::None) {
+                Ok(cleaned) if !cleaned.is_empty() => {
+                    return (cleaned, RewriteSource::Baseline);
+                }
+                Ok(_) => events.push(ServeError::EmptyOutput {
+                    rewriter: baseline.name().to_string(),
+                }),
+                Err(e) => events.push(e),
+            }
+        }
+
+        // Rung 4: raw query only.
+        (Vec::new(), RewriteSource::None)
+    }
+
+    /// Invokes one rewriter behind `catch_unwind`, applying an injected
+    /// fault, and returns its cleaned output.
+    fn call_rewriter(
+        &self,
+        rewriter: &dyn QueryRewriter,
+        query: &[String],
+        config: &ServingConfig,
+        fault: Fault,
+    ) -> Result<Vec<Vec<String>>, ServeError> {
+        let name = rewriter.name().to_string();
+        let outcome = catch_unwind(AssertUnwindSafe(|| match fault {
+            Fault::Panic => panic!("injected rewriter panic"),
+            Fault::ModelError => Err(ServeError::ModelError { rewriter: name.clone() }),
+            Fault::None | Fault::Latency(_) => Ok(rewriter.rewrite(query, config.max_rewrites)),
+        }));
+        match outcome {
+            Err(_) => Err(ServeError::ModelPanic { rewriter: name }),
+            Ok(Err(e)) => Err(e),
+            Ok(Ok(raw)) => Ok(clean_rewrites(raw, query, config)),
+        }
+    }
+
+    /// Retrieval + ranking shared by the legacy and resilient paths. With
+    /// an unlimited budget this is exactly the original §III-G flow; with
+    /// a real budget, rewrite expansion and BM25 ranking each degrade when
+    /// time has run out.
+    fn retrieve_and_rank(
+        &self,
+        query: &[String],
+        rewrites: Vec<Vec<String>>,
+        source: RewriteSource,
+        config: &ServingConfig,
+        budget: &DeadlineBudget,
+        events: &mut Vec<ServeError>,
+    ) -> SearchResponse {
+        if query.is_empty() {
+            // An empty AND tree matches the whole index; an empty query
+            // must instead retrieve nothing (well-formed, never a panic).
+            return SearchResponse {
+                ranked: Vec::new(),
+                candidates: Vec::new(),
+                base_candidates: 0,
+                extra_candidates: 0,
+                rewrites_used: Vec::new(),
+                rewrite_source: RewriteSource::None,
+                cost: RetrievalCost::default(),
+                degradations: std::mem::take(events),
+            };
+        }
+        let t0 = budget.elapsed();
         // Original-query candidates always survive in full.
         let (base_docs, base_cost) = QueryTree::and_of_tokens(query).evaluate(&self.index);
         let mut cost = base_cost;
         let mut extra: Vec<usize> = Vec::new();
 
+        let mut use_merged = config.merged_tree;
+        if !rewrites.is_empty() && !use_merged && budget.expired() {
+            // Out of time for one tree per rewrite: the §III-H merged tree
+            // is the cheaper evaluation, so degrade to it.
+            events.push(ServeError::DeadlineExceeded { stage: Stage::Retrieval });
+            use_merged = true;
+        }
+
         if !rewrites.is_empty() {
-            if config.merged_tree {
+            if use_merged {
                 let mut all = vec![query.to_vec()];
                 all.extend(rewrites.iter().cloned());
                 let (docs, c) = QueryTree::merge_factored(&all).evaluate(&self.index);
@@ -128,9 +440,11 @@ impl SearchEngine {
             }
             extra.truncate(config.max_extra_candidates * rewrites.len());
         }
+        self.health.record_stage_latency(Stage::Retrieval, budget.elapsed().saturating_sub(t0));
 
         // Rank the union with BM25 against the original query, extended by
         // the rewrites' vocabulary so semantically-matched docs can score.
+        let t1 = budget.elapsed();
         let mut rank_query: Vec<String> = query.to_vec();
         for rw in &rewrites {
             for tok in rw {
@@ -141,7 +455,15 @@ impl SearchEngine {
         }
         let mut candidates = base_docs.clone();
         candidates.extend(extra.iter().copied());
-        let ranked = self.rank(&rank_query, &candidates, config.top_k);
+        let ranked = if budget.expired() && !candidates.is_empty() {
+            // No time for BM25: return an unranked prefix rather than
+            // overrun the deadline.
+            events.push(ServeError::DeadlineExceeded { stage: Stage::Rank });
+            candidates.iter().take(config.top_k).copied().collect()
+        } else {
+            self.rank(&rank_query, &candidates, config.top_k)
+        };
+        self.health.record_stage_latency(Stage::Rank, budget.elapsed().saturating_sub(t1));
 
         SearchResponse {
             base_candidates: base_docs.len(),
@@ -151,6 +473,7 @@ impl SearchEngine {
             rewrites_used: rewrites,
             rewrite_source: source,
             cost,
+            degradations: std::mem::take(events),
         }
     }
 
@@ -162,6 +485,49 @@ impl SearchEngine {
         scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         scored.into_iter().take(top_k).map(|(_, d)| d).collect()
     }
+}
+
+/// Drops blank tokens and truncates oversized queries. Returns the usable
+/// query and, when truncation happened, the degradation to record.
+fn sanitize_query(query: &[String], config: &ServingConfig) -> (Vec<String>, Option<ServeError>) {
+    let mut cleaned: Vec<String> =
+        query.iter().filter(|t| !t.trim().is_empty()).cloned().collect();
+    if cleaned.len() > config.max_query_tokens {
+        let err =
+            ServeError::QueryTruncated { tokens: cleaned.len(), max: config.max_query_tokens };
+        cleaned.truncate(config.max_query_tokens);
+        (cleaned, Some(err))
+    } else {
+        (cleaned, None)
+    }
+}
+
+/// A rewrite is structurally valid when it is non-empty, contains no blank
+/// tokens, and is no longer than a maximal query. Anything else in the KV
+/// store is treated as a poisoned entry.
+fn valid_rewrite(rewrite: &[String], config: &ServingConfig) -> bool {
+    !rewrite.is_empty()
+        && rewrite.len() <= config.max_query_tokens
+        && rewrite.iter().all(|t| !t.trim().is_empty())
+}
+
+/// Keeps only valid rewrites that differ from the query, capped at
+/// `max_rewrites`.
+fn clean_rewrites(
+    raw: Vec<Vec<String>>,
+    query: &[String],
+    config: &ServingConfig,
+) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = Vec::new();
+    for r in raw {
+        if valid_rewrite(&r, config) && r != query && !out.contains(&r) {
+            out.push(r);
+        }
+        if out.len() == config.max_rewrites {
+            break;
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -3,8 +3,7 @@
 //! Every experiment in this reproduction is seeded, so all initializers take
 //! an explicit RNG rather than pulling entropy from the environment.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::StdRng;
 
 use crate::tensor::Tensor;
 
@@ -42,7 +41,6 @@ pub fn ones(rows: usize, cols: usize) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn deterministic_given_seed() {

@@ -19,14 +19,20 @@
 //!   setup.
 //! * [`init`] — deterministic, seeded initializers.
 //! * [`serialize`] — tiny binary checkpoints.
+//! * [`rng`] — the in-repo SplitMix64 generator (hermetic builds: no
+//!   external `rand`).
+//! * [`sync`] — poison-recovering locks over `std::sync`.
 
 pub mod init;
 pub mod optim;
 pub mod param;
+pub mod rng;
 pub mod serialize;
+pub mod sync;
 pub mod tape;
 pub mod tensor;
 
 pub use param::{Param, ParamSet};
+pub use rng::StdRng;
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::{log_sum_exp, Tensor};

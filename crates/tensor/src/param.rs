@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::tensor::Tensor;

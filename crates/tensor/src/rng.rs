@@ -1,0 +1,286 @@
+//! Seeded, dependency-free pseudo-random number generation.
+//!
+//! The workspace must build with no network access, so the external `rand`
+//! crate is replaced by this SplitMix64 generator. The API mirrors the
+//! subset of `rand` the repo actually uses (`seed_from_u64`, `gen`,
+//! `gen_range`, `gen_bool`, shuffling), so call sites read the same.
+//!
+//! SplitMix64 (Steele, Lea & Flood 2014) passes BigCrush, has a full 2^64
+//! period over its state increment, and is a few instructions per draw —
+//! more than enough statistical quality for data generation, sampling
+//! decoders, dropout masks and fault injection, all of which only need a
+//! deterministic, well-mixed stream per seed.
+
+/// A small deterministic PRNG (SplitMix64 core).
+///
+/// The name matches the external crate type it replaces, so existing call
+/// sites keep their meaning; the streams differ, which only shifts which
+/// deterministic sample each seed denotes.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, 1)` with 24 random mantissa bits.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform sample of a [`Standard`] type (`f32`/`f64` in `[0,1)`,
+    /// full-range integers, fair `bool`).
+    #[inline]
+    pub fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform sample from a range. Empty ranges yield the start bound
+    /// rather than panicking (the serve path must stay total).
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Types samplable without an explicit range.
+pub trait Standard: Sized {
+    fn from_rng(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f32 {
+    fn from_rng(rng: &mut StdRng) -> Self {
+        rng.next_f32()
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng(rng: &mut StdRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn from_rng(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a uniform sampler over half-open and closed intervals.
+pub trait Uniform: Copy {
+    /// Uniform in `[lo, hi)`; returns `lo` when the range is empty.
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+    /// Uniform in `[lo, hi]`; returns `lo` when `hi <= lo`.
+    fn sample_range_incl(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            #[inline]
+            fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                if hi <= lo {
+                    return lo;
+                }
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+            #[inline]
+            fn sample_range_incl(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                if hi <= lo {
+                    return lo;
+                }
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every value is fair game.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! float_uniform {
+    ($($t:ty => $next:ident),*) => {$(
+        impl Uniform for $t {
+            #[inline]
+            fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                // `partial_cmp` so NaN / degenerate bounds collapse to `lo`.
+                if lo.partial_cmp(&hi) != Some(core::cmp::Ordering::Less) {
+                    return lo;
+                }
+                lo + rng.$next() * (hi - lo)
+            }
+            #[inline]
+            fn sample_range_incl(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                Self::sample_range(rng, lo, hi)
+            }
+        }
+    )*};
+}
+
+float_uniform!(f32 => next_f32, f64 => next_f64);
+
+/// Ranges a uniform sample can be drawn from. The single blanket impl per
+/// range shape lets the element type flow from the call-site context (e.g.
+/// slice indexing infers `usize`), exactly like `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: Uniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: Uniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> T {
+        T::sample_range_incl(rng, *self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_floats_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.next_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let j = rng.gen_range(5u32..=9);
+            assert!((5..=9).contains(&j));
+            let f = rng.gen_range(-2.0f32..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn empty_range_is_total() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(rng.gen_range(7usize..7), 7);
+        assert_eq!(rng.gen_range(4.0f64..1.0), 4.0);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "50 elements staying in place is vanishingly unlikely");
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean: f64 = (0..10_000).map(|_| rng.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "{mean}");
+    }
+}

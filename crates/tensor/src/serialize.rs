@@ -8,76 +8,108 @@
 use std::collections::HashMap;
 use std::io;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::param::ParamSet;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"QRWT";
 const VERSION: u32 = 1;
 
+fn put_u32_le(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
 /// Serializes all parameters of `params` into a checkpoint buffer.
-pub fn save(params: &ParamSet) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(params.len() as u32);
+pub fn save(params: &ParamSet) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    put_u32_le(&mut buf, VERSION);
+    put_u32_le(&mut buf, params.len() as u32);
     for p in params {
         let name = p.name();
         let bytes = name.as_bytes();
-        buf.put_u32_le(bytes.len() as u32);
-        buf.put_slice(bytes);
+        put_u32_le(&mut buf, bytes.len() as u32);
+        buf.extend_from_slice(bytes);
         let v = p.value();
-        buf.put_u32_le(v.rows() as u32);
-        buf.put_u32_le(v.cols() as u32);
+        put_u32_le(&mut buf, v.rows() as u32);
+        put_u32_le(&mut buf, v.cols() as u32);
         for &x in v.data() {
-            buf.put_f32_le(x);
+            buf.extend_from_slice(&x.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// A bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(bad("truncated checkpoint"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u32_le(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_f32_le(&mut self) -> io::Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
 /// Parses a checkpoint into `(name, tensor)` records.
-pub fn parse(mut buf: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
-    if buf.remaining() < 12 {
+pub fn parse(buf: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
+    let mut r = Reader { buf };
+    if r.remaining() < 12 {
         return Err(bad("checkpoint too short"));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let magic = r.take(4)?;
+    if magic != MAGIC {
         return Err(bad("bad checkpoint magic"));
     }
-    let version = buf.get_u32_le();
+    let version = r.get_u32_le()?;
     if version != VERSION {
         return Err(bad(format!("unsupported checkpoint version {version}")));
     }
-    let count = buf.get_u32_le() as usize;
-    let mut out = Vec::with_capacity(count);
+    let count = r.get_u32_le()? as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
     for _ in 0..count {
-        if buf.remaining() < 4 {
+        if r.remaining() < 4 {
             return Err(bad("truncated record header"));
         }
-        let name_len = buf.get_u32_le() as usize;
-        if buf.remaining() < name_len + 8 {
+        let name_len = r.get_u32_le()? as usize;
+        if r.remaining() < name_len + 8 {
             return Err(bad("truncated record"));
         }
-        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+        let name = String::from_utf8(r.take(name_len)?.to_vec())
             .map_err(|_| bad("parameter name is not UTF-8"))?;
-        let rows = buf.get_u32_le() as usize;
-        let cols = buf.get_u32_le() as usize;
+        let rows = r.get_u32_le()? as usize;
+        let cols = r.get_u32_le()? as usize;
         let n = rows
             .checked_mul(cols)
             .ok_or_else(|| bad("parameter shape overflow"))?;
-        if buf.remaining() < n * 4 {
+        if r.remaining() < n.saturating_mul(4) {
             return Err(bad("truncated tensor data"));
         }
         let mut data = Vec::with_capacity(n);
         for _ in 0..n {
-            data.push(buf.get_f32_le());
+            data.push(r.get_f32_le()?);
         }
         out.push((name, Tensor::from_vec(rows, cols, data)));
     }

@@ -1,0 +1,105 @@
+//! Poison-recovering locks over `std::sync`.
+//!
+//! Drop-in for the `parking_lot` API surface the repo used (`read`/`write`/
+//! `lock` returning guards directly). A panic while a writer holds a std
+//! lock poisons it; for this workspace's data (parameter tensors, rewrite
+//! caches, health counters) the right response is to keep serving with the
+//! last-written state rather than propagate the panic to every future
+//! request, so the guards recover from poisoning instead of unwrapping.
+
+use std::fmt;
+use std::sync::{MutexGuard, PoisonError, RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock whose accessors never panic on poison.
+#[derive(Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("RwLock").field(&&*self.read()).finish()
+    }
+}
+
+/// A mutex whose accessor never panics on poison.
+#[derive(Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Mutex").field(&&*self.lock()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn mutex_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(1));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        // A poisoned std mutex would panic here; the wrapper recovers.
+        assert_eq!(*m.lock(), 1);
+        *m.lock() = 2;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn rwlock_recovers_from_poison() {
+        let l = Arc::new(RwLock::new(vec![1, 2]));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(l.read().len(), 2);
+    }
+}

@@ -2,11 +2,10 @@
 //!
 //! For each op we build a scalar loss through it, compute analytic parameter
 //! gradients with `Tape::backward`, and compare against central differences.
-//! Shapes and values are randomized via proptest where it adds coverage.
+//! Shapes and values are randomized (seeded, reproducible) where it adds
+//! coverage.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrw_tensor::rng::StdRng;
 
 use qrw_tensor::init;
 use qrw_tensor::tape::{Tape, Var};
@@ -282,12 +281,15 @@ gradcheck!(
     }
 );
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    // Matmul gradients hold across random shapes.
-    #[test]
-    fn prop_matmul_gradcheck(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..1000) {
+// Matmul gradients hold across random shapes (16 seeded cases).
+#[test]
+fn prop_matmul_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(0x3A73);
+    for _ in 0..16 {
+        let m = rng.gen_range(1usize..4);
+        let k = rng.gen_range(1usize..4);
+        let n = rng.gen_range(1usize..4);
+        let seed = rng.gen_range(0u64..1000);
         let a = rand_param(seed, "a", m, k);
         let b = rand_param(seed.wrapping_add(1), "b", k, n);
         let params = vec![a, b];
@@ -296,26 +298,44 @@ proptest! {
             let b = tape.param(&ps[1]);
             to_scalar(tape, a.matmul(b))
         };
-        let f = || { let t = Tape::new(); build(&t, &params).item() };
-        let analytic = || { let t = Tape::new(); let l = build(&t, &params); t.backward(l); };
+        let f = || {
+            let t = Tape::new();
+            build(&t, &params).item()
+        };
+        let analytic = || {
+            let t = Tape::new();
+            let l = build(&t, &params);
+            t.backward(l);
+        };
         check_grads(&params, &f, &analytic, 3e-2);
     }
+}
 
-    // Softmax rows always sum to 1 on tape values too.
-    #[test]
-    fn prop_tape_softmax_rows_sum_to_one(rows in 1usize..5, cols in 1usize..6, seed in 0u64..1000) {
-        let p = rand_param(seed, "x", rows, cols);
+// Softmax rows always sum to 1 on tape values too.
+#[test]
+fn prop_tape_softmax_rows_sum_to_one() {
+    let mut rng = StdRng::seed_from_u64(0x50F7);
+    for _ in 0..16 {
+        let rows = rng.gen_range(1usize..5);
+        let cols = rng.gen_range(1usize..6);
+        let p = rand_param(rng.gen_range(0u64..1000), "x", rows, cols);
         let tape = Tape::new();
         let s = tape.param(&p).row_softmax().value();
         for r in 0..rows {
             let sum: f32 = s.row_slice(r).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
+            assert!((sum - 1.0).abs() < 1e-4);
         }
     }
+}
 
-    // Cross-entropy via the fused op equals -sum(w * log_softmax[target]).
-    #[test]
-    fn prop_cross_entropy_consistent(rows in 1usize..4, cols in 2usize..6, seed in 0u64..1000) {
+// Cross-entropy via the fused op equals -sum(w * log_softmax[target]).
+#[test]
+fn prop_cross_entropy_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xCE11);
+    for _ in 0..16 {
+        let rows = rng.gen_range(1usize..4);
+        let cols = rng.gen_range(2usize..6);
+        let seed = rng.gen_range(0u64..1000);
         let p = rand_param(seed, "logits", rows, cols);
         let targets: Vec<usize> = (0..rows).map(|r| (seed as usize + r) % cols).collect();
         let weights = vec![1.0; rows];
@@ -324,6 +344,6 @@ proptest! {
         let fused = logits.cross_entropy_sum(&targets, &weights).item();
         let logp = p.value().row_log_softmax();
         let manual: f32 = targets.iter().enumerate().map(|(r, &t)| -logp.get(r, t)).sum();
-        prop_assert!((fused - manual).abs() < 1e-4);
+        assert!((fused - manual).abs() < 1e-4);
     }
 }

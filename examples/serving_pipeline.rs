@@ -88,6 +88,55 @@ fn main() {
         );
     }
 
+    // Resilience tier: serve through the degradation ladder while the q2q
+    // model "goes down" mid-run. The seeded injector makes every online
+    // call fail from request 4 on; requests degrade to the rule-based rung
+    // (or the cache, when it hits) instead of erroring out.
+    println!("\nresilience demo: q2q model starts faulting mid-run");
+    let rules = RuleBasedRewriter::new(SynonymDict::from_catalog(&data.log.catalog));
+    let ladder = RewriteLadder {
+        cache: Some(&cache),
+        online: Some(&q2q),
+        baseline: Some(&rules),
+    };
+    let outage = FaultInjector::new(42, FaultConfig::always(Fault::ModelError));
+    let budget = std::time::Duration::from_millis(250);
+    for (i, q) in data.log.queries.iter().step_by(9).take(12).enumerate() {
+        let faults = if i >= 4 { Some(&outage) } else { None };
+        let resp = engine.search_resilient(
+            &q.tokens,
+            ladder,
+            &serving,
+            &DeadlineBudget::new(budget),
+            faults,
+        );
+        let degradations: Vec<String> =
+            resp.degradations.iter().map(ToString::to_string).collect();
+        println!(
+            "  [{i:>2}] {:<30} rung {:<10} ranked {:<3} {}",
+            q.text(),
+            format!("{:?}", resp.rewrite_source),
+            resp.ranked.len(),
+            if degradations.is_empty() { String::from("healthy") } else { degradations.join("; ") },
+        );
+    }
+    let report = engine.health_report();
+    println!(
+        "health: {} requests | rungs cache/online/baseline/raw = {}/{}/{}/{}",
+        report.requests,
+        report.served_cache,
+        report.served_online,
+        report.served_baseline,
+        report.served_raw
+    );
+    println!(
+        "        {} model errors, {} degradation events, rewrite coverage {:.0}%, breaker {:?}",
+        report.model_errors,
+        report.degradations(),
+        100.0 * report.rewrite_coverage(),
+        report.breaker_state
+    );
+
     // Show one hard query traveling the whole path.
     if let Some(q) = data.log.queries.iter().find(|q| q.kind == QueryKind::HardAudience) {
         let baseline = engine.search_baseline(&q.tokens, &serving);

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline verification gate: the workspace must build, test, and lint
+# without touching the network (the build is fully hermetic — no external
+# crates, see CHANGES.md).
+#
+#   scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== clippy (offline, warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

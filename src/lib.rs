@@ -84,7 +84,9 @@ pub mod prelude {
         Seq2Seq, TopNSampling,
     };
     pub use qrw_search::{
-        run_ab, AbConfig, InvertedIndex, QueryTree, RewriteCache, SearchEngine, ServingConfig,
+        run_ab, AbConfig, BreakerConfig, BreakerState, DeadlineBudget, Fault, FaultConfig,
+        FaultInjector, HealthReport, InvertedIndex, QueryTree, RewriteCache, RewriteLadder,
+        SearchEngine, ServeError, ServingConfig,
     };
     pub use qrw_text::{tokenize, Vocab};
 }

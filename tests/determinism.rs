@@ -3,8 +3,7 @@
 
 use cycle_rewrite::prelude::*;
 use qrw_nmt::Seq2Seq;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qrw_tensor::rng::StdRng;
 
 #[test]
 fn data_stack_is_deterministic() {
