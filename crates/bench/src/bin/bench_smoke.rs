@@ -1,0 +1,178 @@
+//! Smoke-sized benchmark run persisting the decode / matmul perf
+//! trajectory as machine-readable JSON.
+//!
+//! Runs in seconds (it is wired into `scripts/verify.sh --bench-smoke`),
+//! writes `BENCH_decode.json` and `BENCH_matmul.json` into the output
+//! directory (`--out DIR`, default `.`), re-validates both files against
+//! the schema, and fails if the KV-cached decode path is not at least 3x
+//! faster than the prefix-recompute baseline measured in the same run —
+//! the acceptance bar of the fast-decode PR, kept as a regression gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qrw_bench::harness::{bench, group, validate_bench_json, BenchRecord};
+use qrw_nmt::{ComponentKind, ModelConfig, Seq2Seq, TransformerDecodeMode};
+use qrw_tensor::rng::StdRng;
+use qrw_tensor::Tensor;
+use qrw_text::BOS;
+
+/// Minimum cached-vs-recompute median speedup accepted for the
+/// max-length transformer decode (the PR's acceptance criterion).
+const MIN_DECODE_SPEEDUP: f64 = 3.0;
+
+fn main() -> ExitCode {
+    let out_dir = parse_out_dir();
+    let decode = bench_decode();
+    let matmul = bench_matmul();
+
+    for rec in [&decode, &matmul] {
+        let path = out_dir.join(format!("BENCH_{}.json", rec.bench));
+        match rec.write_validated(&path) {
+            Ok(_) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("bench_smoke: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Belt and braces: the persisted bytes themselves must re-validate.
+        let text = std::fs::read_to_string(&path).expect("re-read bench file");
+        if let Err(e) = validate_bench_json(&text) {
+            eprintln!("bench_smoke: {} is malformed: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let recompute = decode.entry("transformer_decode_maxlen/prefix_recompute").unwrap();
+    let cached = decode.entry("transformer_decode_maxlen/kv_cache").unwrap();
+    let speedup = recompute.median_ns as f64 / cached.median_ns.max(1) as f64;
+    println!("\nkv-cache median speedup over prefix recompute: {speedup:.1}x");
+    if speedup < MIN_DECODE_SPEEDUP {
+        eprintln!(
+            "bench_smoke: decode speedup {speedup:.2}x below the {MIN_DECODE_SPEEDUP}x bar \
+             (recompute median {} ns, cached median {} ns)",
+            recompute.median_ns, cached.median_ns
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_out_dir() -> PathBuf {
+    let mut args = std::env::args().skip(1);
+    let mut out = PathBuf::from(".");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a directory")),
+            other => panic!("unknown argument {other:?} (usage: bench_smoke [--out DIR])"),
+        }
+    }
+    out
+}
+
+/// Max-length decode (15 steps, Table V measurement config) through both
+/// transformer decode modes, plus the hybrid RNN-decoder reference point.
+fn bench_decode() -> BenchRecord {
+    let src: Vec<usize> = (10..22).collect();
+    let mut record = BenchRecord::new("decode");
+
+    group("decode_maxlen (latency_bench config, 15 steps)");
+    for (label, mode) in [
+        ("prefix_recompute", TransformerDecodeMode::PrefixRecompute),
+        ("kv_cache", TransformerDecodeMode::KvCache),
+    ] {
+        let mut model = Seq2Seq::new(
+            ModelConfig::latency_bench(ComponentKind::Transformer, ComponentKind::Transformer),
+            99,
+        );
+        model.set_decode_mode(mode);
+        let memory = model.encode(&src);
+        let max_len = model.config().max_tgt_len;
+        let s = bench(&format!("transformer_decode_maxlen/{label}"), 1, 9, || {
+            let mut state = model.start_state(&memory);
+            let mut prefix = vec![BOS];
+            for step in 0..max_len {
+                let lp = model.next_log_probs(&memory, &mut state, &prefix);
+                std::hint::black_box(&lp);
+                prefix.push(10 + (step % 12));
+            }
+        });
+        record.push(format!("transformer_decode_maxlen/{label}"), s);
+    }
+
+    // The paper's §III-G serving trick (transformer encoder + RNN decoder)
+    // for trajectory context next to the cached transformer numbers.
+    let hybrid = Seq2Seq::new(
+        ModelConfig::latency_bench(ComponentKind::Transformer, ComponentKind::Rnn),
+        99,
+    );
+    let memory = hybrid.encode(&src);
+    let max_len = hybrid.config().max_tgt_len;
+    let s = bench("hybrid_rnn_decode_maxlen", 1, 9, || {
+        let mut state = hybrid.start_state(&memory);
+        let mut prefix = vec![BOS];
+        for step in 0..max_len {
+            let lp = hybrid.next_log_probs(&memory, &mut state, &prefix);
+            std::hint::black_box(&lp);
+            prefix.push(10 + (step % 12));
+        }
+    });
+    record.push("hybrid_rnn_decode_maxlen", s);
+    record
+}
+
+/// Blocked-kernel matmul at serving-relevant shapes, the row-parallel
+/// size, and a naive triple loop at 256^3 for the kernel's own trajectory.
+fn bench_matmul() -> BenchRecord {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut random = |rows: usize, cols: usize| {
+        let data = (0..rows * cols).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+        Tensor::from_vec(rows, cols, data)
+    };
+    let mut record = BenchRecord::new("matmul");
+
+    group("matmul kernels");
+    for n in [64usize, 128, 256] {
+        let a = random(n, n);
+        let b = random(n, n);
+        let s = bench(&format!("blocked_{n}"), 1, 7, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        record.push(format!("blocked_{n}"), s);
+    }
+
+    // 256^3 = 16.8M MACs, above PAR_MIN_WORK: exercises the row-parallel
+    // path. The naive loop at the same size anchors the kernel speedup.
+    let a = random(256, 256);
+    let b = random(256, 256);
+    let s = bench("naive_256", 1, 5, || {
+        std::hint::black_box(naive_matmul(&a, &b));
+    });
+    record.push("naive_256", s);
+
+    // Fused epilogue at the decoder's per-step shape (1 row x d_ff).
+    let x = random(1, 64);
+    let w = random(64, 128);
+    let bias = random(1, 128);
+    let s = bench("fused_bias_relu_1x64x128", 10, 9, || {
+        std::hint::black_box(x.matmul_bias_act(&w, &bias, qrw_tensor::Activation::Relu));
+    });
+    record.push("fused_bias_relu_1x64x128", s);
+    record
+}
+
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut sum = 0.0f32;
+            for p in 0..k {
+                sum += a.get(i, p) * b.get(p, j);
+            }
+            out.set(i, j, sum);
+        }
+    }
+    out
+}

@@ -47,6 +47,376 @@ pub fn group(title: &str) {
     println!("\n== {title} ==");
 }
 
+/// A machine-readable benchmark trajectory: one named [`Sample`] per
+/// entry, persisted as `BENCH_<name>.json` so successive optimisation PRs
+/// leave comparable numbers behind.
+///
+/// The on-disk schema (hand-rolled, no external JSON crate):
+///
+/// ```json
+/// {"bench": "decode", "unit": "ns",
+///  "entries": [{"name": "...", "median_ns": 1, "min_ns": 1, "max_ns": 2}]}
+/// ```
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    pub bench: String,
+    entries: Vec<(String, Sample)>,
+}
+
+impl BenchRecord {
+    pub fn new(bench: impl Into<String>) -> Self {
+        BenchRecord { bench: bench.into(), entries: Vec::new() }
+    }
+
+    /// Records one named sample (names must be unique within a record).
+    pub fn push(&mut self, name: impl Into<String>, sample: Sample) {
+        let name = name.into();
+        assert!(
+            self.entries.iter().all(|(n, _)| *n != name),
+            "duplicate bench entry name: {name}"
+        );
+        self.entries.push((name, sample));
+    }
+
+    /// The recorded sample for `name`, if present.
+    pub fn entry(&self, name: &str) -> Option<Sample> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
+    }
+
+    /// Serializes the record to the `BENCH_*.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string(&self.bench)));
+        out.push_str("  \"unit\": \"ns\",\n");
+        out.push_str("  \"entries\": [\n");
+        for (i, (name, s)) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+                json_string(name),
+                s.median_ns,
+                s.min_ns,
+                s.max_ns,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `to_json` to `path`, then re-reads and re-validates it so a
+    /// truncated or garbled write fails loudly at the producer.
+    pub fn write_validated(&self, path: &std::path::Path) -> std::io::Result<BenchRecord> {
+        std::fs::write(path, self.to_json())?;
+        let text = std::fs::read_to_string(path)?;
+        validate_bench_json(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{} failed validation after write: {e}", path.display()),
+            )
+        })
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses and schema-checks a `BENCH_*.json` document, returning the
+/// decoded record. Errors describe the first violation found: not JSON,
+/// wrong field types, a non-`ns` unit, empty or duplicate entries, or an
+/// entry whose stats are not ordered `min <= median <= max`.
+pub fn validate_bench_json(text: &str) -> Result<BenchRecord, String> {
+    let value = json::parse(text)?;
+    if value.as_object().is_none() {
+        return Err("top level is not an object".into());
+    }
+    let bench = value
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"bench\"")?
+        .to_string();
+    if bench.is_empty() {
+        return Err("\"bench\" must be non-empty".into());
+    }
+    match value.get("unit").and_then(Json::as_str) {
+        Some("ns") => {}
+        Some(other) => return Err(format!("unsupported unit {other:?} (expected \"ns\")")),
+        None => return Err("missing string field \"unit\"".into()),
+    }
+    let entries = value
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or("missing array field \"entries\"")?;
+    if entries.is_empty() {
+        return Err("\"entries\" must be non-empty".into());
+    }
+    let mut record = BenchRecord::new(bench);
+    for (i, e) in entries.iter().enumerate() {
+        if e.as_object().is_none() {
+            return Err(format!("entries[{i}] is not an object"));
+        }
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("entries[{i}] missing string \"name\""))?;
+        if name.is_empty() {
+            return Err(format!("entries[{i}] has an empty name"));
+        }
+        if record.entry(name).is_some() {
+            return Err(format!("duplicate entry name {name:?}"));
+        }
+        let stat = |field: &str| -> Result<u128, String> {
+            e.get(field)
+                .and_then(Json::as_u128)
+                .ok_or_else(|| format!("entries[{i}] ({name}) missing integer \"{field}\""))
+        };
+        let sample = Sample {
+            median_ns: stat("median_ns")?,
+            min_ns: stat("min_ns")?,
+            max_ns: stat("max_ns")?,
+        };
+        if !(sample.min_ns <= sample.median_ns && sample.median_ns <= sample.max_ns) {
+            return Err(format!(
+                "entries[{i}] ({name}) stats not ordered: min {} <= median {} <= max {} violated",
+                sample.min_ns, sample.median_ns, sample.max_ns
+            ));
+        }
+        record.entries.push((name.to_string(), sample));
+    }
+    Ok(record)
+}
+
+use json::Json;
+
+/// A dependency-free JSON subset parser — just enough for the
+/// `BENCH_*.json` schema (objects, arrays, strings, unsigned integers,
+/// literals), so validation does not need serde.
+mod json {
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Json {
+        Object(Vec<(String, Json)>),
+        Array(Vec<Json>),
+        String(String),
+        Number(f64),
+        Bool(bool),
+        Null,
+    }
+
+    impl Json {
+        pub fn as_object(&self) -> Option<&[(String, Json)]> {
+            match self {
+                Json::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// Field lookup on an object value; `None` for non-objects.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        pub fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as a non-negative integer, rejecting fractions and
+        /// negatives (bench stats are nanosecond counts).
+        pub fn as_u128(&self) -> Option<u128> {
+            match self {
+                Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u128),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => parse_string(b, pos).map(Json::String),
+            Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+            Some(c) => Err(format!("unexpected {:?} at byte {}", *c as char, *pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            let value = parse_value(b, pos)?;
+            fields.push((key, value));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    let esc = b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("unsupported escape \\{}", *other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&b[*pos..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < b.len()
+            && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
 fn fmt_ns(ns: u128) -> String {
     let d = Duration::from_nanos(ns as u64);
     if ns >= 1_000_000_000 {
@@ -78,5 +448,76 @@ mod tests {
         assert_eq!(fmt_ns(1_500), "1.500us");
         assert_eq!(fmt_ns(2_000_000), "2.000ms");
         assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+    }
+
+    fn sample(median: u128, min: u128, max: u128) -> Sample {
+        Sample { median_ns: median, min_ns: min, max_ns: max }
+    }
+
+    #[test]
+    fn bench_record_round_trips_through_json() {
+        let mut rec = BenchRecord::new("decode");
+        rec.push("kv_cache", sample(120, 100, 150));
+        rec.push("with \"quotes\" and \\slash", sample(7, 7, 7));
+        let parsed = validate_bench_json(&rec.to_json()).expect("round trip validates");
+        assert_eq!(parsed.bench, "decode");
+        let s = parsed.entry("kv_cache").unwrap();
+        assert_eq!((s.median_ns, s.min_ns, s.max_ns), (120, 100, 150));
+        assert!(parsed.entry("with \"quotes\" and \\slash").is_some());
+        assert!(parsed.entry("missing").is_none());
+    }
+
+    #[test]
+    fn validator_rejects_schema_violations() {
+        let bad = [
+            ("not json at all", "literal"),
+            ("[1, 2]", "not an object"),
+            ("{\"unit\": \"ns\", \"entries\": []}", "\"bench\""),
+            ("{\"bench\": \"m\", \"unit\": \"ms\", \"entries\": []}", "unsupported unit"),
+            ("{\"bench\": \"m\", \"unit\": \"ns\", \"entries\": []}", "non-empty"),
+            ("{\"bench\": \"m\", \"unit\": \"ns\", \"entries\": [{}]}", "\"name\""),
+            (
+                "{\"bench\": \"m\", \"unit\": \"ns\", \"entries\": [\
+                 {\"name\": \"a\", \"median_ns\": 5, \"min_ns\": 9, \"max_ns\": 10}]}",
+                "not ordered",
+            ),
+            (
+                "{\"bench\": \"m\", \"unit\": \"ns\", \"entries\": [\
+                 {\"name\": \"a\", \"median_ns\": 1.5, \"min_ns\": 1, \"max_ns\": 2}]}",
+                "integer",
+            ),
+            (
+                "{\"bench\": \"m\", \"unit\": \"ns\", \"entries\": [\
+                 {\"name\": \"a\", \"median_ns\": 1, \"min_ns\": 1, \"max_ns\": 2},\
+                 {\"name\": \"a\", \"median_ns\": 1, \"min_ns\": 1, \"max_ns\": 2}]}",
+                "duplicate",
+            ),
+        ];
+        for (text, want) in bad {
+            let err = validate_bench_json(text).expect_err(text);
+            assert!(err.contains(want), "{text}: error {err:?} should mention {want:?}");
+        }
+    }
+
+    #[test]
+    fn write_validated_persists_and_rereads() {
+        let mut rec = BenchRecord::new("matmul");
+        rec.push("blocked_64", sample(10, 9, 12));
+        let dir = std::env::temp_dir().join(format!("qrw_bench_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_matmul.json");
+        let reread = rec.write_validated(&path).expect("write + validate");
+        assert_eq!(reread.entry("blocked_64").unwrap().median_ns, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_push_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut rec = BenchRecord::new("x");
+            rec.push("a", sample(1, 1, 1));
+            rec.push("a", sample(2, 2, 2));
+        });
+        assert!(result.is_err());
     }
 }

@@ -31,4 +31,5 @@ pub use embed::{cosine, EmbeddingModel, SgnsConfig};
 pub use lm_rewriter::{make_lm, train_lm, LmCorpus, LmPoint, LmRewriter, LmTrainConfig};
 pub use persist::{load_joint, load_model, save_joint, save_model};
 pub use pipeline::{QueryRewriter, RewritePipeline, ScoredRewrite};
+pub use qrw_nmt::DecodeStats;
 pub use q2q::{evaluate_q2q, train_q2q, Q2QPoint, Q2QRewriter, Q2QTrainConfig};

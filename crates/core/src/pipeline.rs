@@ -16,7 +16,7 @@ use std::cell::RefCell;
 
 use qrw_tensor::rng::StdRng;
 
-use qrw_nmt::{top_n_sampling, TopNSampling};
+use qrw_nmt::{top_n_sampling, DecodeStats, TopNSampling};
 use qrw_text::Vocab;
 
 use crate::cyclic::JointModel;
@@ -32,6 +32,13 @@ pub trait QueryRewriter {
 
     /// Human-readable name for report tables.
     fn name(&self) -> &str;
+
+    /// Cumulative decode telemetry of the underlying model(s), if this
+    /// rewriter decodes neurally. Serving layers diff two snapshots around
+    /// a call to report decode throughput next to fault counters.
+    fn decode_stats(&self) -> Option<DecodeStats> {
+        None
+    }
 }
 
 /// A ranked rewrite with its provenance.
@@ -157,6 +164,16 @@ impl QueryRewriter for RewritePipeline<'_> {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn decode_stats(&self) -> Option<DecodeStats> {
+        let f = self.model.forward.decode_stats();
+        let b = self.model.backward.decode_stats();
+        Some(DecodeStats {
+            steps: f.steps + b.steps,
+            tokens: f.tokens + b.tokens,
+            cache_hits: f.cache_hits + b.cache_hits,
+        })
     }
 }
 

@@ -202,6 +202,10 @@ impl QueryRewriter for Q2QRewriter<'_> {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn decode_stats(&self) -> Option<qrw_nmt::DecodeStats> {
+        Some(self.model.decode_stats())
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! implemented for the ablation benches.
 
 use qrw_tensor::rng::StdRng;
+use qrw_tensor::Tensor;
 
 use qrw_text::{BOS, EOS};
 
@@ -33,6 +34,21 @@ impl Candidate {
     fn hypothesis(&self) -> Hypothesis {
         Hypothesis { tokens: self.prefix[1..].to_vec(), log_prob: self.log_prob }
     }
+}
+
+/// Advances every candidate one step through a single batched model call,
+/// returning one masked next-token log-prob vector per candidate. Borrows
+/// each candidate's state and prefix disjointly so the whole batch goes
+/// down in one `next_log_probs_batch` forward.
+fn step_live_batch(model: &Seq2Seq, memory: &Tensor, cands: &mut [Candidate]) -> Vec<Vec<f32>> {
+    let mut states: Vec<&mut DecodeState> = Vec::with_capacity(cands.len());
+    let mut prefixes: Vec<&[usize]> = Vec::with_capacity(cands.len());
+    for cand in cands.iter_mut() {
+        let Candidate { prefix, state, .. } = cand;
+        states.push(state);
+        prefixes.push(prefix);
+    }
+    model.next_log_probs_batch(memory, &mut states, &prefixes)
 }
 
 /// Greedy decoding: the single locally-most-likely sequence.
@@ -91,12 +107,14 @@ pub fn beam_search_normalized(
     let mut done: Vec<Candidate> = Vec::new();
 
     for _ in 0..=model.max_tgt_len() {
+        // One batched forward over all live beams instead of `beam`
+        // separate model calls.
+        let lps = step_live_batch(model, &memory, &mut live);
         let mut expansions: Vec<(usize, usize, f32)> = Vec::new(); // (cand, token, new_lp)
-        for (ci, cand) in live.iter_mut().enumerate() {
-            let lp = model.next_log_probs(&memory, &mut cand.state, &cand.prefix);
+        for (ci, lp) in lps.iter().enumerate() {
             for (tok, &tok_lp) in lp.iter().enumerate() {
                 if tok_lp.is_finite() {
-                    expansions.push((ci, tok, cand.log_prob + tok_lp));
+                    expansions.push((ci, tok, live[ci].log_prob + tok_lp));
                 }
             }
         }
@@ -180,14 +198,19 @@ pub fn top_n_sampling(
     let mut candidates: Vec<Candidate> = order
         .into_iter()
         .map(|tok| {
-            let mut state = model.start_state(&memory);
-            // Recurrent states must consume the first token; stateless
-            // decoders recompute from the prefix anyway.
-            let lp = model.next_log_probs(&memory, &mut state, &[BOS]);
-            debug_assert!((lp[tok] - first_lp[tok]).abs() < 1e-4);
+            // `start_state` already consumed BOS when `first_lp` was
+            // computed; cloning it avoids re-running the first step per
+            // candidate (recurrent hidden state and KV cache alike carry
+            // the advanced position).
+            #[cfg(debug_assertions)]
+            {
+                let mut fresh = model.start_state(&memory);
+                let lp = model.next_log_probs(&memory, &mut fresh, &[BOS]);
+                debug_assert!((lp[tok] - first_lp[tok]).abs() < 1e-4);
+            }
             Candidate {
                 prefix: vec![BOS, tok],
-                state,
+                state: start_state.clone(),
                 log_prob: first_lp[tok],
                 finished: false,
             }
@@ -198,9 +221,23 @@ pub fn top_n_sampling(
         if candidates.iter().all(|c| c.finished) {
             break;
         }
-        for cand in candidates.iter_mut().filter(|c| !c.finished) {
-            let lp = model.next_log_probs(&memory, &mut cand.state, &cand.prefix);
-            let tok = sample_top_n(&lp, cfg.n, rng);
+        // Stack the live candidates into one batched forward per step.
+        let mut idxs: Vec<usize> = Vec::with_capacity(candidates.len());
+        let mut states: Vec<&mut DecodeState> = Vec::new();
+        let mut prefixes: Vec<&[usize]> = Vec::new();
+        for (i, cand) in candidates.iter_mut().enumerate() {
+            if cand.finished {
+                continue;
+            }
+            let Candidate { prefix, state, .. } = cand;
+            idxs.push(i);
+            states.push(state);
+            prefixes.push(prefix);
+        }
+        let lps = model.next_log_probs_batch(&memory, &mut states, &prefixes);
+        for (&i, lp) in idxs.iter().zip(&lps) {
+            let cand = &mut candidates[i];
+            let tok = sample_top_n(lp, cfg.n, rng);
             cand.log_prob += lp[tok];
             if tok == EOS || cand.prefix.len() > model.max_tgt_len() {
                 cand.finished = true;

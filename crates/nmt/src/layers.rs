@@ -2,7 +2,8 @@
 
 use qrw_tensor::rng::StdRng;
 
-use qrw_tensor::{init, Param, ParamSet, Tape, Tensor, Var};
+use qrw_tensor::tensor::softmax_in_place;
+use qrw_tensor::{init, Activation, Param, ParamSet, Tape, Tensor, Var};
 
 /// Training-time context: the dropout RNG and rate. `None` means inference.
 pub struct TrainCtx<'r> {
@@ -57,8 +58,14 @@ impl Linear {
     /// states to vocabulary logits every step, so this path keeps online
     /// serving free of per-step weight copies.
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
-        self.w
-            .with_value(|w| self.b.with_value(|b| x.matmul(w).add_row_broadcast(b)))
+        self.forward_inference_act(x, Activation::Identity)
+    }
+
+    /// Inference forward with a fused bias + activation epilogue. The fused
+    /// kernel adds the bias after the full matmul accumulation, exactly as
+    /// the tape path does, so results stay bitwise equal to `forward`.
+    pub fn forward_inference_act(&self, x: &Tensor, act: Activation) -> Tensor {
+        self.w.with_value(|w| self.b.with_value(|b| x.matmul_bias_act(w, b, act)))
     }
 }
 
@@ -79,6 +86,31 @@ impl LayerNorm {
     pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
         x.layer_norm(tape.param(&self.gain), tape.param(&self.bias))
     }
+
+    /// Inference-only forward replicating the tape's arithmetic exactly
+    /// (same epsilon, biased variance, and `(x - mean) * istd * gain + bias`
+    /// evaluation order), so the KV-cached decode path agrees bitwise with
+    /// the tape reference.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        const EPS: f32 = 1e-5;
+        self.gain.with_value(|gain| {
+            self.bias.with_value(|bias| {
+                let n = x.cols() as f32;
+                let mut out = Tensor::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    let row = x.row_slice(r);
+                    let mean = row.iter().sum::<f32>() / n;
+                    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                    let istd = 1.0 / (var + EPS).sqrt();
+                    for (c, &v) in row.iter().enumerate() {
+                        let xh = (v - mean) * istd;
+                        out.set(r, c, xh * gain.get(0, c) + bias.get(0, c));
+                    }
+                }
+                out
+            })
+        })
+    }
 }
 
 /// Token embedding table, with the transformer's `sqrt(d)` scaling.
@@ -97,6 +129,23 @@ impl Embedding {
 
     pub fn forward<'t>(&self, tape: &'t Tape, ids: &[usize]) -> Var<'t> {
         tape.gather_rows(&self.table, ids).scale((self.d_model as f32).sqrt())
+    }
+
+    /// Inference-only embedding lookup (gather + `sqrt(d)` scale) without
+    /// touching a tape. One row per id.
+    pub fn forward_inference(&self, ids: &[usize]) -> Tensor {
+        let scale = (self.d_model as f32).sqrt();
+        self.table.with_value(|table| {
+            let vocab = table.rows();
+            let mut out = Tensor::zeros(ids.len(), self.d_model);
+            for (r, &id) in ids.iter().enumerate() {
+                assert!(id < vocab, "token id {id} out of vocabulary {vocab}");
+                for (o, &v) in out.row_slice_mut(r).iter_mut().zip(table.row_slice(id)) {
+                    *o = v * scale;
+                }
+            }
+            out
+        })
     }
 }
 
@@ -173,6 +222,60 @@ impl MultiHeadAttention {
         let merged = Var::concat_cols(&ctxs);
         self.wo.forward(tape, merged)
     }
+
+    /// Projects `kv_in` through the K and V linears once, on plain tensors.
+    /// Decoding computes these projections a single time per source memory
+    /// (cross-attention) or appends one row per emitted token
+    /// (self-attention), instead of reprojecting the whole prefix per step.
+    pub fn project_kv_inference(&self, kv_in: &Tensor) -> (Tensor, Tensor) {
+        (self.wk.forward_inference(kv_in), self.wv.forward_inference(kv_in))
+    }
+
+    /// Incremental attention: row `r` of `q_in` attends over its own cached
+    /// `kvs[r] = (keys, values)` (each `len x d_model`, already projected by
+    /// [`Self::project_kv_inference`]).
+    ///
+    /// The per-head score/softmax/context arithmetic mirrors `forward`
+    /// term-for-term (ascending dot products seeded at `+0.0`, softmax over
+    /// the full visible row, context accumulated in ascending key order), so
+    /// the result is bitwise equal to the last row of a full recompute — the
+    /// causal mask only ever adds `0.0` to the newest position's row.
+    pub fn attend_rows_inference(&self, q_in: &Tensor, kvs: &[(&Tensor, &Tensor)]) -> Tensor {
+        assert_eq!(q_in.rows(), kvs.len(), "one KV cache per query row");
+        let q = self.wq.forward_inference(q_in);
+        let scale = 1.0 / (self.d_head as f32).sqrt();
+        let d_model = self.heads * self.d_head;
+        let mut merged = Tensor::zeros(q.rows(), d_model);
+        let mut scores: Vec<f32> = Vec::new();
+        for (r, &(keys, values)) in kvs.iter().enumerate() {
+            assert!(keys.rows() > 0, "attention over an empty cache");
+            assert_eq!(keys.shape(), values.shape(), "K/V cache shape mismatch");
+            let q_row = q.row_slice(r);
+            let out_row = merged.row_slice_mut(r);
+            for h in 0..self.heads {
+                let off = h * self.d_head;
+                let qh = &q_row[off..off + self.d_head];
+                scores.clear();
+                for j in 0..keys.rows() {
+                    let kh = &keys.row_slice(j)[off..off + self.d_head];
+                    let mut s = 0.0f32;
+                    for (a, b) in qh.iter().zip(kh) {
+                        s += a * b;
+                    }
+                    scores.push(s * scale);
+                }
+                softmax_in_place(&mut scores);
+                let ctx = &mut out_row[off..off + self.d_head];
+                for (j, &w) in scores.iter().enumerate() {
+                    let vh = &values.row_slice(j)[off..off + self.d_head];
+                    for (o, &v) in ctx.iter_mut().zip(vh) {
+                        *o += w * v;
+                    }
+                }
+            }
+        }
+        self.wo.forward_inference(&merged)
+    }
 }
 
 /// Position-wise feed-forward network `relu(x W1 + b1) W2 + b2`.
@@ -191,6 +294,13 @@ impl FeedForward {
 
     pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
         self.lin2.forward(tape, self.lin1.forward(tape, x).relu())
+    }
+
+    /// Inference-only forward with the first linear's bias + relu fused
+    /// into the matmul epilogue.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        self.lin2
+            .forward_inference(&self.lin1.forward_inference_act(x, Activation::Relu))
     }
 }
 

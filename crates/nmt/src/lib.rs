@@ -21,4 +21,5 @@ pub use decode::{
     top_n_sampling, Hypothesis, TopNSampling,
 };
 pub use lm::{CausalLm, CausalLmConfig};
-pub use seq2seq::{DecodeState, Seq2Seq};
+pub use seq2seq::{DecodeState, DecodeStats, Seq2Seq, TransformerDecodeMode};
+pub use transformer::KvCache;

@@ -5,6 +5,8 @@
 //! pure transformer (the main models), attention-RNN (Figure 8 baseline),
 //! GRU (Table V), and the §III-G hybrid (transformer encoder + RNN decoder).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use qrw_tensor::rng::StdRng;
 
 use qrw_tensor::{ParamSet, Tape, Tensor, Var};
@@ -13,7 +15,7 @@ use qrw_text::{BOS, EOS, PAD, UNK};
 use crate::config::{ComponentKind, ModelConfig};
 use crate::layers::{Linear, TrainCtx};
 use crate::rnn::{AttnRnnDecoder, RnnEncoder};
-use crate::transformer::{TransformerDecoder, TransformerEncoder};
+use crate::transformer::{KvCache, TransformerDecoder, TransformerEncoder};
 
 enum Encoder {
     Transformer(TransformerEncoder),
@@ -27,17 +29,69 @@ enum Decoder {
 
 /// Decoder inference state carried across [`Seq2Seq::next_log_probs`] calls.
 ///
-/// Recurrent decoders carry their hidden state (constant work per step);
-/// the transformer decoder re-runs the whole prefix each step, matching the
-/// latency behaviour the paper describes in §III-G ("multi-head self
-/// attention needs to be performed for all target tokens at each decoding
-/// step").
+/// Recurrent decoders carry their hidden state (constant work per step).
+/// The transformer decoder defaults to a per-layer KV cache so each step
+/// consumes only the newest token; the stateless prefix-recompute variant
+/// is kept as the reference the cached path is checked against (it is the
+/// behaviour the paper laments in §III-G: "multi-head self attention needs
+/// to be performed for all target tokens at each decoding step").
 #[derive(Clone, Debug)]
 pub enum DecodeState {
     /// Hidden state of a recurrent decoder.
     Recurrent(Tensor),
-    /// Transformer decoding is stateless (prefix recompute).
+    /// Incremental transformer decoding state (per-layer KV cache).
+    Transformer(KvCache),
+    /// Stateless transformer decoding (full prefix recompute per step).
     Stateless,
+}
+
+/// How the transformer decoder advances during iterative decoding.
+///
+/// [`TransformerDecodeMode::PrefixRecompute`] exists as the slow reference
+/// path: the equivalence test suite pins the cached path to it, and the
+/// bench harness measures both to record the speedup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransformerDecodeMode {
+    /// Incremental decoding with a per-layer KV cache (the default).
+    #[default]
+    KvCache,
+    /// Re-run the full prefix at every step (reference / baseline).
+    PrefixRecompute,
+}
+
+/// Cumulative decode telemetry counters (relaxed atomics: decoding may be
+/// driven from multiple serving threads over a shared model).
+#[derive(Debug, Default)]
+struct DecodeTelemetry {
+    steps: AtomicU64,
+    tokens: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+/// Snapshot of a model's decode counters.
+///
+/// * `steps` — next-token distributions computed (one per generated token).
+/// * `tokens` — token positions actually pushed through the decoder stack;
+///   with prefix recompute this grows quadratically with output length,
+///   with the KV cache it equals the tokens generated.
+/// * `cache_hits` — prefix positions served from the KV cache instead of
+///   being recomputed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    pub steps: u64,
+    pub tokens: u64,
+    pub cache_hits: u64,
+}
+
+impl DecodeStats {
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &DecodeStats) -> DecodeStats {
+        DecodeStats {
+            steps: self.steps.saturating_sub(earlier.steps),
+            tokens: self.tokens.saturating_sub(earlier.tokens),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+        }
+    }
 }
 
 /// An encoder-decoder translation model with an output vocabulary
@@ -48,6 +102,8 @@ pub struct Seq2Seq {
     enc: Encoder,
     dec: Decoder,
     out: Linear,
+    decode_mode: TransformerDecodeMode,
+    telemetry: DecodeTelemetry,
 }
 
 impl Seq2Seq {
@@ -98,7 +154,42 @@ impl Seq2Seq {
             )),
         };
         let out = Linear::new(&mut params, &mut rng, "s2s.out", config.d_model, config.vocab);
-        Seq2Seq { config, params, enc, dec, out }
+        Seq2Seq {
+            config,
+            params,
+            enc,
+            dec,
+            out,
+            decode_mode: TransformerDecodeMode::default(),
+            telemetry: DecodeTelemetry::default(),
+        }
+    }
+
+    /// How transformer decoding advances (KV cache vs prefix recompute).
+    pub fn decode_mode(&self) -> TransformerDecodeMode {
+        self.decode_mode
+    }
+
+    /// Selects the transformer decoding mode for subsequently created
+    /// [`DecodeState`]s. `PrefixRecompute` is the reference/baseline path;
+    /// equivalence tests and the bench harness flip this.
+    pub fn set_decode_mode(&mut self, mode: TransformerDecodeMode) {
+        self.decode_mode = mode;
+    }
+
+    /// Snapshot of the cumulative decode counters.
+    pub fn decode_stats(&self) -> DecodeStats {
+        DecodeStats {
+            steps: self.telemetry.steps.load(Ordering::Relaxed),
+            tokens: self.telemetry.tokens.load(Ordering::Relaxed),
+            cache_hits: self.telemetry.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_decode(&self, steps: u64, tokens: u64, cache_hits: u64) {
+        self.telemetry.steps.fetch_add(steps, Ordering::Relaxed);
+        self.telemetry.tokens.fetch_add(tokens, Ordering::Relaxed);
+        self.telemetry.cache_hits.fetch_add(cache_hits, Ordering::Relaxed);
     }
 
     pub fn config(&self) -> &ModelConfig {
@@ -205,15 +296,80 @@ impl Seq2Seq {
     /// Fresh decoder state for a given memory.
     pub fn start_state(&self, memory: &Tensor) -> DecodeState {
         match &self.dec {
-            Decoder::Transformer(_) => DecodeState::Stateless,
+            Decoder::Transformer(d) => match self.decode_mode {
+                TransformerDecodeMode::KvCache => DecodeState::Transformer(d.start_cache(memory)),
+                TransformerDecodeMode::PrefixRecompute => DecodeState::Stateless,
+            },
             Decoder::Recurrent(d) => {
                 DecodeState::Recurrent(d.initial_state_inference(memory))
             }
         }
     }
 
+    /// The newest hidden row for one candidate, advancing its state.
+    ///
+    /// The KV-cached path consumes exactly the prefix tokens the cache has
+    /// not seen yet (`prefix[cache.pos()..]` — usually just the last one),
+    /// so a full decode does linear token work instead of quadratic.
+    fn advance_hidden_row(
+        &self,
+        memory: &Tensor,
+        state: &mut DecodeState,
+        prefix: &[usize],
+    ) -> Tensor {
+        match (&self.dec, state) {
+            (Decoder::Transformer(d), DecodeState::Transformer(cache)) => {
+                let seen = cache.pos();
+                assert!(
+                    seen < prefix.len(),
+                    "decode state is ahead of the prefix ({seen} >= {})",
+                    prefix.len()
+                );
+                let new = &prefix[seen..];
+                self.record_decode(1, new.len() as u64, seen as u64);
+                let mut hidden = Tensor::zeros(0, 0);
+                for &tok in new {
+                    hidden = d.step_cached(&mut [&mut *cache], &[tok]);
+                }
+                hidden
+            }
+            (Decoder::Transformer(d), DecodeState::Stateless) => {
+                self.record_decode(1, prefix.len() as u64, 0);
+                let tape = Tape::new();
+                let mem = tape.constant(memory.clone());
+                let h = d.forward(&tape, prefix, mem, &mut None, None);
+                let (rows, _) = h.shape();
+                h.slice_rows(rows - 1, 1).value()
+            }
+            (Decoder::Recurrent(d), DecodeState::Recurrent(h)) => {
+                self.record_decode(1, 1, 0);
+                let last = *prefix.last().expect("non-empty prefix");
+                let new_h = d.step_inference(memory, h, last);
+                *h = new_h.clone();
+                new_h
+            }
+            _ => unreachable!("decoder kind and state kind always match"),
+        }
+    }
+
+    /// Projects hidden rows to masked next-token log-probs, one `Vec` per
+    /// row. PAD / BOS / UNK are masked to `-inf` so decoders never emit
+    /// them.
+    fn rows_to_log_probs(&self, hidden: &Tensor) -> Vec<Vec<f32>> {
+        let logits = self.out.forward_inference(hidden).row_log_softmax();
+        (0..logits.rows())
+            .map(|r| {
+                let mut lp = logits.row_slice(r).to_vec();
+                lp[PAD] = f32::NEG_INFINITY;
+                lp[BOS] = f32::NEG_INFINITY;
+                lp[UNK] = f32::NEG_INFINITY;
+                lp
+            })
+            .collect()
+    }
+
     /// Log-probabilities of the next token given the decoded `prefix`
-    /// (which starts with BOS). Advances recurrent states in place.
+    /// (which starts with BOS). Advances decoder states in place.
     ///
     /// PAD / BOS / UNK are masked to `-inf` so decoders never emit them.
     pub fn next_log_probs(
@@ -223,31 +379,69 @@ impl Seq2Seq {
         prefix: &[usize],
     ) -> Vec<f32> {
         assert_eq!(prefix.first(), Some(&BOS), "prefix must start with BOS");
-        let hidden_row = match (&self.dec, state) {
-            (Decoder::Transformer(d), DecodeState::Stateless) => {
-                let tape = Tape::new();
-                let mem = tape.constant(memory.clone());
-                let h = d.forward(&tape, prefix, mem, &mut None, None);
-                let (rows, _) = h.shape();
-                h.slice_rows(rows - 1, 1).value()
+        let hidden_row = self.advance_hidden_row(memory, state, prefix);
+        self.rows_to_log_probs(&hidden_row).pop().expect("one row in, one row out")
+    }
+
+    /// Batched [`Self::next_log_probs`]: advances every candidate by one
+    /// step through a single stacked forward.
+    ///
+    /// For KV-cached transformer decoding all row-independent work
+    /// (projections, layer norms, FFN, the vocabulary projection) runs as
+    /// one `k`-row matmul per layer instead of `k` separate model calls;
+    /// only attention walks each candidate's own cache. Recurrent decoders
+    /// step per candidate but still share one batched vocabulary
+    /// projection. Candidates whose cache is behind the prefix (e.g. just
+    /// cloned from a shorter parent) fall back to the catch-up path.
+    pub fn next_log_probs_batch(
+        &self,
+        memory: &Tensor,
+        states: &mut [&mut DecodeState],
+        prefixes: &[&[usize]],
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(states.len(), prefixes.len(), "one prefix per state");
+        if states.is_empty() {
+            return Vec::new();
+        }
+        for prefix in prefixes {
+            assert_eq!(prefix.first(), Some(&BOS), "prefix must start with BOS");
+        }
+        // The fully batched fast path applies when every candidate is a
+        // KV cache exactly one token behind its prefix.
+        let batchable = states.iter().zip(prefixes).all(|(s, p)| match s {
+            DecodeState::Transformer(cache) => cache.pos() + 1 == p.len(),
+            _ => false,
+        });
+        let hidden = if batchable {
+            if let Decoder::Transformer(d) = &self.dec {
+                let mut caches: Vec<&mut KvCache> = states
+                    .iter_mut()
+                    .map(|s| match s {
+                        DecodeState::Transformer(cache) => {
+                            self.record_decode(1, 1, cache.pos() as u64);
+                            cache
+                        }
+                        _ => unreachable!("batchable implies cached states"),
+                    })
+                    .collect();
+                let tokens: Vec<usize> = prefixes
+                    .iter()
+                    .map(|p| *p.last().expect("non-empty prefix"))
+                    .collect();
+                d.step_cached(&mut caches, &tokens)
+            } else {
+                unreachable!("cached states imply a transformer decoder")
             }
-            (Decoder::Recurrent(d), DecodeState::Recurrent(h)) => {
-                let last = *prefix.last().expect("non-empty prefix");
-                let new_h = d.step_inference(memory, h, last);
-                *h = new_h.clone();
-                new_h
-            }
-            _ => unreachable!("decoder kind and state kind always match"),
+        } else {
+            let rows: Vec<Tensor> = states
+                .iter_mut()
+                .zip(prefixes)
+                .map(|(s, p)| self.advance_hidden_row(memory, s, p))
+                .collect();
+            let refs: Vec<&Tensor> = rows.iter().collect();
+            Tensor::stack_rows(&refs)
         };
-        let mut lp = self
-            .out
-            .forward_inference(&hidden_row)
-            .row_log_softmax()
-            .into_vec();
-        lp[PAD] = f32::NEG_INFINITY;
-        lp[BOS] = f32::NEG_INFINITY;
-        lp[UNK] = f32::NEG_INFINITY;
-        lp
+        self.rows_to_log_probs(&hidden)
     }
 
     /// Head-averaged cross-attention maps of a teacher-forced pass

@@ -1,6 +1,8 @@
 //! Transformer encoder and decoder stacks (post-norm, as in
 //! "Attention Is All You Need", which the paper uses as its skeleton).
 
+use std::sync::Arc;
+
 use qrw_tensor::rng::StdRng;
 
 use qrw_tensor::{ParamSet, Tape, Tensor, Var};
@@ -86,6 +88,40 @@ impl TransformerEncoder {
     }
 }
 
+/// Per-layer attention cache for incremental decoding.
+///
+/// Self-attention keys/values grow by one row per emitted token;
+/// cross-attention keys/values are projected from the encoder memory once
+/// and shared via [`Arc`], so cloning a cache (beam search forks candidates
+/// constantly) copies only the per-token rows.
+#[derive(Clone, Debug)]
+struct LayerKv {
+    self_k: Tensor,
+    self_v: Tensor,
+    cross_k: Arc<Tensor>,
+    cross_v: Arc<Tensor>,
+}
+
+/// Incremental decoding state for [`TransformerDecoder`]: one [`LayerKv`]
+/// per layer plus the number of tokens consumed so far.
+///
+/// With the cache, each [`TransformerDecoder::step_cached`] call does
+/// `O(T + S)` attention work for the newest token instead of re-running the
+/// whole `O(T^2 + T*S)` prefix, turning a full decode from cubic-flavored
+/// to quadratic in target length.
+#[derive(Clone, Debug)]
+pub struct KvCache {
+    layers: Vec<LayerKv>,
+    pos: usize,
+}
+
+impl KvCache {
+    /// Number of tokens this cache has consumed.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
 struct DecoderLayer {
     self_attn: MultiHeadAttention,
     cross_attn: MultiHeadAttention,
@@ -124,6 +160,34 @@ impl DecoderLayer {
         let x = self.norm2.forward(tape, x.add(ca));
         let ff = maybe_dropout(ctx, self.ffn.forward(tape, x));
         self.norm3.forward(tape, x.add(ff))
+    }
+
+    /// One incremental step for a batch of candidates: row `r` of `x` is
+    /// the newest position of candidate `r`, whose cache is `caches[r]`.
+    /// Appends the new self-attention K/V rows and returns the layer output
+    /// rows. All row-independent work (projections, norms, FFN) runs as one
+    /// batched matmul; only attention iterates per candidate, over that
+    /// candidate's own cache.
+    fn step_cached(&self, caches: &mut [&mut KvCache], li: usize, x: &Tensor) -> Tensor {
+        let (k_new, v_new) = self.self_attn.project_kv_inference(x);
+        for (r, cache) in caches.iter_mut().enumerate() {
+            cache.layers[li].self_k.push_row(k_new.row_slice(r));
+            cache.layers[li].self_v.push_row(v_new.row_slice(r));
+        }
+        let self_kvs: Vec<(&Tensor, &Tensor)> = caches
+            .iter()
+            .map(|c| (&c.layers[li].self_k, &c.layers[li].self_v))
+            .collect();
+        let sa = self.self_attn.attend_rows_inference(x, &self_kvs);
+        let x = self.norm1.forward_inference(&x.add(&sa));
+        let cross_kvs: Vec<(&Tensor, &Tensor)> = caches
+            .iter()
+            .map(|c| (&*c.layers[li].cross_k, &*c.layers[li].cross_v))
+            .collect();
+        let ca = self.cross_attn.attend_rows_inference(&x, &cross_kvs);
+        let x = self.norm2.forward_inference(&x.add(&ca));
+        let ff = self.ffn.forward_inference(&x);
+        self.norm3.forward_inference(&x.add(&ff))
     }
 }
 
@@ -180,6 +244,56 @@ impl TransformerDecoder {
         x = maybe_dropout(ctx, x);
         for layer in &self.layers {
             x = layer.forward(tape, x, memory, &mask, ctx, attn_sink.as_deref_mut());
+        }
+        x
+    }
+
+    /// Fresh incremental decoding cache against `memory`: cross-attention
+    /// K/V are projected here, once; self-attention K/V start empty with
+    /// capacity for a full-length decode.
+    pub fn start_cache(&self, memory: &Tensor) -> KvCache {
+        let d_model = self.pe.cols();
+        let max_len = self.pe.rows();
+        let layers = self
+            .layers
+            .iter()
+            .map(|layer| {
+                let (ck, cv) = layer.cross_attn.project_kv_inference(memory);
+                LayerKv {
+                    self_k: Tensor::with_row_capacity(max_len, d_model),
+                    self_v: Tensor::with_row_capacity(max_len, d_model),
+                    cross_k: Arc::new(ck),
+                    cross_v: Arc::new(cv),
+                }
+            })
+            .collect();
+        KvCache { layers, pos: 0 }
+    }
+
+    /// Consumes one token per candidate (`tokens[r]` into `caches[r]`) and
+    /// returns the batch of final hidden rows (`batch x d_model`), exactly
+    /// the last rows a full [`Self::forward`] over each grown prefix would
+    /// produce. Candidates may sit at different positions.
+    pub fn step_cached(&self, caches: &mut [&mut KvCache], tokens: &[usize]) -> Tensor {
+        assert_eq!(caches.len(), tokens.len(), "one cache per token");
+        assert!(!tokens.is_empty(), "decoder step must consume tokens");
+        let mut x = self.embed.forward_inference(tokens);
+        for (r, cache) in caches.iter().enumerate() {
+            assert_eq!(
+                cache.layers.len(),
+                self.layers.len(),
+                "cache belongs to a different decoder"
+            );
+            assert!(cache.pos < self.pe.rows(), "decode past the positional table");
+            for (o, &p) in x.row_slice_mut(r).iter_mut().zip(self.pe.row_slice(cache.pos)) {
+                *o += p;
+            }
+        }
+        for (li, layer) in self.layers.iter().enumerate() {
+            x = layer.step_cached(caches, li, &x);
+        }
+        for cache in caches.iter_mut() {
+            cache.pos += 1;
         }
         x
     }
@@ -251,6 +365,53 @@ mod tests {
         let a = enc1.forward(&t1, &[4, 5], &mut None).value();
         let b = enc2.forward(&t2, &[4, 5], &mut None).value();
         assert_eq!(a, b);
+    }
+
+    /// The KV-cached incremental step must reproduce the last hidden row
+    /// of a full prefix recompute exactly — the fast path may not drift.
+    #[test]
+    fn cached_step_matches_full_forward_exactly() {
+        let (_p, enc, dec) = build();
+        let tape = Tape::new();
+        let mem_var = enc.forward(&tape, &[5, 6, 7, 8], &mut None);
+        let mem = mem_var.value();
+        let prefix = [1usize, 5, 6, 9, 4];
+        let mut cache = dec.start_cache(&mem);
+        for (i, &tok) in prefix.iter().enumerate() {
+            let h = dec.step_cached(&mut [&mut cache], &[tok]);
+            assert_eq!(cache.pos(), i + 1);
+            let full = dec.forward(&tape, &prefix[..=i], mem_var, &mut None, None).value();
+            for c in 0..8 {
+                assert_eq!(
+                    h.get(0, c),
+                    full.get(i, c),
+                    "step {i} col {c}: cached vs recompute"
+                );
+            }
+        }
+    }
+
+    /// Batched stepping (several candidates, possibly at different
+    /// positions) equals stepping each candidate alone.
+    #[test]
+    fn batched_step_matches_individual_steps() {
+        let (_p, enc, dec) = build();
+        let tape = Tape::new();
+        let mem = enc.forward(&tape, &[5, 6, 7], &mut None).value();
+        // Candidate A consumes [1, 5]; candidate B consumes [1] — then both
+        // step together on different tokens from different positions.
+        let mut a = dec.start_cache(&mem);
+        let mut b = dec.start_cache(&mem);
+        dec.step_cached(&mut [&mut a], &[1]);
+        dec.step_cached(&mut [&mut a], &[5]);
+        dec.step_cached(&mut [&mut b], &[1]);
+        let mut a_solo = a.clone();
+        let mut b_solo = b.clone();
+        let batched = dec.step_cached(&mut [&mut a, &mut b], &[9, 6]);
+        let ha = dec.step_cached(&mut [&mut a_solo], &[9]);
+        let hb = dec.step_cached(&mut [&mut b_solo], &[6]);
+        assert_eq!(batched.row_slice(0), ha.row_slice(0));
+        assert_eq!(batched.row_slice(1), hb.row_slice(0));
     }
 
     #[test]

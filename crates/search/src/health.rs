@@ -7,6 +7,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use qrw_core::DecodeStats;
+
 use crate::breaker::BreakerState;
 use crate::error::{ServeError, Stage};
 use crate::serving::RewriteSource;
@@ -29,6 +31,10 @@ pub struct HealthCounters {
     rewrite_micros: AtomicU64,
     retrieval_micros: AtomicU64,
     rank_micros: AtomicU64,
+    decode_steps: AtomicU64,
+    decode_tokens: AtomicU64,
+    decode_cache_hits: AtomicU64,
+    decode_micros: AtomicU64,
 }
 
 impl HealthCounters {
@@ -68,6 +74,16 @@ impl HealthCounters {
         counter.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
     }
 
+    /// Accumulates one online-rewrite call's decode telemetry delta
+    /// (counter differences from the model, plus the wall-clock spent in
+    /// the call).
+    pub fn record_decode(&self, delta: DecodeStats, elapsed: Duration) {
+        self.decode_steps.fetch_add(delta.steps, Ordering::Relaxed);
+        self.decode_tokens.fetch_add(delta.tokens, Ordering::Relaxed);
+        self.decode_cache_hits.fetch_add(delta.cache_hits, Ordering::Relaxed);
+        self.decode_micros.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self, breaker_state: BreakerState, breaker_opens: u64) -> HealthReport {
         HealthReport {
             requests: self.requests.load(Ordering::Relaxed),
@@ -85,6 +101,10 @@ impl HealthCounters {
             rewrite_micros: self.rewrite_micros.load(Ordering::Relaxed),
             retrieval_micros: self.retrieval_micros.load(Ordering::Relaxed),
             rank_micros: self.rank_micros.load(Ordering::Relaxed),
+            decode_steps: self.decode_steps.load(Ordering::Relaxed),
+            decode_tokens: self.decode_tokens.load(Ordering::Relaxed),
+            decode_cache_hits: self.decode_cache_hits.load(Ordering::Relaxed),
+            decode_micros: self.decode_micros.load(Ordering::Relaxed),
             breaker_state,
             breaker_opens,
         }
@@ -114,6 +134,13 @@ pub struct HealthReport {
     pub rewrite_micros: u64,
     pub retrieval_micros: u64,
     pub rank_micros: u64,
+    /// Decode telemetry from the online rewriter's model: generated
+    /// tokens (steps), decoder token-work, KV-cache hits, and wall-clock
+    /// spent decoding (µs).
+    pub decode_steps: u64,
+    pub decode_tokens: u64,
+    pub decode_cache_hits: u64,
+    pub decode_micros: u64,
     /// Breaker status at snapshot time.
     pub breaker_state: BreakerState,
     pub breaker_opens: u64,
@@ -127,6 +154,26 @@ impl HealthReport {
         }
         let rewritten = self.served_cache + self.served_online + self.served_baseline;
         rewritten as f64 / self.requests as f64
+    }
+
+    /// Decode throughput of the online rewriter in generated tokens per
+    /// second (each decode step emits one token). `0.0` until any decode
+    /// time has been recorded.
+    pub fn decode_tokens_per_sec(&self) -> f64 {
+        if self.decode_micros == 0 {
+            return 0.0;
+        }
+        self.decode_steps as f64 / (self.decode_micros as f64 / 1e6)
+    }
+
+    /// Fraction of decoder token positions served from the KV cache
+    /// rather than recomputed.
+    pub fn decode_cache_hit_rate(&self) -> f64 {
+        let total = self.decode_tokens + self.decode_cache_hits;
+        if total == 0 {
+            return 0.0;
+        }
+        self.decode_cache_hits as f64 / total as f64
     }
 
     /// Total degradation events recorded.
@@ -172,5 +219,28 @@ mod tests {
         let r = c.snapshot(BreakerState::Closed, 0);
         assert_eq!(r.rewrite_coverage(), 0.0);
         assert_eq!(r.degradations(), 0);
+        assert_eq!(r.decode_tokens_per_sec(), 0.0);
+        assert_eq!(r.decode_cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn decode_deltas_accumulate_and_derive_throughput() {
+        let c = HealthCounters::default();
+        c.record_decode(
+            DecodeStats { steps: 10, tokens: 10, cache_hits: 45 },
+            Duration::from_micros(2_000),
+        );
+        c.record_decode(
+            DecodeStats { steps: 5, tokens: 5, cache_hits: 10 },
+            Duration::from_micros(1_000),
+        );
+        let r = c.snapshot(BreakerState::Closed, 0);
+        assert_eq!(r.decode_steps, 15);
+        assert_eq!(r.decode_tokens, 15);
+        assert_eq!(r.decode_cache_hits, 55);
+        assert_eq!(r.decode_micros, 3_000);
+        // 15 tokens over 3 ms -> 5000 tokens/s.
+        assert!((r.decode_tokens_per_sec() - 5_000.0).abs() < 1e-9);
+        assert!((r.decode_cache_hit_rate() - 55.0 / 70.0).abs() < 1e-12);
     }
 }

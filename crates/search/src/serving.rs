@@ -315,7 +315,18 @@ impl SearchEngine {
                     events.push(ServeError::DeadlineExceeded { stage: Stage::Rewrite });
                     self.breaker.record_failure();
                 } else {
-                    match self.call_rewriter(online, query, config, fault) {
+                    // Snapshot decode counters around the call so the
+                    // health report carries throughput next to faults.
+                    let decode_before = online.decode_stats();
+                    let t_call = budget.elapsed();
+                    let result = self.call_rewriter(online, query, config, fault);
+                    if let (Some(before), Some(after)) = (decode_before, online.decode_stats()) {
+                        self.health.record_decode(
+                            after.since(&before),
+                            budget.elapsed().saturating_sub(t_call),
+                        );
+                    }
+                    match result {
                         Ok(cleaned) if !cleaned.is_empty() => {
                             self.breaker.record_success();
                             return (cleaned, RewriteSource::Fallback);

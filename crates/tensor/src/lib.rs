@@ -35,4 +35,4 @@ pub mod tensor;
 pub use param::{Param, ParamSet};
 pub use rng::StdRng;
 pub use tape::{Gradients, Tape, Var};
-pub use tensor::{log_sum_exp, Tensor};
+pub use tensor::{log_sum_exp, Activation, Tensor, PAR_MIN_WORK};

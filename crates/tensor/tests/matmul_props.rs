@@ -1,0 +1,187 @@
+//! Property tests: the blocked / row-parallel matmul kernels must equal
+//! the naive triple loop *exactly* (bitwise), across random shapes
+//! including degenerate (0-row, 1-row, zero inner dimension) and
+//! non-multiple-of-tile sizes. The kernels keep the per-element
+//! k-accumulation in ascending order precisely so this holds; a tolerance
+//! here would let accumulation-order drift creep into the KV-cache
+//! equivalence guarantees upstream.
+
+use qrw_tensor::rng::StdRng;
+use qrw_tensor::{Activation, Tensor, PAR_MIN_WORK};
+
+fn random(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen::<f32>() * 4.0 - 2.0).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Naive `a[m,k] @ b[k,n]`, the reference accumulation order.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut sum = 0.0f32;
+            for p in 0..k {
+                sum += a.get(i, p) * b.get(p, j);
+            }
+            out.set(i, j, sum);
+        }
+    }
+    out
+}
+
+/// Naive `a[m,k] @ b[n,k]^T`.
+fn naive_tb(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut sum = 0.0f32;
+            for p in 0..k {
+                sum += a.get(i, p) * b.get(j, p);
+            }
+            out.set(i, j, sum);
+        }
+    }
+    out
+}
+
+/// Naive `a[k,m]^T @ b[k,n]`.
+fn naive_ta(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut sum = 0.0f32;
+            for p in 0..k {
+                sum += a.get(p, i) * b.get(p, j);
+            }
+            out.set(i, j, sum);
+        }
+    }
+    out
+}
+
+fn assert_bitwise_eq(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape");
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs: {g} vs {w}"
+        );
+    }
+}
+
+/// Shapes chosen to straddle the 8x128 tile: degenerate rows, single
+/// rows/cols, tile-exact sizes, and off-by-one around tile boundaries.
+fn shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (0, 3, 4),
+        (3, 0, 4),
+        (3, 4, 0),
+        (1, 1, 1),
+        (1, 64, 3000),
+        (2, 5, 1),
+        (7, 9, 127),
+        (8, 16, 128),
+        (9, 17, 129),
+        (16, 8, 256),
+        (33, 31, 65),
+    ]
+}
+
+#[test]
+fn matmul_matches_naive_exactly() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for (m, k, n) in shapes() {
+        let a = random(&mut rng, m, k);
+        let b = random(&mut rng, k, n);
+        assert_bitwise_eq(&a.matmul(&b), &naive_matmul(&a, &b), &format!("matmul {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn matmul_transpose_b_matches_naive_exactly() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for (m, k, n) in shapes() {
+        let a = random(&mut rng, m, k);
+        let b = random(&mut rng, n, k);
+        assert_bitwise_eq(&a.matmul_transpose_b(&b), &naive_tb(&a, &b), &format!("tb {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn matmul_transpose_a_matches_naive_exactly() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for (m, k, n) in shapes() {
+        let a = random(&mut rng, k, m);
+        let b = random(&mut rng, k, n);
+        assert_bitwise_eq(&a.matmul_transpose_a(&b), &naive_ta(&a, &b), &format!("ta {m}x{k}x{n}"));
+    }
+}
+
+/// A shape big enough to cross [`PAR_MIN_WORK`] and take the threaded
+/// path; per-row results must still be bitwise identical to naive.
+#[test]
+fn parallel_path_is_bitwise_identical() {
+    let (m, k, n) = (64, 96, 512);
+    assert!(m * k * n >= PAR_MIN_WORK, "shape must trigger the parallel path");
+    let mut rng = StdRng::seed_from_u64(4);
+    let a = random(&mut rng, m, k);
+    let b = random(&mut rng, k, n);
+    assert_bitwise_eq(&a.matmul(&b), &naive_matmul(&a, &b), "parallel matmul");
+    let bt = random(&mut rng, n, k);
+    assert_bitwise_eq(&a.matmul_transpose_b(&bt), &naive_tb(&a, &bt), "parallel tb");
+    let at = random(&mut rng, k, m);
+    assert_bitwise_eq(&at.matmul_transpose_a(&b), &naive_ta(&at, &b), "parallel ta");
+}
+
+/// Random fuzz over many irregular shapes (seeded loop, no external
+/// proptest): every draw must agree bitwise with naive.
+#[test]
+fn fuzzed_shapes_match_naive() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..40 {
+        let m = rng.gen_range(0..20);
+        let k = rng.gen_range(0..20);
+        let n = rng.gen_range(0..140);
+        let a = random(&mut rng, m, k);
+        let b = random(&mut rng, k, n);
+        assert_bitwise_eq(&a.matmul(&b), &naive_matmul(&a, &b), &format!("fuzz {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn fused_bias_act_matches_unfused() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for (m, k, n) in [(1, 8, 40), (5, 16, 33), (0, 4, 9)] {
+        let x = random(&mut rng, m, k);
+        let w = random(&mut rng, k, n);
+        let b = random(&mut rng, 1, n);
+        let plain = x.matmul(&w).add_row_broadcast(&b);
+        assert_bitwise_eq(
+            &x.matmul_bias_act(&w, &b, Activation::Identity),
+            &plain,
+            "fused identity",
+        );
+        let mut relued = plain.clone();
+        for v in relued.data_mut() {
+            *v = v.max(0.0);
+        }
+        assert_bitwise_eq(&x.matmul_bias_act(&w, &b, Activation::Relu), &relued, "fused relu");
+    }
+}
+
+#[test]
+fn push_row_grows_incrementally() {
+    let mut t = Tensor::with_row_capacity(4, 3);
+    assert_eq!(t.shape(), (0, 3));
+    t.push_row(&[1.0, 2.0, 3.0]);
+    t.push_row(&[4.0, 5.0, 6.0]);
+    assert_eq!(t.shape(), (2, 3));
+    assert_eq!(t.row_slice(1), &[4.0, 5.0, 6.0]);
+}

@@ -3,9 +3,21 @@
 # without touching the network (the build is fully hermetic — no external
 # crates, see CHANGES.md).
 #
-#   scripts/verify.sh
+#   scripts/verify.sh [--bench-smoke]
+#
+# With --bench-smoke, additionally runs the smoke benchmarks: they write
+# BENCH_decode.json / BENCH_matmul.json at the repo root, fail on any
+# malformed BENCH_*.json, and enforce the >=3x KV-cache decode speedup.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
@@ -15,5 +27,10 @@ cargo test -q --offline --workspace
 
 echo "== clippy (offline, warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [ "$BENCH_SMOKE" = 1 ]; then
+  echo "== bench smoke (offline, writes + validates BENCH_*.json) =="
+  cargo run --release --offline -p qrw-bench --bin bench_smoke -- --out .
+fi
 
 echo "verify: OK"

@@ -328,3 +328,39 @@ fn legacy_serving_path_is_unchanged_by_the_resilience_layer() {
     assert!(resp.ranked.contains(&0));
     assert!(resp.degradations.is_empty());
 }
+
+#[test]
+fn health_report_carries_decode_throughput_from_the_online_model() {
+    // A real q2q model on the online rung: its KV-cached decode counters
+    // must surface through health_report as throughput telemetry.
+    let e = engine();
+    let model = Seq2Seq::new(ModelConfig::tiny_transformer(16), 33);
+    let mut vocab = Vocab::new();
+    for i in 0..12 {
+        vocab.insert(&format!("t{i}"));
+    }
+    let online = Q2QRewriter::new(&model, &vocab, 6, 9);
+    let ladder = RewriteLadder { cache: None, online: Some(&online), baseline: None };
+    let cfg = ServingConfig::default();
+    let budget = DeadlineBudget::unlimited();
+    let query: Vec<String> = vec!["t2".into(), "t6".into()];
+    e.search_resilient(&query, ladder, &cfg, &budget, None);
+
+    let report = e.health_report();
+    assert!(report.decode_steps > 0, "decode steps not recorded: {report:?}");
+    assert!(report.decode_tokens > 0, "decoder token work not recorded");
+    // KV-cached transformer decoding reuses the prefix after step one.
+    assert!(report.decode_cache_hits > 0, "cache hits not recorded");
+    assert!(report.decode_micros > 0, "decode wall-clock not recorded");
+    assert!(report.decode_tokens_per_sec() > 0.0);
+    assert!(report.decode_cache_hit_rate() > 0.0);
+
+    // A fixed (non-neural) rewriter reports nothing and leaves the decode
+    // counters untouched.
+    let fixed = FixedRewriter(vec![toks("senior smartphone")]);
+    let ladder2 = RewriteLadder { cache: None, online: Some(&fixed), baseline: None };
+    e.search_resilient(&toks("phone for grandpa"), ladder2, &cfg, &budget, None);
+    let after = e.health_report();
+    assert_eq!(after.decode_steps, report.decode_steps);
+    assert_eq!(after.decode_micros, report.decode_micros);
+}
