@@ -118,6 +118,107 @@ impl BenchRecord {
     }
 }
 
+/// Serializes a [`TrainingCurve`] — including the sentinel counters
+/// (`skipped_steps`, `rollbacks`, `nan_grad_events`) — to a
+/// `CURVE_<name>.json` document:
+///
+/// ```json
+/// {"curve": "train_resume", "points": [
+///   {"step": 3, "ppl_q2t": 12.5, "ppl_t2q": 11.25, "log_prob": -4.5,
+///    "accuracy": 0.25, "skipped_steps": 0, "rollbacks": 0,
+///    "nan_grad_events": 0}]}
+/// ```
+///
+/// Floats are written with Rust's shortest-round-trip formatting, so
+/// [`validate_curve_json`] recovers them bit-for-bit; non-finite values
+/// (a divergent run's eval can legitimately produce them) are written as
+/// `null` and read back as NaN.
+pub fn curve_to_json(name: &str, curve: &qrw_core::TrainingCurve) -> String {
+    let f = |x: f32| -> String {
+        if x.is_finite() { format!("{x}") } else { "null".into() }
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"curve\": {},\n", json_string(name)));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in curve.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"step\": {}, \"ppl_q2t\": {}, \"ppl_t2q\": {}, \"log_prob\": {}, \
+             \"accuracy\": {}, \"skipped_steps\": {}, \"rollbacks\": {}, \
+             \"nan_grad_events\": {}}}{}\n",
+            p.step,
+            f(p.ppl_q2t),
+            f(p.ppl_t2q),
+            f(p.log_prob),
+            f(p.accuracy),
+            p.skipped_steps,
+            p.rollbacks,
+            p.nan_grad_events,
+            if i + 1 < curve.points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses and schema-checks a `CURVE_*.json` document, returning the
+/// curve name and the decoded [`TrainingCurve`]. Every field of every
+/// point is required — in particular the sentinel counters, so a producer
+/// that drops them fails here rather than in a downstream plot.
+pub fn validate_curve_json(
+    text: &str,
+) -> Result<(String, qrw_core::TrainingCurve), String> {
+    let value = json::parse(text)?;
+    if value.as_object().is_none() {
+        return Err("top level is not an object".into());
+    }
+    let name = value
+        .get("curve")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"curve\"")?
+        .to_string();
+    if name.is_empty() {
+        return Err("\"curve\" must be non-empty".into());
+    }
+    let points = value
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or("missing array field \"points\"")?;
+    let mut curve = qrw_core::TrainingCurve::default();
+    for (i, p) in points.iter().enumerate() {
+        if p.as_object().is_none() {
+            return Err(format!("points[{i}] is not an object"));
+        }
+        let int = |field: &str| -> Result<u64, String> {
+            p.get(field)
+                .and_then(Json::as_u128)
+                .and_then(|x| u64::try_from(x).ok())
+                .ok_or_else(|| format!("points[{i}] missing integer \"{field}\""))
+        };
+        let float = |field: &str| -> Result<f32, String> {
+            match p.get(field) {
+                Some(Json::Null) => Ok(f32::NAN),
+                Some(v) => v
+                    .as_f64()
+                    .map(|x| x as f32)
+                    .ok_or_else(|| format!("points[{i}] \"{field}\" is not a number")),
+                None => Err(format!("points[{i}] missing number \"{field}\"")),
+            }
+        };
+        curve.points.push(qrw_core::CurvePoint {
+            step: int("step")?,
+            ppl_q2t: float("ppl_q2t")?,
+            ppl_t2q: float("ppl_t2q")?,
+            log_prob: float("log_prob")?,
+            accuracy: float("accuracy")?,
+            skipped_steps: int("skipped_steps")?,
+            rollbacks: int("rollbacks")?,
+            nan_grad_events: int("nan_grad_events")?,
+        });
+    }
+    Ok((name, curve))
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -240,6 +341,13 @@ mod json {
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Json::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Number(n) => Some(*n),
                 _ => None,
             }
         }
@@ -497,6 +605,61 @@ mod tests {
             let err = validate_bench_json(text).expect_err(text);
             assert!(err.contains(want), "{text}: error {err:?} should mention {want:?}");
         }
+    }
+
+    #[test]
+    fn curve_json_round_trips_sentinel_counters_bitwise() {
+        use qrw_core::{CurvePoint, TrainingCurve};
+        let curve = TrainingCurve {
+            points: vec![
+                CurvePoint {
+                    step: 3,
+                    ppl_q2t: 12.062_513,
+                    ppl_t2q: 9.875_001,
+                    log_prob: -4.331_7,
+                    accuracy: 0.25,
+                    skipped_steps: 0,
+                    rollbacks: 0,
+                    nan_grad_events: 0,
+                },
+                CurvePoint {
+                    step: 6,
+                    ppl_q2t: 7.5,
+                    ppl_t2q: f32::NAN, // a divergent eval: emitted as null
+                    log_prob: -3.0,
+                    accuracy: 0.5,
+                    skipped_steps: 2,
+                    rollbacks: 1,
+                    nan_grad_events: 3,
+                },
+            ],
+        };
+        let text = curve_to_json("train_resume", &curve);
+        let (name, parsed) = validate_curve_json(&text).expect("round trip validates");
+        assert_eq!(name, "train_resume");
+        assert_eq!(parsed.points.len(), 2);
+        // Finite floats survive bit-for-bit (shortest-round-trip format).
+        let (a, b) = (&curve.points[0], &parsed.points[0]);
+        assert_eq!(a.ppl_q2t.to_bits(), b.ppl_q2t.to_bits());
+        assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits());
+        // The sentinel counters are required fields and survive exactly.
+        let p6 = &parsed.points[1];
+        assert_eq!(
+            (p6.skipped_steps, p6.rollbacks, p6.nan_grad_events),
+            (2, 1, 3)
+        );
+        assert!(p6.ppl_t2q.is_nan());
+    }
+
+    #[test]
+    fn curve_validator_rejects_missing_sentinel_counters() {
+        // A point without the counters must not validate: downstream
+        // tooling relies on their presence.
+        let text = "{\"curve\": \"c\", \"points\": [\
+                    {\"step\": 1, \"ppl_q2t\": 1, \"ppl_t2q\": 1, \
+                     \"log_prob\": -1, \"accuracy\": 0}]}";
+        let err = validate_curve_json(text).unwrap_err();
+        assert!(err.contains("skipped_steps"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use qrw_nmt::ModelConfig;
 
 /// Configuration of Algorithm 1 and the paper's §IV-A optimizer setup.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrainConfig {
     /// Total optimization steps (`T`).
     pub steps: u64,
@@ -33,6 +33,25 @@ pub struct TrainConfig {
     /// mode, but gradient summation order — and thus low-order float bits
     /// — depends on scheduling.
     pub parallel: bool,
+    /// Divergence sentinel: healthy-loss window used as the spike
+    /// baseline (0 disables spike detection; non-finite loss/grad
+    /// detection is always on).
+    pub spike_window: usize,
+    /// A step whose batch loss exceeds `spike_factor ×` the window median
+    /// counts as a loss spike and is skipped.
+    pub spike_factor: f32,
+    /// Consecutive spikes before the trainer rolls back to the last good
+    /// checkpoint (when a checkpoint store is attached).
+    pub spike_patience: u32,
+    /// Rollbacks allowed per training run. A deterministic trainer
+    /// replays the same batches after a rollback, so an unbounded retry
+    /// would livelock on a genuinely divergent configuration; once the
+    /// budget is spent the sentinel re-baselines and training continues.
+    pub max_rollbacks: u32,
+    /// Write a full-state checkpoint every this many steps (0 = only
+    /// explicit [`CyclicTrainer::save_checkpoint`] calls). Requires an
+    /// attached checkpoint store.
+    pub checkpoint_every: u64,
 }
 
 impl Default for TrainConfig {
@@ -50,6 +69,11 @@ impl Default for TrainConfig {
             eval_every: 25,
             seed: 97,
             parallel: false,
+            spike_window: 8,
+            spike_factor: 4.0,
+            spike_patience: 3,
+            max_rollbacks: 2,
+            checkpoint_every: 0,
         }
     }
 }

@@ -16,13 +16,19 @@
 //! them and one backward pass produces the Eq. 5 gradients for both
 //! parameter sets.
 
+use std::io;
+use std::path::Path;
+
 use qrw_tensor::rng::StdRng;
 
 use qrw_nmt::{top_n_sampling, Seq2Seq, TopNSampling};
 use qrw_tensor::optim::{Adam, AdamConfig, NoamSchedule};
-use qrw_tensor::{Tape, Var};
+use qrw_tensor::{serialize, Tape, Var};
 use qrw_data::Pair;
 
+use crate::checkpoint::{
+    self, CheckpointStore, ResumeError, TrainerState, BACKWARD_FILE, FORWARD_FILE, TRAINER_FILE,
+};
 use crate::config::TrainConfig;
 
 /// The forward (query→title) and backward (title→query) models.
@@ -136,8 +142,9 @@ impl JointModel {
 }
 
 /// One evaluation snapshot along the training trajectory (a Figure 7/8/9
-/// curve point).
-#[derive(Clone, Copy, Debug)]
+/// curve point), including the cumulative divergence-sentinel counters at
+/// snapshot time so the persisted curve tells *how* the run got there.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CurvePoint {
     pub step: u64,
     /// Forward (q2t) per-token perplexity on the eval pairs.
@@ -148,10 +155,16 @@ pub struct CurvePoint {
     pub log_prob: f32,
     /// Mean translate-back token accuracy over eval queries.
     pub accuracy: f32,
+    /// Steps skipped by sentinels (non-finite or spiking loss) so far.
+    pub skipped_steps: u64,
+    /// Rollbacks to the last good checkpoint so far.
+    pub rollbacks: u64,
+    /// Non-finite gradient events so far.
+    pub nan_grad_events: u64,
 }
 
 /// Full training trajectory.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TrainingCurve {
     pub points: Vec<CurvePoint>,
 }
@@ -170,13 +183,131 @@ pub enum TrainMode {
     Joint,
 }
 
+/// Cumulative divergence-sentinel telemetry for one training process —
+/// the training-side counterpart of the serving crate's `HealthReport`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrainHealthReport {
+    /// Steps whose batch loss was NaN/Inf.
+    pub nan_loss_events: u64,
+    /// Steps whose gradient norm was NaN/Inf.
+    pub nan_grad_events: u64,
+    /// Steps that applied no optimizer update (non-finite or spiking).
+    pub skipped_steps: u64,
+    /// Loss-spike detections.
+    pub loss_spikes: u64,
+    /// Rollbacks to the last good checkpoint.
+    pub rollbacks: u64,
+    /// Checkpoints committed by this trainer.
+    pub checkpoints_written: u64,
+}
+
+/// Verdict of the loss-spike sentinel for one observed batch loss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpikeVerdict {
+    /// Within the baseline: apply the update.
+    Normal,
+    /// Spiking: skip the update, keep the baseline.
+    Spike,
+    /// `patience` consecutive spikes: roll back if a checkpoint exists.
+    Rollback,
+}
+
+/// Loss-spike detector: a window of recent *healthy* losses is the
+/// baseline; a loss above `factor ×` the window median is a spike. Spikes
+/// do not enter the baseline (one bad step must not legitimize the next),
+/// and `patience` consecutive spikes escalate to a rollback verdict.
+#[derive(Clone, Debug)]
+pub struct SpikeDetector {
+    window: Vec<f32>,
+    capacity: usize,
+    factor: f32,
+    patience: u32,
+    consecutive: u32,
+}
+
+impl SpikeDetector {
+    pub fn new(capacity: usize, factor: f32, patience: u32) -> Self {
+        SpikeDetector { window: Vec::new(), capacity, factor, patience, consecutive: 0 }
+    }
+
+    /// Restores a detector snapshot (checkpoint resume).
+    pub fn restore(
+        capacity: usize,
+        factor: f32,
+        patience: u32,
+        window: Vec<f32>,
+        consecutive: u32,
+    ) -> Self {
+        let mut d = SpikeDetector { window, capacity, factor, patience, consecutive };
+        d.window.truncate(capacity.max(1));
+        d
+    }
+
+    pub fn window(&self) -> &[f32] {
+        &self.window
+    }
+
+    pub fn consecutive(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// Classifies `loss` against the baseline and updates detector state.
+    /// Detection is armed only once the window is full; capacity 0
+    /// disables the detector entirely.
+    pub fn observe(&mut self, loss: f32) -> SpikeVerdict {
+        if self.capacity == 0 {
+            return SpikeVerdict::Normal;
+        }
+        if self.window.len() == self.capacity && loss > self.factor * self.median() {
+            self.consecutive += 1;
+            return if self.consecutive >= self.patience.max(1) {
+                SpikeVerdict::Rollback
+            } else {
+                SpikeVerdict::Spike
+            };
+        }
+        self.consecutive = 0;
+        self.window.push(loss);
+        if self.window.len() > self.capacity {
+            self.window.remove(0);
+        }
+        SpikeVerdict::Normal
+    }
+
+    /// Adopts the new loss level as baseline (rollback budget exhausted):
+    /// clears history so detection re-arms on post-spike data.
+    pub fn rebaseline(&mut self) {
+        self.window.clear();
+        self.consecutive = 0;
+    }
+
+    fn median(&self) -> f32 {
+        let mut sorted = self.window.clone();
+        sorted.sort_by(f32::total_cmp);
+        sorted[sorted.len() / 2]
+    }
+}
+
 /// The Algorithm 1 trainer.
+///
+/// Beyond the optimization loop itself, the trainer owns the crash-safety
+/// machinery: it accumulates the [`TrainingCurve`] across `train` calls,
+/// counts sentinel events, and (when a [`CheckpointStore`] is attached)
+/// periodically commits its **full** state — weights, Adam moments, Noam
+/// position, shuffle-RNG state, warm-up mode, curve and counters — so
+/// [`CyclicTrainer::resume`] continues bit-for-bit where a killed run
+/// stopped.
 pub struct CyclicTrainer {
     config: TrainConfig,
     adam: Adam,
     schedule: NoamSchedule,
     rng: StdRng,
     step: u64,
+    d_model: usize,
+    curve: TrainingCurve,
+    health: TrainHealthReport,
+    spikes: SpikeDetector,
+    store: Option<CheckpointStore>,
 }
 
 impl CyclicTrainer {
@@ -185,21 +316,192 @@ impl CyclicTrainer {
         CyclicTrainer {
             adam: Adam::new(AdamConfig { lr: 0.05, ..Default::default() }),
             rng: StdRng::seed_from_u64(config.seed),
+            spikes: SpikeDetector::new(config.spike_window, config.spike_factor, config.spike_patience),
             schedule,
             config,
             step: 0,
+            d_model,
+            curve: TrainingCurve::default(),
+            health: TrainHealthReport::default(),
+            store: None,
         }
+    }
+
+    /// Attaches a checkpoint store (enables periodic checkpoints, the
+    /// rollback sentinel, and [`CyclicTrainer::save_checkpoint`]).
+    pub fn with_checkpoints(mut self, store: CheckpointStore) -> Self {
+        self.store = Some(store);
+        self
     }
 
     pub fn step_count(&self) -> u64 {
         self.step
     }
 
-    /// Runs Algorithm 1 for `config.steps` steps over `data` (query→title
-    /// pairs), evaluating on `eval` every `eval_every` steps.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// The accumulated training trajectory (across `train` calls and
+    /// checkpoint resumes).
+    pub fn curve(&self) -> &TrainingCurve {
+        &self.curve
+    }
+
+    /// Sentinel telemetry for this trainer process.
+    pub fn health_report(&self) -> TrainHealthReport {
+        self.health
+    }
+
+    /// Commits a full-state checkpoint for the current step: the two
+    /// models' weights (v2 `QRWT`), the trainer state (`QRWS`), a sealing
+    /// manifest, and the `LATEST` pointer — every file through the
+    /// atomic temp + fsync + rename path.
+    pub fn save_checkpoint(&mut self, model: &JointModel, mode: TrainMode) -> io::Result<()> {
+        let store = self.store.as_ref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no checkpoint store attached")
+        })?;
+        let state = TrainerState {
+            config: self.config.clone(),
+            d_model: self.d_model,
+            step: self.step,
+            mode,
+            rng_state: self.rng.state(),
+            adam_steps: self.adam.steps(),
+            adam_forward: self.adam.export_moments(model.forward.params()),
+            adam_backward: self.adam.export_moments(model.backward.params()),
+            curve: self.curve.clone(),
+            health: self.health,
+            spike_window_vals: self.spikes.window().to_vec(),
+            spike_consecutive: self.spikes.consecutive(),
+        };
+        let members = [
+            (FORWARD_FILE, serialize::save(model.forward.params())),
+            (BACKWARD_FILE, serialize::save(model.backward.params())),
+            (TRAINER_FILE, checkpoint::encode_state(&state)),
+        ];
+        store.save(self.step, &members)?;
+        self.health.checkpoints_written += 1;
+        Ok(())
+    }
+
+    /// Restores the newest committed-and-valid checkpoint under `dir`
+    /// into `model` and rebuilds the trainer exactly as it was: the
+    /// continuation is bitwise-identical to the uninterrupted run.
+    /// Returns the trainer and the [`TrainMode`] the checkpoint was
+    /// training under.
+    pub fn resume(
+        dir: impl AsRef<Path>,
+        model: &JointModel,
+    ) -> Result<(CyclicTrainer, TrainMode), ResumeError> {
+        Self::resume_with_store(CheckpointStore::new(dir.as_ref()), model)
+    }
+
+    /// [`CyclicTrainer::resume`] with an explicit store (custom sink).
+    pub fn resume_with_store(
+        store: CheckpointStore,
+        model: &JointModel,
+    ) -> Result<(CyclicTrainer, TrainMode), ResumeError> {
+        let state = Self::load_latest_into(&store, model)?;
+        let mut trainer = Self::from_state(&state, model)?;
+        trainer.store = Some(store);
+        Ok((trainer, state.mode))
+    }
+
+    /// Loads the newest valid checkpoint's weights into `model` and
+    /// returns the decoded trainer state. The model is only mutated after
+    /// *both* member files parse, so a failed resume never leaves a
+    /// half-restored pair.
+    fn load_latest_into(
+        store: &CheckpointStore,
+        model: &JointModel,
+    ) -> Result<TrainerState, ResumeError> {
+        let (step, path) = store.latest_valid()?;
+        let fwd = std::fs::read(path.join(FORWARD_FILE))?;
+        let bwd = std::fs::read(path.join(BACKWARD_FILE))?;
+        let state = checkpoint::decode_state(&std::fs::read(path.join(TRAINER_FILE))?)?;
+        if state.step != step {
+            return Err(ResumeError::State(format!(
+                "trainer state step {} does not match checkpoint directory step {step}",
+                state.step
+            )));
+        }
+        let fwd_records = serialize::parse(&fwd)?;
+        let bwd_records = serialize::parse(&bwd)?;
+        drop((fwd_records, bwd_records)); // parsed OK: structural validation done
+        serialize::load(model.forward.params(), &fwd)?;
+        serialize::load(model.backward.params(), &bwd)?;
+        Ok(state)
+    }
+
+    /// Rebuilds a trainer from decoded state + restored model weights.
+    fn from_state(state: &TrainerState, model: &JointModel) -> Result<CyclicTrainer, ResumeError> {
+        let mut adam = Adam::new(AdamConfig { lr: 0.05, ..Default::default() });
+        adam.set_steps(state.adam_steps);
+        adam.import_moments(model.forward.params(), &state.adam_forward)
+            .map_err(ResumeError::State)?;
+        adam.import_moments(model.backward.params(), &state.adam_backward)
+            .map_err(ResumeError::State)?;
+        let schedule =
+            NoamSchedule::new(state.config.lr_factor, state.d_model, state.config.noam_warmup);
+        Ok(CyclicTrainer {
+            adam,
+            schedule,
+            rng: StdRng::seed_from_u64(state.rng_state),
+            step: state.step,
+            d_model: state.d_model,
+            curve: state.curve.clone(),
+            health: state.health,
+            spikes: SpikeDetector::restore(
+                state.config.spike_window,
+                state.config.spike_factor,
+                state.config.spike_patience,
+                state.spike_window_vals.clone(),
+                state.spike_consecutive,
+            ),
+            config: state.config.clone(),
+            store: None,
+        })
+    }
+
+    /// Rolls this trainer (and `model`) back to the newest valid
+    /// checkpoint. Process-level telemetry (health counters) survives the
+    /// rollback — it describes this run, not the restored state. Returns
+    /// the step rolled back to.
+    pub fn rollback_to_last_good(&mut self, model: &JointModel) -> Result<u64, ResumeError> {
+        let store = self.store.as_ref().ok_or(ResumeError::NoCheckpoint)?;
+        let state = Self::load_latest_into(store, model)?;
+        let health = self.health; // keep this process's telemetry
+        let restored = Self::from_state(&state, model)?;
+        let step = restored.step;
+        self.adam = restored.adam;
+        self.schedule = restored.schedule;
+        self.rng = restored.rng;
+        self.step = restored.step;
+        self.curve = restored.curve;
+        self.spikes = restored.spikes;
+        self.spikes.rebaseline();
+        self.health = health;
+        self.health.rollbacks += 1;
+        Ok(step)
+    }
+
+    /// Runs Algorithm 1 for `config.steps` *further* steps over `data`
+    /// (query→title pairs), evaluating on `eval` every `eval_every` steps
+    /// and at the end of the run. Returns the full accumulated curve, so a
+    /// resumed run's return value equals the uninterrupted run's.
     ///
     /// `mode == Separate` trains `L_f` and `L_b` only; `Joint` adds the
     /// `λ L_c` term after `warmup_steps`.
+    ///
+    /// Divergence sentinels guard every step: a non-finite batch loss or
+    /// gradient norm skips the optimizer update, and a spiking loss
+    /// (per [`SpikeDetector`]) is first skipped, then — after
+    /// `spike_patience` consecutive spikes — rolled back to the last good
+    /// checkpoint. The rollback budget is `max_rollbacks` per `train`
+    /// call (the trainer is deterministic, so unbounded retries of a
+    /// genuinely divergent run would livelock); past the budget the
+    /// detector re-baselines and training pushes on.
     pub fn train(
         &mut self,
         model: &JointModel,
@@ -208,11 +510,14 @@ impl CyclicTrainer {
         mode: TrainMode,
     ) -> TrainingCurve {
         assert!(!data.is_empty(), "training data must be non-empty");
-        let mut curve = TrainingCurve::default();
         // Click-weighted sampling distribution over pairs.
         let cum = cumulative_weights(data);
+        // Resume-safe loop bound: `config.steps` more steps from wherever
+        // this trainer currently stands (0 for a fresh trainer).
+        let end = self.step + self.config.steps;
+        let mut rollbacks_done = 0u32;
 
-        for _ in 0..self.config.steps {
+        while self.step < end {
             self.step += 1;
             let lr = self.schedule.lr(self.step);
             let cyclic = mode == TrainMode::Joint && self.step > self.config.warmup_steps;
@@ -233,42 +538,106 @@ impl CyclicTrainer {
             let process = |slot: usize, idx: usize| {
                 let mut rng =
                     StdRng::seed_from_u64(step_seed.wrapping_add(slot as u64 * 0x51_7cc1));
-                example_backward(model, &data[idx], cyclic, config, &mut rng);
+                example_backward(model, &data[idx], cyclic, config, &mut rng)
             };
-            if self.config.parallel && self.config.batch_size > 1 {
+            let losses: Vec<Option<f32>> = if self.config.parallel && self.config.batch_size > 1
+            {
                 // Gradients accumulate behind each Param's lock; summation
                 // order (and thus low-order float bits) depends on thread
-                // scheduling — the standard data-parallel trade-off. A
-                // worker panic propagates when the scope joins; training is
-                // offline, so unlike the serve path it may fail loudly.
+                // scheduling — the standard data-parallel trade-off. Losses
+                // are collected per join handle, so their slot order (and
+                // the batch loss) stays deterministic. A worker panic
+                // propagates at join; training is offline, so unlike the
+                // serve path it may fail loudly.
                 std::thread::scope(|scope| {
-                    for (slot, &idx) in indices.iter().enumerate() {
-                        scope.spawn(move || process(slot, idx));
-                    }
-                });
+                    let handles: Vec<_> = indices
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, &idx)| scope.spawn(move || process(slot, idx)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("training worker panicked"))
+                        .collect()
+                })
             } else {
-                for (slot, &idx) in indices.iter().enumerate() {
-                    process(slot, idx);
-                }
-            }
+                indices.iter().enumerate().map(|(slot, &idx)| process(slot, idx)).collect()
+            };
 
             let scale = 1.0 / self.config.batch_size as f32;
-            for params in [model.forward.params(), model.backward.params()] {
-                for p in params {
-                    p.scale_grad(scale);
+            let batch_loss = losses.iter().flatten().sum::<f32>() * scale;
+
+            if !batch_loss.is_finite() {
+                // Sentinel 1: poisoned loss. The gradients are tainted too;
+                // drop the whole step.
+                self.health.nan_loss_events += 1;
+                self.health.skipped_steps += 1;
+            } else {
+                for params in [model.forward.params(), model.backward.params()] {
+                    for p in params {
+                        p.scale_grad(scale);
+                    }
                 }
-                params.clip_grad_norm(self.config.grad_clip);
+                let grads_finite = model.forward.params().global_grad_norm().is_finite()
+                    && model.backward.params().global_grad_norm().is_finite();
+                if !grads_finite {
+                    // Sentinel 2: finite loss but non-finite gradients
+                    // (overflow in backward).
+                    self.health.nan_grad_events += 1;
+                    self.health.skipped_steps += 1;
+                } else {
+                    match self.spikes.observe(batch_loss) {
+                        SpikeVerdict::Normal => {
+                            for params in [model.forward.params(), model.backward.params()] {
+                                params.clip_grad_norm(self.config.grad_clip);
+                            }
+                            self.adam.step_with_lr(model.forward.params(), lr);
+                            self.adam.step_with_lr(model.backward.params(), lr);
+                        }
+                        SpikeVerdict::Spike => {
+                            // Sentinel 3: loss spike — skip, keep watching.
+                            self.health.loss_spikes += 1;
+                            self.health.skipped_steps += 1;
+                        }
+                        SpikeVerdict::Rollback => {
+                            self.health.loss_spikes += 1;
+                            let can_roll = self.store.is_some()
+                                && rollbacks_done < self.config.max_rollbacks;
+                            if can_roll && self.rollback_to_last_good(model).is_ok() {
+                                rollbacks_done += 1;
+                                // Step counter, RNG, curve, optimizer and
+                                // weights are all restored; re-run from
+                                // the checkpoint.
+                                continue;
+                            }
+                            // No checkpoint (or budget spent): accept the
+                            // new loss level instead of livelocking.
+                            self.spikes.rebaseline();
+                            self.health.skipped_steps += 1;
+                        }
+                    }
+                }
             }
-            self.adam.step_with_lr(model.forward.params(), lr);
-            self.adam.step_with_lr(model.backward.params(), lr);
 
             let at_eval =
                 self.config.eval_every > 0 && self.step.is_multiple_of(self.config.eval_every);
-            if at_eval || self.step == self.config.steps {
-                curve.points.push(self.evaluate(model, eval));
+            if at_eval || self.step == end {
+                let point = self.evaluate(model, eval);
+                self.curve.points.push(point);
+            }
+            // Checkpoint after the eval so a snapshot at an eval step
+            // carries its own curve point (resume replays from here).
+            if self.store.is_some()
+                && self.config.checkpoint_every > 0
+                && self.step.is_multiple_of(self.config.checkpoint_every)
+            {
+                // A failed write (e.g. disk full) must not kill training:
+                // the previous good checkpoint stays valid and the next
+                // interval retries.
+                let _ = self.save_checkpoint(model, mode);
             }
         }
-        curve
+        self.curve.clone()
     }
 
     /// Computes the Figure 7 metrics on the eval pairs with a fixed RNG so
@@ -313,6 +682,9 @@ impl CyclicTrainer {
             ppl_t2q: ((nll_b / tok_b.max(1) as f64).exp()) as f32,
             log_prob: (lp / nq) as f32,
             accuracy: (acc / nq) as f32,
+            skipped_steps: self.health.skipped_steps,
+            rollbacks: self.health.rollbacks,
+            nan_grad_events: self.health.nan_grad_events,
         }
     }
 }
@@ -328,16 +700,18 @@ fn train_ctx(rng: &mut StdRng, dropout: f32) -> Option<qrw_nmt::layers::TrainCtx
 /// One Algorithm 1 example: builds the `L_f + L_b (+ λ L_c)` loss on a
 /// fresh tape and flushes gradients into both models' parameters. Safe to
 /// run concurrently across batch slots (parameter gradient accumulation
-/// is locked per parameter).
+/// is locked per parameter). Returns the example's loss value for the
+/// divergence sentinels (`None` for an empty pair, which contributes no
+/// gradient).
 fn example_backward(
     model: &JointModel,
     pair: &Pair,
     cyclic: bool,
     config: &TrainConfig,
     rng: &mut StdRng,
-) {
+) -> Option<f32> {
     if pair.src.is_empty() || pair.tgt.is_empty() {
-        return;
+        return None;
     }
     let tape = Tape::new();
     let (nll_f, _) = {
@@ -356,7 +730,9 @@ fn example_backward(
             loss = loss.add(lc.scale(-config.lambda));
         }
     }
+    let value = loss.item();
     tape.backward(loss);
+    Some(value)
 }
 
 fn cumulative_weights(data: &[Pair]) -> Vec<f64> {
@@ -512,6 +888,114 @@ mod tests {
         assert!((0.0..=1.0).contains(&acc));
         let lp = m.translate_back_log_prob(&[10, 5], 2, 4, &mut rng);
         assert!(lp < 0.0);
+    }
+
+    #[test]
+    fn spike_detector_arms_only_on_full_window() {
+        let mut d = SpikeDetector::new(3, 2.0, 2);
+        // Below capacity nothing is a spike, even a huge loss.
+        assert_eq!(d.observe(1.0), SpikeVerdict::Normal);
+        assert_eq!(d.observe(100.0), SpikeVerdict::Normal);
+        assert_eq!(d.observe(1.0), SpikeVerdict::Normal);
+        // Window now [1, 100, 1], median 1: 5.0 > 2×1 is a spike.
+        assert_eq!(d.observe(5.0), SpikeVerdict::Spike);
+        assert_eq!(d.consecutive(), 1);
+        // Second consecutive spike reaches patience → rollback verdict.
+        assert_eq!(d.observe(5.0), SpikeVerdict::Rollback);
+        // A healthy loss resets the streak and joins the baseline.
+        assert_eq!(d.observe(1.5), SpikeVerdict::Normal);
+        assert_eq!(d.consecutive(), 0);
+    }
+
+    #[test]
+    fn spike_detector_baseline_excludes_spikes_and_rebaseline_rearms() {
+        let mut d = SpikeDetector::new(2, 2.0, 1);
+        assert_eq!(d.observe(1.0), SpikeVerdict::Normal);
+        assert_eq!(d.observe(1.0), SpikeVerdict::Normal);
+        // Patience 1: first spike escalates straight to rollback, and the
+        // spiking value must NOT have entered the window.
+        assert_eq!(d.observe(10.0), SpikeVerdict::Rollback);
+        assert_eq!(d.window(), &[1.0, 1.0]);
+        // After rebaseline the detector re-learns from scratch: the same
+        // high loss is now just data.
+        d.rebaseline();
+        assert_eq!(d.observe(10.0), SpikeVerdict::Normal);
+        assert_eq!(d.window(), &[10.0]);
+    }
+
+    #[test]
+    fn spike_detector_zero_capacity_disables_detection() {
+        let mut d = SpikeDetector::new(0, 2.0, 1);
+        for x in [1.0, 1e9, f32::MAX] {
+            assert_eq!(d.observe(x), SpikeVerdict::Normal);
+        }
+    }
+
+    #[test]
+    fn spike_detector_restore_resumes_mid_streak() {
+        let mut a = SpikeDetector::new(3, 2.0, 3);
+        for x in [1.0, 1.0, 1.0, 9.0] {
+            a.observe(x);
+        }
+        let mut b =
+            SpikeDetector::restore(3, 2.0, 3, a.window().to_vec(), a.consecutive());
+        // Identical verdicts from here on — the streak continues where it
+        // left off (second spike), then escalates at the third.
+        assert_eq!(a.observe(9.0), b.observe(9.0));
+        assert_eq!(a.observe(9.0), SpikeVerdict::Rollback);
+        assert_eq!(b.observe(9.0), SpikeVerdict::Rollback);
+    }
+
+    #[test]
+    fn nan_poisoned_weights_skip_every_step_without_updates() {
+        let m = tiny_joint(8);
+        // Poison one forward parameter: every loss becomes non-finite.
+        let p = m.forward.params().iter().next().unwrap();
+        let (r, c) = p.shape();
+        p.set_value(qrw_tensor::Tensor::from_vec(r, c, vec![f32::NAN; r * c]));
+        let cfg = TrainConfig {
+            steps: 3,
+            warmup_steps: 10,
+            batch_size: 2,
+            eval_every: 0,
+            top_n: 4,
+            ..Default::default()
+        };
+        let mut t = CyclicTrainer::new(cfg, 32);
+        let backward_before = serialize::save(m.backward.params());
+        let curve = t.train(&m, &tiny_pairs(), &tiny_pairs()[..1], TrainMode::Separate);
+        let h = t.health_report();
+        assert_eq!(h.nan_loss_events, 3);
+        assert_eq!(h.skipped_steps, 3);
+        // The sentinel counters ride along on the curve points.
+        assert_eq!(curve.last().unwrap().skipped_steps, 3);
+        // No optimizer update ever ran: the healthy model is untouched.
+        assert_eq!(serialize::save(m.backward.params()), backward_before);
+    }
+
+    #[test]
+    fn curve_accumulates_across_train_calls_with_resumed_step_numbers() {
+        let m = tiny_joint(9);
+        let cfg = TrainConfig {
+            steps: 4,
+            warmup_steps: 10,
+            batch_size: 2,
+            eval_every: 2,
+            top_n: 4,
+            ..Default::default()
+        };
+        let mut t = CyclicTrainer::new(cfg, 32);
+        let first = t.train(&m, &tiny_pairs(), &tiny_pairs()[..1], TrainMode::Separate);
+        assert_eq!(first.points.iter().map(|p| p.step).collect::<Vec<_>>(), vec![2, 4]);
+        // A second call continues at step 5, not back at 1, and returns
+        // the full accumulated trajectory.
+        let second = t.train(&m, &tiny_pairs(), &tiny_pairs()[..1], TrainMode::Separate);
+        assert_eq!(
+            second.points.iter().map(|p| p.step).collect::<Vec<_>>(),
+            vec![2, 4, 6, 8]
+        );
+        assert_eq!(t.curve().points.len(), 4);
+        assert_eq!(t.step_count(), 8);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Deterministic write-fault injection for the crash-safety tests.
+//!
+//! [`TrainFaultInjector`] wraps the checkpoint write path behind the
+//! [`WriteSink`] trait and simulates the failure modes Algorithm 1's
+//! checkpointing must survive:
+//!
+//! * **Kill at a byte offset** — the process dies mid-checkpoint. The
+//!   write containing the offset lands *torn at the final path* (the
+//!   worst case: as if the atomic rename itself tore) and every later
+//!   write fails, emulating the dead process. A sweep over every offset
+//!   of a checkpoint proves recovery never loads torn state.
+//! * **Bit flip** — silent media corruption: one payload bit of the Nth
+//!   write is flipped and the file is otherwise written normally. The
+//!   CRCs must catch it.
+//! * **Disk full** — the Nth and all later writes fail cleanly with
+//!   nothing written; training must keep going on the previous good
+//!   checkpoint.
+//!
+//! The injector is deterministic: the same plan against the same write
+//! sequence fails at the same byte, which is what makes the
+//! `tests/train_resilience.rs` sweeps reproducible. This mirrors the
+//! serving crate's `FaultInjector`, but at the storage layer instead of
+//! the request path.
+
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::persist::{DiskSink, WriteSink};
+
+/// What should go wrong, and where.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Every write succeeds (pass-through to [`DiskSink`]).
+    None,
+    /// The process "dies" once `offset` cumulative payload bytes have been
+    /// written: the write containing the offset leaves a torn file at its
+    /// final path, and all subsequent writes fail.
+    KillAtByte(u64),
+    /// Flip bit `bit` (mod payload length) of the `write_index`-th write's
+    /// payload, then write it normally.
+    BitFlip { write_index: u64, bit: u64 },
+    /// The `write_index`-th and all later writes fail with a disk-full
+    /// error, leaving their targets untouched.
+    DiskFullAtWrite(u64),
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    bytes_written: u64,
+    writes_done: u64,
+    dead: bool,
+}
+
+/// A [`WriteSink`] that injects the [`FaultPlan`] into an otherwise real
+/// [`DiskSink`] write path.
+#[derive(Debug)]
+pub struct TrainFaultInjector {
+    state: Mutex<FaultState>,
+}
+
+impl TrainFaultInjector {
+    pub fn new(plan: FaultPlan) -> Self {
+        TrainFaultInjector {
+            state: Mutex::new(FaultState {
+                plan,
+                bytes_written: 0,
+                writes_done: 0,
+                dead: false,
+            }),
+        }
+    }
+
+    /// Pass-through sink that only counts traffic (used to measure a clean
+    /// checkpoint's size before sweeping kill offsets over it).
+    pub fn none() -> Self {
+        Self::new(FaultPlan::None)
+    }
+
+    pub fn kill_at_byte(offset: u64) -> Self {
+        Self::new(FaultPlan::KillAtByte(offset))
+    }
+
+    pub fn bit_flip(write_index: u64, bit: u64) -> Self {
+        Self::new(FaultPlan::BitFlip { write_index, bit })
+    }
+
+    pub fn disk_full_at_write(write_index: u64) -> Self {
+        Self::new(FaultPlan::DiskFullAtWrite(write_index))
+    }
+
+    /// Cumulative payload bytes offered to the sink (including the torn
+    /// write's full intended payload).
+    pub fn total_bytes(&self) -> u64 {
+        self.state.lock().unwrap().bytes_written
+    }
+
+    /// Number of writes offered to the sink.
+    pub fn total_writes(&self) -> u64 {
+        self.state.lock().unwrap().writes_done
+    }
+
+    /// Whether the kill fault has fired.
+    pub fn killed(&self) -> bool {
+        self.state.lock().unwrap().dead
+    }
+}
+
+impl WriteSink for TrainFaultInjector {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        if st.dead {
+            return Err(io::Error::other("fault injector: process is dead"));
+        }
+        let write_index = st.writes_done;
+        let start = st.bytes_written;
+        st.writes_done += 1;
+        st.bytes_written += bytes.len() as u64;
+
+        match st.plan {
+            FaultPlan::None => {
+                drop(st);
+                DiskSink.write_atomic(path, bytes)
+            }
+            FaultPlan::KillAtByte(offset) => {
+                let end = start + bytes.len() as u64;
+                if offset < end {
+                    st.dead = true;
+                    drop(st);
+                    // Torn write at the final path — deliberately NOT the
+                    // atomic path; this is the disaster the checksums and
+                    // manifests exist to catch.
+                    let keep = (offset - start) as usize;
+                    std::fs::write(path, &bytes[..keep])?;
+                    return Err(io::Error::other("fault injector: killed mid-write"));
+                }
+                drop(st);
+                DiskSink.write_atomic(path, bytes)
+            }
+            FaultPlan::BitFlip { write_index: target, bit } => {
+                drop(st);
+                if write_index == target && !bytes.is_empty() {
+                    let mut flipped = bytes.to_vec();
+                    let bit = (bit as usize) % (flipped.len() * 8);
+                    flipped[bit / 8] ^= 1 << (bit % 8);
+                    return DiskSink.write_atomic(path, &flipped);
+                }
+                DiskSink.write_atomic(path, bytes)
+            }
+            FaultPlan::DiskFullAtWrite(target) => {
+                drop(st);
+                if write_index >= target {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "fault injector: no space left on device",
+                    ));
+                }
+                DiskSink.write_atomic(path, bytes)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::testutil::TestDir;
+
+    #[test]
+    fn none_passes_through_and_counts() {
+        let dir = TestDir::new("fault-none");
+        let sink = TrainFaultInjector::none();
+        sink.write_atomic(&dir.join("a"), b"hello").unwrap();
+        sink.write_atomic(&dir.join("b"), b"world!").unwrap();
+        assert_eq!(sink.total_bytes(), 11);
+        assert_eq!(sink.total_writes(), 2);
+        assert_eq!(std::fs::read(dir.join("b")).unwrap(), b"world!");
+    }
+
+    #[test]
+    fn kill_tears_exactly_at_offset_and_stays_dead() {
+        let dir = TestDir::new("fault-kill");
+        let sink = TrainFaultInjector::kill_at_byte(7);
+        sink.write_atomic(&dir.join("a"), b"hello").unwrap(); // bytes 0..5
+        let err = sink.write_atomic(&dir.join("b"), b"world!").unwrap_err();
+        assert!(err.to_string().contains("killed"), "{err}");
+        assert!(sink.killed());
+        // b holds the torn prefix: bytes 5..7 of the stream = "wo".
+        assert_eq!(std::fs::read(dir.join("b")).unwrap(), b"wo");
+        // The process is dead: nothing further lands.
+        assert!(sink.write_atomic(&dir.join("c"), b"x").is_err());
+        assert!(!dir.join("c").exists());
+    }
+
+    #[test]
+    fn bit_flip_corrupts_one_bit_of_the_targeted_write() {
+        let dir = TestDir::new("fault-flip");
+        let sink = TrainFaultInjector::bit_flip(1, 9);
+        sink.write_atomic(&dir.join("a"), b"aa").unwrap();
+        sink.write_atomic(&dir.join("b"), b"aa").unwrap();
+        assert_eq!(std::fs::read(dir.join("a")).unwrap(), b"aa");
+        let b = std::fs::read(dir.join("b")).unwrap();
+        assert_eq!(b, vec![b'a', b'a' ^ 0x02]); // bit 9 = byte 1, bit 1
+    }
+
+    #[test]
+    fn disk_full_fails_cleanly_without_writing() {
+        let dir = TestDir::new("fault-full");
+        let sink = TrainFaultInjector::disk_full_at_write(1);
+        sink.write_atomic(&dir.join("a"), b"ok").unwrap();
+        let err = sink.write_atomic(&dir.join("b"), b"nope").unwrap_err();
+        assert!(err.to_string().contains("no space"), "{err}");
+        assert!(!dir.join("b").exists());
+        // Disk stays full, but the process is alive: later writes also
+        // fail cleanly rather than panicking.
+        assert!(sink.write_atomic(&dir.join("c"), b"x").is_err());
+    }
+}

@@ -16,20 +16,30 @@
 //!   (`query <sep1> title <sep2> query2`), for the ablation bench.
 //! * [`config`] — Algorithm 1 / §IV-A hyper-parameters and the Table II
 //!   record.
+//! * [`checkpoint`] — crash-safe full-state training checkpoints
+//!   (versioned directories, manifest commit records, bitwise resume) and
+//!   [`fault`] — the deterministic write-fault injector exercising them.
 
+pub mod checkpoint;
 pub mod config;
 pub mod cyclic;
 pub mod embed;
+pub mod fault;
 pub mod lm_rewriter;
 pub mod persist;
 pub mod pipeline;
 pub mod q2q;
 
+pub use checkpoint::{CheckpointStore, ResumeError, TrainerState};
 pub use config::{HyperparamTable, TrainConfig};
-pub use cyclic::{CurvePoint, CyclicTrainer, JointModel, TrainMode, TrainingCurve};
+pub use cyclic::{
+    CurvePoint, CyclicTrainer, JointModel, SpikeDetector, SpikeVerdict, TrainHealthReport,
+    TrainMode, TrainingCurve,
+};
 pub use embed::{cosine, EmbeddingModel, SgnsConfig};
+pub use fault::TrainFaultInjector;
 pub use lm_rewriter::{make_lm, train_lm, LmCorpus, LmPoint, LmRewriter, LmTrainConfig};
-pub use persist::{load_joint, load_model, save_joint, save_model};
+pub use persist::{load_joint, load_model, save_joint, save_model, DiskSink, WriteSink};
 pub use pipeline::{QueryRewriter, RewritePipeline, ScoredRewrite};
 pub use qrw_nmt::DecodeStats;
 pub use q2q::{evaluate_q2q, train_q2q, Q2QPoint, Q2QRewriter, Q2QTrainConfig};

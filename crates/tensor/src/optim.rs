@@ -47,6 +47,58 @@ impl Adam {
         self.step
     }
 
+    /// Restores the completed-step count (bias correction depends on it),
+    /// used when resuming from a checkpoint.
+    pub fn set_steps(&mut self, steps: u64) {
+        self.step = steps;
+    }
+
+    /// Exports the first/second moments for every parameter of `params`
+    /// that has optimizer state, keyed by parameter name (ids are
+    /// process-local and do not survive a restart). Parameters that were
+    /// never stepped have no entry — importing none recreates the same
+    /// "fresh" state lazily.
+    pub fn export_moments(&self, params: &ParamSet) -> Vec<(String, Vec<f32>, Vec<f32>)> {
+        params
+            .iter()
+            .filter_map(|p| {
+                self.state
+                    .get(&p.id())
+                    .map(|mo| (p.name(), mo.m.clone(), mo.v.clone()))
+            })
+            .collect()
+    }
+
+    /// Restores moments exported by [`Adam::export_moments`] into the
+    /// state slots of the (freshly-constructed) parameters of `params`,
+    /// matched by name. Unknown names and length mismatches are errors —
+    /// a moment vector that does not line up with its parameter would
+    /// silently corrupt the update rule.
+    pub fn import_moments(
+        &mut self,
+        params: &ParamSet,
+        records: &[(String, Vec<f32>, Vec<f32>)],
+    ) -> Result<(), String> {
+        let by_name: HashMap<String, &Param> =
+            params.iter().map(|p| (p.name(), p)).collect();
+        for (name, m, v) in records {
+            let p = by_name
+                .get(name)
+                .ok_or_else(|| format!("optimizer state for unknown parameter '{name}'"))?;
+            if m.len() != p.len() || v.len() != p.len() {
+                return Err(format!(
+                    "optimizer state length mismatch for '{name}': moments {}/{}, parameter {}",
+                    m.len(),
+                    v.len(),
+                    p.len()
+                ));
+            }
+            self.state
+                .insert(p.id(), Moments { m: m.clone(), v: v.clone() });
+        }
+        Ok(())
+    }
+
     /// Applies one update to every parameter in `params` using its
     /// accumulated gradient, with learning rate `lr`, then leaves gradients
     /// untouched (call [`ParamSet::zero_grads`] afterwards).
@@ -127,6 +179,48 @@ impl NoamSchedule {
 mod tests {
     use super::*;
     use crate::tensor::Tensor;
+
+    /// Two optimizers with the same moments and step count produce the
+    /// same update — the property full-state training resume relies on.
+    #[test]
+    fn moment_export_import_reproduces_updates() {
+        let mut s1 = ParamSet::new();
+        let p1 = s1.add("x", Tensor::scalar(1.0));
+        let mut adam = Adam::new(AdamConfig::default());
+        for _ in 0..5 {
+            s1.zero_grads();
+            p1.accumulate_grad(&Tensor::scalar(0.3));
+            adam.step(&s1);
+        }
+        let exported = adam.export_moments(&s1);
+        assert_eq!(exported.len(), 1);
+
+        // "Restart": fresh parameter (new id), fresh optimizer.
+        let mut s2 = ParamSet::new();
+        let p2 = s2.add("x", p1.value());
+        let mut resumed = Adam::new(AdamConfig::default());
+        resumed.set_steps(adam.steps());
+        resumed.import_moments(&s2, &exported).unwrap();
+
+        s1.zero_grads();
+        p1.accumulate_grad(&Tensor::scalar(0.3));
+        adam.step(&s1);
+        s2.zero_grads();
+        p2.accumulate_grad(&Tensor::scalar(0.3));
+        resumed.step(&s2);
+        assert_eq!(p1.value().item().to_bits(), p2.value().item().to_bits());
+    }
+
+    #[test]
+    fn import_rejects_unknown_and_mismatched_state() {
+        let mut set = ParamSet::new();
+        set.add("x", Tensor::zeros(1, 2));
+        let mut adam = Adam::new(AdamConfig::default());
+        let unknown = vec![("y".to_string(), vec![0.0; 2], vec![0.0; 2])];
+        assert!(adam.import_moments(&set, &unknown).unwrap_err().contains("unknown"));
+        let short = vec![("x".to_string(), vec![0.0; 1], vec![0.0; 2])];
+        assert!(adam.import_moments(&set, &short).unwrap_err().contains("length mismatch"));
+    }
 
     /// Minimizing f(x) = (x - 3)^2 should converge to 3.
     #[test]

@@ -28,6 +28,13 @@ impl StdRng {
         StdRng { state: seed }
     }
 
+    /// The full internal state. `seed_from_u64(rng.state())` reproduces
+    /// this generator exactly — SplitMix64's state *is* its seed — which
+    /// is what makes training checkpoints resume bit-for-bit.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -1,46 +1,196 @@
 //! Checkpoint serialization for parameter sets.
 //!
-//! A deliberately tiny binary format (no external schema): magic, version,
-//! then `name / rows / cols / f32 data` records in parameter order. Loading
-//! matches by name and checks shapes, so a checkpoint can be restored into a
-//! freshly-constructed model of the same configuration.
+//! A deliberately tiny binary format (no external schema). Version 2 — the
+//! format this module writes — frames every record and the whole file with
+//! CRC32 checksums so a torn or bit-flipped checkpoint is *rejected* with a
+//! typed [`CheckpointError`] instead of being silently loaded as garbage
+//! weights:
+//!
+//! ```text
+//! magic "QRWT" | version u32 = 2 | record count u32
+//! per record:   name_len u32 | name | rows u32 | cols u32 | f32 data …
+//!               | record crc32 u32          (over the record's own bytes)
+//! file trailer: crc32 u32                   (over every preceding byte)
+//! ```
+//!
+//! Version 1 (the original unchecked layout, identical minus both CRC
+//! layers) is still parsed for backward compatibility, with only bounds
+//! checking — the explicit version gate below is the documented migration
+//! path. Loading matches records by name and checks shapes, so a
+//! checkpoint can be restored into a freshly-constructed model of the same
+//! configuration. Non-finite payload values are rejected in either
+//! version: a trained weight or Adam moment is always finite, so a NaN/Inf
+//! in a checkpoint means corruption (or a diverged run) and must not load.
 
 use std::collections::HashMap;
-use std::io;
 
 use crate::param::ParamSet;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"QRWT";
-const VERSION: u32 = 1;
+/// The checkpoint version this module writes.
+pub const VERSION: u32 = 2;
+/// The legacy unchecked version this module still reads.
+pub const VERSION_V1: u32 = 1;
+
+/// Typed checkpoint failure. Every way a checkpoint buffer can be
+/// unusable maps to a distinct variant, so callers (and the kill-point /
+/// bit-flip fault-injection tests) can assert *why* a load failed rather
+/// than string-matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Shorter than the smallest valid header.
+    TooShort,
+    /// The first four bytes are not `QRWT`.
+    BadMagic,
+    /// A version this build does not read (v1 and v2 are supported).
+    UnsupportedVersion(u32),
+    /// Ran out of bytes mid-structure; the payload names which one.
+    Truncated(&'static str),
+    /// `rows * cols` overflows, or a length prefix exceeds the buffer.
+    ShapeOverflow,
+    /// A parameter name is not valid UTF-8.
+    BadUtf8,
+    /// A record's CRC32 does not match its bytes (bit flip / torn write).
+    RecordChecksum { index: usize },
+    /// The whole-file CRC32 trailer does not match.
+    FileChecksum,
+    /// A payload value is NaN or infinite.
+    NonFinite { name: String },
+    /// The model expects a parameter the checkpoint lacks.
+    MissingParam(String),
+    /// Same name, different shape.
+    ShapeMismatch {
+        name: String,
+        checkpoint: (usize, usize),
+        model: (usize, usize),
+    },
+    /// Trailing bytes after the file trailer (framing is exact in v2).
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::TooShort => write!(f, "checkpoint too short"),
+            CheckpointError::BadMagic => write!(f, "bad checkpoint magic"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (supported: 1, 2)")
+            }
+            CheckpointError::Truncated(what) => write!(f, "truncated {what}"),
+            CheckpointError::ShapeOverflow => write!(f, "parameter shape overflow"),
+            CheckpointError::BadUtf8 => write!(f, "parameter name is not UTF-8"),
+            CheckpointError::RecordChecksum { index } => {
+                write!(f, "record {index} checksum mismatch (corrupt checkpoint)")
+            }
+            CheckpointError::FileChecksum => {
+                write!(f, "file checksum mismatch (corrupt checkpoint)")
+            }
+            CheckpointError::NonFinite { name } => {
+                write!(f, "non-finite value in parameter '{name}'")
+            }
+            CheckpointError::MissingParam(name) => {
+                write!(f, "checkpoint is missing parameter '{name}'")
+            }
+            CheckpointError::ShapeMismatch { name, checkpoint, model } => write!(
+                f,
+                "shape mismatch for '{name}': checkpoint {checkpoint:?}, model {model:?}"
+            ),
+            CheckpointError::TrailingBytes => write!(f, "trailing bytes after checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CheckpointError> for std::io::Error {
+    fn from(e: CheckpointError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    })
+}
+
+fn crc_feed(mut c: u32, bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// CRC32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc_feed(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a 64-bit over `tag ∥ bytes`.
+///
+/// This exists because CRC32 cannot fingerprint CRC-sealed files. CRC is
+/// linear over GF(2), and any message that *ends with its own CRC32*
+/// (little-endian) — i.e. every well-formed sealed file like the v2
+/// `QRWT` checkpoint — hashes to the fixed residue `0x2144DF1C`; by the
+/// same linearity, any choice of initial register state gives equal
+/// digests for equal-length sealed files regardless of their content. A
+/// manifest fingerprinting such members with CRC32 would accept one
+/// valid file swapped for another. FNV-1a's multiply is non-linear, so
+/// it has no such degeneracy.
+pub fn fnv1a64(tag: &[u8], bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in tag.iter().chain(bytes) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 fn put_u32_le(buf: &mut Vec<u8>, x: u32) {
     buf.extend_from_slice(&x.to_le_bytes());
 }
 
-/// Serializes all parameters of `params` into a checkpoint buffer.
+/// Serializes all parameters of `params` into a v2 checkpoint buffer.
 pub fn save(params: &ParamSet) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(MAGIC);
     put_u32_le(&mut buf, VERSION);
     put_u32_le(&mut buf, params.len() as u32);
+    let mut record = Vec::new();
     for p in params {
+        record.clear();
         let name = p.name();
         let bytes = name.as_bytes();
-        put_u32_le(&mut buf, bytes.len() as u32);
-        buf.extend_from_slice(bytes);
+        put_u32_le(&mut record, bytes.len() as u32);
+        record.extend_from_slice(bytes);
         let v = p.value();
-        put_u32_le(&mut buf, v.rows() as u32);
-        put_u32_le(&mut buf, v.cols() as u32);
+        put_u32_le(&mut record, v.rows() as u32);
+        put_u32_le(&mut record, v.cols() as u32);
         for &x in v.data() {
-            buf.extend_from_slice(&x.to_le_bytes());
+            record.extend_from_slice(&x.to_le_bytes());
         }
+        let rec_crc = crc32(&record);
+        put_u32_le(&mut record, rec_crc);
+        buf.extend_from_slice(&record);
     }
+    let file_crc = crc32(&buf);
+    put_u32_le(&mut buf, file_crc);
     buf
-}
-
-fn bad(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 /// A bounds-checked little-endian reader over a byte slice.
@@ -53,65 +203,95 @@ impl<'a> Reader<'a> {
         self.buf.len()
     }
 
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CheckpointError> {
         if self.buf.len() < n {
-            return Err(bad("truncated checkpoint"));
+            return Err(CheckpointError::Truncated(what));
         }
         let (head, tail) = self.buf.split_at(n);
         self.buf = tail;
         Ok(head)
     }
 
-    fn get_u32_le(&mut self) -> io::Result<u32> {
-        let b = self.take(4)?;
+    fn get_u32_le(&mut self, what: &'static str) -> Result<u32, CheckpointError> {
+        let b = self.take(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn get_f32_le(&mut self) -> io::Result<f32> {
-        let b = self.take(4)?;
+    fn get_f32_le(&mut self, what: &'static str) -> Result<f32, CheckpointError> {
+        let b = self.take(4, what)?;
         Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 }
 
-/// Parses a checkpoint into `(name, tensor)` records.
-pub fn parse(buf: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
+/// Parses a checkpoint into `(name, tensor)` records, verifying CRCs for
+/// v2 buffers and bounds for both versions. Corrupt input never yields
+/// records — it yields a typed [`CheckpointError`].
+pub fn parse(buf: &[u8]) -> Result<Vec<(String, Tensor)>, CheckpointError> {
+    if buf.len() < 12 {
+        return Err(CheckpointError::TooShort);
+    }
     let mut r = Reader { buf };
-    if r.remaining() < 12 {
-        return Err(bad("checkpoint too short"));
-    }
-    let magic = r.take(4)?;
+    let magic = r.take(4, "magic")?;
     if magic != MAGIC {
-        return Err(bad("bad checkpoint magic"));
+        return Err(CheckpointError::BadMagic);
     }
-    let version = r.get_u32_le()?;
-    if version != VERSION {
-        return Err(bad(format!("unsupported checkpoint version {version}")));
+    let version = r.get_u32_le("version")?;
+    let checked = match version {
+        VERSION_V1 => false,
+        VERSION => true,
+        other => return Err(CheckpointError::UnsupportedVersion(other)),
+    };
+    if checked {
+        // Whole-file CRC first: a single flipped bit anywhere fails fast.
+        if buf.len() < 16 {
+            return Err(CheckpointError::Truncated("file trailer"));
+        }
+        let (body, trailer) = buf.split_at(buf.len() - 4);
+        let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        if crc32(body) != stored {
+            return Err(CheckpointError::FileChecksum);
+        }
     }
-    let count = r.get_u32_le()? as usize;
+    let count = r.get_u32_le("record count")? as usize;
     let mut out = Vec::with_capacity(count.min(1024));
-    for _ in 0..count {
-        if r.remaining() < 4 {
-            return Err(bad("truncated record header"));
+    for index in 0..count {
+        let record_start = buf.len() - r.remaining();
+        let name_len = r.get_u32_le("record header")? as usize;
+        if r.remaining() < name_len {
+            return Err(CheckpointError::Truncated("parameter name"));
         }
-        let name_len = r.get_u32_le()? as usize;
-        if r.remaining() < name_len + 8 {
-            return Err(bad("truncated record"));
-        }
-        let name = String::from_utf8(r.take(name_len)?.to_vec())
-            .map_err(|_| bad("parameter name is not UTF-8"))?;
-        let rows = r.get_u32_le()? as usize;
-        let cols = r.get_u32_le()? as usize;
-        let n = rows
-            .checked_mul(cols)
-            .ok_or_else(|| bad("parameter shape overflow"))?;
+        let name = String::from_utf8(r.take(name_len, "parameter name")?.to_vec())
+            .map_err(|_| CheckpointError::BadUtf8)?;
+        let rows = r.get_u32_le("record shape")? as usize;
+        let cols = r.get_u32_le("record shape")? as usize;
+        let n = rows.checked_mul(cols).ok_or(CheckpointError::ShapeOverflow)?;
         if r.remaining() < n.saturating_mul(4) {
-            return Err(bad("truncated tensor data"));
+            return Err(CheckpointError::Truncated("tensor data"));
         }
         let mut data = Vec::with_capacity(n);
         for _ in 0..n {
-            data.push(r.get_f32_le()?);
+            let x = r.get_f32_le("tensor data")?;
+            if !x.is_finite() {
+                return Err(CheckpointError::NonFinite { name });
+            }
+            data.push(x);
+        }
+        if checked {
+            let record_end = buf.len() - r.remaining();
+            let stored = r.get_u32_le("record checksum")?;
+            if crc32(&buf[record_start..record_end]) != stored {
+                return Err(CheckpointError::RecordChecksum { index });
+            }
         }
         out.push((name, Tensor::from_vec(rows, cols, data)));
+    }
+    if checked && r.remaining() != 4 {
+        // Exactly the file trailer must remain.
+        return Err(if r.remaining() < 4 {
+            CheckpointError::Truncated("file trailer")
+        } else {
+            CheckpointError::TrailingBytes
+        });
     }
     Ok(out)
 }
@@ -120,7 +300,7 @@ pub fn parse(buf: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
 ///
 /// Every parameter in `params` must have a same-shaped record in the
 /// checkpoint; extra records are ignored.
-pub fn load(params: &ParamSet, buf: &[u8]) -> io::Result<()> {
+pub fn load(params: &ParamSet, buf: &[u8]) -> Result<(), CheckpointError> {
     let records = parse(buf)?;
     let by_name: HashMap<&str, &Tensor> =
         records.iter().map(|(n, t)| (n.as_str(), t)).collect();
@@ -128,13 +308,13 @@ pub fn load(params: &ParamSet, buf: &[u8]) -> io::Result<()> {
         let name = p.name();
         let t = by_name
             .get(name.as_str())
-            .ok_or_else(|| bad(format!("checkpoint is missing parameter '{name}'")))?;
+            .ok_or_else(|| CheckpointError::MissingParam(name.clone()))?;
         if t.shape() != p.shape() {
-            return Err(bad(format!(
-                "shape mismatch for '{name}': checkpoint {:?}, model {:?}",
-                t.shape(),
-                p.shape()
-            )));
+            return Err(CheckpointError::ShapeMismatch {
+                name,
+                checkpoint: t.shape(),
+                model: p.shape(),
+            });
         }
         p.set_value((*t).clone());
     }
@@ -152,6 +332,27 @@ mod tests {
         set
     }
 
+    /// The v1 writer, kept verbatim for compatibility tests.
+    fn save_v1(params: &ParamSet) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u32_le(&mut buf, VERSION_V1);
+        put_u32_le(&mut buf, params.len() as u32);
+        for p in params {
+            let name = p.name();
+            let bytes = name.as_bytes();
+            put_u32_le(&mut buf, bytes.len() as u32);
+            buf.extend_from_slice(bytes);
+            let v = p.value();
+            put_u32_le(&mut buf, v.rows() as u32);
+            put_u32_le(&mut buf, v.cols() as u32);
+            for &x in v.data() {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        buf
+    }
+
     #[test]
     fn roundtrip_restores_values() {
         let src = sample_set();
@@ -167,9 +368,31 @@ mod tests {
     }
 
     #[test]
+    fn v1_checkpoints_still_load() {
+        let src = sample_set();
+        let bytes = save_v1(&src);
+        let dst = sample_set();
+        for p in &dst {
+            p.set_value(Tensor::zeros(p.shape().0, p.shape().1));
+        }
+        load(&dst, &bytes).unwrap();
+        for (a, b) in src.iter().zip(dst.iter()) {
+            assert_eq!(a.value(), b.value());
+        }
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let err = load(&sample_set(), b"NOPE\0\0\0\0\0\0\0\0").unwrap_err();
-        assert!(err.to_string().contains("magic"));
+        assert_eq!(err, CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut bytes = save(&sample_set());
+        bytes[4..8].copy_from_slice(&7u32.to_le_bytes());
+        let err = parse(&bytes).unwrap_err();
+        assert_eq!(err, CheckpointError::UnsupportedVersion(7));
     }
 
     #[test]
@@ -178,7 +401,7 @@ mod tests {
         partial.add("w", Tensor::zeros(2, 2));
         let bytes = save(&partial);
         let err = load(&sample_set(), &bytes).unwrap_err();
-        assert!(err.to_string().contains("missing parameter 'b'"));
+        assert_eq!(err, CheckpointError::MissingParam("b".into()));
     }
 
     #[test]
@@ -188,13 +411,84 @@ mod tests {
         other.add("b", Tensor::row(vec![0.0, 0.0]));
         let bytes = save(&other);
         let err = load(&sample_set(), &bytes).unwrap_err();
-        assert!(err.to_string().contains("shape mismatch"));
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }), "{err}");
     }
 
     #[test]
     fn rejects_truncation() {
         let bytes = save(&sample_set());
         let err = load(&sample_set(), &bytes[..bytes.len() - 3]).unwrap_err();
-        assert!(err.to_string().contains("truncated"));
+        assert!(
+            matches!(err, CheckpointError::Truncated(_) | CheckpointError::FileChecksum),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_every_single_bit_flip() {
+        let bytes = save(&sample_set());
+        // Flipping any one bit anywhere must fail the file CRC (or an
+        // earlier structural check) — never load silently.
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    parse(&corrupt).is_err(),
+                    "bit flip at byte {byte} bit {bit} was silently accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_payload() {
+        // Build a v2 buffer with a NaN and *valid* CRCs: the finiteness
+        // check itself must fire, not the checksum.
+        let mut set = ParamSet::new();
+        set.add("w", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let mut bytes = save(&set);
+        // Overwrite the second payload float (offset: 12 header + 4 name_len
+        // + 1 name + 8 shape + 4 first float).
+        let off = 12 + 4 + 1 + 8 + 4;
+        bytes[off..off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        // Re-seal both CRCs so only the NaN is "wrong".
+        let rec_end = off + 4;
+        let rec_crc = crc32(&bytes[12..rec_end]);
+        bytes[rec_end..rec_end + 4].copy_from_slice(&rec_crc.to_le_bytes());
+        let body_len = bytes.len() - 4;
+        let file_crc = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&file_crc.to_le_bytes());
+        let err = parse(&bytes).unwrap_err();
+        assert_eq!(err, CheckpointError::NonFinite { name: "w".into() });
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sealed_files_hit_the_crc_residue_but_fnv_distinguishes_them() {
+        // Every sealed file ends with its own CRC32, so plain crc32 over
+        // the whole file is the constant residue — for ANY content. This
+        // is why manifests fingerprint members with FNV-1a, not CRC32.
+        let seal = |payload: &[u8]| {
+            let mut m = payload.to_vec();
+            let c = crc32(&m);
+            put_u32_le(&mut m, c);
+            m
+        };
+        let a = seal(b"payload-A");
+        let b = seal(b"payload-B");
+        assert_eq!(crc32(&a), 0x2144_DF1C);
+        assert_eq!(crc32(&a), crc32(&b), "residue degeneracy");
+        // FNV-1a is non-linear: content matters again.
+        assert_ne!(fnv1a64(b"tag", &a), fnv1a64(b"tag", &b));
+        // Standard FNV-1a 64 check value, and tag ∥ bytes concatenation.
+        assert_eq!(fnv1a64(b"", b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"ab", b"c"), fnv1a64(b"", b"abc"));
     }
 }

@@ -1,0 +1,202 @@
+//! Hostile-input property tests for `serialize::parse` / `serialize::load`.
+//!
+//! The checkpoint parser is the trust boundary between the filesystem and
+//! the model: after a crash, whatever bytes are on disk get fed to it.
+//! These tests follow the seeded-loop style of `matmul_props.rs` — random
+//! parameter sets, then systematic hostility: truncation at every byte
+//! boundary, every single-bit flip, oversized length prefixes, NaN
+//! payloads behind valid CRCs, wrong magic/version, and plain random
+//! garbage. The invariant throughout: `parse` returns a typed
+//! [`CheckpointError`] or a faithful record list — it never panics and
+//! never silently yields wrong tensors.
+
+use qrw_tensor::param::ParamSet;
+use qrw_tensor::rng::StdRng;
+use qrw_tensor::serialize::{self, crc32, CheckpointError};
+use qrw_tensor::Tensor;
+
+/// A random parameter set: 1–5 params, random names, shapes up to 6×6.
+fn random_set(rng: &mut StdRng) -> ParamSet {
+    let mut set = ParamSet::new();
+    let n_params = 1 + (rng.next_u64() % 5) as usize;
+    for i in 0..n_params {
+        let rows = 1 + (rng.next_u64() % 6) as usize;
+        let cols = 1 + (rng.next_u64() % 6) as usize;
+        let data = (0..rows * cols).map(|_| rng.gen::<f32>() * 8.0 - 4.0).collect();
+        // Exercise non-ASCII names too: the format stores UTF-8.
+        let name = if i == 0 { format!("wé.{i}") } else { format!("layer{i}.w") };
+        set.add(&name, Tensor::from_vec(rows, cols, data));
+    }
+    set
+}
+
+#[test]
+fn roundtrip_is_bitwise_exact_for_random_sets() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..50 {
+        let src = random_set(&mut rng);
+        let bytes = serialize::save(&src);
+        let records = serialize::parse(&bytes).unwrap();
+        assert_eq!(records.len(), src.len());
+        for (p, (name, tensor)) in src.iter().zip(&records) {
+            assert_eq!(&p.name(), name);
+            // Bitwise, not approximate: resume guarantees depend on it.
+            let a: Vec<u32> = p.value().data().iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = tensor.data().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..10 {
+        let bytes = serialize::save(&random_set(&mut rng));
+        for cut in 0..bytes.len() {
+            assert!(
+                serialize::parse(&bytes[..cut]).is_err(),
+                "prefix of length {cut}/{} parsed successfully",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for _ in 0..3 {
+        let bytes = serialize::save(&random_set(&mut rng));
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    serialize::parse(&corrupt).is_err(),
+                    "bit flip at byte {byte} bit {bit} accepted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefixes_fail_cleanly_without_allocation_blowup() {
+    let mut rng = StdRng::seed_from_u64(0xA110C);
+    let bytes = serialize::save(&random_set(&mut rng));
+    // Each u32 position in the buffer, patched to huge values: record
+    // count, name lengths, rows, cols — whichever this offset happens to
+    // be, the parser must neither panic nor try to reserve 4 GiB.
+    for offset in (8..bytes.len().saturating_sub(4)).step_by(4) {
+        for huge in [u32::MAX, u32::MAX / 2, 1 << 30] {
+            let mut patched = bytes.clone();
+            patched[offset..offset + 4].copy_from_slice(&huge.to_le_bytes());
+            assert!(serialize::parse(&patched).is_err(), "huge prefix at {offset} accepted");
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_and_versions_are_typed_errors() {
+    let mut rng = StdRng::seed_from_u64(0x514);
+    let good = serialize::save(&random_set(&mut rng));
+    let mut bad_magic = good.clone();
+    bad_magic[..4].copy_from_slice(b"ELF\x7f");
+    assert_eq!(serialize::parse(&bad_magic).unwrap_err(), CheckpointError::BadMagic);
+    for v in [0u32, 3, 4, 255, u32::MAX] {
+        let mut bad_version = good.clone();
+        bad_version[4..8].copy_from_slice(&v.to_le_bytes());
+        assert_eq!(
+            serialize::parse(&bad_version).unwrap_err(),
+            CheckpointError::UnsupportedVersion(v)
+        );
+    }
+}
+
+/// Hand-rolls a v2 buffer (per the documented layout) holding a single
+/// 1×2 record with an arbitrary payload, CRCs valid.
+fn craft_v2(name: &str, payload: [f32; 2]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"QRWT");
+    buf.extend_from_slice(&2u32.to_le_bytes());
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    let mut record = Vec::new();
+    record.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    record.extend_from_slice(name.as_bytes());
+    record.extend_from_slice(&1u32.to_le_bytes());
+    record.extend_from_slice(&2u32.to_le_bytes());
+    for x in payload {
+        record.extend_from_slice(&x.to_le_bytes());
+    }
+    let rec_crc = crc32(&record);
+    record.extend_from_slice(&rec_crc.to_le_bytes());
+    buf.extend_from_slice(&record);
+    let file_crc = crc32(&buf);
+    buf.extend_from_slice(&file_crc.to_le_bytes());
+    buf
+}
+
+#[test]
+fn nan_and_inf_payloads_are_rejected_even_with_valid_crcs() {
+    // The finiteness gate must fire on its own — these buffers pass every
+    // checksum.
+    for evil in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        for slot in 0..2 {
+            let mut payload = [1.0f32, -2.0];
+            payload[slot] = evil;
+            let err = serialize::parse(&craft_v2("w", payload)).unwrap_err();
+            assert_eq!(err, CheckpointError::NonFinite { name: "w".into() });
+        }
+    }
+    // Control: the crafted layout itself is valid.
+    assert_eq!(serialize::parse(&craft_v2("w", [1.0, -2.0])).unwrap().len(), 1);
+}
+
+#[test]
+fn trailing_bytes_after_exact_frame_are_rejected() {
+    let mut buf = craft_v2("w", [0.5, 0.5]);
+    buf.extend_from_slice(b"junk");
+    // Appending garbage breaks the file CRC position; whichever typed
+    // error fires, the buffer must not parse.
+    assert!(serialize::parse(&buf).is_err());
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for _ in 0..2000 {
+        let len = (rng.next_u64() % 256) as usize;
+        let garbage: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let _ = serialize::parse(&garbage); // must return, not panic
+    }
+    // Garbage behind a valid header prefix, too.
+    for _ in 0..2000 {
+        let len = (rng.next_u64() % 256) as usize;
+        let mut buf = b"QRWT\x02\x00\x00\x00".to_vec();
+        buf.extend((0..len).map(|_| (rng.next_u64() & 0xFF) as u8));
+        let _ = serialize::parse(&buf);
+    }
+}
+
+#[test]
+fn load_rejects_corrupt_buffers_without_mutating_params() {
+    let mut rng = StdRng::seed_from_u64(0x5AFE);
+    for _ in 0..10 {
+        let src = random_set(&mut rng);
+        let mut bytes = serialize::save(&src);
+        let victim = (rng.next_u64() as usize) % bytes.len();
+        bytes[victim] ^= 0x08;
+        let dst = random_set(&mut rng);
+        let before: Vec<Vec<u32>> = dst
+            .iter()
+            .map(|p| p.value().data().iter().map(|x| x.to_bits()).collect())
+            .collect();
+        assert!(serialize::load(&dst, &bytes).is_err());
+        let after: Vec<Vec<u32>> = dst
+            .iter()
+            .map(|p| p.value().data().iter().map(|x| x.to_bits()).collect())
+            .collect();
+        assert_eq!(before, after, "corrupt load mutated parameters");
+    }
+}

@@ -4,11 +4,18 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --resume
 //! ```
+//!
+//! Training commits crash-safe checkpoints into `qrw-checkpoints/` every
+//! 50 steps; `--resume` restores the newest committed one (weights, Adam
+//! moments, schedule position, RNG state, curve) and continues training
+//! exactly where the previous process — killed or completed — stopped.
 
 use cycle_rewrite::prelude::*;
 
 fn main() {
+    let resume = std::env::args().skip(1).any(|a| a == "--resume");
     // 1. Data: a synthetic e-commerce click log (the stand-in for the
     //    paper's proprietary JD.com logs) and its derived training pairs.
     println!("generating click log…");
@@ -31,18 +38,40 @@ fn main() {
     );
 
     // 3. Algorithm 1: warm up on L_f + L_b, then add the cyclic term.
-    let train_cfg = TrainConfig {
-        steps: 200,
-        warmup_steps: 100,
-        batch_size: 8,
-        eval_every: 50,
-        top_n: 8,
-        ..Default::default()
-    };
-    println!("training (Algorithm 1, {} steps, warm-up {})…", train_cfg.steps, train_cfg.warmup_steps);
-    let mut trainer = CyclicTrainer::new(train_cfg, joint.forward.config().d_model);
+    //    Full trainer state is checkpointed every 50 steps so a killed run
+    //    resumes bit-for-bit with `--resume`.
+    let ckpt_dir = "qrw-checkpoints";
     let eval: Vec<_> = dataset.q2t.iter().take(16).cloned().collect();
-    let curve = trainer.train(&joint, &dataset.q2t, &eval, TrainMode::Joint);
+    let (mut trainer, mode) = if resume {
+        match CyclicTrainer::resume(ckpt_dir, &joint) {
+            Ok((t, m)) => {
+                println!("resumed from {ckpt_dir}/ at step {} ({m:?})", t.step_count());
+                (t, m)
+            }
+            Err(e) => {
+                eprintln!("--resume: {e} (run once without --resume to create {ckpt_dir}/)");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let train_cfg = TrainConfig {
+            steps: 200,
+            warmup_steps: 100,
+            batch_size: 8,
+            eval_every: 50,
+            checkpoint_every: 50,
+            top_n: 8,
+            ..Default::default()
+        };
+        println!(
+            "training (Algorithm 1, {} steps, warm-up {})…",
+            train_cfg.steps, train_cfg.warmup_steps
+        );
+        let trainer = CyclicTrainer::new(train_cfg, joint.forward.config().d_model)
+            .with_checkpoints(CheckpointStore::new(ckpt_dir));
+        (trainer, TrainMode::Joint)
+    };
+    let curve = trainer.train(&joint, &dataset.q2t, &eval, mode);
     for p in &curve.points {
         println!(
             "  step {:>4}: ppl(q2t) {:>7.2}  ppl(t2q) {:>7.2}  translate-back logP {:>8.2}  acc {:.3}",

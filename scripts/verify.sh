@@ -3,18 +3,26 @@
 # without touching the network (the build is fully hermetic — no external
 # crates, see CHANGES.md).
 #
-#   scripts/verify.sh [--bench-smoke]
+#   scripts/verify.sh [--bench-smoke] [--train-resume]
 #
 # With --bench-smoke, additionally runs the smoke benchmarks: they write
 # BENCH_decode.json / BENCH_matmul.json at the repo root, fail on any
 # malformed BENCH_*.json, and enforce the >=3x KV-cache decode speedup.
+#
+# With --train-resume, additionally runs the crash-safe-training check:
+# train N steps, kill the trainer, resume from the checkpoint directory,
+# and require the resumed curve and weights to be bit-for-bit identical to
+# an uninterrupted run (plus torn-commit recovery through the fault
+# injector). Writes + validates CURVE_train_resume.json at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+TRAIN_RESUME=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --train-resume) TRAIN_RESUME=1 ;;
     *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -31,6 +39,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 if [ "$BENCH_SMOKE" = 1 ]; then
   echo "== bench smoke (offline, writes + validates BENCH_*.json) =="
   cargo run --release --offline -p qrw-bench --bin bench_smoke -- --out .
+fi
+
+if [ "$TRAIN_RESUME" = 1 ]; then
+  echo "== train-resume (kill, resume, assert bitwise curve equality) =="
+  cargo run --release --offline -p qrw-bench --bin train_resume -- --out .
 fi
 
 echo "verify: OK"

@@ -71,8 +71,9 @@ pub use qrw_text as text;
 pub mod prelude {
     pub use qrw_baseline::{RuleBasedRewriter, SimRankRewriter};
     pub use qrw_core::{
-        CyclicTrainer, EmbeddingModel, JointModel, Q2QRewriter, QueryRewriter, RewritePipeline,
-        SgnsConfig, TrainConfig, TrainMode,
+        CheckpointStore, CurvePoint, CyclicTrainer, EmbeddingModel, JointModel, Q2QRewriter,
+        QueryRewriter, ResumeError, RewritePipeline, SgnsConfig, SpikeDetector, SpikeVerdict,
+        TrainConfig, TrainFaultInjector, TrainHealthReport, TrainMode, TrainingCurve,
     };
     pub use qrw_data::{
         Catalog, CatalogConfig, ClickLog, DataStats, Dataset, DatasetConfig, LogConfig,
