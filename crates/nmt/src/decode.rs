@@ -180,64 +180,103 @@ pub fn top_n_sampling(
     cfg: TopNSampling,
     rng: &mut StdRng,
 ) -> Vec<Hypothesis> {
+    top_n_sampling_batch(model, &[src], cfg, std::slice::from_mut(rng))
+        .pop()
+        .expect("one source in, one hypothesis set out")
+}
+
+/// [`top_n_sampling`] over *independent* sources in one batch: every live
+/// candidate of every request advances through a single stacked
+/// [`Seq2Seq::next_log_probs_multi`] forward per step, so N concurrent
+/// decodes cost one model call per step instead of N.
+///
+/// Each request samples from its own `rng`, drawn in candidate order —
+/// exactly the sequence the single-source decoder would consume — and
+/// every stacked row is computed independently of its batch neighbours,
+/// so the output for a request is identical (bitwise, including
+/// log-probs) to calling [`top_n_sampling`] on it alone with the same
+/// rng. The serving runtime's batching-transparency guarantee rests on
+/// this; `batch_matches_single_source_decoding` in
+/// `tests/kv_equivalence.rs` pins it.
+pub fn top_n_sampling_batch(
+    model: &Seq2Seq,
+    srcs: &[&[usize]],
+    cfg: TopNSampling,
+    rngs: &mut [StdRng],
+) -> Vec<Vec<Hypothesis>> {
     // `k == 0` yields no hypotheses and `n` is clamped to 1 when sampling:
     // degenerate configs degrade instead of panicking, since this decoder
     // sits on the online serving path.
-    let memory = model.encode(src);
-    let mut start_state = model.start_state(&memory);
-    let first_lp = model.next_log_probs(&memory, &mut start_state, &[BOS]);
+    assert_eq!(srcs.len(), rngs.len(), "one rng per source");
+    if srcs.is_empty() {
+        return Vec::new();
+    }
+    let memories: Vec<Tensor> = srcs.iter().map(|s| model.encode(s)).collect();
 
-    // First step: the k most likely distinct tokens (EOS excluded so no
-    // candidate is empty).
-    let mut order: Vec<usize> = (0..first_lp.len())
-        .filter(|&t| t != EOS && first_lp[t].is_finite())
-        .collect();
-    order.sort_by(|&a, &b| first_lp[b].total_cmp(&first_lp[a]));
-    order.truncate(cfg.k);
+    // First step: every request's BOS state through one stacked forward.
+    let mut start_states: Vec<DecodeState> =
+        memories.iter().map(|m| model.start_state(m)).collect();
+    let bos = [BOS];
+    let first_lps = {
+        let mut states: Vec<&mut DecodeState> = start_states.iter_mut().collect();
+        let mems: Vec<&Tensor> = memories.iter().collect();
+        let prefixes: Vec<&[usize]> = vec![&bos; srcs.len()];
+        model.next_log_probs_multi(&mems, &mut states, &prefixes)
+    };
 
-    let mut candidates: Vec<Candidate> = order
-        .into_iter()
-        .map(|tok| {
-            // `start_state` already consumed BOS when `first_lp` was
-            // computed; cloning it avoids re-running the first step per
-            // candidate (recurrent hidden state and KV cache alike carry
-            // the advanced position).
-            #[cfg(debug_assertions)]
-            {
-                let mut fresh = model.start_state(&memory);
-                let lp = model.next_log_probs(&memory, &mut fresh, &[BOS]);
-                debug_assert!((lp[tok] - first_lp[tok]).abs() < 1e-4);
-            }
-            Candidate {
-                prefix: vec![BOS, tok],
-                state: start_state.clone(),
-                log_prob: first_lp[tok],
-                finished: false,
-            }
+    // Per request: the k most likely distinct first tokens (EOS excluded
+    // so no candidate is empty) — the paper's key step for diversity.
+    // `start_states` already consumed BOS when `first_lps` was computed;
+    // cloning one avoids re-running the first step per candidate
+    // (recurrent hidden state and KV cache alike carry the advanced
+    // position).
+    let mut requests: Vec<Vec<Candidate>> = first_lps
+        .iter()
+        .zip(&start_states)
+        .map(|(first_lp, start_state)| {
+            let mut order: Vec<usize> = (0..first_lp.len())
+                .filter(|&t| t != EOS && first_lp[t].is_finite())
+                .collect();
+            order.sort_by(|&a, &b| first_lp[b].total_cmp(&first_lp[a]));
+            order.truncate(cfg.k);
+            order
+                .into_iter()
+                .map(|tok| Candidate {
+                    prefix: vec![BOS, tok],
+                    state: start_state.clone(),
+                    log_prob: first_lp[tok],
+                    finished: false,
+                })
+                .collect()
         })
         .collect();
 
     for _ in 0..model.max_tgt_len() {
-        if candidates.iter().all(|c| c.finished) {
-            break;
-        }
-        // Stack the live candidates into one batched forward per step.
-        let mut idxs: Vec<usize> = Vec::with_capacity(candidates.len());
+        // Stack every live candidate of every request into one batched
+        // forward per step, in (request, candidate) order.
+        let mut idxs: Vec<(usize, usize)> = Vec::new();
         let mut states: Vec<&mut DecodeState> = Vec::new();
         let mut prefixes: Vec<&[usize]> = Vec::new();
-        for (i, cand) in candidates.iter_mut().enumerate() {
-            if cand.finished {
-                continue;
+        let mut mems: Vec<&Tensor> = Vec::new();
+        for (r, cands) in requests.iter_mut().enumerate() {
+            for (i, cand) in cands.iter_mut().enumerate() {
+                if cand.finished {
+                    continue;
+                }
+                let Candidate { prefix, state, .. } = cand;
+                idxs.push((r, i));
+                states.push(state);
+                prefixes.push(prefix);
+                mems.push(&memories[r]);
             }
-            let Candidate { prefix, state, .. } = cand;
-            idxs.push(i);
-            states.push(state);
-            prefixes.push(prefix);
         }
-        let lps = model.next_log_probs_batch(&memory, &mut states, &prefixes);
-        for (&i, lp) in idxs.iter().zip(&lps) {
-            let cand = &mut candidates[i];
-            let tok = sample_top_n(lp, cfg.n, rng);
+        if states.is_empty() {
+            break;
+        }
+        let lps = model.next_log_probs_multi(&mems, &mut states, &prefixes);
+        for (&(r, i), lp) in idxs.iter().zip(&lps) {
+            let cand = &mut requests[r][i];
+            let tok = sample_top_n(lp, cfg.n, &mut rngs[r]);
             cand.log_prob += lp[tok];
             if tok == EOS || cand.prefix.len() > model.max_tgt_len() {
                 cand.finished = true;
@@ -246,9 +285,14 @@ pub fn top_n_sampling(
             }
         }
     }
-    let mut hyps: Vec<Hypothesis> = candidates.iter().map(Candidate::hypothesis).collect();
-    hyps.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
-    hyps
+    requests
+        .iter()
+        .map(|cands| {
+            let mut hyps: Vec<Hypothesis> = cands.iter().map(Candidate::hypothesis).collect();
+            hyps.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
+            hyps
+        })
+        .collect()
 }
 
 /// Diverse beam search [Vijayakumar et al. 2016]: `groups` groups of

@@ -18,7 +18,7 @@ pub mod transformer;
 pub use config::{ComponentKind, ModelConfig};
 pub use decode::{
     beam_search, beam_search_normalized, diverse_beam_search, greedy, length_penalty,
-    top_n_sampling, Hypothesis, TopNSampling,
+    top_n_sampling, top_n_sampling_batch, Hypothesis, TopNSampling,
 };
 pub use lm::{CausalLm, CausalLmConfig};
 pub use seq2seq::{DecodeState, DecodeStats, Seq2Seq, TransformerDecodeMode};

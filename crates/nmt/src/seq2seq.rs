@@ -399,7 +399,30 @@ impl Seq2Seq {
         states: &mut [&mut DecodeState],
         prefixes: &[&[usize]],
     ) -> Vec<Vec<f32>> {
+        let memories: Vec<&Tensor> = vec![memory; states.len()];
+        self.next_log_probs_multi(&memories, states, prefixes)
+    }
+
+    /// [`Self::next_log_probs_batch`] across *independent* sources: each
+    /// candidate carries its own encoder memory, so rows can come from
+    /// different requests (the serving runtime stacks concurrent decodes
+    /// this way), not just from one beam.
+    ///
+    /// KV caches already hold their source's cross-attention K/V, so the
+    /// fully batched fast path is unchanged; the fallback advances each
+    /// row against its own memory. Every per-row computation (matmul
+    /// k-accumulation, per-candidate attention over its own cache,
+    /// row-wise norms and softmax) is independent of the other rows, so
+    /// batch composition never changes any row's values — see
+    /// DESIGN.md § Serving runtime.
+    pub fn next_log_probs_multi(
+        &self,
+        memories: &[&Tensor],
+        states: &mut [&mut DecodeState],
+        prefixes: &[&[usize]],
+    ) -> Vec<Vec<f32>> {
         assert_eq!(states.len(), prefixes.len(), "one prefix per state");
+        assert_eq!(memories.len(), prefixes.len(), "one memory per state");
         if states.is_empty() {
             return Vec::new();
         }
@@ -436,7 +459,8 @@ impl Seq2Seq {
             let rows: Vec<Tensor> = states
                 .iter_mut()
                 .zip(prefixes)
-                .map(|(s, p)| self.advance_hidden_row(memory, s, p))
+                .zip(memories)
+                .map(|((s, p), m)| self.advance_hidden_row(m, s, p))
                 .collect();
             let refs: Vec<&Tensor> = rows.iter().collect();
             Tensor::stack_rows(&refs)

@@ -6,36 +6,83 @@
 //! [`DeadlineBudget`] is created per request and threaded through
 //! rewrite → retrieval → rank.
 //!
-//! Besides real wall-clock time, the budget accepts *synthetic* charges:
-//! the fault injector charges a simulated latency spike without sleeping,
-//! so resilience tests are fast and fully deterministic.
+//! Time comes from a [`Clock`]: the monotonic wall clock for the real
+//! serving runtime, or a synthetic clock that only advances through
+//! explicit [`DeadlineBudget::charge`]s — so shed/expiry tests are
+//! sleep-free and fully deterministic regardless of machine speed or how
+//! long a request actually sat in a queue. Both clocks accept synthetic
+//! charges on top (the fault injector charges simulated latency spikes
+//! without sleeping).
 
 use std::cell::Cell;
 use std::time::{Duration, Instant};
 
+/// Where a [`DeadlineBudget`] reads elapsed time from.
+#[derive(Clone, Copy, Debug)]
+pub enum Clock {
+    /// Real monotonic time since the given origin (the serving runtime).
+    Monotonic(Instant),
+    /// No ambient time: only synthetic charges advance the budget
+    /// (deterministic tests and replayed workloads).
+    Synthetic,
+}
+
+impl Clock {
+    /// A monotonic clock starting now.
+    pub fn monotonic() -> Self {
+        Clock::Monotonic(Instant::now())
+    }
+
+    /// A clock that never advances on its own.
+    pub fn synthetic() -> Self {
+        Clock::Synthetic
+    }
+
+    /// Ambient elapsed time (zero for the synthetic clock).
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            Clock::Monotonic(origin) => origin.elapsed(),
+            Clock::Synthetic => Duration::ZERO,
+        }
+    }
+}
+
 /// A per-request time budget. Cheap to create; not shared across threads.
 #[derive(Clone, Debug)]
 pub struct DeadlineBudget {
-    started: Instant,
+    clock: Clock,
     total: Option<Duration>,
-    /// Simulated latency charged on top of real elapsed time.
+    /// Simulated latency charged on top of the clock's elapsed time.
     synthetic: Cell<Duration>,
 }
 
 impl DeadlineBudget {
-    /// A budget of `total` starting now.
+    /// A budget of `total` starting now on the monotonic wall clock.
     pub fn new(total: Duration) -> Self {
-        DeadlineBudget { started: Instant::now(), total: Some(total), synthetic: Cell::new(Duration::ZERO) }
+        Self::with_clock(Clock::monotonic(), Some(total))
     }
 
     /// A budget that never expires (offline evaluation, tests).
     pub fn unlimited() -> Self {
-        DeadlineBudget { started: Instant::now(), total: None, synthetic: Cell::new(Duration::ZERO) }
+        Self::with_clock(Clock::monotonic(), None)
     }
 
-    /// Real elapsed time plus any synthetic charges.
+    /// A budget of `total` on the synthetic clock: it expires only through
+    /// explicit [`Self::charge`]s, never by wall time passing. Scheduler
+    /// determinism tests use this so shed decisions don't depend on how
+    /// fast the machine drains the queue.
+    pub fn synthetic(total: Duration) -> Self {
+        Self::with_clock(Clock::synthetic(), Some(total))
+    }
+
+    /// A budget on an explicit clock; `None` never expires.
+    pub fn with_clock(clock: Clock, total: Option<Duration>) -> Self {
+        DeadlineBudget { clock, total, synthetic: Cell::new(Duration::ZERO) }
+    }
+
+    /// Clock elapsed time plus any synthetic charges.
     pub fn elapsed(&self) -> Duration {
-        self.started.elapsed() + self.synthetic.get()
+        self.clock.elapsed() + self.synthetic.get()
     }
 
     /// Time left, or `None` when unlimited. Saturates at zero.
@@ -91,5 +138,22 @@ mod tests {
         let b = DeadlineBudget::new(Duration::from_secs(10));
         b.charge(Duration::from_millis(5));
         assert!(b.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn synthetic_clock_ignores_wall_time() {
+        let b = DeadlineBudget::synthetic(Duration::from_nanos(1));
+        // However long this test takes, only charges advance the budget.
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!b.expired());
+        assert_eq!(b.remaining(), Some(Duration::from_nanos(1)));
+        b.charge(Duration::from_nanos(1));
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn synthetic_zero_budget_is_born_expired() {
+        let b = DeadlineBudget::synthetic(Duration::ZERO);
+        assert!(b.expired());
     }
 }

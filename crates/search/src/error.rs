@@ -55,6 +55,14 @@ pub enum ServeError {
     /// The engine itself panicked outside any rewriter; caught at the
     /// outermost boundary and served as raw-query-only.
     EnginePanic,
+    /// Admission control rejected the request outright: the bounded queue
+    /// already held `capacity` requests (backpressure instead of unbounded
+    /// queueing).
+    QueueFull { capacity: usize },
+    /// The request's deadline expired while it waited in the admission
+    /// queue; it was shed at dequeue instead of being served dead on
+    /// arrival.
+    ExpiredInQueue,
 }
 
 impl fmt::Display for ServeError {
@@ -74,6 +82,12 @@ impl fmt::Display for ServeError {
                 write!(f, "query of {tokens} tokens truncated to {max}")
             }
             ServeError::EnginePanic => write!(f, "engine panic caught at serve boundary"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} requests), rejected")
+            }
+            ServeError::ExpiredInQueue => {
+                write!(f, "deadline expired while queued, shed at dequeue")
+            }
         }
     }
 }

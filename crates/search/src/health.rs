@@ -28,6 +28,10 @@ pub struct HealthCounters {
     empty_outputs: AtomicU64,
     poisoned_entries: AtomicU64,
     truncated_queries: AtomicU64,
+    queue_rejections: AtomicU64,
+    queue_sheds: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak_depth: AtomicU64,
     rewrite_micros: AtomicU64,
     retrieval_micros: AtomicU64,
     rank_micros: AtomicU64,
@@ -61,8 +65,17 @@ impl HealthCounters {
             ServeError::EmptyOutput { .. } => &self.empty_outputs,
             ServeError::PoisonedCacheEntry => &self.poisoned_entries,
             ServeError::QueryTruncated { .. } => &self.truncated_queries,
+            ServeError::QueueFull { .. } => &self.queue_rejections,
+            ServeError::ExpiredInQueue => &self.queue_sheds,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the admission-queue depth observed after an enqueue or
+    /// dequeue (a gauge, plus a high-water mark).
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_peak_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
     pub fn record_stage_latency(&self, stage: Stage, elapsed: Duration) {
@@ -98,6 +111,10 @@ impl HealthCounters {
             empty_outputs: self.empty_outputs.load(Ordering::Relaxed),
             poisoned_entries: self.poisoned_entries.load(Ordering::Relaxed),
             truncated_queries: self.truncated_queries.load(Ordering::Relaxed),
+            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            queue_sheds: self.queue_sheds.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_peak_depth: self.queue_peak_depth.load(Ordering::Relaxed),
             rewrite_micros: self.rewrite_micros.load(Ordering::Relaxed),
             retrieval_micros: self.retrieval_micros.load(Ordering::Relaxed),
             rank_micros: self.rank_micros.load(Ordering::Relaxed),
@@ -130,6 +147,14 @@ pub struct HealthReport {
     pub empty_outputs: u64,
     pub poisoned_entries: u64,
     pub truncated_queries: u64,
+    /// Admission-queue observability (the concurrent serving runtime):
+    /// requests rejected because the bounded queue was full, requests shed
+    /// at dequeue because their deadline expired while queued, the queue
+    /// depth last observed, and its high-water mark.
+    pub queue_rejections: u64,
+    pub queue_sheds: u64,
+    pub queue_depth: u64,
+    pub queue_peak_depth: u64,
     /// Cumulative per-stage latency (µs), including synthetic charges.
     pub rewrite_micros: u64,
     pub retrieval_micros: u64,
@@ -185,6 +210,8 @@ impl HealthReport {
             + self.empty_outputs
             + self.poisoned_entries
             + self.truncated_queries
+            + self.queue_rejections
+            + self.queue_sheds
     }
 }
 
@@ -242,5 +269,21 @@ mod tests {
         // 15 tokens over 3 ms -> 5000 tokens/s.
         assert!((r.decode_tokens_per_sec() - 5_000.0).abs() < 1e-9);
         assert!((r.decode_cache_hit_rate() - 55.0 / 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_events_and_depth_gauge() {
+        let c = HealthCounters::default();
+        c.record_error(&ServeError::QueueFull { capacity: 8 });
+        c.record_error(&ServeError::QueueFull { capacity: 8 });
+        c.record_error(&ServeError::ExpiredInQueue);
+        c.record_queue_depth(5);
+        c.record_queue_depth(2);
+        let r = c.snapshot(BreakerState::Closed, 0);
+        assert_eq!(r.queue_rejections, 2);
+        assert_eq!(r.queue_sheds, 1);
+        assert_eq!(r.queue_depth, 2);
+        assert_eq!(r.queue_peak_depth, 5);
+        assert_eq!(r.degradations(), 3);
     }
 }

@@ -5,18 +5,48 @@
 //! long-tail queries fall through to the fast q2q model. This module is
 //! that store: a concurrent map with hit/miss accounting so the serving
 //! pipeline can report coverage.
+//!
+//! Two serving-runtime concerns shape the layout:
+//!
+//! * the map is **sharded** N-ways by key hash so concurrent workers
+//!   don't serialize on a single `RwLock`;
+//! * rewrites are stored as `Arc<Vec<Vec<String>>>` and handed out by
+//!   refcount bump, so a cache hit never deep-clones the rewrite set.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use qrw_tensor::sync::RwLock;
 
+/// Default shard count: enough to make lock collisions rare at the worker
+/// counts the runtime uses, small enough that `len()` stays cheap.
+const DEFAULT_SHARDS: usize = 16;
+
+type Shard = RwLock<HashMap<String, Arc<Vec<Vec<String>>>>>;
+
 /// Concurrent rewrite cache: query text → precomputed rewrites.
-#[derive(Default)]
 pub struct RewriteCache {
-    map: RwLock<HashMap<String, Vec<Vec<String>>>>,
+    shards: Box<[Shard]>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for RewriteCache {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
+/// FNV-1a over the key bytes; only used to pick a shard, so it needs to be
+/// fast and stable, not cryptographic.
+fn shard_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl RewriteCache {
@@ -24,30 +54,54 @@ impl RewriteCache {
         Self::default()
     }
 
-    /// Precomputes (stores) the rewrites for one query.
-    pub fn insert(&self, query: &[String], rewrites: Vec<Vec<String>>) {
-        self.map.write().insert(query.join(" "), rewrites);
+    /// A cache with an explicit shard count (clamped to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        RewriteCache {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
-    /// Looks up rewrites, counting the hit or miss.
-    pub fn get(&self, query: &[String]) -> Option<Vec<Vec<String>>> {
+    /// Number of independent lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &str) -> &Shard {
+        let idx = (shard_hash(key) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Precomputes (stores) the rewrites for one query.
+    pub fn insert(&self, query: &[String], rewrites: Vec<Vec<String>>) {
         let key = query.join(" ");
-        let guard = self.map.read();
-        match guard.get(&key) {
-            Some(v) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(v.clone())
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        self.shard(&key).write().insert(key, Arc::new(rewrites));
+    }
+
+    /// Looks up rewrites, counting the hit or miss. Hits cost a refcount
+    /// bump, not a deep clone of the rewrite set.
+    pub fn get(&self, query: &[String]) -> Option<Arc<Vec<Vec<String>>>> {
+        let found = self.peek(query);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// [`Self::get`] without touching the hit/miss counters. The serving
+    /// runtime probes entries while planning a batch and the serve pass
+    /// does the counted lookup, so each request is accounted exactly once.
+    pub fn peek(&self, query: &[String]) -> Option<Arc<Vec<Vec<String>>>> {
+        let key = query.join(" ");
+        self.shard(&key).read().get(&key).cloned()
     }
 
     /// Number of precomputed queries.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -87,7 +141,7 @@ mod tests {
         let cache = RewriteCache::new();
         cache.insert(&toks("phone for grandpa"), vec![toks("senior smartphone")]);
         let got = cache.get(&toks("phone for grandpa")).unwrap();
-        assert_eq!(got, vec![toks("senior smartphone")]);
+        assert_eq!(*got, vec![toks("senior smartphone")]);
         assert_eq!(cache.len(), 1);
     }
 
@@ -104,10 +158,52 @@ mod tests {
     }
 
     #[test]
+    fn peek_does_not_count() {
+        let cache = RewriteCache::new();
+        cache.insert(&toks("a"), vec![toks("b")]);
+        assert!(cache.peek(&toks("a")).is_some());
+        assert!(cache.peek(&toks("missing")).is_none());
+        assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+
+    #[test]
+    fn hits_share_one_allocation() {
+        let cache = RewriteCache::new();
+        cache.insert(&toks("a"), vec![toks("x y")]);
+        let first = cache.get(&toks("a")).unwrap();
+        let second = cache.get(&toks("a")).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hits must share the stored Arc");
+    }
+
+    #[test]
     fn empty_cache_hit_rate_is_zero() {
         let cache = RewriteCache::new();
         assert_eq!(cache.hit_rate(), 0.0);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn single_shard_still_works() {
+        let cache = RewriteCache::with_shards(1);
+        assert_eq!(cache.shard_count(), 1);
+        for i in 0..10 {
+            cache.insert(&toks(&format!("q{i}")), vec![toks("r")]);
+        }
+        assert_eq!(cache.len(), 10);
+        assert!(cache.get(&toks("q3")).is_some());
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache = RewriteCache::with_shards(8);
+        for i in 0..200 {
+            cache.insert(&toks(&format!("query number {i}")), vec![]);
+        }
+        assert_eq!(cache.len(), 200);
+        // FNV-1a spreads these keys over several shards; all we require is
+        // that no single shard holds everything.
+        let max_shard = cache.shards.iter().map(|s| s.read().len()).max().unwrap();
+        assert!(max_shard < 200, "all keys landed in one shard");
     }
 
     #[test]

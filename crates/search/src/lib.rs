@@ -32,13 +32,15 @@ pub mod tree;
 
 pub use ab::{run_ab, AbConfig, AbOutcome, ArmMetrics};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use deadline::DeadlineBudget;
+pub use deadline::{Clock, DeadlineBudget};
 pub use error::{ServeError, Stage};
 pub use eval::{recall_at_k, reciprocal_rank, QualityAccumulator, RetrievalQuality};
 pub use fault::{Fault, FaultConfig, FaultInjector};
 pub use health::HealthReport;
 pub use index::InvertedIndex;
 pub use kv::RewriteCache;
-pub use serving::{RewriteLadder, RewriteSource, SearchEngine, SearchResponse, ServingConfig};
+pub use serving::{
+    plan_online, RewriteLadder, RewriteSource, SearchEngine, SearchResponse, ServingConfig,
+};
 pub use topk::{bm25_topk_exhaustive, bm25_topk_maxscore, ScoredDoc};
 pub use tree::{QueryTree, RetrievalCost};

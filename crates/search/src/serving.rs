@@ -181,7 +181,7 @@ impl SearchEngine {
         config: &ServingConfig,
     ) -> SearchResponse {
         let (mut rewrites, source) = match cache.and_then(|c| c.get(query)) {
-            Some(cached) => (cached, RewriteSource::Cache),
+            Some(cached) => ((*cached).clone(), RewriteSource::Cache),
             None => match fallback {
                 Some(rw) => (rw.rewrite(query, config.max_rewrites), RewriteSource::Fallback),
                 None => (Vec::new(), RewriteSource::None),
@@ -287,7 +287,7 @@ impl SearchEngine {
         if let Some(cache) = ladder.cache {
             if let Some(cached) = cache.get(query) {
                 let any_invalid = cached.iter().any(|r| !valid_rewrite(r, config));
-                let cleaned = clean_rewrites(cached, query, config);
+                let cleaned = clean_rewrites(&cached, query, config);
                 if !cleaned.is_empty() {
                     return (cleaned, RewriteSource::Cache);
                 }
@@ -386,8 +386,27 @@ impl SearchEngine {
         match outcome {
             Err(_) => Err(ServeError::ModelPanic { rewriter: name }),
             Ok(Err(e)) => Err(e),
-            Ok(Ok(raw)) => Ok(clean_rewrites(raw, query, config)),
+            Ok(Ok(raw)) => Ok(clean_rewrites(&raw, query, config)),
         }
+    }
+
+    /// Folds one batched decode's telemetry delta into the health report.
+    /// The concurrent runtime decodes cache-miss requests *together*, so
+    /// the per-call accounting inside `acquire_rewrites` never sees the
+    /// model run; the runtime records the batch-level delta here instead.
+    pub fn record_decode(&self, delta: qrw_core::DecodeStats, elapsed: std::time::Duration) {
+        self.health.record_decode(delta, elapsed);
+    }
+
+    /// Records an admission-control event (queue rejection or in-queue
+    /// expiry shed) from the concurrent runtime.
+    pub fn record_queue_event(&self, error: &ServeError) {
+        self.health.record_error(error);
+    }
+
+    /// Records the admission-queue depth observed by the runtime.
+    pub fn record_queue_depth(&self, depth: usize) {
+        self.health.record_queue_depth(depth as u64);
     }
 
     /// Retrieval + ranking shared by the legacy and resilient paths. With
@@ -525,20 +544,50 @@ fn valid_rewrite(rewrite: &[String], config: &ServingConfig) -> bool {
 /// Keeps only valid rewrites that differ from the query, capped at
 /// `max_rewrites`.
 fn clean_rewrites(
-    raw: Vec<Vec<String>>,
+    raw: &[Vec<String>],
     query: &[String],
     config: &ServingConfig,
 ) -> Vec<Vec<String>> {
     let mut out: Vec<Vec<String>> = Vec::new();
     for r in raw {
-        if valid_rewrite(&r, config) && r != query && !out.contains(&r) {
-            out.push(r);
+        if valid_rewrite(r, config) && r.as_slice() != query && !out.contains(r) {
+            out.push(r.clone());
         }
         if out.len() == config.max_rewrites {
             break;
         }
     }
     out
+}
+
+/// Would [`SearchEngine::search_resilient`] consult the online rung for
+/// this query? Returns the sanitized query the online rewriter would
+/// receive when yes (the KV rung cannot serve it), `None` when the cache
+/// rung answers or the query sanitizes to nothing.
+///
+/// The concurrent serving runtime uses this to split a dequeued batch into
+/// KV-hits and decode-misses *before* running the micro-batched decode. It
+/// mirrors the ladder's rung-1 logic exactly (same `sanitize_query`, same
+/// entry validation) and probes through [`RewriteCache::peek`], so the
+/// counted hit/miss lookup still happens exactly once per request — inside
+/// the serve pass itself.
+pub fn plan_online(
+    query: &[String],
+    cache: Option<&RewriteCache>,
+    config: &ServingConfig,
+) -> Option<Vec<String>> {
+    let (query, _) = sanitize_query(query, config);
+    if query.is_empty() {
+        return None;
+    }
+    if let Some(cache) = cache {
+        if let Some(cached) = cache.peek(&query) {
+            if !clean_rewrites(&cached, &query, config).is_empty() {
+                return None;
+            }
+        }
+    }
+    Some(query)
 }
 
 #[cfg(test)]

@@ -1,0 +1,221 @@
+//! Bounded admission queue with backpressure and deadline-aware shedding.
+//!
+//! Overload policy follows the Tail-at-Scale playbook: a full queue
+//! **rejects at submit** (`ServeError::QueueFull`) instead of queueing
+//! unboundedly, and a request whose deadline expired while it waited is
+//! **shed at dequeue** (`ServeError::ExpiredInQueue`) instead of being
+//! served dead on arrival. Both are typed errors the runtime records into
+//! the engine's `health_report()`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, PoisonError};
+use std::time::Duration;
+
+use qrw_search::{DeadlineBudget, ServeError};
+use qrw_tensor::sync::Mutex;
+
+use crate::runtime::ServedRecord;
+
+/// One admitted request waiting to be scheduled.
+pub struct Pending {
+    /// Submission-order id (also the key results are sorted by).
+    pub id: u64,
+    pub query: Vec<String>,
+    pub budget: DeadlineBudget,
+    /// Present for closed-loop callers blocked on the response.
+    pub slot: Option<Arc<ResponseSlot>>,
+}
+
+struct Inner {
+    deque: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// The bounded FIFO between submitters and the worker pool.
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        AdmissionQueue {
+            inner: Mutex::new(Inner { deque: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().deque.len()
+    }
+
+    /// Admits a request, returning the queue depth after the enqueue, or
+    /// rejects it when the queue is at capacity.
+    pub fn push(&self, pending: Pending) -> Result<usize, ServeError> {
+        let mut inner = self.inner.lock();
+        if inner.deque.len() >= self.capacity {
+            return Err(ServeError::QueueFull { capacity: self.capacity });
+        }
+        inner.deque.push_back(pending);
+        let depth = inner.deque.len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// No more submissions: workers drain what is queued, then exit.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Reopens a queue closed by a previous run (runtimes are reusable).
+    pub fn reopen(&self) {
+        self.inner.lock().closed = false;
+    }
+
+    /// Blocks for the next micro-batch. Returns up to `max_batch`
+    /// requests; after the first request is available, waits at most
+    /// `max_wait_ticks` ticks of `tick` for the batch to fill before
+    /// dispatching what it has. Returns `None` once the queue is closed
+    /// and drained — the worker's signal to exit.
+    pub fn next_batch(
+        &self,
+        max_batch: usize,
+        max_wait_ticks: u32,
+        tick: Duration,
+    ) -> Option<Vec<Pending>> {
+        let max_batch = max_batch.max(1);
+        let mut inner = self.inner.lock();
+        loop {
+            if !inner.deque.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait_timeout(inner, tick)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        // Dynamic batching: something is ready; trade a bounded wait for a
+        // fuller (cheaper per request) batch, but never hold a closed
+        // queue's stragglers back.
+        let mut waited = 0;
+        while inner.deque.len() < max_batch && waited < max_wait_ticks && !inner.closed {
+            inner = self
+                .not_empty
+                .wait_timeout(inner, tick)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+            waited += 1;
+        }
+        let take = inner.deque.len().min(max_batch);
+        Some(inner.deque.drain(..take).collect())
+    }
+}
+
+/// A one-shot rendezvous a closed-loop caller blocks on until a worker
+/// publishes the request's record.
+pub struct ResponseSlot {
+    result: Mutex<Option<ServedRecord>>,
+    ready: Condvar,
+}
+
+impl Default for ResponseSlot {
+    fn default() -> Self {
+        ResponseSlot { result: Mutex::new(None), ready: Condvar::new() }
+    }
+}
+
+impl ResponseSlot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes the record and wakes the waiter.
+    pub fn complete(&self, record: ServedRecord) {
+        *self.result.lock() = Some(record);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the record is published.
+    pub fn wait(&self) -> ServedRecord {
+        let mut guard = self.result.lock();
+        loop {
+            if let Some(record) = guard.take() {
+                return record;
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(id: u64) -> Pending {
+        Pending {
+            id,
+            query: vec![format!("q{id}")],
+            budget: DeadlineBudget::unlimited(),
+            slot: None,
+        }
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.push(pending(0)), Ok(1));
+        assert_eq!(q.push(pending(1)), Ok(2));
+        assert_eq!(q.push(pending(2)), Err(ServeError::QueueFull { capacity: 2 }));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn batches_respect_max_batch_and_fifo_order() {
+        let q = AdmissionQueue::new(8);
+        for i in 0..5 {
+            q.push(pending(i)).unwrap();
+        }
+        let batch = q.next_batch(3, 0, Duration::from_micros(10)).unwrap();
+        assert_eq!(batch.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let batch = q.next_batch(3, 0, Duration::from_micros(10)).unwrap();
+        assert_eq!(batch.iter().map(|p| p.id).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn closed_and_drained_returns_none() {
+        let q = AdmissionQueue::new(4);
+        q.push(pending(0)).unwrap();
+        q.close();
+        assert!(q.next_batch(4, 2, Duration::from_micros(10)).is_some());
+        assert!(q.next_batch(4, 2, Duration::from_micros(10)).is_none());
+        q.reopen();
+        q.push(pending(1)).unwrap();
+        assert!(q.next_batch(4, 0, Duration::from_micros(10)).is_some());
+    }
+
+    #[test]
+    fn waiting_worker_wakes_on_push() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || {
+            q2.next_batch(4, 0, Duration::from_millis(1)).map(|b| b.len())
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        q.push(pending(0)).unwrap();
+        assert_eq!(handle.join().unwrap(), Some(1));
+    }
+}

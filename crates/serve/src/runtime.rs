@@ -1,0 +1,313 @@
+//! The serving runtime: scheduler + worker pool over a shared engine.
+//!
+//! Workers drain the [`AdmissionQueue`](crate::AdmissionQueue) into dynamic
+//! micro-batches. Per batch: expired requests are shed, cache-miss requests
+//! are decoded *together* through one [`BatchedQ2Q::rewrite_batch`] call,
+//! and then **every** request — hit or miss — is served through
+//! `SearchEngine::search_resilient` itself, with the batch-decode output
+//! replayed as the online rung. The engine path, rung attribution,
+//! degradation events, and breaker bookkeeping are therefore identical to
+//! a standalone serve, which is what makes batching byte-transparent.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qrw_core::QueryRewriter;
+use qrw_search::{
+    plan_online, DeadlineBudget, RewriteCache, RewriteLadder, SearchEngine, SearchResponse,
+    ServeError, ServingConfig,
+};
+use qrw_tensor::sync::Mutex;
+
+use crate::batch::{BatchedQ2Q, PanicOnline, PrecomputedOnline};
+use crate::queue::{AdmissionQueue, Pending, ResponseSlot};
+
+/// Scheduler and pool knobs.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Admission-queue bound; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Largest micro-batch a worker will assemble.
+    pub max_batch: usize,
+    /// How many extra ticks a worker waits for a partial batch to fill.
+    pub max_wait_ticks: u32,
+    /// Scheduler tick (condvar wait quantum).
+    pub tick: Duration,
+    /// Worker-pool size.
+    pub workers: usize,
+    pub serving: ServingConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+            max_wait_ticks: 2,
+            tick: Duration::from_micros(200),
+            workers: 2,
+            serving: ServingConfig::default(),
+        }
+    }
+}
+
+/// Everything a worker needs to serve a request, shared read-only.
+/// Cloning a `ServeStack` clones `Arc`s, never weights.
+#[derive(Clone)]
+pub struct ServeStack {
+    pub engine: Arc<SearchEngine>,
+    /// Rung 1: the precomputed rewrite cache.
+    pub cache: Option<Arc<RewriteCache>>,
+    /// Rung 2: the batch-capable online model.
+    pub online: Option<Arc<BatchedQ2Q>>,
+    /// Rung 3: the rule-based fallback.
+    pub baseline: Option<Arc<dyn QueryRewriter + Send + Sync>>,
+}
+
+/// How a request left the runtime.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Served through the full engine path.
+    Served(SearchResponse),
+    /// Dequeued with an expired deadline and dropped.
+    Shed(ServeError),
+    /// Never admitted: the queue was full at submit.
+    Rejected(ServeError),
+}
+
+/// One request's final accounting.
+#[derive(Clone, Debug)]
+pub struct ServedRecord {
+    pub id: u64,
+    pub query: Vec<String>,
+    pub outcome: Outcome,
+    /// Budget-observed latency: submit → outcome (synthetic clocks report
+    /// only charged time, keeping shed tests sleep-free).
+    pub latency: Duration,
+}
+
+impl ServedRecord {
+    pub fn response(&self) -> Option<&SearchResponse> {
+        match &self.outcome {
+            Outcome::Served(resp) => Some(resp),
+            _ => None,
+        }
+    }
+}
+
+/// The concurrent serving runtime.
+pub struct Runtime {
+    stack: ServeStack,
+    config: RuntimeConfig,
+    queue: AdmissionQueue,
+    results: Mutex<Vec<ServedRecord>>,
+    next_id: AtomicU64,
+}
+
+impl Runtime {
+    pub fn new(stack: ServeStack, config: RuntimeConfig) -> Self {
+        let queue = AdmissionQueue::new(config.queue_capacity);
+        Runtime { stack, config, queue, results: Mutex::new(Vec::new()), next_id: AtomicU64::new(0) }
+    }
+
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    pub fn stack(&self) -> &ServeStack {
+        &self.stack
+    }
+
+    /// Open-loop submission: enqueue and return the request id, or the
+    /// typed rejection. Rejections are recorded (health counters and a
+    /// `Rejected` record) here, at admission time.
+    pub fn submit(&self, query: Vec<String>, budget: DeadlineBudget) -> Result<u64, ServeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.enqueue(id, query, budget, None).map(|_| id)
+    }
+
+    /// Closed-loop call: enqueue and block until the request's record is
+    /// published (or return the rejection record immediately).
+    pub fn call(&self, query: Vec<String>, budget: DeadlineBudget) -> ServedRecord {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(ResponseSlot::new());
+        match self.enqueue(id, query, budget, Some(Arc::clone(&slot))) {
+            Ok(()) => slot.wait(),
+            Err(_) => {
+                let results = self.results.lock();
+                results.iter().rev().find(|r| r.id == id).cloned().expect("rejection recorded")
+            }
+        }
+    }
+
+    fn enqueue(
+        &self,
+        id: u64,
+        query: Vec<String>,
+        budget: DeadlineBudget,
+        slot: Option<Arc<ResponseSlot>>,
+    ) -> Result<(), ServeError> {
+        match self.queue.push(Pending { id, query: query.clone(), budget, slot }) {
+            Ok(depth) => {
+                self.stack.engine.record_queue_depth(depth);
+                Ok(())
+            }
+            Err(err) => {
+                self.stack.engine.record_queue_event(&err);
+                self.results.lock().push(ServedRecord {
+                    id,
+                    query,
+                    outcome: Outcome::Rejected(err.clone()),
+                    latency: Duration::ZERO,
+                });
+                Err(err)
+            }
+        }
+    }
+
+    /// Runs the worker pool while `driver` produces load (submitting via
+    /// [`submit`](Self::submit) / [`call`](Self::call) from this thread or
+    /// its own), then drains the queue, joins the workers, and returns
+    /// every record sorted by request id.
+    pub fn run(&self, driver: impl FnOnce(&Self)) -> Vec<ServedRecord> {
+        self.queue.reopen();
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| {
+                    while let Some(batch) = self.queue.next_batch(
+                        self.config.max_batch,
+                        self.config.max_wait_ticks,
+                        self.config.tick,
+                    ) {
+                        self.process_batch(batch);
+                    }
+                });
+            }
+            driver(self);
+            self.queue.close();
+        });
+        let mut records = std::mem::take(&mut *self.results.lock());
+        records.sort_by_key(|r| r.id);
+        records
+    }
+
+    /// Deterministic replay: submits **all** requests before any worker
+    /// starts, so admission decisions (exactly the overflow beyond queue
+    /// capacity is rejected) do not depend on worker timing.
+    pub fn execute(&self, requests: Vec<(Vec<String>, DeadlineBudget)>) -> Vec<ServedRecord> {
+        for (query, budget) in requests {
+            let _ = self.submit(query, budget);
+        }
+        self.run(|_| {})
+    }
+
+    fn process_batch(&self, batch: Vec<Pending>) {
+        // Shed requests whose deadline died in the queue.
+        let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+        for p in batch {
+            if p.budget.expired() {
+                let err = ServeError::ExpiredInQueue;
+                self.stack.engine.record_queue_event(&err);
+                self.fulfill(p, Outcome::Shed(err));
+            } else {
+                live.push(p);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        // Plan which requests need the online model (miss the rewrite
+        // cache after sanitization), mirroring ladder rung 1 without
+        // touching the hit/miss counters — the serve pass below counts.
+        let online = self.stack.online.as_ref();
+        let plans: Vec<Option<Vec<String>>> = live
+            .iter()
+            .map(|p| {
+                online.and_then(|_| {
+                    plan_online(&p.query, self.stack.cache.as_deref(), &self.config.serving)
+                })
+            })
+            .collect();
+
+        // One stacked batched decode for every cache miss in the batch.
+        // Identical in-flight queries coalesce into a single decode slot:
+        // `BatchedQ2Q` rewrites are a pure function of the query (the
+        // sampling RNG is derived from the query tokens), so sharing one
+        // decode across duplicates returns bit-for-bit what each would
+        // have produced alone.
+        let mut miss_queries: Vec<&[String]> = Vec::new();
+        let mut miss_slot: Vec<Option<usize>> = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            miss_slot.push(plan.as_deref().map(|q| {
+                match miss_queries.iter().position(|u| *u == q) {
+                    Some(slot) => slot,
+                    None => {
+                        miss_queries.push(q);
+                        miss_queries.len() - 1
+                    }
+                }
+            }));
+        }
+        let decoded: Option<Result<Vec<Vec<Vec<String>>>, ()>> = match online {
+            Some(online) if !miss_queries.is_empty() => {
+                let before = online.model().decode_stats();
+                let t0 = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    online.rewrite_batch(&miss_queries, self.config.serving.max_rewrites)
+                }));
+                self.stack
+                    .engine
+                    .record_decode(online.model().decode_stats().since(&before), t0.elapsed());
+                Some(result.map_err(|_| ()))
+            }
+            _ => None,
+        };
+
+        // Serve every request through the engine itself. Misses replay the
+        // batch-decode output (or re-panic inside the ladder's guard) under
+        // the online rewriter's name; hits take rung 1 as usual.
+        for (p, slot) in live.into_iter().zip(miss_slot) {
+            let online_rung: Option<Box<dyn QueryRewriter>> = match (&decoded, slot) {
+                (Some(Ok(all)), Some(slot)) => {
+                    let name = online.expect("decoded implies online").name().to_string();
+                    Some(Box::new(PrecomputedOnline::new(name, all[slot].clone())))
+                }
+                (Some(Err(())), Some(_)) => {
+                    let name = online.expect("decoded implies online").name().to_string();
+                    Some(Box::new(PanicOnline::new(name)))
+                }
+                _ => None,
+            };
+            let ladder = RewriteLadder {
+                cache: self.stack.cache.as_deref(),
+                online: online_rung.as_deref(),
+                baseline: self
+                    .stack
+                    .baseline
+                    .as_deref()
+                    .map(|b| b as &dyn QueryRewriter),
+            };
+            let response = self.stack.engine.search_resilient(
+                &p.query,
+                ladder,
+                &self.config.serving,
+                &p.budget,
+                None,
+            );
+            self.fulfill(p, Outcome::Served(response));
+        }
+        self.stack.engine.record_queue_depth(self.queue.depth());
+    }
+
+    fn fulfill(&self, p: Pending, outcome: Outcome) {
+        let record =
+            ServedRecord { id: p.id, query: p.query, outcome, latency: p.budget.elapsed() };
+        if let Some(slot) = p.slot {
+            slot.complete(record.clone());
+        }
+        self.results.lock().push(record);
+    }
+}

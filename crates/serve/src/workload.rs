@@ -1,0 +1,175 @@
+//! Deterministic seeded request mixes for the load-generation bench.
+//!
+//! Production query traffic is head-heavy: a small set of popular queries
+//! dominates (served from the precomputed rewrite cache, cheap) while a
+//! long tail of rare queries misses the cache and pays for online decode.
+//! [`MixConfig`] reproduces that shape deterministically: the same seed
+//! always yields the same request sequence, so open-loop and closed-loop
+//! runs — and batched vs sequential baselines — replay identical traffic.
+
+use qrw_tensor::rng::StdRng;
+use qrw_text::{Vocab, NUM_SPECIALS};
+
+/// Shape of a synthetic request mix.
+#[derive(Clone, Debug)]
+pub struct MixConfig {
+    /// Total requests to generate.
+    pub requests: usize,
+    /// Fraction drawn from the popular head (0.0 = all tail, 1.0 = all head).
+    pub head_fraction: f64,
+    /// Number of distinct head queries.
+    pub head_queries: usize,
+    /// Tail query length range, inclusive.
+    pub tail_len: (usize, usize),
+    /// Distinct tail queries to draw from; `0` means every tail request is
+    /// freshly random. Real query logs are power-law even off the head —
+    /// tail queries repeat within short windows — so a finite pool is the
+    /// realistic shape (and what lets a scheduler coalesce in-flight
+    /// duplicates).
+    pub tail_pool: usize,
+    pub seed: u64,
+}
+
+impl MixConfig {
+    /// A KV-hit-heavy mix: most requests replay head queries whose
+    /// rewrites are precomputed in the cache.
+    pub fn head_heavy(requests: usize, seed: u64) -> Self {
+        MixConfig {
+            requests,
+            head_fraction: 0.9,
+            head_queries: 8,
+            tail_len: (1, 3),
+            tail_pool: 0,
+            seed,
+        }
+    }
+
+    /// A decode-heavy mix: most requests are tail queries that miss the
+    /// cache and need the online model, drawn from a finite popularity
+    /// pool.
+    pub fn tail_heavy(requests: usize, seed: u64) -> Self {
+        MixConfig {
+            requests,
+            head_fraction: 0.1,
+            head_queries: 8,
+            tail_len: (1, 3),
+            tail_pool: 5,
+            seed,
+        }
+    }
+}
+
+/// A generated request sequence plus the head-query set it draws from
+/// (callers prefill the rewrite cache for the head).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The distinct popular queries.
+    pub head: Vec<Vec<String>>,
+    /// The full request sequence, in arrival order.
+    pub requests: Vec<Vec<String>>,
+}
+
+impl Workload {
+    /// Generates the mix. Head queries are a deterministic function of the
+    /// vocab alone (stable across mixes with the same `head_queries`), so
+    /// a cache prefilled for one mix serves any other.
+    pub fn generate(vocab: &Vocab, mix: &MixConfig) -> Workload {
+        let words = word_table(vocab);
+        assert!(!words.is_empty(), "vocab has no non-special tokens");
+        let head: Vec<Vec<String>> = (0..mix.head_queries)
+            .map(|i| {
+                // Two words, strided so neighbouring head queries differ.
+                let a = (i * 7) % words.len();
+                let b = (i * 13 + 3) % words.len();
+                vec![words[a].clone(), words[b].clone()]
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(mix.seed);
+        let tail_query = |rng: &mut StdRng| -> Vec<String> {
+            let len = rng.gen_range(mix.tail_len.0..=mix.tail_len.1).max(1);
+            (0..len).map(|_| words[rng.gen_range(0..words.len())].clone()).collect()
+        };
+        let pool: Vec<Vec<String>> =
+            (0..mix.tail_pool).map(|_| tail_query(&mut rng)).collect();
+        let requests = (0..mix.requests)
+            .map(|_| {
+                if !head.is_empty() && rng.gen_bool(mix.head_fraction) {
+                    head[rng.gen_range(0..head.len())].clone()
+                } else if !pool.is_empty() {
+                    pool[rng.gen_range(0..pool.len())].clone()
+                } else {
+                    tail_query(&mut rng)
+                }
+            })
+            .collect();
+        Workload { head, requests }
+    }
+}
+
+/// Deterministic synthetic documents over the vocab, for building the
+/// bench's retrieval index.
+pub fn synthetic_docs(vocab: &Vocab, n: usize, seed: u64) -> Vec<Vec<String>> {
+    let words = word_table(vocab);
+    assert!(!words.is_empty(), "vocab has no non-special tokens");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(3..=8);
+            (0..len).map(|_| words[rng.gen_range(0..words.len())].clone()).collect()
+        })
+        .collect()
+}
+
+fn word_table(vocab: &Vocab) -> Vec<String> {
+    (NUM_SPECIALS..vocab.len()).map(|id| vocab.token(id).to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocab {
+        let mut v = Vocab::new();
+        for i in 0..20 {
+            v.insert(&format!("w{i}"));
+        }
+        v
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let v = vocab();
+        let mix = MixConfig::tail_heavy(50, 99);
+        let a = Workload::generate(&v, &mix);
+        let b = Workload::generate(&v, &mix);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.head, b.head);
+    }
+
+    #[test]
+    fn head_heavy_mix_mostly_replays_head() {
+        let v = vocab();
+        let w = Workload::generate(&v, &MixConfig::head_heavy(200, 7));
+        let head_hits =
+            w.requests.iter().filter(|q| w.head.contains(q)).count();
+        assert!(head_hits > 150, "expected a head-dominated mix, got {head_hits}/200");
+    }
+
+    #[test]
+    fn tail_heavy_mix_mostly_misses_head() {
+        let v = vocab();
+        let w = Workload::generate(&v, &MixConfig::tail_heavy(200, 7));
+        let head_hits =
+            w.requests.iter().filter(|q| w.head.contains(q)).count();
+        assert!(head_hits < 100, "expected a tail-dominated mix, got {head_hits}/200");
+    }
+
+    #[test]
+    fn docs_are_deterministic_and_in_vocab() {
+        let v = vocab();
+        let a = synthetic_docs(&v, 30, 5);
+        let b = synthetic_docs(&v, 30, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().flatten().all(|w| v.id(w).is_some()));
+    }
+}

@@ -1,0 +1,325 @@
+//! End-to-end runtime tests: batching transparency (byte-identical to
+//! standalone serving), concurrency invariance, deterministic admission
+//! control, and overload accounting in `health_report()`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qrw_core::QueryRewriter;
+use qrw_nmt::{ModelConfig, Seq2Seq};
+use qrw_search::{
+    DeadlineBudget, InvertedIndex, RewriteCache, RewriteLadder, SearchEngine, ServeError,
+    ServingConfig,
+};
+use qrw_serve::{
+    synthetic_docs, BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack, Workload,
+};
+use qrw_text::Vocab;
+
+const VOCAB_WORDS: usize = 24;
+const MODEL_SEED: u64 = 41;
+const REWRITE_SEED: u64 = 7;
+
+fn vocab() -> Arc<Vocab> {
+    let mut v = Vocab::new();
+    for i in 0..VOCAB_WORDS {
+        v.insert(&format!("w{i}"));
+    }
+    Arc::new(v)
+}
+
+/// A fixed-answer rung-3 fallback.
+struct FixedBaseline;
+
+impl QueryRewriter for FixedBaseline {
+    fn rewrite(&self, _query: &[String], k: usize) -> Vec<Vec<String>> {
+        vec![vec!["w1".to_string(), "w2".to_string()]].into_iter().take(k).collect()
+    }
+    fn name(&self) -> &str {
+        "fixed-baseline"
+    }
+}
+
+/// Builds the full serving stack: engine over a synthetic index, a cache
+/// prefilled for the workload's head queries, and the batched online model.
+fn stack(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> ServeStack {
+    let docs = synthetic_docs(vocab, 60, 11);
+    let engine = Arc::new(SearchEngine::new(InvertedIndex::build(docs)));
+    let model = Arc::new(Seq2Seq::new(ModelConfig::tiny_transformer(vocab.len()), MODEL_SEED));
+    let online = Arc::new(BatchedQ2Q::new(model, Arc::clone(vocab), 8, REWRITE_SEED));
+    let cache = Arc::new(RewriteCache::new());
+    for q in head {
+        // Precompute the head's rewrites with the same model, as the
+        // offline pipeline would.
+        cache.insert(q, online.rewrite(q, 3));
+    }
+    ServeStack {
+        engine,
+        cache: Some(cache),
+        online: Some(online),
+        baseline: Some(Arc::new(FixedBaseline)),
+    }
+}
+
+fn workload(vocab: &Vocab) -> Workload {
+    Workload::generate(
+        vocab,
+        &MixConfig {
+            requests: 24,
+            head_fraction: 0.5,
+            head_queries: 6,
+            tail_len: (1, 3),
+            tail_pool: 5,
+            seed: 5,
+        },
+    )
+}
+
+/// Serves one request standalone — no queue, no batching, no pool — the
+/// reference the runtime must match byte-for-byte.
+fn serve_alone(stack: &ServeStack, query: &[String], config: &ServingConfig) -> String {
+    let online = stack.online.as_deref().map(|o| o as &dyn QueryRewriter);
+    let ladder = RewriteLadder {
+        cache: stack.cache.as_deref(),
+        online,
+        baseline: stack.baseline.as_deref().map(|b| b as &dyn QueryRewriter),
+    };
+    let resp = stack.engine.search_resilient(
+        query,
+        ladder,
+        config,
+        &DeadlineBudget::unlimited(),
+        None,
+    );
+    format!("{resp:?}")
+}
+
+fn run_and_render(stack: &ServeStack, config: RuntimeConfig, requests: &[Vec<String>]) -> Vec<String> {
+    let runtime = Runtime::new(stack.clone(), config);
+    let records = runtime.execute(
+        requests.iter().map(|q| (q.clone(), DeadlineBudget::unlimited())).collect(),
+    );
+    assert_eq!(records.len(), requests.len());
+    records
+        .iter()
+        .map(|r| match &r.outcome {
+            Outcome::Served(resp) => format!("{resp:?}"),
+            other => panic!("request {} not served: {other:?}", r.id),
+        })
+        .collect()
+}
+
+#[test]
+fn batched_responses_are_byte_identical_to_standalone_serving() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let stack = stack(&vocab, &w.head);
+
+    // Reference: each request served alone through search_resilient, on a
+    // FRESH identical stack so cache/breaker state matches the runtime's.
+    let reference_stack = stack_clone_fresh(&vocab, &w.head);
+    let expected: Vec<String> = w
+        .requests
+        .iter()
+        .map(|q| serve_alone(&reference_stack, q, &ServingConfig::default()))
+        .collect();
+
+    let config = RuntimeConfig { workers: 4, max_batch: 8, ..RuntimeConfig::default() };
+    let got = run_and_render(&stack, config, &w.requests);
+    assert_eq!(expected, got);
+}
+
+/// A second stack built identically (same seeds) — fresh counters, same
+/// weights and cache contents.
+fn stack_clone_fresh(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> ServeStack {
+    stack(vocab, head)
+}
+
+#[test]
+fn worker_count_and_batch_size_do_not_change_responses() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+
+    let solo_stack = stack(&vocab, &w.head);
+    let solo = run_and_render(
+        &solo_stack,
+        RuntimeConfig { workers: 1, max_batch: 1, max_wait_ticks: 0, ..RuntimeConfig::default() },
+        &w.requests,
+    );
+
+    let pooled_stack = stack(&vocab, &w.head);
+    let pooled = run_and_render(
+        &pooled_stack,
+        RuntimeConfig { workers: 4, max_batch: 8, ..RuntimeConfig::default() },
+        &w.requests,
+    );
+
+    assert_eq!(solo, pooled);
+}
+
+#[test]
+fn capacity_overflow_rejections_are_deterministic() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    for workers in [1, 4] {
+        let stack = stack(&vocab, &w.head);
+        let config = RuntimeConfig {
+            queue_capacity: 10,
+            workers,
+            ..RuntimeConfig::default()
+        };
+        let runtime = Runtime::new(stack.clone(), config);
+        let records = runtime.execute(
+            w.requests.iter().map(|q| (q.clone(), DeadlineBudget::unlimited())).collect(),
+        );
+        // execute() submits everything before the pool starts: exactly the
+        // overflow beyond capacity is rejected, regardless of worker count.
+        let rejected: Vec<u64> = records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Rejected(_)))
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(rejected, (10..w.requests.len() as u64).collect::<Vec<_>>());
+        for r in &records {
+            if let Outcome::Rejected(err) = &r.outcome {
+                assert_eq!(err, &ServeError::QueueFull { capacity: 10 });
+            }
+        }
+        let report = stack.engine.health_report();
+        assert_eq!(report.queue_rejections, (w.requests.len() - 10) as u64);
+        assert!(report.queue_peak_depth >= 10);
+    }
+}
+
+#[test]
+fn expired_budgets_are_shed_at_dequeue_with_typed_errors() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let stack = stack(&vocab, &w.head);
+    let runtime = Runtime::new(stack.clone(), RuntimeConfig::default());
+
+    // Synthetic zero budgets are born expired: every request must be shed
+    // at dequeue, deterministically, without sleeping.
+    let records = runtime.execute(
+        w.requests
+            .iter()
+            .map(|q| (q.clone(), DeadlineBudget::synthetic(Duration::ZERO)))
+            .collect(),
+    );
+    assert_eq!(records.len(), w.requests.len());
+    for r in &records {
+        match &r.outcome {
+            Outcome::Shed(err) => assert_eq!(err, &ServeError::ExpiredInQueue),
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+    let report = stack.engine.health_report();
+    assert_eq!(report.queue_sheds, w.requests.len() as u64);
+    assert_eq!(report.queue_rejections, 0);
+}
+
+#[test]
+fn mixed_live_and_expired_requests_shed_only_the_expired() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let stack = stack(&vocab, &w.head);
+    let runtime = Runtime::new(stack.clone(), RuntimeConfig::default());
+
+    // Alternate live (synthetic, generous) and born-expired budgets.
+    let requests: Vec<_> = w
+        .requests
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let budget = if i % 2 == 0 {
+                DeadlineBudget::synthetic(Duration::from_secs(60))
+            } else {
+                DeadlineBudget::synthetic(Duration::ZERO)
+            };
+            (q.clone(), budget)
+        })
+        .collect();
+    let records = runtime.execute(requests);
+    for (i, r) in records.iter().enumerate() {
+        match (&r.outcome, i % 2) {
+            (Outcome::Served(_), 0) | (Outcome::Shed(_), 1) => {}
+            (outcome, _) => panic!("request {i}: unexpected outcome {outcome:?}"),
+        }
+    }
+    let report = stack.engine.health_report();
+    assert_eq!(report.queue_sheds, (w.requests.len() / 2) as u64);
+}
+
+#[test]
+fn closed_loop_call_returns_the_request_record() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let stack = stack(&vocab, &w.head);
+    let runtime = Runtime::new(stack.clone(), RuntimeConfig::default());
+
+    let query = w.requests[0].clone();
+    let records = runtime.run(|rt| {
+        let record = rt.call(query.clone(), DeadlineBudget::unlimited());
+        assert_eq!(record.query, query);
+        assert!(record.response().is_some(), "closed-loop call must be served");
+    });
+    assert_eq!(records.len(), 1);
+    assert!(matches!(records[0].outcome, Outcome::Served(_)));
+}
+
+#[test]
+fn duplicate_in_flight_queries_coalesce_without_changing_responses() {
+    let vocab = vocab();
+    // Six copies of one query plus two distinct ones, all cache misses.
+    let mut requests = vec![vec!["w3".to_string(), "w7".to_string()]; 6];
+    requests.push(vec!["w1".to_string()]);
+    requests.push(vec!["w9".to_string(), "w2".to_string()]);
+
+    let mut batched_stack = stack(&vocab, &[]);
+    batched_stack.cache = None;
+    let reference_stack = {
+        let mut s = stack(&vocab, &[]);
+        s.cache = None;
+        s
+    };
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|q| serve_alone(&reference_stack, q, &ServingConfig::default()))
+        .collect();
+
+    let config = RuntimeConfig { workers: 1, max_batch: 8, ..RuntimeConfig::default() };
+    let got = run_and_render(&batched_stack, config, &requests);
+    assert_eq!(expected, got);
+
+    // Coalescing is visible in decode telemetry: the runtime decoded 3
+    // distinct queries where the standalone loop decoded all 8.
+    let runtime_steps = batched_stack.engine.health_report().decode_steps;
+    let standalone_steps = reference_stack.engine.health_report().decode_steps;
+    assert!(runtime_steps > 0);
+    assert!(
+        runtime_steps < standalone_steps,
+        "coalesced decode ({runtime_steps} steps) should do less work than \
+         one-at-a-time ({standalone_steps} steps)"
+    );
+}
+
+#[test]
+fn run_reports_requests_and_cache_traffic_in_health_report() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let stack = stack(&vocab, &w.head);
+    let runtime = Runtime::new(stack.clone(), RuntimeConfig::default());
+    let records = runtime.execute(
+        w.requests.iter().map(|q| (q.clone(), DeadlineBudget::unlimited())).collect(),
+    );
+    assert!(records.iter().all(|r| matches!(r.outcome, Outcome::Served(_))));
+
+    let report = stack.engine.health_report();
+    assert_eq!(report.requests, w.requests.len() as u64);
+    let cache = stack.cache.as_ref().unwrap();
+    // Every request consulted the cache exactly once (head hits + tail
+    // misses add up to the request count).
+    assert_eq!(cache.hits() + cache.misses(), w.requests.len() as u64);
+    assert!(cache.hits() > 0, "head-mix requests should hit the prefilled cache");
+    assert!(cache.misses() > 0, "tail requests should miss the cache");
+}

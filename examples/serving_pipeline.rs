@@ -5,12 +5,15 @@
 //! 2. Serve long-tail queries through the fast distilled q2q model
 //!    (hybrid transformer-encoder + RNN-decoder).
 //! 3. Retrieve with the §III-H merged syntax tree.
+//! 4. Absorb a burst of concurrent requests through the serving runtime:
+//!    bounded admission, micro-batched decode, typed overload shedding.
 //!
 //! ```text
 //! cargo run --release --example serving_pipeline
 //! ```
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cycle_rewrite::prelude::*;
 use qrw_bench::experiment::{train_q2q_model, ExperimentData, Scale, System};
@@ -29,11 +32,12 @@ fn main() {
         ComponentKind::Rnn,
         77,
     );
+    let q2q_model = Arc::new(q2q_model);
     let q2q = Q2QRewriter::new(&q2q_model, vocab, 8, 78);
 
     // Offline tier: precompute head-query rewrites into the KV store.
     let pipeline = RewritePipeline::new(&sys.joint, vocab, 3, 8, 79);
-    let cache = RewriteCache::new();
+    let cache = Arc::new(RewriteCache::new());
     let mut head: Vec<&qrw_data::GeneratedQuery> = data.log.queries.iter().collect();
     head.sort_by_key(|q| std::cmp::Reverse(q.frequency));
     let head_count = head.len() / 5; // "top queries" tier
@@ -49,9 +53,9 @@ fn main() {
     );
 
     // Online tier: serve a traffic sample; measure latency per source.
-    let engine = SearchEngine::new(InvertedIndex::build(
+    let engine = Arc::new(SearchEngine::new(InvertedIndex::build(
         data.log.catalog.items.iter().map(|i| i.title_tokens.clone()),
-    ));
+    )));
     let serving = ServingConfig::default();
     let mut cache_ms = (0.0f64, 0u32);
     let mut fallback_ms = (0.0f64, 0u32);
@@ -59,7 +63,7 @@ fn main() {
     // precomputed tier so the q2q fallback is exercised too.
     for q in data.log.queries.iter().step_by(6).take(60) {
         let t = Instant::now();
-        let resp = engine.search_with_rewrites(&q.tokens, Some(&cache), Some(&q2q), &serving);
+        let resp = engine.search_with_rewrites(&q.tokens, Some(&*cache), Some(&q2q), &serving);
         let ms = t.elapsed().as_secs_f64() * 1000.0;
         match resp.rewrite_source {
             qrw_search::RewriteSource::Cache => {
@@ -95,7 +99,7 @@ fn main() {
     println!("\nresilience demo: q2q model starts faulting mid-run");
     let rules = RuleBasedRewriter::new(SynonymDict::from_catalog(&data.log.catalog));
     let ladder = RewriteLadder {
-        cache: Some(&cache),
+        cache: Some(&*cache),
         online: Some(&q2q),
         baseline: Some(&rules),
     };
@@ -140,7 +144,7 @@ fn main() {
     // Show one hard query traveling the whole path.
     if let Some(q) = data.log.queries.iter().find(|q| q.kind == QueryKind::HardAudience) {
         let baseline = engine.search_baseline(&q.tokens, &serving);
-        let with_rw = engine.search_with_rewrites(&q.tokens, Some(&cache), Some(&q2q), &serving);
+        let with_rw = engine.search_with_rewrites(&q.tokens, Some(&*cache), Some(&q2q), &serving);
         println!("\nhard query \"{}\":", q.text());
         println!("  baseline retrieved {} candidates", baseline.base_candidates);
         println!(
@@ -153,4 +157,56 @@ fn main() {
             println!("    hit: {}", engine.index().doc(doc).tokens.join(" "));
         }
     }
+
+    // Burst demo: a spike of concurrent requests through the serving
+    // runtime. Cache misses decode together in micro-batches; the bounded
+    // queue rejects what it cannot absorb, and expired requests are shed —
+    // both as typed errors, never as unbounded queueing.
+    println!("\nburst demo: 64 requests hit a runtime with queue capacity 48");
+    let vocab_arc = Arc::new(vocab.clone());
+    let stack = ServeStack {
+        engine: Arc::clone(&engine),
+        cache: Some(Arc::clone(&cache)),
+        online: Some(Arc::new(BatchedQ2Q::new(Arc::clone(&q2q_model), vocab_arc, 8, 78))),
+        baseline: Some(Arc::new(RuleBasedRewriter::new(SynonymDict::from_catalog(
+            &data.log.catalog,
+        )))),
+    };
+    let runtime = Runtime::new(
+        stack,
+        RuntimeConfig { queue_capacity: 48, max_batch: 8, workers: 2, ..RuntimeConfig::default() },
+    );
+    let burst: Vec<(Vec<String>, DeadlineBudget)> = data
+        .log
+        .queries
+        .iter()
+        .step_by(3)
+        .take(64)
+        .map(|q| (q.tokens.clone(), DeadlineBudget::new(Duration::from_millis(250))))
+        .collect();
+    let t0 = Instant::now();
+    let records = runtime.execute(burst);
+    let wall = t0.elapsed();
+    let served = records.iter().filter(|r| matches!(r.outcome, Outcome::Served(_))).count();
+    let shed = records.iter().filter(|r| matches!(r.outcome, Outcome::Shed(_))).count();
+    let rejected = records.iter().filter(|r| matches!(r.outcome, Outcome::Rejected(_))).count();
+    let mut latencies: Vec<u128> =
+        records.iter().filter(|r| r.response().is_some()).map(|r| r.latency.as_micros()).collect();
+    latencies.sort_unstable();
+    println!(
+        "absorbed in {:.1} ms: served {served}, shed {shed}, rejected {rejected}",
+        wall.as_secs_f64() * 1000.0
+    );
+    if !latencies.is_empty() {
+        println!(
+            "served latency: p50 {} us, p95 {} us",
+            latencies[latencies.len() / 2],
+            latencies[(latencies.len() * 95 / 100).min(latencies.len() - 1)]
+        );
+    }
+    let report = engine.health_report();
+    println!(
+        "queue accounting: rejections {}, sheds {}, peak depth {}",
+        report.queue_rejections, report.queue_sheds, report.queue_peak_depth
+    );
 }

@@ -3,7 +3,7 @@
 # without touching the network (the build is fully hermetic — no external
 # crates, see CHANGES.md).
 #
-#   scripts/verify.sh [--bench-smoke] [--train-resume]
+#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke]
 #
 # With --bench-smoke, additionally runs the smoke benchmarks: they write
 # BENCH_decode.json / BENCH_matmul.json at the repo root, fail on any
@@ -14,15 +14,23 @@
 # and require the resumed curve and weights to be bit-for-bit identical to
 # an uninterrupted run (plus torn-commit recovery through the fault
 # injector). Writes + validates CURVE_train_resume.json at the repo root.
+#
+# With --load-smoke, additionally runs the serving-runtime load generator
+# at small scale: it writes + validates BENCH_serve.json at the repo root,
+# requires batched runtime responses to be byte-identical to the
+# sequential baseline, enforces the >=2x micro-batched throughput bar on
+# the decode-heavy tail mix, and checks graceful overload accounting.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 TRAIN_RESUME=0
+LOAD_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --train-resume) TRAIN_RESUME=1 ;;
+    --load-smoke) LOAD_SMOKE=1 ;;
     *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -44,6 +52,11 @@ fi
 if [ "$TRAIN_RESUME" = 1 ]; then
   echo "== train-resume (kill, resume, assert bitwise curve equality) =="
   cargo run --release --offline -p qrw-bench --bin train_resume -- --out .
+fi
+
+if [ "$LOAD_SMOKE" = 1 ]; then
+  echo "== load smoke (offline, writes + validates BENCH_serve.json) =="
+  cargo run --release --offline -p qrw-bench --bin load_smoke -- --out .
 fi
 
 echo "verify: OK"

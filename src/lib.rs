@@ -27,6 +27,7 @@
 //! | [`data`] | synthetic catalog + click-log generator (the data substitute) |
 //! | [`baseline`] | rule-based and SimRank++-style rewriters |
 //! | [`search`] | inverted index, merged syntax trees, KV cache, A/B simulator |
+//! | [`serve`] | concurrent runtime: admission queue, micro-batched decode, worker pool |
 //! | [`metrics`] | F1 / edit distance / cosine, oracle human evaluation |
 //!
 //! ## Quickstart
@@ -64,6 +65,7 @@ pub use qrw_data as data;
 pub use qrw_metrics as metrics;
 pub use qrw_nmt as nmt;
 pub use qrw_search as search;
+pub use qrw_serve as serve;
 pub use qrw_tensor as tensor;
 pub use qrw_text as text;
 
@@ -85,9 +87,13 @@ pub mod prelude {
         Seq2Seq, TopNSampling,
     };
     pub use qrw_search::{
-        run_ab, AbConfig, BreakerConfig, BreakerState, DeadlineBudget, Fault, FaultConfig,
+        run_ab, AbConfig, BreakerConfig, BreakerState, Clock, DeadlineBudget, Fault, FaultConfig,
         FaultInjector, HealthReport, InvertedIndex, QueryTree, RewriteCache, RewriteLadder,
         SearchEngine, ServeError, ServingConfig,
+    };
+    pub use qrw_serve::{
+        BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack, ServedRecord,
+        Workload,
     };
     pub use qrw_text::{tokenize, Vocab};
 }
