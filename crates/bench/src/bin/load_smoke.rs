@@ -63,6 +63,7 @@ fn main() -> ExitCode {
     let mut seq_ns = Vec::new();
     let mut bat_ns = Vec::new();
     let mut bat_latencies: Vec<u128> = Vec::new();
+    let mut engine_report = None;
     for rep in 0..=REPS {
         let warmup = rep == 0;
 
@@ -70,6 +71,7 @@ fn main() -> ExitCode {
         let (seq_total, seq_responses) = run_sequential(&stack, &tail.requests);
 
         let stack = build_stack(&vocab, &tail.head);
+        let engine = Arc::clone(&stack.engine);
         let runtime = Runtime::new(stack, open_loop_config());
         let t0 = Instant::now();
         let records = runtime.execute(
@@ -94,6 +96,7 @@ fn main() -> ExitCode {
         seq_ns.push(seq_total.as_nanos() / REQUESTS as u128);
         bat_ns.push(bat_total.as_nanos() / REQUESTS as u128);
         bat_latencies = records.iter().map(|r| r.latency.as_nanos()).collect();
+        engine_report = Some(engine.health_report());
     }
     let seq_sample = to_sample(&mut seq_ns);
     let bat_sample = to_sample(&mut bat_ns);
@@ -106,6 +109,23 @@ fn main() -> ExitCode {
     for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
         let name = format!("tail/open_loop_latency_{label}");
         let s = point_sample(percentile(&bat_latencies, q));
+        print_sample(&name, s);
+        record.push(name, s);
+    }
+
+    // The same percentiles as the engine's mergeable log-bucketed
+    // histogram reports them (µs buckets, so ns for the record): what
+    // `health_report()` would surface in production, persisted alongside
+    // the exact per-record numbers for cross-checking.
+    let report = engine_report.expect("at least one measured rep");
+    assert_eq!(report.latency_count, REQUESTS as u64, "one histogram sample per served request");
+    for (label, us) in [
+        ("p50", report.latency_p50_us),
+        ("p95", report.latency_p95_us),
+        ("p99", report.latency_p99_us),
+    ] {
+        let name = format!("tail/hist_latency_{label}_us");
+        let s = point_sample(us as u128);
         print_sample(&name, s);
         record.push(name, s);
     }

@@ -302,6 +302,87 @@ pub fn validate_bench_json(text: &str) -> Result<BenchRecord, String> {
     Ok(record)
 }
 
+/// One validated line of a span-trace JSONL export (the `qrw-obs`
+/// `Tracer::export_jsonl` schema).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpanLine {
+    pub trace: u64,
+    pub span: u64,
+    pub parent: Option<u64>,
+    pub name: String,
+    pub start_us: u64,
+    pub end_us: u64,
+}
+
+/// Parses and schema-checks a span-trace JSONL document (one JSON object
+/// per non-empty line):
+///
+/// ```json
+/// {"trace":1,"span":2,"parent":null,"name":"serve",
+///  "start_us":10,"end_us":42,"attrs":{"source":"cache"}}
+/// ```
+///
+/// Every line must carry integer `trace`/`span`, `parent` as integer or
+/// null, a non-empty string `name`, ordered `start_us <= end_us`, and an
+/// object `attrs`. Span ids must be unique across the document. Returns
+/// the decoded lines (attributes are validated but not retained).
+pub fn validate_trace_jsonl(text: &str) -> Result<Vec<TraceSpanLine>, String> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let value = json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        if value.as_object().is_none() {
+            return Err(format!("line {n}: not an object"));
+        }
+        let int = |field: &str| -> Result<u64, String> {
+            value
+                .get(field)
+                .and_then(Json::as_u128)
+                .and_then(|x| u64::try_from(x).ok())
+                .ok_or_else(|| format!("line {n}: missing integer \"{field}\""))
+        };
+        let parent = match value.get("parent") {
+            Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u128()
+                    .and_then(|x| u64::try_from(x).ok())
+                    .ok_or_else(|| format!("line {n}: \"parent\" is not an integer or null"))?,
+            ),
+            None => return Err(format!("line {n}: missing \"parent\"")),
+        };
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {n}: missing string \"name\""))?;
+        if name.is_empty() {
+            return Err(format!("line {n}: \"name\" must be non-empty"));
+        }
+        if value.get("attrs").and_then(Json::as_object).is_none() {
+            return Err(format!("line {n}: missing object \"attrs\""));
+        }
+        let line = TraceSpanLine {
+            trace: int("trace")?,
+            span: int("span")?,
+            parent,
+            name: name.to_string(),
+            start_us: int("start_us")?,
+            end_us: int("end_us")?,
+        };
+        if line.end_us < line.start_us {
+            return Err(format!("line {n}: end_us {} < start_us {}", line.end_us, line.start_us));
+        }
+        if !seen.insert(line.span) {
+            return Err(format!("line {n}: duplicate span id {}", line.span));
+        }
+        out.push(line);
+    }
+    Ok(out)
+}
+
 use json::Json;
 
 /// A dependency-free JSON subset parser — just enough for the
@@ -660,6 +741,69 @@ mod tests {
                      \"log_prob\": -1, \"accuracy\": 0}]}";
         let err = validate_curve_json(text).unwrap_err();
         assert!(err.contains("skipped_steps"), "{err}");
+    }
+
+    #[test]
+    fn trace_jsonl_from_a_real_tracer_validates() {
+        let t = qrw_obs::Tracer::logical();
+        let root = t.span(7, None, "serve");
+        let mut rung = t.span(7, Some(root.id()), "rung_cache");
+        rung.attr("outcome", "served");
+        rung.finish();
+        root.finish();
+        t.span(7, None, "served").finish();
+        let lines = validate_trace_jsonl(&t.export_jsonl()).expect("export validates");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].name, "serve");
+        assert_eq!(lines[1].parent, Some(lines[0].span));
+        assert!(lines.iter().all(|l| l.trace == 7 && l.start_us <= l.end_us));
+    }
+
+    #[test]
+    fn trace_jsonl_validator_rejects_malformed_lines() {
+        let ok = "{\"trace\":1,\"span\":2,\"parent\":null,\"name\":\"a\",\
+                  \"start_us\":1,\"end_us\":2,\"attrs\":{}}";
+        assert_eq!(validate_trace_jsonl(ok).unwrap().len(), 1);
+        // Blank lines are tolerated; each error names its line.
+        assert_eq!(validate_trace_jsonl(&format!("\n{ok}\n\n")).unwrap().len(), 1);
+        let bad = [
+            ("not json", "line 1"),
+            ("[1]", "not an object"),
+            (
+                "{\"trace\":1,\"span\":2,\"parent\":null,\
+                 \"start_us\":1,\"end_us\":2,\"attrs\":{}}",
+                "\"name\"",
+            ),
+            (
+                "{\"trace\":1,\"span\":2,\"parent\":null,\"name\":\"\",\
+                 \"start_us\":1,\"end_us\":2,\"attrs\":{}}",
+                "non-empty",
+            ),
+            (
+                "{\"trace\":1,\"span\":2,\"name\":\"a\",\
+                 \"start_us\":1,\"end_us\":2,\"attrs\":{}}",
+                "\"parent\"",
+            ),
+            (
+                "{\"trace\":1,\"span\":2,\"parent\":null,\"name\":\"a\",\
+                 \"start_us\":5,\"end_us\":2,\"attrs\":{}}",
+                "end_us",
+            ),
+            (
+                "{\"trace\":1,\"span\":2,\"parent\":null,\"name\":\"a\",\
+                 \"start_us\":1,\"end_us\":2}",
+                "\"attrs\"",
+            ),
+        ];
+        for (text, want) in bad {
+            let err = validate_trace_jsonl(text).expect_err(text);
+            assert!(err.contains(want), "{text}: error {err:?} should mention {want:?}");
+        }
+        let dup = format!(
+            "{ok}\n{}",
+            ok.replace("\"trace\":1", "\"trace\":9")
+        );
+        assert!(validate_trace_jsonl(&dup).unwrap_err().contains("duplicate span id"));
     }
 
     #[test]

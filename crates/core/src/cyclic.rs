@@ -19,6 +19,7 @@
 use std::io;
 use std::path::Path;
 
+use qrw_obs::Tracer;
 use qrw_tensor::rng::StdRng;
 
 use qrw_nmt::{top_n_sampling, Seq2Seq, TopNSampling};
@@ -308,6 +309,7 @@ pub struct CyclicTrainer {
     health: TrainHealthReport,
     spikes: SpikeDetector,
     store: Option<CheckpointStore>,
+    tracer: Option<Tracer>,
 }
 
 impl CyclicTrainer {
@@ -324,6 +326,7 @@ impl CyclicTrainer {
             curve: TrainingCurve::default(),
             health: TrainHealthReport::default(),
             store: None,
+            tracer: None,
         }
     }
 
@@ -332,6 +335,20 @@ impl CyclicTrainer {
     pub fn with_checkpoints(mut self, store: CheckpointStore) -> Self {
         self.store = Some(store);
         self
+    }
+
+    /// Attaches a span tracer: each training step records a `step` span
+    /// (trace id = step number) with per-example `forward`/`backward`
+    /// children, an `opt` span for the optimizer update, `eval` spans,
+    /// and `checkpoint` spans for commits.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached span tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     pub fn step_count(&self) -> u64 {
@@ -361,6 +378,7 @@ impl CyclicTrainer {
         let store = self.store.as_ref().ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, "no checkpoint store attached")
         })?;
+        let mut span = self.tracer.as_ref().map(|t| t.span(self.step, None, "checkpoint"));
         let state = TrainerState {
             config: self.config.clone(),
             d_model: self.d_model,
@@ -380,7 +398,12 @@ impl CyclicTrainer {
             (BACKWARD_FILE, serialize::save(model.backward.params())),
             (TRAINER_FILE, checkpoint::encode_state(&state)),
         ];
-        store.save(self.step, &members)?;
+        let result = store.save(self.step, &members);
+        if let Some(s) = span.as_mut() {
+            s.attr("ok", result.is_ok());
+        }
+        drop(span);
+        result?;
         self.health.checkpoints_written += 1;
         Ok(())
     }
@@ -461,6 +484,7 @@ impl CyclicTrainer {
             ),
             config: state.config.clone(),
             store: None,
+            tracer: None,
         })
     }
 
@@ -516,11 +540,24 @@ impl CyclicTrainer {
         // this trainer currently stands (0 for a fresh trainer).
         let end = self.step + self.config.steps;
         let mut rollbacks_done = 0u32;
+        // Cheap Arc clone so span guards don't hold a borrow of `self`
+        // across the loop's mutations.
+        let tracer = self.tracer.clone();
 
         while self.step < end {
             self.step += 1;
             let lr = self.schedule.lr(self.step);
             let cyclic = mode == TrainMode::Joint && self.step > self.config.warmup_steps;
+            // One trace per training step (trace id = step number).
+            let mut step_span = tracer.as_ref().map(|t| {
+                let mut s = t.span(self.step, None, "step");
+                s.attr("lr", f64::from(lr));
+                s.attr("cyclic", cyclic);
+                s
+            });
+            let step_ids = step_span.as_ref().map(|s| (s.trace(), s.id()));
+            let trace_ctx: Option<(&Tracer, u64, u64)> =
+                tracer.as_ref().zip(step_ids).map(|(t, (tr, id))| (t, tr, id));
 
             model.forward.params().zero_grads();
             model.backward.params().zero_grads();
@@ -538,7 +575,7 @@ impl CyclicTrainer {
             let process = |slot: usize, idx: usize| {
                 let mut rng =
                     StdRng::seed_from_u64(step_seed.wrapping_add(slot as u64 * 0x51_7cc1));
-                example_backward(model, &data[idx], cyclic, config, &mut rng)
+                example_backward(model, &data[idx], cyclic, config, &mut rng, trace_ctx)
             };
             let losses: Vec<Option<f32>> = if self.config.parallel && self.config.batch_size > 1
             {
@@ -588,11 +625,14 @@ impl CyclicTrainer {
                 } else {
                     match self.spikes.observe(batch_loss) {
                         SpikeVerdict::Normal => {
+                            let opt_span = trace_ctx
+                                .map(|(t, tr, id)| t.span(tr, Some(id), "opt"));
                             for params in [model.forward.params(), model.backward.params()] {
                                 params.clip_grad_norm(self.config.grad_clip);
                             }
                             self.adam.step_with_lr(model.forward.params(), lr);
                             self.adam.step_with_lr(model.backward.params(), lr);
+                            drop(opt_span);
                         }
                         SpikeVerdict::Spike => {
                             // Sentinel 3: loss spike — skip, keep watching.
@@ -619,10 +659,15 @@ impl CyclicTrainer {
                 }
             }
 
+            if let Some(s) = step_span.as_mut() {
+                s.attr("loss", f64::from(batch_loss));
+            }
             let at_eval =
                 self.config.eval_every > 0 && self.step.is_multiple_of(self.config.eval_every);
             if at_eval || self.step == end {
+                let eval_span = trace_ctx.map(|(t, tr, id)| t.span(tr, Some(id), "eval"));
                 let point = self.evaluate(model, eval);
+                drop(eval_span);
                 self.curve.points.push(point);
             }
             // Checkpoint after the eval so a snapshot at an eval step
@@ -709,11 +754,13 @@ fn example_backward(
     cyclic: bool,
     config: &TrainConfig,
     rng: &mut StdRng,
+    trace: Option<(&Tracer, u64, u64)>,
 ) -> Option<f32> {
     if pair.src.is_empty() || pair.tgt.is_empty() {
         return None;
     }
     let tape = Tape::new();
+    let forward_span = trace.map(|(t, tr, parent)| t.span(tr, Some(parent), "forward"));
     let (nll_f, _) = {
         let mut ctx = train_ctx(rng, model.forward.config().dropout);
         model.forward.nll_on_tape(&tape, &pair.src, &pair.tgt, &mut ctx)
@@ -731,7 +778,10 @@ fn example_backward(
         }
     }
     let value = loss.item();
+    drop(forward_span);
+    let backward_span = trace.map(|(t, tr, parent)| t.span(tr, Some(parent), "backward"));
     tape.backward(loss);
+    drop(backward_span);
     Some(value)
 }
 

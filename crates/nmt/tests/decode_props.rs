@@ -134,6 +134,37 @@ fn top_n_first_tokens_distinct() {
     }
 }
 
+/// Pinned regression (formerly `decode_props.proptest-regressions`:
+/// `seed = 28, src = [4]`): a single-token source once tripped the
+/// decoder invariants. Kept as an explicit case so it runs on every
+/// architecture combination, every time, without a shrinker artifact
+/// file.
+#[test]
+fn regression_seed_28_single_token_source() {
+    let src = vec![4usize];
+    for (enc, dec) in [
+        (ComponentKind::Transformer, ComponentKind::Transformer),
+        (ComponentKind::Gru, ComponentKind::Gru),
+        (ComponentKind::Transformer, ComponentKind::Rnn),
+    ] {
+        let m = model(28, enc, dec);
+        let mut rng = StdRng::seed_from_u64(28);
+        let mut all = beam_search(&m, &src, 3);
+        all.push(greedy(&m, &src));
+        all.extend(top_n_sampling(&m, &src, TopNSampling { k: 3, n: 5 }, &mut rng));
+        all.extend(diverse_beam_search(&m, &src, 2, 2, 0.5));
+        for h in &all {
+            assert!(h.tokens.len() <= m.max_tgt_len() + 1);
+            assert!(h.tokens.iter().all(|&t| (NUM_SPECIALS..20).contains(&t)));
+            assert!(h.log_prob <= 0.0);
+        }
+        // Greedy must still equal width-1 beam search on this input.
+        let g = greedy(&m, &src);
+        let b = beam_search(&m, &src, 1);
+        assert_eq!(g.tokens, b[0].tokens, "{enc:?}/{dec:?}");
+    }
+}
+
 /// log P(tgt|src) via the model equals the sum of stepwise
 /// next-token log-probabilities (chain rule) for arbitrary targets.
 #[test]

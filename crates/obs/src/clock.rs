@@ -1,0 +1,90 @@
+//! Trace clocks: where span timestamps come from.
+//!
+//! Mirrors the deadline budget's `Clock` split (monotonic vs synthetic):
+//! production traces use real monotonic microseconds; tests use a
+//! **logical clock** whose every read returns the next tick of a global
+//! atomic counter. Logical ticks are unique, so two spans never tie — the
+//! per-trace order of spans is total and independent of machine speed,
+//! which is what makes trace *structure* a deterministic test subject.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Timestamp source for a [`Tracer`](crate::Tracer).
+#[derive(Debug)]
+pub enum ObsClock {
+    /// Microseconds of real monotonic time since the tracer was created.
+    Monotonic(Instant),
+    /// A logical tick per read — deterministic ordering, no wall time.
+    Logical(AtomicU64),
+}
+
+impl ObsClock {
+    /// A monotonic clock starting now.
+    pub fn monotonic() -> Self {
+        ObsClock::Monotonic(Instant::now())
+    }
+
+    /// A logical clock starting at tick 0.
+    pub fn logical() -> Self {
+        ObsClock::Logical(AtomicU64::new(0))
+    }
+
+    /// The current timestamp. Monotonic clocks report elapsed
+    /// microseconds; logical clocks return a fresh, globally unique tick.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            ObsClock::Monotonic(origin) => origin.elapsed().as_micros() as u64,
+            ObsClock::Logical(tick) => tick.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Whether this clock produces logical (deterministically ordered)
+    /// timestamps.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, ObsClock::Logical(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_ticks_are_unique_and_increasing() {
+        let c = ObsClock::logical();
+        let a = c.now_us();
+        let b = c.now_us();
+        let d = c.now_us();
+        assert!(a < b && b < d);
+        assert_eq!((a, b, d), (0, 1, 2));
+        assert!(c.is_logical());
+    }
+
+    #[test]
+    fn monotonic_never_goes_backwards() {
+        let c = ObsClock::monotonic();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+        assert!(!c.is_logical());
+    }
+
+    #[test]
+    fn logical_ticks_unique_across_threads() {
+        let c = std::sync::Arc::new(ObsClock::logical());
+        let mut all: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = std::sync::Arc::clone(&c);
+                    scope.spawn(move || (0..100).map(|_| c.now_us()).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        all.sort_unstable();
+        let before = all.len();
+        all.dedup();
+        assert_eq!(before, all.len(), "duplicate logical ticks");
+    }
+}

@@ -1,0 +1,243 @@
+//! Log-bucketed mergeable latency histograms (HDR-style).
+//!
+//! The bucket layout is **fixed** — every histogram uses the identical
+//! 496-bucket geometry — so merging two histograms is plain per-bucket
+//! count addition: exact, associative, commutative, and lossless. That is
+//! the property that lets worker-local histograms be merged into one
+//! fleet view with no resampling error, and what `tests/histogram_props`
+//! pins down.
+//!
+//! Geometry: values `0..8` get one bucket each (exact); every octave
+//! `[2^e, 2^(e+1))` above that is split into 8 sub-buckets, so the
+//! relative quantization error is bounded by one bucket width —
+//! `< 2^(e-3) / 2^e = 12.5%` of the value. [`Histogram::quantile`]
+//! returns the lower bound of the bucket holding the requested rank, so
+//! the reported quantile is within one bucket width of the exact sample
+//! quantile (and merged-histogram quantiles equal concatenated-sample
+//! histogram quantiles *exactly*, since the bucket counts are identical).
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+/// 8 exact unit buckets + 8 sub-buckets for each of the 61 octaves
+/// `3..=63`.
+pub const NUM_BUCKETS: usize = (SUB as usize) + (64 - SUB_BITS as usize) * (SUB as usize);
+
+/// A fixed-layout log-bucketed histogram over `u64` values
+/// (microseconds, by convention, but the geometry is unit-agnostic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: [0; NUM_BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+/// The bucket index holding `v`. Total over all `u64` values; the layout
+/// is a pure function of the value, never of histogram state.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_BITS
+    let sub = (v >> (e - SUB_BITS)) - SUB; // 0..8 within the octave
+    SUB as usize + (e - SUB_BITS) as usize * SUB as usize + sub as usize
+}
+
+/// The smallest value mapping to bucket `idx` (the quantile
+/// representative).
+pub fn bucket_lower(idx: usize) -> u64 {
+    debug_assert!(idx < NUM_BUCKETS);
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let oct = (idx - SUB as usize) / SUB as usize; // octave - SUB_BITS
+    let sub = ((idx - SUB as usize) % SUB as usize) as u64;
+    (SUB + sub) << oct
+}
+
+/// The width of bucket `idx` (all values in `[lower, lower + width)` map
+/// to it).
+pub fn bucket_width(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        1
+    } else {
+        1 << ((idx - SUB as usize) / SUB as usize)
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges `other` into `self`: exact per-bucket count addition.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// The `q`-quantile (`q` clamped into `[0, 1]`): the lower bound of
+    /// the bucket containing the `ceil(q * count)`-th smallest
+    /// observation. Within one bucket width of the exact sample quantile;
+    /// `0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower(idx);
+            }
+        }
+        // Unreachable while counts sum to total; stay total anyway.
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_continuous_and_monotone() {
+        // Every bucket's lower bound is the previous bucket's lower bound
+        // plus its width, with no gaps or overlaps across the full range.
+        for idx in 1..NUM_BUCKETS {
+            assert_eq!(
+                bucket_lower(idx),
+                bucket_lower(idx - 1) + bucket_width(idx - 1),
+                "gap at bucket {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn values_map_into_their_own_bucket_range() {
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1_000, 65_535, 1 << 40, u64::MAX] {
+            let idx = bucket_index(v);
+            let lo = bucket_lower(idx);
+            assert!(lo <= v, "v={v} below bucket lower {lo}");
+            if idx + 1 < NUM_BUCKETS {
+                assert!(v < bucket_lower(idx + 1), "v={v} beyond bucket {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        for v in 0..8 {
+            assert_eq!(bucket_width(bucket_index(v)), 1);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn relative_error_bounded_by_bucket_width() {
+        for v in [10u64, 100, 12_345, 9_999_999, 1 << 50] {
+            let idx = bucket_index(v);
+            let err = v - bucket_lower(idx);
+            assert!(err < bucket_width(idx));
+            // Width is at most 12.5% of the bucket's lower bound.
+            assert!(bucket_width(idx) * 8 <= bucket_lower(idx).max(8) * 2);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counts_exactly() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [5u64, 100, 100, 4_000] {
+            a.record(v);
+        }
+        for v in [7u64, 100, 1 << 20] {
+            b.record(v);
+        }
+        let mut concat = Histogram::new();
+        for v in [5u64, 100, 100, 4_000, 7, 100, 1 << 20] {
+            concat.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, concat);
+    }
+}

@@ -1,0 +1,42 @@
+//! # qrw-obs
+//!
+//! In-tree observability for the serving and training stacks — hermetic
+//! like everything else in the workspace (no external deps).
+//!
+//! Two building blocks:
+//!
+//! * [`Tracer`] — a structured span/event tracer. Producers open
+//!   [`SpanGuard`]s (`admit → queue-wait → batch-assemble → decode →
+//!   ladder-rung → rank` in the serving runtime; per-step
+//!   `forward/backward/opt` in the trainer); completed spans land in a
+//!   **lock-sharded in-memory ring buffer** and export as JSONL. The
+//!   tracer doubles as a *correctness tool*: because every span carries a
+//!   trace id and parent link, tests can assert span-tree invariants
+//!   ("every admitted request ends in exactly one terminal span") instead
+//!   of only eyeballing latency numbers. [`canonical_structure`] renders
+//!   timestamp-free trees so structure can be compared byte-for-byte
+//!   across worker counts.
+//! * [`Histogram`] — a log-bucketed (HDR-style) latency histogram with a
+//!   **fixed bucket layout**, so worker-local histograms [`merge`]
+//!   exactly (merge is plain per-bucket count addition: associative,
+//!   commutative, lossless). Feeds p50/p95/p99 into `health_report()`
+//!   and `BENCH_serve.json`.
+//!
+//! Timestamps come from an [`ObsClock`], mirroring the serving stack's
+//! deadline `Clock`: the monotonic wall clock for real runs, or a
+//! **logical clock** (an atomic tick per read) for tests —
+//! logical ticks are globally unique, so the per-trace span order is a
+//! total, machine-speed-independent order and trace structure becomes
+//! deterministic and assertable.
+//!
+//! [`merge`]: Histogram::merge
+
+pub mod clock;
+pub mod hist;
+pub mod span;
+
+pub use clock::ObsClock;
+pub use hist::Histogram;
+pub use span::{
+    canonical_structure, AttrValue, SpanGuard, SpanRecord, Tracer, MINTED_TRACE_BIT,
+};

@@ -1,0 +1,180 @@
+//! Property tests for the mergeable log-bucketed histogram. The bucket
+//! layout is fixed at compile time, so merging is per-bucket count
+//! addition — *exact*, which is what makes worker-local histograms safe
+//! to combine into one `health_report()`. Cases are drawn from a seeded
+//! generator, so every run is reproducible.
+
+use qrw_obs::hist::{bucket_index, bucket_lower, bucket_width};
+use qrw_obs::Histogram;
+use qrw_tensor::rng::StdRng;
+
+const CASES: usize = 24;
+const QS: [f64; 7] = [0.0, 0.01, 0.25, 0.50, 0.90, 0.95, 0.99];
+
+/// Values spanning the interesting ranges: the exact sub-8 buckets,
+/// mid-range latencies, and the top octaves.
+fn rand_value(rng: &mut StdRng) -> u64 {
+    match rng.gen_range(0usize..4) {
+        0 => rng.gen_range(0u64..8),
+        1 => rng.gen_range(8u64..4096),
+        2 => rng.gen_range(4096u64..10_000_000),
+        _ => u64::MAX - rng.gen_range(0u64..1 << 40),
+    }
+}
+
+fn rand_hist(rng: &mut StdRng, max_len: usize) -> (Histogram, Vec<u64>) {
+    let len = rng.gen_range(0usize..max_len.max(1));
+    let mut h = Histogram::new();
+    let mut samples = Vec::with_capacity(len);
+    for _ in 0..len {
+        let v = rand_value(rng);
+        h.record(v);
+        samples.push(v);
+    }
+    (h, samples)
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+/// Merge is commutative and associative, bucket-for-bucket. `Histogram`
+/// is `Eq`, so this compares counts, totals, sums, and min/max exactly.
+#[test]
+fn merge_is_commutative_and_associative() {
+    let mut rng = StdRng::seed_from_u64(0x0B50_0001);
+    for _ in 0..CASES {
+        let (a, _) = rand_hist(&mut rng, 64);
+        let (b, _) = rand_hist(&mut rng, 64);
+        let (c, _) = rand_hist(&mut rng, 64);
+        assert_eq!(merged(&a, &b), merged(&b, &a));
+        assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+}
+
+/// Quantiles of a merged histogram equal the quantiles of one histogram
+/// fed the concatenated sample stream: merging loses nothing that
+/// recording in a single place would have kept.
+#[test]
+fn merged_quantiles_equal_concatenated_quantiles() {
+    let mut rng = StdRng::seed_from_u64(0x0B50_0002);
+    for _ in 0..CASES {
+        let (a, sa) = rand_hist(&mut rng, 96);
+        let (b, sb) = rand_hist(&mut rng, 96);
+        let m = merged(&a, &b);
+        let mut concat = Histogram::new();
+        for v in sa.iter().chain(&sb) {
+            concat.record(*v);
+        }
+        assert_eq!(m, concat);
+        for q in QS {
+            assert_eq!(m.quantile(q), concat.quantile(q));
+        }
+    }
+}
+
+/// Merged quantiles track the exact sample quantiles to within one
+/// bucket width (the histogram's stated resolution: ≤ 12.5% relative
+/// error above the exact range).
+#[test]
+fn merged_quantiles_within_one_bucket_of_exact() {
+    let mut rng = StdRng::seed_from_u64(0x0B50_0003);
+    for _ in 0..CASES {
+        let (a, sa) = rand_hist(&mut rng, 96);
+        let (b, sb) = rand_hist(&mut rng, 96);
+        let mut all: Vec<u64> = sa.iter().chain(&sb).copied().collect();
+        if all.is_empty() {
+            continue;
+        }
+        all.sort_unstable();
+        let m = merged(&a, &b);
+        for q in QS {
+            let rank = ((all.len() as f64 * q).ceil() as usize).clamp(1, all.len());
+            let exact = all[rank - 1];
+            let got = m.quantile(q);
+            // The reported quantile is the lower bound of the bucket
+            // holding the exact sample quantile.
+            let idx = bucket_index(exact);
+            assert_eq!(got, bucket_lower(idx), "q={q}: {got} vs exact {exact}");
+            assert!(got <= exact);
+            assert!(exact - got < bucket_width(idx).max(1));
+        }
+    }
+}
+
+/// The empty histogram is the merge identity, and its own stats are all
+/// zero.
+#[test]
+fn empty_histogram_is_merge_identity() {
+    let empty = Histogram::new();
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.quantile(0.5), 0);
+    assert_eq!(empty.quantile(0.99), 0);
+    assert_eq!(empty.mean(), 0.0);
+
+    let mut rng = StdRng::seed_from_u64(0x0B50_0004);
+    for _ in 0..CASES {
+        let (a, _) = rand_hist(&mut rng, 64);
+        assert_eq!(merged(&a, &empty), a);
+        assert_eq!(merged(&empty, &a), a);
+    }
+}
+
+/// Histograms whose mass sits in a single bucket: every quantile is that
+/// bucket's lower bound, before and after merging, and min/max/sum stay
+/// exact (they are tracked outside the buckets).
+#[test]
+fn single_bucket_histograms_merge_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x0B50_0005);
+    for _ in 0..CASES {
+        let v = rand_value(&mut rng);
+        let (na, nb) = (rng.gen_range(1u64..50), rng.gen_range(1u64..50));
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..na {
+            a.record(v);
+        }
+        for _ in 0..nb {
+            b.record(v);
+        }
+        let m = merged(&a, &b);
+        assert_eq!(m.count(), na + nb);
+        assert_eq!(m.min(), Some(v));
+        assert_eq!(m.max(), Some(v));
+        // `sum` saturates, so fold the expectation the same way.
+        let expected_sum = (0..na + nb).fold(0u64, |s, _| s.saturating_add(v));
+        assert_eq!(m.sum(), expected_sum);
+        let lower = bucket_lower(bucket_index(v));
+        for q in QS {
+            assert_eq!(m.quantile(q), lower);
+        }
+        assert_eq!(m.nonzero_buckets(), vec![(lower, na + nb)]);
+    }
+}
+
+/// Quantile edge behavior on a known stream: q=0 and tiny q land on the
+/// first sample's bucket, q=1 on the last, and ranks interpolate
+/// monotonically in between.
+#[test]
+fn quantile_is_monotone_in_q() {
+    let mut rng = StdRng::seed_from_u64(0x0B50_0006);
+    for _ in 0..CASES {
+        let (h, samples) = rand_hist(&mut rng, 128);
+        if samples.is_empty() {
+            continue;
+        }
+        let mut prev = h.quantile(0.0);
+        for i in 1..=100 {
+            let q = i as f64 / 100.0;
+            let cur = h.quantile(q);
+            assert!(cur >= prev, "quantile must be monotone in q");
+            prev = cur;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        assert_eq!(h.quantile(0.0), bucket_lower(bucket_index(sorted[0])));
+        assert_eq!(h.quantile(1.0), bucket_lower(bucket_index(*sorted.last().unwrap())));
+    }
+}

@@ -336,6 +336,90 @@ mod tests {
     }
 
     #[test]
+    fn relative_deltas_are_zero_when_the_control_arm_is_zero() {
+        // A control arm with no conversions / GMV / reformulations: the
+        // relative deltas are defined as 0 rather than dividing by zero.
+        let out = AbOutcome {
+            control: ArmMetrics { sessions: 100, ..Default::default() },
+            variant: ArmMetrics {
+                sessions: 100,
+                conversions: 5,
+                gmv: 50.0,
+                reformulations: 3,
+                clicks: 9,
+            },
+        };
+        assert_eq!(out.ucvr_delta_pct(), 0.0);
+        assert_eq!(out.gmv_delta_pct(), 0.0);
+        assert_eq!(out.qrr_delta_pct(), 0.0);
+    }
+
+    #[test]
+    fn metric_deltas_match_known_values() {
+        let out = AbOutcome {
+            control: ArmMetrics {
+                sessions: 100,
+                conversions: 20,
+                gmv: 200.0,
+                reformulations: 40,
+                clicks: 50,
+            },
+            variant: ArmMetrics {
+                sessions: 100,
+                conversions: 25,
+                gmv: 100.0,
+                reformulations: 20,
+                clicks: 60,
+            },
+        };
+        assert!((out.ucvr_delta_pct() - 25.0).abs() < 1e-9);
+        assert!((out.gmv_delta_pct() + 50.0).abs() < 1e-9);
+        assert!((out.qrr_delta_pct() + 50.0).abs() < 1e-9);
+    }
+
+    /// Session→query assignment is a pure function of (seed, session):
+    /// the variant rewriter observes the identical query sequence across
+    /// runs, a different sequence under a different seed, and the mix
+    /// covers more than one distinct query.
+    #[test]
+    fn session_query_assignment_is_deterministic_per_seed() {
+        use qrw_tensor::sync::Mutex;
+
+        struct RecordingRewriter {
+            seen: Mutex<Vec<Vec<String>>>,
+        }
+        impl QueryRewriter for RecordingRewriter {
+            fn rewrite(&self, query: &[String], _k: usize) -> Vec<Vec<String>> {
+                self.seen.lock().push(query.to_vec());
+                Vec::new()
+            }
+            fn name(&self) -> &str {
+                "recording"
+            }
+        }
+
+        let log = ClickLog::generate(&LogConfig::default());
+        let sample = |seed: u64| -> Vec<Vec<String>> {
+            let rec = RecordingRewriter { seen: Mutex::new(Vec::new()) };
+            let cfg = AbConfig { sessions: 64, seed, ..Default::default() };
+            run_ab(&log, &rec, &cfg);
+            rec.seen.into_inner()
+        };
+        let a = sample(71);
+        let b = sample(71);
+        assert_eq!(a.len(), 64, "one variant-arm query per session");
+        assert_eq!(a, b, "same seed must assign the same query to every session");
+
+        let c = sample(72);
+        assert_ne!(a, c, "a different seed must shuffle the assignment");
+
+        let mut distinct = a.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert!(distinct.len() > 1, "the frequency mix should sample several queries");
+    }
+
+    #[test]
     fn display_shows_signed_percentages() {
         let out = AbOutcome {
             control: ArmMetrics { sessions: 100, conversions: 10, gmv: 100.0, reformulations: 20, clicks: 30 },

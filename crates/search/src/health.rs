@@ -8,6 +8,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use qrw_core::DecodeStats;
+use qrw_obs::Histogram;
+use qrw_tensor::sync::Mutex;
 
 use crate::breaker::BreakerState;
 use crate::error::{ServeError, Stage};
@@ -16,6 +18,9 @@ use crate::serving::RewriteSource;
 /// Internal counter block owned by the engine.
 #[derive(Debug, Default)]
 pub struct HealthCounters {
+    /// End-to-end request latency (µs) in a fixed-layout log-bucketed
+    /// histogram, so per-engine histograms merge exactly across workers.
+    latency_us: Mutex<Histogram>,
     requests: AtomicU64,
     served_cache: AtomicU64,
     served_online: AtomicU64,
@@ -87,6 +92,19 @@ impl HealthCounters {
         counter.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
     }
 
+    /// Records one request's end-to-end latency (including synthetic
+    /// deadline charges) into the log-bucketed histogram behind
+    /// p50/p95/p99 in the report.
+    pub fn record_latency(&self, elapsed: Duration) {
+        self.latency_us.lock().record(elapsed.as_micros() as u64);
+    }
+
+    /// A copy of the latency histogram, for merging with other engines'
+    /// histograms (merge is exact — the bucket layout is fixed).
+    pub fn latency_histogram(&self) -> Histogram {
+        self.latency_us.lock().clone()
+    }
+
     /// Accumulates one online-rewrite call's decode telemetry delta
     /// (counter differences from the model, plus the wall-clock spent in
     /// the call).
@@ -98,7 +116,15 @@ impl HealthCounters {
     }
 
     pub fn snapshot(&self, breaker_state: BreakerState, breaker_opens: u64) -> HealthReport {
+        let (latency_p50_us, latency_p95_us, latency_p99_us, latency_count) = {
+            let h = self.latency_us.lock();
+            (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99), h.count())
+        };
         HealthReport {
+            latency_p50_us,
+            latency_p95_us,
+            latency_p99_us,
+            latency_count,
             requests: self.requests.load(Ordering::Relaxed),
             served_cache: self.served_cache.load(Ordering::Relaxed),
             served_online: self.served_online.load(Ordering::Relaxed),
@@ -134,6 +160,14 @@ impl HealthCounters {
 pub struct HealthReport {
     /// Requests served through the resilient path.
     pub requests: u64,
+    /// End-to-end request latency quantiles (µs) from the log-bucketed
+    /// histogram (values are bucket lower bounds — within one bucket
+    /// width, ≤ 12.5%, of the exact sample quantile), and the number of
+    /// latencies recorded.
+    pub latency_p50_us: u64,
+    pub latency_p95_us: u64,
+    pub latency_p99_us: u64,
+    pub latency_count: u64,
     /// Requests whose rewrites came from each ladder rung.
     pub served_cache: u64,
     pub served_online: u64,
@@ -269,6 +303,27 @@ mod tests {
         // 15 tokens over 3 ms -> 5000 tokens/s.
         assert!((r.decode_tokens_per_sec() - 5_000.0).abs() < 1e-9);
         assert!((r.decode_cache_hit_rate() - 55.0 / 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_histogram_feeds_report_percentiles() {
+        let c = HealthCounters::default();
+        for us in [100u64, 200, 300, 400, 10_000] {
+            c.record_latency(Duration::from_micros(us));
+        }
+        let r = c.snapshot(BreakerState::Closed, 0);
+        assert_eq!(r.latency_count, 5);
+        // p50 lands in the bucket holding 300 µs; quantiles are bucket
+        // lower bounds so assert within one 12.5% bucket width.
+        assert!(r.latency_p50_us <= 300 && r.latency_p50_us > 300 - 300 / 8);
+        assert!(r.latency_p99_us <= 10_000 && r.latency_p99_us > 10_000 - 10_000 / 8);
+        assert!(r.latency_p50_us <= r.latency_p95_us);
+        assert!(r.latency_p95_us <= r.latency_p99_us);
+        // The exported histogram merges exactly with an equal copy.
+        let mut merged = c.latency_histogram();
+        merged.merge(&c.latency_histogram());
+        assert_eq!(merged.count(), 10);
+        assert_eq!(merged.quantile(0.5), r.latency_p50_us);
     }
 
     #[test]

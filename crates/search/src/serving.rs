@@ -19,6 +19,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use qrw_core::QueryRewriter;
+use qrw_obs::{Histogram, Tracer};
 
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::deadline::DeadlineBudget;
@@ -110,6 +111,23 @@ pub struct SearchEngine {
     index: InvertedIndex,
     breaker: CircuitBreaker,
     health: HealthCounters,
+    tracer: Option<Tracer>,
+}
+
+/// Trace context threaded through the resilient path: which tracer to
+/// record into, which trace the request belongs to, and the enclosing
+/// span (the ladder-rung / retrieval / rank spans parent under it).
+#[derive(Clone, Copy)]
+struct TraceCtx<'a> {
+    tracer: &'a Tracer,
+    trace: u64,
+    parent: u64,
+}
+
+impl<'a> TraceCtx<'a> {
+    fn child(&self, name: &'static str) -> qrw_obs::SpanGuard {
+        self.tracer.span(self.trace, Some(self.parent), name)
+    }
 }
 
 impl SearchEngine {
@@ -123,7 +141,29 @@ impl SearchEngine {
             index,
             breaker: CircuitBreaker::new(breaker),
             health: HealthCounters::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a span tracer. Every resilient request then records a
+    /// `serve` span with ladder-rung / retrieval / rank children; callers
+    /// that own a request id pass it via
+    /// [`search_resilient_traced`](Self::search_resilient_traced) so
+    /// engine spans join the caller's trace.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached span tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// A copy of the end-to-end latency histogram (fixed bucket layout:
+    /// merges exactly with other engines' histograms).
+    pub fn latency_histogram(&self) -> Histogram {
+        self.health.latency_histogram()
     }
 
     pub fn index(&self) -> &InvertedIndex {
@@ -192,7 +232,7 @@ impl SearchEngine {
 
         let budget = DeadlineBudget::unlimited();
         let mut events = Vec::new();
-        self.retrieve_and_rank(query, rewrites, source, config, &budget, &mut events)
+        self.retrieve_and_rank(query, rewrites, source, config, &budget, &mut events, None)
     }
 
     /// Fault-tolerant serving entry point. Never panics; always returns a
@@ -208,9 +248,39 @@ impl SearchEngine {
         budget: &DeadlineBudget,
         faults: Option<&FaultInjector>,
     ) -> SearchResponse {
+        self.search_resilient_traced(query, ladder, config, budget, faults, None)
+    }
+
+    /// [`search_resilient`](Self::search_resilient), joined to an
+    /// existing trace. When a tracer is attached, the request records a
+    /// `serve` span (ladder rungs, retrieval and ranking nest under it)
+    /// into trace `trace` — the concurrent runtime passes the request id
+    /// so engine spans land in the request's trace. With `trace = None` a
+    /// fresh trace id is minted. End-to-end latency (per the deadline
+    /// budget, synthetic charges included) feeds the health histogram
+    /// either way.
+    pub fn search_resilient_traced(
+        &self,
+        query: &[String],
+        ladder: RewriteLadder<'_>,
+        config: &ServingConfig,
+        budget: &DeadlineBudget,
+        faults: Option<&FaultInjector>,
+        trace: Option<u64>,
+    ) -> SearchResponse {
         self.health.record_request();
+        let mut serve_span = self.tracer.as_ref().map(|t| {
+            let trace = trace.unwrap_or_else(|| t.next_trace());
+            t.span(trace, None, "serve")
+        });
+        let ctx = match (self.tracer.as_ref(), serve_span.as_ref()) {
+            (Some(tracer), Some(span)) => {
+                Some(TraceCtx { tracer, trace: span.trace(), parent: span.id() })
+            }
+            _ => None,
+        };
         let guarded = catch_unwind(AssertUnwindSafe(|| {
-            self.serve_inner(query, ladder, config, budget, faults)
+            self.serve_inner(query, ladder, config, budget, faults, ctx)
         }));
         let response = match guarded {
             Ok(resp) => resp,
@@ -238,6 +308,13 @@ impl SearchEngine {
                 resp
             }
         };
+        if let Some(span) = serve_span.as_mut() {
+            span.attr("source", source_label(response.rewrite_source));
+            span.attr("degradations", response.degradations.len());
+            span.attr("ranked", response.ranked.len());
+        }
+        drop(serve_span);
+        self.health.record_latency(budget.elapsed());
         for e in &response.degradations {
             self.health.record_error(e);
         }
@@ -252,6 +329,7 @@ impl SearchEngine {
         config: &ServingConfig,
         budget: &DeadlineBudget,
         faults: Option<&FaultInjector>,
+        ctx: Option<TraceCtx<'_>>,
     ) -> SearchResponse {
         let mut events: Vec<ServeError> = Vec::new();
         let (query, truncated) = sanitize_query(query, config);
@@ -261,13 +339,17 @@ impl SearchEngine {
 
         let t0 = budget.elapsed();
         let (rewrites, source) =
-            self.acquire_rewrites(&query, ladder, config, budget, faults, &mut events);
+            self.acquire_rewrites(&query, ladder, config, budget, faults, &mut events, ctx);
         self.health.record_stage_latency(Stage::Rewrite, budget.elapsed().saturating_sub(t0));
 
-        self.retrieve_and_rank(&query, rewrites, source, config, budget, &mut events)
+        self.retrieve_and_rank(&query, rewrites, source, config, budget, &mut events, ctx)
     }
 
     /// Walks the degradation ladder until a rung yields usable rewrites.
+    /// Each rung *attempted* records a `rung_*` span (named by the rung,
+    /// so the ladder walk is visible in the trace structure) with an
+    /// `outcome` attribute.
+    #[allow(clippy::too_many_arguments)]
     fn acquire_rewrites(
         &self,
         query: &[String],
@@ -276,6 +358,7 @@ impl SearchEngine {
         budget: &DeadlineBudget,
         faults: Option<&FaultInjector>,
         events: &mut Vec<ServeError>,
+        ctx: Option<TraceCtx<'_>>,
     ) -> (Vec<Vec<String>>, RewriteSource) {
         if query.is_empty() {
             return (Vec::new(), RewriteSource::None);
@@ -283,13 +366,21 @@ impl SearchEngine {
 
         // Rung 1: KV cache. Cheap enough to try regardless of budget, but
         // entries are validated — a poisoned entry must not reach
-        // retrieval.
+        // retrieval. A span is recorded only when an entry exists (the
+        // rung was genuinely attempted, not just probed empty).
         if let Some(cache) = ladder.cache {
             if let Some(cached) = cache.get(query) {
+                let mut span = ctx.map(|c| c.child("rung_cache"));
                 let any_invalid = cached.iter().any(|r| !valid_rewrite(r, config));
                 let cleaned = clean_rewrites(&cached, query, config);
                 if !cleaned.is_empty() {
+                    if let Some(s) = span.as_mut() {
+                        s.attr("outcome", "served");
+                    }
                     return (cleaned, RewriteSource::Cache);
+                }
+                if let Some(s) = span.as_mut() {
+                    s.attr("outcome", if any_invalid { "poisoned" } else { "empty" });
                 }
                 events.push(if any_invalid {
                     ServeError::PoisonedCacheEntry
@@ -302,10 +393,14 @@ impl SearchEngine {
         // Rung 2: online q2q model, guarded by budget, breaker and
         // catch_unwind.
         if let Some(online) = ladder.online {
+            let mut span = ctx.map(|c| c.child("rung_online"));
+            let mut outcome = "empty";
             if budget.expired() {
                 events.push(ServeError::DeadlineExceeded { stage: Stage::Rewrite });
+                outcome = "deadline";
             } else if !self.breaker.allow() {
                 events.push(ServeError::BreakerOpen);
+                outcome = "breaker_open";
             } else {
                 let fault = faults.map_or(Fault::None, FaultInjector::draw);
                 if let Fault::Latency(spike) = fault {
@@ -314,6 +409,7 @@ impl SearchEngine {
                 if budget.expired() {
                     events.push(ServeError::DeadlineExceeded { stage: Stage::Rewrite });
                     self.breaker.record_failure();
+                    outcome = "deadline";
                 } else {
                     // Snapshot decode counters around the call so the
                     // health report carries throughput next to faults.
@@ -329,6 +425,9 @@ impl SearchEngine {
                     match result {
                         Ok(cleaned) if !cleaned.is_empty() => {
                             self.breaker.record_success();
+                            if let Some(s) = span.as_mut() {
+                                s.attr("outcome", "served");
+                            }
                             return (cleaned, RewriteSource::Fallback);
                         }
                         Ok(_) => {
@@ -341,10 +440,17 @@ impl SearchEngine {
                         }
                         Err(e) => {
                             self.breaker.record_failure();
+                            outcome = match &e {
+                                ServeError::ModelPanic { .. } => "panic",
+                                _ => "error",
+                            };
                             events.push(e);
                         }
                     }
                 }
+            }
+            if let Some(s) = span.as_mut() {
+                s.attr("outcome", outcome);
             }
         }
 
@@ -353,18 +459,41 @@ impl SearchEngine {
         // blown-deadline request with cheap rewrites is exactly what the
         // ladder is for. Panic isolation still applies.
         if let Some(baseline) = ladder.baseline {
+            let mut span = ctx.map(|c| c.child("rung_baseline"));
             match self.call_rewriter(baseline, query, config, Fault::None) {
                 Ok(cleaned) if !cleaned.is_empty() => {
+                    if let Some(s) = span.as_mut() {
+                        s.attr("outcome", "served");
+                    }
                     return (cleaned, RewriteSource::Baseline);
                 }
-                Ok(_) => events.push(ServeError::EmptyOutput {
-                    rewriter: baseline.name().to_string(),
-                }),
-                Err(e) => events.push(e),
+                Ok(_) => {
+                    if let Some(s) = span.as_mut() {
+                        s.attr("outcome", "empty");
+                    }
+                    events.push(ServeError::EmptyOutput {
+                        rewriter: baseline.name().to_string(),
+                    });
+                }
+                Err(e) => {
+                    if let Some(s) = span.as_mut() {
+                        s.attr(
+                            "outcome",
+                            match &e {
+                                ServeError::ModelPanic { .. } => "panic",
+                                _ => "error",
+                            },
+                        );
+                    }
+                    events.push(e);
+                }
             }
         }
 
         // Rung 4: raw query only.
+        if let Some(c) = ctx {
+            c.child("rung_raw").finish();
+        }
         (Vec::new(), RewriteSource::None)
     }
 
@@ -413,6 +542,7 @@ impl SearchEngine {
     /// an unlimited budget this is exactly the original §III-G flow; with
     /// a real budget, rewrite expansion and BM25 ranking each degrade when
     /// time has run out.
+    #[allow(clippy::too_many_arguments)]
     fn retrieve_and_rank(
         &self,
         query: &[String],
@@ -421,6 +551,7 @@ impl SearchEngine {
         config: &ServingConfig,
         budget: &DeadlineBudget,
         events: &mut Vec<ServeError>,
+        ctx: Option<TraceCtx<'_>>,
     ) -> SearchResponse {
         if query.is_empty() {
             // An empty AND tree matches the whole index; an empty query
@@ -437,6 +568,7 @@ impl SearchEngine {
             };
         }
         let t0 = budget.elapsed();
+        let mut retrieve_span = ctx.map(|c| c.child("retrieve"));
         // Original-query candidates always survive in full.
         let (base_docs, base_cost) = QueryTree::and_of_tokens(query).evaluate(&self.index);
         let mut cost = base_cost;
@@ -470,11 +602,18 @@ impl SearchEngine {
             }
             extra.truncate(config.max_extra_candidates * rewrites.len());
         }
+        if let Some(s) = retrieve_span.as_mut() {
+            s.attr("base", base_docs.len());
+            s.attr("extra", extra.len());
+            s.attr("merged", use_merged);
+        }
+        drop(retrieve_span);
         self.health.record_stage_latency(Stage::Retrieval, budget.elapsed().saturating_sub(t0));
 
         // Rank the union with BM25 against the original query, extended by
         // the rewrites' vocabulary so semantically-matched docs can score.
         let t1 = budget.elapsed();
+        let mut rank_span = ctx.map(|c| c.child("rank"));
         let mut rank_query: Vec<String> = query.to_vec();
         for rw in &rewrites {
             for tok in rw {
@@ -493,6 +632,10 @@ impl SearchEngine {
         } else {
             self.rank(&rank_query, &candidates, config.top_k)
         };
+        if let Some(s) = rank_span.as_mut() {
+            s.attr("candidates", candidates.len());
+        }
+        drop(rank_span);
         self.health.record_stage_latency(Stage::Rank, budget.elapsed().saturating_sub(t1));
 
         SearchResponse {
@@ -514,6 +657,17 @@ impl SearchEngine {
             .collect();
         scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         scored.into_iter().take(top_k).map(|(_, d)| d).collect()
+    }
+}
+
+/// Stable label for the ladder rung that served a request, used as a span
+/// attribute.
+fn source_label(source: RewriteSource) -> &'static str {
+    match source {
+        RewriteSource::Cache => "cache",
+        RewriteSource::Fallback => "online",
+        RewriteSource::Baseline => "baseline",
+        RewriteSource::None => "raw",
     }
 }
 

@@ -235,6 +235,53 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    #[test]
+    fn ties_break_by_ascending_doc_id() {
+        // Four identical docs: every BM25 score ties exactly, so the
+        // ordering is decided purely by the doc-id tie-break.
+        let idx = InvertedIndex::build(vec![
+            toks("red shoes"),
+            toks("red shoes"),
+            toks("red shoes"),
+            toks("red shoes"),
+        ]);
+        for k in [1, 2, 4] {
+            let a = bm25_topk_exhaustive(&idx, &toks("red shoes"), k);
+            let b = bm25_topk_maxscore(&idx, &toks("red shoes"), k);
+            let docs: Vec<usize> = a.iter().map(|s| s.doc).collect();
+            assert_eq!(docs, (0..k).collect::<Vec<_>>(), "k={k}: ties break by doc id");
+            assert_eq!(a, b, "k={k}");
+            assert!(a.windows(2).all(|w| w[0].score == w[1].score));
+        }
+    }
+
+    #[test]
+    fn k_beyond_the_candidate_count_returns_every_match() {
+        let idx = sample_index();
+        // "red" matches docs 0, 2, 3 — far fewer than k.
+        let a = bm25_topk_exhaustive(&idx, &toks("red"), 100);
+        let b = bm25_topk_maxscore(&idx, &toks("red"), 100);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a, b);
+        let mut docs: Vec<usize> = a.iter().map(|s| s.doc).collect();
+        docs.sort_unstable();
+        assert_eq!(docs, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn empty_query_and_deleted_docs() {
+        let mut idx = sample_index();
+        assert!(bm25_topk_exhaustive(&idx, &[], 3).is_empty());
+        assert!(bm25_topk_maxscore(&idx, &[], 3).is_empty());
+        // Tombstoned docs vanish from both paths, which still agree.
+        idx.remove_doc(3);
+        let a = bm25_topk_exhaustive(&idx, &toks("red shoes"), 10);
+        let b = bm25_topk_maxscore(&idx, &toks("red shoes"), 10);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|s| s.doc != 3), "deleted doc must not be returned");
+        assert!(!a.is_empty());
+    }
+
     /// MaxScore always returns exactly the exhaustive top-k over random
     /// corpora and queries (96 seeded cases, reproducible).
     #[test]

@@ -435,6 +435,60 @@ mod tests {
         }
     }
 
+    /// One merged-tree evaluation equals N independent per-query
+    /// traversals — also under document deletions, and deterministically
+    /// (same tree, same index → identical postings *and* identical work
+    /// counters). 48 seeded cases.
+    #[test]
+    fn prop_merged_tree_equals_independent_traversals_under_deletions() {
+        let mut rng = StdRng::seed_from_u64(0x7EE5);
+        for _ in 0..48 {
+            let docs = rand_corpus(&mut rng);
+            let n_docs = docs.len();
+            let n_queries = rng.gen_range(1usize..4);
+            let queries: Vec<Vec<String>> = (0..n_queries)
+                .map(|_| {
+                    let len = rng.gen_range(1usize..4);
+                    rand_tokens(&mut rng, len)
+                })
+                .collect();
+            let mut idx = InvertedIndex::build(docs);
+            // Tombstone a random subset; merged and independent paths
+            // must agree on the surviving postings.
+            for d in 0..n_docs {
+                if rng.gen_bool(0.3) {
+                    idx.remove_doc(d);
+                }
+            }
+            let mut union: Vec<usize> = Vec::new();
+            for q in &queries {
+                let (d, _) = QueryTree::and_of_tokens(q).evaluate(&idx);
+                union = union_sorted(&union, &d);
+            }
+            let factored = QueryTree::merge_factored(&queries);
+            let (merged, cost_a) = factored.evaluate(&idx);
+            assert_eq!(merged, union, "factored merge must equal the union");
+            let (again, cost_b) = factored.evaluate(&idx);
+            assert_eq!(merged, again, "evaluation must be deterministic");
+            assert_eq!(cost_a, cost_b, "work counters must be deterministic");
+
+            // Positional merge is superset-preserving only for
+            // equal-length queries (the production case) — draw a
+            // separate equal-length set for that half.
+            let eq_queries: Vec<Vec<String>> =
+                (0..n_queries).map(|_| rand_tokens(&mut rng, 2)).collect();
+            let mut eq_union: Vec<usize> = Vec::new();
+            for q in &eq_queries {
+                let (d, _) = QueryTree::and_of_tokens(q).evaluate(&idx);
+                eq_union = union_sorted(&eq_union, &d);
+            }
+            let (positional, _) = QueryTree::merge_positional(&eq_queries).evaluate(&idx);
+            for d in &eq_union {
+                assert!(positional.contains(d), "positional merge lost doc {d}");
+            }
+        }
+    }
+
     /// Positional merge of equal-length queries loses no per-query doc.
     #[test]
     fn prop_positional_merge_superset() {

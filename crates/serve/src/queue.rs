@@ -24,6 +24,9 @@ pub struct Pending {
     pub budget: DeadlineBudget,
     /// Present for closed-loop callers blocked on the response.
     pub slot: Option<Arc<ResponseSlot>>,
+    /// Tracer timestamp taken at admission — the start of the request's
+    /// `queue_wait` span. `None` when the runtime has no tracer.
+    pub admitted_us: Option<u64>,
 }
 
 struct Inner {
@@ -171,6 +174,7 @@ mod tests {
             query: vec![format!("q{id}")],
             budget: DeadlineBudget::unlimited(),
             slot: None,
+            admitted_us: None,
         }
     }
 

@@ -8,6 +8,18 @@
 //! replayed as the online rung. The engine path, rung attribution,
 //! degradation events, and breaker bookkeeping are therefore identical to
 //! a standalone serve, which is what makes batching byte-transparent.
+//!
+//! # Tracing
+//!
+//! When the engine carries a [`Tracer`](qrw_obs::Tracer), the runtime
+//! records each request's lifecycle as a trace keyed by the request id:
+//! an `admit` span at submission, a `queue_wait` span spanning
+//! admission → dequeue, the engine's `serve` tree (ladder rungs,
+//! retrieval, rank), and exactly one terminal span — `served`, `shed`, or
+//! `rejected`. Batch-level work (assembly and the coalesced decode) lands
+//! in separate minted traces, since batch composition is scheduling-
+//! dependent while per-request structure is not. Tests assert both
+//! (`tests/trace_invariants.rs`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -149,12 +161,29 @@ impl Runtime {
         budget: DeadlineBudget,
         slot: Option<Arc<ResponseSlot>>,
     ) -> Result<(), ServeError> {
-        match self.queue.push(Pending { id, query: query.clone(), budget, slot }) {
+        let tracer = self.stack.engine.tracer();
+        // The admit span and the queue-wait start timestamp must exist
+        // before the push: once the Pending is queued a worker may dequeue
+        // it immediately.
+        let mut admit = tracer.map(|t| t.span(id, None, "admit"));
+        let admitted_us = tracer.map(|t| t.now_us());
+        match self.queue.push(Pending { id, query: query.clone(), budget, slot, admitted_us }) {
             Ok(depth) => {
+                if let Some(s) = admit.as_mut() {
+                    s.attr("outcome", "queued");
+                    s.attr("depth", depth);
+                }
                 self.stack.engine.record_queue_depth(depth);
                 Ok(())
             }
             Err(err) => {
+                if let Some(mut s) = admit.take() {
+                    s.attr("outcome", "rejected");
+                    s.finish();
+                }
+                if let Some(t) = tracer {
+                    t.span(id, None, "rejected").finish();
+                }
                 self.stack.engine.record_queue_event(&err);
                 self.results.lock().push(ServedRecord {
                     id,
@@ -204,16 +233,39 @@ impl Runtime {
     }
 
     fn process_batch(&self, batch: Vec<Pending>) {
-        // Shed requests whose deadline died in the queue.
+        let tracer = self.stack.engine.tracer();
+        // Batch-level spans go in a minted trace of their own: batch
+        // composition depends on scheduling, while per-request traces must
+        // stay structurally identical across worker counts.
+        let mut batch_span = tracer.map(|t| t.span(t.next_trace(), None, "batch"));
+        if let Some(s) = batch_span.as_mut() {
+            s.attr("size", batch.len());
+            s.attr(
+                "ids",
+                batch.iter().map(|p| p.id.to_string()).collect::<Vec<_>>().join(","),
+            );
+        }
+
+        // Shed requests whose deadline died in the queue. Each dequeued
+        // request closes its queue_wait span here, shed or not.
+        let mut shed = 0usize;
         let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
         for p in batch {
+            if let Some(t) = tracer {
+                let start = p.admitted_us.unwrap_or_else(|| t.now_us());
+                t.span_at(p.id, None, "queue_wait", start).finish();
+            }
             if p.budget.expired() {
                 let err = ServeError::ExpiredInQueue;
                 self.stack.engine.record_queue_event(&err);
                 self.fulfill(p, Outcome::Shed(err));
+                shed += 1;
             } else {
                 live.push(p);
             }
+        }
+        if let Some(s) = batch_span.as_mut() {
+            s.attr("shed", shed);
         }
         if live.is_empty() {
             return;
@@ -251,8 +303,21 @@ impl Runtime {
                 }
             }));
         }
+        let decode_requests = miss_slot.iter().filter(|s| s.is_some()).count();
+        if let Some(s) = batch_span.as_mut() {
+            s.attr("decode_slots", miss_queries.len());
+            s.attr("decode_requests", decode_requests);
+        }
         let decoded: Option<Result<Vec<Vec<Vec<String>>>, ()>> = match online {
             Some(online) if !miss_queries.is_empty() => {
+                let mut decode_span = batch_span
+                    .as_ref()
+                    .zip(tracer)
+                    .map(|(b, t)| t.span(b.trace(), Some(b.id()), "decode"));
+                if let Some(s) = decode_span.as_mut() {
+                    s.attr("slots", miss_queries.len());
+                    s.attr("requests", decode_requests);
+                }
                 let before = online.model().decode_stats();
                 let t0 = Instant::now();
                 let result = catch_unwind(AssertUnwindSafe(|| {
@@ -261,6 +326,9 @@ impl Runtime {
                 self.stack
                     .engine
                     .record_decode(online.model().decode_stats().since(&before), t0.elapsed());
+                if let Some(s) = decode_span.as_mut() {
+                    s.attr("ok", result.is_ok());
+                }
                 Some(result.map_err(|_| ()))
             }
             _ => None,
@@ -290,12 +358,13 @@ impl Runtime {
                     .as_deref()
                     .map(|b| b as &dyn QueryRewriter),
             };
-            let response = self.stack.engine.search_resilient(
+            let response = self.stack.engine.search_resilient_traced(
                 &p.query,
                 ladder,
                 &self.config.serving,
                 &p.budget,
                 None,
+                Some(p.id),
             );
             self.fulfill(p, Outcome::Served(response));
         }
@@ -303,6 +372,15 @@ impl Runtime {
     }
 
     fn fulfill(&self, p: Pending, outcome: Outcome) {
+        if let Some(t) = self.stack.engine.tracer() {
+            // The request's single terminal span.
+            let name = match &outcome {
+                Outcome::Served(_) => "served",
+                Outcome::Shed(_) => "shed",
+                Outcome::Rejected(_) => "rejected",
+            };
+            t.span(p.id, None, name).finish();
+        }
         let record =
             ServedRecord { id: p.id, query: p.query, outcome, latency: p.budget.elapsed() };
         if let Some(slot) = p.slot {

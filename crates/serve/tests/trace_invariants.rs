@@ -1,0 +1,371 @@
+//! Trace-invariant tests: the tracer as a *correctness tool*. Under a
+//! logical clock every timestamp is a globally unique tick, so span trees
+//! are deterministic and the runtime's request lifecycle can be asserted
+//! structurally:
+//!
+//! * every admitted request's trace ends in **exactly one** terminal span
+//!   (`served` / `shed` / `rejected`);
+//! * sheds carry a `queue_wait` span and never a `serve` (or any decode);
+//! * rejected requests never reach the queue: no `queue_wait`, no `serve`;
+//! * a batch span's claims (`size`, `decode_slots`, `decode_requests`)
+//!   match the spans and request traces it points at;
+//! * per-request span structure is **byte-identical** across worker
+//!   counts and batch sizes (batch composition is scheduling-dependent,
+//!   so batch-level spans live in minted traces and are filtered out);
+//! * injected q2q faults (panics, model errors, poisoned cache entries)
+//!   appear as rung outcomes inside an otherwise well-formed serve tree.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qrw_core::QueryRewriter;
+use qrw_nmt::{ModelConfig, Seq2Seq};
+use qrw_obs::{canonical_structure, SpanRecord, Tracer, MINTED_TRACE_BIT};
+use qrw_search::{
+    DeadlineBudget, Fault, FaultConfig, FaultInjector, InvertedIndex, RewriteCache,
+    RewriteLadder, SearchEngine, ServingConfig,
+};
+use qrw_serve::{
+    synthetic_docs, BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack, Workload,
+};
+use qrw_text::Vocab;
+
+const VOCAB_WORDS: usize = 24;
+const MODEL_SEED: u64 = 41;
+const REWRITE_SEED: u64 = 7;
+
+fn vocab() -> Arc<Vocab> {
+    let mut v = Vocab::new();
+    for i in 0..VOCAB_WORDS {
+        v.insert(&format!("w{i}"));
+    }
+    Arc::new(v)
+}
+
+struct FixedBaseline;
+
+impl QueryRewriter for FixedBaseline {
+    fn rewrite(&self, _query: &[String], k: usize) -> Vec<Vec<String>> {
+        vec![vec!["w1".to_string(), "w2".to_string()]].into_iter().take(k).collect()
+    }
+    fn name(&self) -> &str {
+        "fixed-baseline"
+    }
+}
+
+/// The full serving stack with a logical-clock tracer on the engine.
+fn traced_stack(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> (ServeStack, Tracer) {
+    let tracer = Tracer::logical();
+    let docs = synthetic_docs(vocab, 60, 11);
+    let engine =
+        Arc::new(SearchEngine::new(InvertedIndex::build(docs)).with_tracer(tracer.clone()));
+    let model = Arc::new(Seq2Seq::new(ModelConfig::tiny_transformer(vocab.len()), MODEL_SEED));
+    let online = Arc::new(BatchedQ2Q::new(model, Arc::clone(vocab), 8, REWRITE_SEED));
+    let cache = Arc::new(RewriteCache::new());
+    for q in head {
+        cache.insert(q, online.rewrite(q, 3));
+    }
+    let stack = ServeStack {
+        engine,
+        cache: Some(cache),
+        online: Some(online),
+        baseline: Some(Arc::new(FixedBaseline)),
+    };
+    (stack, tracer)
+}
+
+fn workload(vocab: &Vocab) -> Workload {
+    Workload::generate(
+        vocab,
+        &MixConfig {
+            requests: 24,
+            head_fraction: 0.5,
+            head_queries: 6,
+            tail_len: (1, 3),
+            tail_pool: 5,
+            seed: 5,
+        },
+    )
+}
+
+fn solo_config() -> RuntimeConfig {
+    RuntimeConfig { workers: 1, max_batch: 1, max_wait_ticks: 0, ..RuntimeConfig::default() }
+}
+
+fn pooled_config() -> RuntimeConfig {
+    RuntimeConfig { workers: 4, max_batch: 8, ..RuntimeConfig::default() }
+}
+
+/// Spans of one trace, in recording order (the snapshot is sorted by
+/// start tick, and logical ticks are unique).
+fn trace_spans(spans: &[SpanRecord], trace: u64) -> Vec<&SpanRecord> {
+    spans.iter().filter(|s| s.trace == trace).collect()
+}
+
+fn count_named(spans: &[&SpanRecord], name: &str) -> usize {
+    spans.iter().filter(|s| s.name == name).count()
+}
+
+fn terminal_count(spans: &[&SpanRecord]) -> usize {
+    spans.iter().filter(|s| matches!(s.name, "served" | "shed" | "rejected")).count()
+}
+
+/// Runs `requests` through a fresh traced runtime and returns
+/// (records, all spans).
+fn run_traced(
+    config: RuntimeConfig,
+    requests: Vec<(Vec<String>, DeadlineBudget)>,
+) -> (Vec<qrw_serve::ServedRecord>, Vec<SpanRecord>) {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let (stack, tracer) = traced_stack(&vocab, &w.head);
+    let runtime = Runtime::new(stack, config);
+    let records = runtime.execute(requests);
+    assert_eq!(tracer.dropped(), 0, "ring must not evict during these runs");
+    (records, tracer.snapshot())
+}
+
+fn unlimited(requests: &[Vec<String>]) -> Vec<(Vec<String>, DeadlineBudget)> {
+    requests.iter().map(|q| (q.clone(), DeadlineBudget::unlimited())).collect()
+}
+
+#[test]
+fn every_admitted_request_ends_in_exactly_one_terminal_span() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    for config in [solo_config(), pooled_config()] {
+        let (records, spans) = run_traced(config, unlimited(&w.requests));
+        assert!(records.iter().all(|r| matches!(r.outcome, Outcome::Served(_))));
+        for r in &records {
+            let t = trace_spans(&spans, r.id);
+            assert_eq!(terminal_count(&t), 1, "request {}: one terminal span", r.id);
+            assert_eq!(count_named(&t, "admit"), 1);
+            assert_eq!(count_named(&t, "queue_wait"), 1);
+            assert_eq!(count_named(&t, "serve"), 1);
+            assert_eq!(count_named(&t, "served"), 1);
+            // The lifecycle reads in order under the logical clock.
+            let names: Vec<&str> = t.iter().map(|s| s.name).collect();
+            let serve_pos = names.iter().position(|n| *n == "serve").unwrap();
+            assert_eq!(names[0], "admit");
+            assert_eq!(names[1], "queue_wait");
+            assert_eq!(*names.last().unwrap(), "served");
+            assert!(serve_pos > 1 && serve_pos < names.len() - 1);
+        }
+    }
+}
+
+#[test]
+fn sheds_have_a_queue_wait_span_and_no_serve_or_decode_span() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    for config in [solo_config(), pooled_config()] {
+        // Born-expired budgets: every request is shed at dequeue.
+        let requests = w
+            .requests
+            .iter()
+            .map(|q| (q.clone(), DeadlineBudget::synthetic(Duration::ZERO)))
+            .collect();
+        let (records, spans) = run_traced(config, requests);
+        assert!(records.iter().all(|r| matches!(r.outcome, Outcome::Shed(_))));
+        for r in &records {
+            let t = trace_spans(&spans, r.id);
+            assert_eq!(terminal_count(&t), 1);
+            assert_eq!(count_named(&t, "admit"), 1);
+            assert_eq!(count_named(&t, "queue_wait"), 1, "shed without a queue span");
+            assert_eq!(count_named(&t, "shed"), 1);
+            assert_eq!(count_named(&t, "serve"), 0, "shed request must not be served");
+        }
+        // Nothing was decoded anywhere — not even in the batch traces.
+        assert!(spans.iter().all(|s| s.name != "decode"));
+    }
+}
+
+#[test]
+fn rejected_requests_have_no_queue_wait_and_no_serve() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    for base in [solo_config(), pooled_config()] {
+        let config = RuntimeConfig { queue_capacity: 10, ..base };
+        let (records, spans) = run_traced(config, unlimited(&w.requests));
+        let rejected: Vec<u64> = records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Rejected(_)))
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(rejected, (10..w.requests.len() as u64).collect::<Vec<_>>());
+        for id in rejected {
+            let t = trace_spans(&spans, id);
+            assert_eq!(terminal_count(&t), 1);
+            assert_eq!(count_named(&t, "admit"), 1);
+            assert_eq!(count_named(&t, "rejected"), 1);
+            assert_eq!(count_named(&t, "queue_wait"), 0, "rejected never queued");
+            assert_eq!(count_named(&t, "serve"), 0);
+            let admit = t.iter().find(|s| s.name == "admit").unwrap();
+            assert_eq!(admit.attr("outcome").and_then(|v| v.as_str()), Some("rejected"));
+        }
+    }
+}
+
+#[test]
+fn batch_spans_claim_exactly_the_requests_and_decodes_they_contain() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let (records, spans) = run_traced(pooled_config(), unlimited(&w.requests));
+
+    let batches: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.trace & MINTED_TRACE_BIT != 0 && s.name == "batch")
+        .collect();
+    assert!(!batches.is_empty());
+
+    let mut claimed: Vec<u64> = Vec::new();
+    for b in &batches {
+        let ids: Vec<u64> = b
+            .attr("ids")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .split(',')
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let size = b.attr("size").and_then(|v| v.as_int()).unwrap() as usize;
+        assert_eq!(ids.len(), size, "batch size attr must match its id list");
+        claimed.extend(&ids);
+
+        let slots = b.attr("decode_slots").and_then(|v| v.as_int()).unwrap() as usize;
+        let requests = b.attr("decode_requests").and_then(|v| v.as_int()).unwrap() as usize;
+        assert!(slots <= requests, "coalescing can only shrink the slot count");
+        assert!(requests <= size, "a batch cannot decode more requests than it holds");
+
+        // The decode child (present iff any slot was decoded) claims the
+        // same coalesced slot/request counts as its batch span.
+        let children: Vec<&SpanRecord> = spans
+            .iter()
+            .filter(|s| s.trace == b.trace && s.parent == Some(b.id) && s.name == "decode")
+            .collect();
+        if slots > 0 {
+            assert_eq!(children.len(), 1, "one coalesced decode per batch");
+            let d = children[0];
+            assert_eq!(d.attr("slots").and_then(|v| v.as_int()).unwrap() as usize, slots);
+            assert_eq!(d.attr("requests").and_then(|v| v.as_int()).unwrap() as usize, requests);
+            assert_eq!(d.attr("ok").and_then(|v| v.as_int()), Some(1));
+        } else {
+            assert!(children.is_empty(), "no decode span without decode slots");
+        }
+
+        // Every id a batch claims is a real admitted request with its own
+        // trace (admit + queue_wait recorded).
+        for id in &ids {
+            let t = trace_spans(&spans, *id);
+            assert_eq!(count_named(&t, "admit"), 1);
+            assert_eq!(count_named(&t, "queue_wait"), 1);
+        }
+    }
+    // Batches partition the admitted requests: each id in exactly one.
+    claimed.sort_unstable();
+    let expected: Vec<u64> = records.iter().map(|r| r.id).collect();
+    assert_eq!(claimed, expected, "every request dequeued in exactly one batch");
+}
+
+#[test]
+fn span_structure_is_byte_identical_across_worker_counts() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let render = |config: RuntimeConfig| {
+        let (records, spans) = run_traced(config, unlimited(&w.requests));
+        assert!(records.iter().all(|r| matches!(r.outcome, Outcome::Served(_))));
+        // Batch composition depends on scheduling; per-request traces must
+        // not. Filter the minted batch traces, keep the request traces.
+        let request_spans: Vec<SpanRecord> =
+            spans.into_iter().filter(|s| s.trace & MINTED_TRACE_BIT == 0).collect();
+        canonical_structure(&request_spans)
+    };
+    let solo = render(solo_config());
+    let pooled = render(pooled_config());
+    assert!(!solo.is_empty());
+    assert_eq!(solo, pooled, "per-request span trees must not depend on worker count");
+
+    // And the structure is reproducible run-to-run, byte for byte.
+    assert_eq!(pooled, render(pooled_config()));
+}
+
+/// Injected q2q faults through the standalone resilient path: the rung
+/// that failed records its outcome, the ladder recovers, and the serve
+/// tree stays well-formed.
+#[test]
+fn injected_q2q_faults_appear_as_rung_outcomes_in_well_formed_traces() {
+    let vocab = vocab();
+    let docs = synthetic_docs(&vocab, 60, 11);
+    let tracer = Tracer::logical();
+    let engine = SearchEngine::new(InvertedIndex::build(docs)).with_tracer(tracer.clone());
+    let model = Arc::new(Seq2Seq::new(ModelConfig::tiny_transformer(vocab.len()), MODEL_SEED));
+    let online = BatchedQ2Q::new(model, Arc::clone(&vocab), 8, REWRITE_SEED);
+    let baseline = FixedBaseline;
+    let cfg = ServingConfig::default();
+    let query = vec!["w3".to_string(), "w7".to_string()];
+
+    for (trace, fault, rung, outcome) in [
+        (0u64, Fault::Panic, "rung_online", "panic"),
+        (1, Fault::ModelError, "rung_online", "error"),
+    ] {
+        let faults = FaultInjector::new(3, FaultConfig::always(fault));
+        let ladder = RewriteLadder {
+            cache: None,
+            online: Some(&online),
+            baseline: Some(&baseline),
+        };
+        let resp = engine.search_resilient_traced(
+            &query,
+            ladder,
+            &cfg,
+            &DeadlineBudget::unlimited(),
+            Some(&faults),
+            Some(trace),
+        );
+        assert!(!resp.degradations.is_empty());
+        let spans = tracer.snapshot();
+        let t = trace_spans(&spans, trace);
+        let serve = t.iter().find(|s| s.name == "serve").expect("serve span");
+        let failed = t
+            .iter()
+            .find(|s| s.name == rung)
+            .unwrap_or_else(|| panic!("missing {rung} span"));
+        assert_eq!(failed.parent, Some(serve.id));
+        assert_eq!(failed.attr("outcome").and_then(|v| v.as_str()), Some(outcome));
+        // The ladder recovered: the baseline rung served, and retrieval
+        // and ranking still ran under the same serve span.
+        let b = t.iter().find(|s| s.name == "rung_baseline").expect("baseline rung");
+        assert_eq!(b.attr("outcome").and_then(|v| v.as_str()), Some("served"));
+        for stage in ["retrieve", "rank"] {
+            let s = t.iter().find(|s| s.name == stage).unwrap();
+            assert_eq!(s.parent, Some(serve.id));
+        }
+        assert_eq!(serve.attr("source").and_then(|v| v.as_str()), Some("baseline"));
+    }
+
+    // A poisoned KV entry (the q2q cache-side fault) surfaces the same
+    // way: rung_cache reports "poisoned" and the ladder falls through.
+    tracer.clear();
+    let cache = RewriteCache::new();
+    let faults = FaultInjector::new(3, FaultConfig::default());
+    faults.poison_cache(&cache, &query);
+    let ladder = RewriteLadder {
+        cache: Some(&cache),
+        online: Some(&online),
+        baseline: Some(&baseline),
+    };
+    let resp = engine.search_resilient_traced(
+        &query,
+        ladder,
+        &cfg,
+        &DeadlineBudget::unlimited(),
+        None,
+        Some(7),
+    );
+    assert!(!resp.degradations.is_empty());
+    let spans = tracer.snapshot();
+    let t = trace_spans(&spans, 7);
+    let rung = t.iter().find(|s| s.name == "rung_cache").expect("cache rung");
+    assert_eq!(rung.attr("outcome").and_then(|v| v.as_str()), Some("poisoned"));
+    assert_eq!(terminal_count(&t), 0, "standalone serves have no runtime terminal");
+    assert_eq!(count_named(&t, "serve"), 1);
+}

@@ -3,7 +3,7 @@
 # without touching the network (the build is fully hermetic — no external
 # crates, see CHANGES.md).
 #
-#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke]
+#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--obs-smoke]
 #
 # With --bench-smoke, additionally runs the smoke benchmarks: they write
 # BENCH_decode.json / BENCH_matmul.json at the repo root, fail on any
@@ -20,20 +20,75 @@
 # requires batched runtime responses to be byte-identical to the
 # sequential baseline, enforces the >=2x micro-batched throughput bar on
 # the decode-heavy tail mix, and checks graceful overload accounting.
+#
+# With --obs-smoke, additionally runs the observability smoke: the traced
+# load mix through the runtime, validating the exported trace JSONL
+# against the harness schema, asserting histogram totals equal the served
+# request counts, and enforcing the <5% tracing-overhead bar.
+#
+# Always runs the test-inventory guard: every crates/*/src module must
+# either contain #[test]s or be exercised by that crate's integration
+# tests (re-export-only entry points are whitelisted below).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 TRAIN_RESUME=0
 LOAD_SMOKE=0
+OBS_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --train-resume) TRAIN_RESUME=1 ;;
     --load-smoke) LOAD_SMOKE=1 ;;
+    --obs-smoke) OBS_SMOKE=1 ;;
     *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+echo "== test inventory (every src module tested or referenced) =="
+# Whitelist: re-export-only crate roots and the bench crate's manually
+# timed harness plumbing (exercised by the bins/benches themselves).
+INVENTORY_WHITELIST='
+crates/baseline/src/lib.rs
+crates/bench/src/lib.rs
+crates/core/src/lib.rs
+crates/data/src/lib.rs
+crates/metrics/src/lib.rs
+crates/nmt/src/lib.rs
+crates/obs/src/lib.rs
+crates/search/src/lib.rs
+crates/serve/src/lib.rs
+crates/tensor/src/lib.rs
+crates/text/src/lib.rs
+'
+inventory_fail=0
+for f in crates/*/src/*.rs crates/*/src/*/*.rs; do
+  [ -e "$f" ] || continue
+  case "$f" in
+    # Executables (smoke harnesses) are run by this script, not unit-tested.
+    */src/bin/*) continue ;;
+  esac
+  case "$INVENTORY_WHITELIST" in
+    *"$f"*) continue ;;
+  esac
+  if grep -q '#\[test\]' "$f"; then
+    continue
+  fi
+  # No inline tests: require the module's name to appear in the crate's
+  # integration tests (tests/ dir) so it is at least driven end-to-end.
+  crate_dir="${f%%/src/*}"
+  stem="$(basename "$f" .rs)"
+  if [ -d "$crate_dir/tests" ] && grep -rqw "$stem" "$crate_dir/tests"; then
+    continue
+  fi
+  echo "verify.sh: $f has no #[test] and no reference in $crate_dir/tests/" >&2
+  inventory_fail=1
+done
+if [ "$inventory_fail" = 1 ]; then
+  echo "verify.sh: test-inventory guard failed" >&2
+  exit 1
+fi
 
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
@@ -57,6 +112,11 @@ fi
 if [ "$LOAD_SMOKE" = 1 ]; then
   echo "== load smoke (offline, writes + validates BENCH_serve.json) =="
   cargo run --release --offline -p qrw-bench --bin load_smoke -- --out .
+fi
+
+if [ "$OBS_SMOKE" = 1 ]; then
+  echo "== obs smoke (traced load mix, JSONL schema, overhead bar) =="
+  cargo run --release --offline -p qrw-bench --bin obs_smoke
 fi
 
 echo "verify: OK"

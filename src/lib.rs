@@ -28,6 +28,7 @@
 //! | [`baseline`] | rule-based and SimRank++-style rewriters |
 //! | [`search`] | inverted index, merged syntax trees, KV cache, A/B simulator |
 //! | [`serve`] | concurrent runtime: admission queue, micro-batched decode, worker pool |
+//! | [`obs`] | structured span tracer + mergeable log-bucketed histograms |
 //! | [`metrics`] | F1 / edit distance / cosine, oracle human evaluation |
 //!
 //! ## Quickstart
@@ -64,6 +65,7 @@ pub use qrw_core as core;
 pub use qrw_data as data;
 pub use qrw_metrics as metrics;
 pub use qrw_nmt as nmt;
+pub use qrw_obs as obs;
 pub use qrw_search as search;
 pub use qrw_serve as serve;
 pub use qrw_tensor as tensor;
@@ -86,6 +88,7 @@ pub mod prelude {
         beam_search, diverse_beam_search, greedy, top_n_sampling, ComponentKind, ModelConfig,
         Seq2Seq, TopNSampling,
     };
+    pub use qrw_obs::{canonical_structure, Histogram, ObsClock, SpanRecord, Tracer};
     pub use qrw_search::{
         run_ab, AbConfig, BreakerConfig, BreakerState, Clock, DeadlineBudget, Fault, FaultConfig,
         FaultInjector, HealthReport, InvertedIndex, QueryTree, RewriteCache, RewriteLadder,
