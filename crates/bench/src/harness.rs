@@ -302,6 +302,38 @@ pub fn validate_bench_json(text: &str) -> Result<BenchRecord, String> {
     Ok(record)
 }
 
+/// Entry names a `BENCH_mutate.json` record must carry: serve latency
+/// with a frozen vs an epoch-pinned live catalog, tail latency and epoch
+/// lifecycle counters under writer churn, and the time to recover the
+/// last sealed epoch after a mid-commit kill.
+pub const MUTATE_REQUIRED_ENTRIES: [&str; 8] = [
+    "frozen/serve_ns_per_req",
+    "pinned/serve_ns_per_req",
+    "churn/latency_p50",
+    "churn/latency_p95",
+    "churn/latency_p99",
+    "churn/epochs_published",
+    "churn/epochs_reclaimed",
+    "recovery/after_kill_ns",
+];
+
+/// Parses and schema-checks a `BENCH_mutate.json` document: the general
+/// bench schema ([`validate_bench_json`]) plus the mutate-specific
+/// contract — the record must be named `mutate` and carry every entry in
+/// [`MUTATE_REQUIRED_ENTRIES`] (extra entries are allowed).
+pub fn validate_mutate_json(text: &str) -> Result<BenchRecord, String> {
+    let record = validate_bench_json(text)?;
+    if record.bench != "mutate" {
+        return Err(format!("\"bench\" is {:?}, expected \"mutate\"", record.bench));
+    }
+    for name in MUTATE_REQUIRED_ENTRIES {
+        if record.entry(name).is_none() {
+            return Err(format!("missing required mutate entry {name:?}"));
+        }
+    }
+    Ok(record)
+}
+
 /// One validated line of a span-trace JSONL export (the `qrw-obs`
 /// `Tracer::export_jsonl` schema).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -686,6 +718,32 @@ mod tests {
             let err = validate_bench_json(text).expect_err(text);
             assert!(err.contains(want), "{text}: error {err:?} should mention {want:?}");
         }
+    }
+
+    #[test]
+    fn mutate_validator_enforces_the_required_entry_set() {
+        let mut rec = BenchRecord::new("mutate");
+        for name in MUTATE_REQUIRED_ENTRIES {
+            rec.push(name, sample(2, 1, 3));
+        }
+        rec.push("extra/allowed", sample(1, 1, 1));
+        let parsed = validate_mutate_json(&rec.to_json()).expect("full record validates");
+        assert_eq!(parsed.bench, "mutate");
+
+        // Dropping any required entry fails, naming the entry.
+        for missing in MUTATE_REQUIRED_ENTRIES {
+            let mut partial = BenchRecord::new("mutate");
+            for name in MUTATE_REQUIRED_ENTRIES.iter().filter(|n| **n != missing) {
+                partial.push(*name, sample(1, 1, 1));
+            }
+            let err = validate_mutate_json(&partial.to_json()).expect_err(missing);
+            assert!(err.contains(missing), "error {err:?} should name {missing:?}");
+        }
+
+        // A valid bench record under the wrong name is rejected.
+        let mut wrong = BenchRecord::new("serve");
+        wrong.push("frozen/serve_ns_per_req", sample(1, 1, 1));
+        assert!(validate_mutate_json(&wrong.to_json()).unwrap_err().contains("mutate"));
     }
 
     #[test]

@@ -28,7 +28,11 @@ use crate::cyclic::JointModel;
 /// [`DiskSink`]; the train-resilience tests inject
 /// [`TrainFaultInjector`](crate::fault::TrainFaultInjector) to simulate
 /// kills, bit flips and full disks at exact write offsets.
-pub trait WriteSink: Sync {
+///
+/// `Send + Sync` so a store owning a boxed sink can move to a dedicated
+/// writer thread (the live-catalog writer does exactly that) and be
+/// shared behind `Arc`.
+pub trait WriteSink: Send + Sync {
     /// Atomically replaces `path` with `bytes`.
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
 }

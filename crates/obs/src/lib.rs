@@ -8,7 +8,11 @@
 //! * [`Tracer`] — a structured span/event tracer. Producers open
 //!   [`SpanGuard`]s (`admit → queue-wait → batch-assemble → decode →
 //!   ladder-rung → rank` in the serving runtime; per-step
-//!   `forward/backward/opt` in the trainer); completed spans land in a
+//!   `forward/backward/opt` in the trainer; the live-catalog epoch
+//!   lifecycle adds `pin` — a child of `serve` carrying the pinned
+//!   `epoch` — plus writer-side `publish` (`epoch`/`ops`/`segments`, or
+//!   `epoch`/`compacted` for compactions) and `reclaim` (`freed`)
+//!   spans); completed spans land in a
 //!   **lock-sharded in-memory ring buffer** and export as JSONL. The
 //!   tracer doubles as a *correctness tool*: because every span carries a
 //!   trace id and parent link, tests can assert span-tree invariants

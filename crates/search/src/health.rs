@@ -115,7 +115,12 @@ impl HealthCounters {
         self.decode_micros.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
     }
 
-    pub fn snapshot(&self, breaker_state: BreakerState, breaker_opens: u64) -> HealthReport {
+    pub fn snapshot(
+        &self,
+        breaker_state: BreakerState,
+        breaker_opens: u64,
+        churn: ChurnStats,
+    ) -> HealthReport {
         let (latency_p50_us, latency_p95_us, latency_p99_us, latency_count) = {
             let h = self.latency_us.lock();
             (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99), h.count())
@@ -150,8 +155,37 @@ impl HealthCounters {
             decode_micros: self.decode_micros.load(Ordering::Relaxed),
             breaker_state,
             breaker_opens,
+            churn,
         }
     }
+}
+
+/// Live-catalog churn counters, populated from the engine's
+/// `SnapshotStore` when the catalog is live and all-zero (with
+/// `live_catalog == false`) for a frozen index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// True when the engine serves an epoch-pinned live catalog.
+    pub live_catalog: bool,
+    /// Epoch a request pinned *now* would observe.
+    pub current_epoch: u64,
+    /// Epochs published since the store was created (excludes epoch 0).
+    pub epochs_published: u64,
+    /// Superseded snapshots whose memory has been released.
+    pub epochs_reclaimed: u64,
+    /// Publish attempts that had to wait for a pinned slot to free.
+    pub publish_stalls: u64,
+    /// Reader pins that lost a race with a concurrent publish and
+    /// retried (bounded, lock-free — never a stall).
+    pub pin_retries: u64,
+    /// Requests currently holding a pinned epoch.
+    pub pinned_now: u64,
+    /// Writer panics contained by `apply_resilient` (serving stayed on
+    /// the last good epoch).
+    pub writer_panics: u64,
+    /// Epoch commits that failed to persist (serving stayed on the last
+    /// good epoch).
+    pub publish_failures: u64,
 }
 
 /// Point-in-time health snapshot returned by
@@ -203,6 +237,8 @@ pub struct HealthReport {
     /// Breaker status at snapshot time.
     pub breaker_state: BreakerState,
     pub breaker_opens: u64,
+    /// Live-catalog churn counters (all-zero for a frozen index).
+    pub churn: ChurnStats,
 }
 
 impl HealthReport {
@@ -263,7 +299,7 @@ mod tests {
         c.record_error(&ServeError::BreakerOpen);
         c.record_error(&ServeError::ModelPanic { rewriter: "x".into() });
         c.record_stage_latency(Stage::Rank, Duration::from_micros(250));
-        let r = c.snapshot(BreakerState::Closed, 0);
+        let r = c.snapshot(BreakerState::Closed, 0, ChurnStats::default());
         assert_eq!(r.requests, 2);
         assert_eq!(r.served_cache, 1);
         assert_eq!(r.served_raw, 1);
@@ -277,7 +313,7 @@ mod tests {
     #[test]
     fn empty_report_has_zero_coverage() {
         let c = HealthCounters::default();
-        let r = c.snapshot(BreakerState::Closed, 0);
+        let r = c.snapshot(BreakerState::Closed, 0, ChurnStats::default());
         assert_eq!(r.rewrite_coverage(), 0.0);
         assert_eq!(r.degradations(), 0);
         assert_eq!(r.decode_tokens_per_sec(), 0.0);
@@ -295,7 +331,7 @@ mod tests {
             DecodeStats { steps: 5, tokens: 5, cache_hits: 10 },
             Duration::from_micros(1_000),
         );
-        let r = c.snapshot(BreakerState::Closed, 0);
+        let r = c.snapshot(BreakerState::Closed, 0, ChurnStats::default());
         assert_eq!(r.decode_steps, 15);
         assert_eq!(r.decode_tokens, 15);
         assert_eq!(r.decode_cache_hits, 55);
@@ -311,7 +347,7 @@ mod tests {
         for us in [100u64, 200, 300, 400, 10_000] {
             c.record_latency(Duration::from_micros(us));
         }
-        let r = c.snapshot(BreakerState::Closed, 0);
+        let r = c.snapshot(BreakerState::Closed, 0, ChurnStats::default());
         assert_eq!(r.latency_count, 5);
         // p50 lands in the bucket holding 300 µs; quantiles are bucket
         // lower bounds so assert within one 12.5% bucket width.
@@ -334,7 +370,7 @@ mod tests {
         c.record_error(&ServeError::ExpiredInQueue);
         c.record_queue_depth(5);
         c.record_queue_depth(2);
-        let r = c.snapshot(BreakerState::Closed, 0);
+        let r = c.snapshot(BreakerState::Closed, 0, ChurnStats::default());
         assert_eq!(r.queue_rejections, 2);
         assert_eq!(r.queue_sheds, 1);
         assert_eq!(r.queue_depth, 2);

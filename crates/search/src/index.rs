@@ -180,6 +180,82 @@ impl InvertedIndex {
             })
             .collect()
     }
+
+    /// Canonical FNV-1a-64 fingerprint of the index *contents*: documents
+    /// in id order, tombstone flags, and nothing else. Two indexes with
+    /// the same fingerprint retrieve and score identically (postings and
+    /// statistics are pure functions of the doc sequence). Used by the
+    /// snapshot layer's bit-for-bit recovery checks — `Debug` output is
+    /// unsuitable because `HashMap` iteration order varies per instance.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::with_capacity(self.total_tokens * 8);
+        for (id, doc) in self.docs.iter().enumerate() {
+            buf.extend_from_slice(&(doc.tokens.len() as u32).to_le_bytes());
+            for t in &doc.tokens {
+                buf.extend_from_slice(&(t.len() as u32).to_le_bytes());
+                buf.extend_from_slice(t.as_bytes());
+            }
+            buf.push(u8::from(self.deleted[id]));
+        }
+        qrw_tensor::serialize::fnv1a64(b"IDX1", &buf)
+    }
+
+    /// A BM25 scorer with per-query statistics frozen up front: document
+    /// frequencies over **live** docs, the live average length, and the
+    /// live doc count are computed once, then each candidate scores in
+    /// O(|doc| · |query|) with no per-candidate posting scans.
+    ///
+    /// Scores are bit-identical to [`bm25`](Self::bm25) (same live-doc
+    /// statistics, same accumulation order) — this exists because `bm25`
+    /// recomputes `doc_freq` per candidate, which is O(postings) per
+    /// scored doc on a tombstoned index, and because freezing makes the
+    /// statistics explicitly snapshot-consistent for the whole ranking
+    /// pass.
+    pub fn bm25_scorer<'a>(&'a self, query: &'a [String]) -> Bm25Scorer<'a> {
+        let n = self.alive_docs as f64;
+        let avg = self.avg_doc_len().max(1e-9);
+        let terms = query
+            .iter()
+            .map(|tok| {
+                let df = self.doc_freq(tok) as f64;
+                let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+                (tok.as_str(), idf)
+            })
+            .collect();
+        Bm25Scorer { index: self, terms, avg }
+    }
+}
+
+/// Frozen-statistics BM25 scorer returned by
+/// [`InvertedIndex::bm25_scorer`].
+pub struct Bm25Scorer<'a> {
+    index: &'a InvertedIndex,
+    /// Query terms in order (duplicates kept — they accumulate twice,
+    /// exactly as in `bm25`) with their precomputed live-doc idf.
+    terms: Vec<(&'a str, f64)>,
+    avg: f64,
+}
+
+impl Bm25Scorer<'_> {
+    const K1: f64 = 1.2;
+    const B: f64 = 0.75;
+
+    /// BM25 score of `doc_id`, bit-identical to
+    /// [`InvertedIndex::bm25`] on the same index state.
+    pub fn score(&self, doc_id: usize) -> f64 {
+        let doc = &self.index.docs[doc_id];
+        let dl = doc.tokens.len() as f64;
+        let mut score = 0.0;
+        for (tok, idf) in &self.terms {
+            let tf = doc.tokens.iter().filter(|t| t.as_str() == *tok).count() as f64;
+            if tf == 0.0 {
+                continue;
+            }
+            score += idf * (tf * (Self::K1 + 1.0))
+                / (tf + Self::K1 * (1.0 - Self::B + Self::B * dl / self.avg));
+        }
+        score
+    }
 }
 
 /// Intersection of two sorted id lists.
@@ -361,6 +437,165 @@ mod tests {
             assert_eq!(intersect_sorted(&av, &bv), inter);
             assert_eq!(union_sorted(&av, &bv), uni);
         }
+    }
+
+    #[test]
+    fn set_ops_edge_cases() {
+        // Both empty.
+        assert_eq!(intersect_sorted(&[], &[]), Vec::<usize>::new());
+        assert_eq!(union_sorted(&[], &[]), Vec::<usize>::new());
+        // One empty.
+        assert_eq!(intersect_sorted(&[1, 2], &[]), Vec::<usize>::new());
+        assert_eq!(union_sorted(&[1, 2], &[]), vec![1, 2]);
+        // Identical lists.
+        assert_eq!(intersect_sorted(&[1, 2, 3], &[1, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(union_sorted(&[1, 2, 3], &[1, 2, 3]), vec![1, 2, 3]);
+        // Disjoint, interleaved.
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 4, 6]), Vec::<usize>::new());
+        assert_eq!(union_sorted(&[1, 3, 5], &[2, 4, 6]), vec![1, 2, 3, 4, 5, 6]);
+        // Duplicate ids *within* an input (not produced by the index, but
+        // the merge must stay ordered rather than corrupt downstream
+        // intersections): equal heads collapse pairwise.
+        assert_eq!(union_sorted(&[1, 1, 2], &[1, 2, 2]), vec![1, 1, 2, 2]);
+        assert_eq!(intersect_sorted(&[1, 1, 2], &[1, 2, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn filter_alive_edge_cases() {
+        let mut idx = sample_index();
+        // No tombstones: the fast path leaves ids untouched.
+        let mut ids = vec![0, 2, 3];
+        idx.filter_alive(&mut ids);
+        assert_eq!(ids, vec![0, 2, 3]);
+        // Empty input stays empty, tombstones or not.
+        let mut empty: Vec<usize> = Vec::new();
+        idx.filter_alive(&mut empty);
+        assert!(empty.is_empty());
+        idx.remove_doc(2);
+        idx.filter_alive(&mut empty);
+        assert!(empty.is_empty());
+        // Mixed liveness drops exactly the dead ids.
+        let mut ids = vec![0, 2, 3];
+        idx.filter_alive(&mut ids);
+        assert_eq!(ids, vec![0, 3]);
+        // All-dead postings filter to nothing.
+        for id in 0..idx.len() {
+            idx.remove_doc(id);
+        }
+        let mut all: Vec<usize> = idx.postings("red").to_vec();
+        assert!(!all.is_empty(), "raw postings keep tombstoned ids");
+        idx.filter_alive(&mut all);
+        assert!(all.is_empty());
+    }
+
+    /// Postings stay sorted and deduplicated across arbitrary
+    /// add/remove/compact cycles (seeded random schedule).
+    #[test]
+    fn prop_postings_sorted_deduped_across_churn() {
+        let alphabet = ["a", "b", "c", "d", "e"];
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        for _ in 0..64 {
+            let mut idx = InvertedIndex::new();
+            for _ in 0..rng.gen_range(5usize..40) {
+                match rng.gen_range(0u32..10) {
+                    // Mostly adds (duplicate tokens within a doc on
+                    // purpose — dedup must hold per posting list).
+                    0..=5 => {
+                        let len = rng.gen_range(1usize..6);
+                        let doc: Vec<String> = (0..len)
+                            .map(|_| alphabet[rng.gen_range(0usize..3)].to_string())
+                            .collect();
+                        idx.add_doc(doc);
+                    }
+                    6..=8 if !idx.is_empty() => {
+                        idx.remove_doc(rng.gen_range(0usize..idx.len()));
+                    }
+                    _ => {
+                        idx.compact();
+                    }
+                }
+                for tok in alphabet {
+                    let p = idx.postings(tok);
+                    assert!(p.windows(2).all(|w| w[0] < w[1]), "postings for {tok} not strictly sorted: {p:?}");
+                    assert!(p.iter().all(|&d| d < idx.len()), "posting out of range after compact");
+                }
+            }
+        }
+    }
+
+    /// Satellite regression: BM25 must use live-doc statistics, so
+    /// scoring after remove (tombstoned) and after remove+compact must
+    /// both match a fresh build of the surviving docs bit-for-bit.
+    #[test]
+    fn bm25_live_stats_survive_remove_and_compact() {
+        let queries = [toks("red shoes"), toks("red"), toks("case red shoes women")];
+        let mut idx = sample_index();
+        idx.remove_doc(1);
+
+        let fresh = InvertedIndex::build(vec![
+            toks("red shoes men"),
+            toks("red phone case"),
+            toks("red red shoes"),
+        ]);
+
+        // Tombstoned index: surviving ids are 0, 2, 3 ↔ fresh 0, 1, 2.
+        for q in &queries {
+            for (old, new) in [(0usize, 0usize), (2, 1), (3, 2)] {
+                assert_eq!(
+                    idx.bm25(q, old).to_bits(),
+                    fresh.bm25(q, new).to_bits(),
+                    "tombstoned score drifted for query {q:?} doc {old}"
+                );
+            }
+        }
+
+        // Compacted index: remap says where each doc went.
+        let mut compacted = idx.clone();
+        let remap = compacted.compact();
+        for q in &queries {
+            for old in [0usize, 2, 3] {
+                let new = remap[old].unwrap();
+                assert_eq!(
+                    compacted.bm25(q, new).to_bits(),
+                    fresh.bm25(q, new).to_bits(),
+                    "compacted score drifted for query {q:?} doc {old}->{new}"
+                );
+            }
+        }
+    }
+
+    /// The frozen-stats scorer is bit-identical to `bm25`, tombstones or
+    /// not.
+    #[test]
+    fn bm25_scorer_matches_bm25_exactly() {
+        let mut idx = sample_index();
+        let queries = [toks("red shoes"), toks("red red"), toks("women"), toks("zzz")];
+        for round in 0..2 {
+            for q in &queries {
+                let scorer = idx.bm25_scorer(q);
+                for d in 0..idx.len() {
+                    assert_eq!(
+                        scorer.score(d).to_bits(),
+                        idx.bm25(q, d).to_bits(),
+                        "scorer drift round {round} query {q:?} doc {d}"
+                    );
+                }
+            }
+            idx.remove_doc(1); // second round runs tombstoned
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_representation() {
+        let a = sample_index();
+        let b = sample_index();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = sample_index();
+        c.remove_doc(0);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "tombstones are content");
+        let mut d = sample_index();
+        d.add_doc(toks("extra doc"));
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     /// Postings lists always match a brute-force scan over random corpora.

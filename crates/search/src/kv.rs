@@ -23,7 +23,18 @@ use qrw_tensor::sync::RwLock;
 /// counts the runtime uses, small enough that `len()` stays cheap.
 const DEFAULT_SHARDS: usize = 16;
 
-type Shard = RwLock<HashMap<String, Arc<Vec<Vec<String>>>>>;
+/// One cached entry: the precomputed rewrites plus, optionally, the doc
+/// ids of the result set those rewrites were precomputed against. The
+/// hints let [`RewriteCache::apply_remap`] keep entries honest across
+/// catalog compaction: when `compact()` renumbers docs, a hinted entry is
+/// rewritten to the new ids, and an entry whose result set references a
+/// deleted doc is dropped (its precomputation is stale).
+struct CacheEntry {
+    rewrites: Arc<Vec<Vec<String>>>,
+    docs: Option<Vec<usize>>,
+}
+
+type Shard = RwLock<HashMap<String, CacheEntry>>;
 
 /// Concurrent rewrite cache: query text → precomputed rewrites.
 pub struct RewriteCache {
@@ -77,7 +88,63 @@ impl RewriteCache {
     /// Precomputes (stores) the rewrites for one query.
     pub fn insert(&self, query: &[String], rewrites: Vec<Vec<String>>) {
         let key = query.join(" ");
-        self.shard(&key).write().insert(key, Arc::new(rewrites));
+        self.shard(&key)
+            .write()
+            .insert(key, CacheEntry { rewrites: Arc::new(rewrites), docs: None });
+    }
+
+    /// [`insert`](Self::insert) recording the doc ids of the result set
+    /// the rewrites were precomputed against, so
+    /// [`apply_remap`](Self::apply_remap) can maintain the entry across
+    /// catalog compaction.
+    pub fn insert_with_docs(
+        &self,
+        query: &[String],
+        rewrites: Vec<Vec<String>>,
+        docs: Vec<usize>,
+    ) {
+        let key = query.join(" ");
+        self.shard(&key)
+            .write()
+            .insert(key, CacheEntry { rewrites: Arc::new(rewrites), docs: Some(docs) });
+    }
+
+    /// The doc-id hints stored for a query, if the entry exists and was
+    /// inserted with hints.
+    pub fn doc_hints(&self, query: &[String]) -> Option<Vec<usize>> {
+        let key = query.join(" ");
+        self.shard(&key).read().get(&key).and_then(|e| e.docs.clone())
+    }
+
+    /// Consumes a `compact()` remap table (old id → new id, `None` for
+    /// removed docs): hinted entries whose docs all survived are
+    /// rewritten to the new ids; hinted entries referencing any removed
+    /// (or out-of-range) doc are dropped. Entries without hints are
+    /// untouched — their rewrites are query text, not doc ids. Returns
+    /// `(rebuilt, dropped)`.
+    pub fn apply_remap(&self, remap: &[Option<usize>]) -> (usize, usize) {
+        let mut rebuilt = 0;
+        let mut dropped = 0;
+        for shard in self.shards.iter() {
+            let mut map = shard.write();
+            map.retain(|_, entry| {
+                let Some(docs) = entry.docs.as_mut() else { return true };
+                let mapped: Option<Vec<usize>> =
+                    docs.iter().map(|&d| remap.get(d).copied().flatten()).collect();
+                match mapped {
+                    Some(new_docs) => {
+                        *docs = new_docs;
+                        rebuilt += 1;
+                        true
+                    }
+                    None => {
+                        dropped += 1;
+                        false
+                    }
+                }
+            });
+        }
+        (rebuilt, dropped)
     }
 
     /// Looks up rewrites, counting the hit or miss. Hits cost a refcount
@@ -96,7 +163,7 @@ impl RewriteCache {
     /// does the counted lookup, so each request is accounted exactly once.
     pub fn peek(&self, query: &[String]) -> Option<Arc<Vec<Vec<String>>>> {
         let key = query.join(" ");
-        self.shard(&key).read().get(&key).cloned()
+        self.shard(&key).read().get(&key).map(|e| Arc::clone(&e.rewrites))
     }
 
     /// Number of precomputed queries.
@@ -204,6 +271,43 @@ mod tests {
         // that no single shard holds everything.
         let max_shard = cache.shards.iter().map(|s| s.read().len()).max().unwrap();
         assert!(max_shard < 200, "all keys landed in one shard");
+    }
+
+    #[test]
+    fn apply_remap_rewrites_and_drops_hinted_entries() {
+        let cache = RewriteCache::new();
+        // Unhinted entry: untouched by any remap.
+        cache.insert(&toks("plain"), vec![toks("still here")]);
+        // Hinted, all docs survive (1->0, 3->1).
+        cache.insert_with_docs(&toks("survivor"), vec![toks("kept")], vec![1, 3]);
+        // Hinted, references a removed doc.
+        cache.insert_with_docs(&toks("stale"), vec![toks("gone")], vec![0, 1]);
+        // Hinted, references an id beyond the remap table (never existed
+        // in the compacted epoch): also stale.
+        cache.insert_with_docs(&toks("oob"), vec![toks("gone too")], vec![99]);
+
+        // compact() removed doc 0 and 2: [None, Some(0), None, Some(1)].
+        let remap = vec![None, Some(0), None, Some(1)];
+        let (rebuilt, dropped) = cache.apply_remap(&remap);
+        assert_eq!((rebuilt, dropped), (1, 2));
+        assert!(cache.peek(&toks("plain")).is_some());
+        assert_eq!(cache.doc_hints(&toks("survivor")), Some(vec![0, 1]));
+        assert!(cache.peek(&toks("stale")).is_none());
+        assert!(cache.peek(&toks("oob")).is_none());
+        assert_eq!(cache.len(), 2);
+
+        // Identity remap is a no-op rebuild.
+        let (rebuilt, dropped) = cache.apply_remap(&[Some(0), Some(1)]);
+        assert_eq!((rebuilt, dropped), (1, 0));
+        assert_eq!(cache.doc_hints(&toks("survivor")), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn doc_hints_absent_for_plain_entries() {
+        let cache = RewriteCache::new();
+        cache.insert(&toks("a"), vec![toks("b")]);
+        assert_eq!(cache.doc_hints(&toks("a")), None);
+        assert_eq!(cache.doc_hints(&toks("missing")), None);
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //! [`breaker`] (the circuit breaker around the online rewriter),
 //! [`fault`] (seeded deterministic fault injection for tests) and
 //! [`health`] (per-rung / per-stage serving counters).
+//!
+//! Live catalog mutation lives in two more: [`segment`] (sealed,
+//! CRC-guarded mutation-batch op logs whose ordered replay *is* the
+//! catalog) and [`snapshot`] (the epoch-pinned [`SnapshotStore`] that
+//! lets a [`CatalogWriter`] add/update/remove documents under traffic —
+//! readers pin one immutable epoch per request, commits persist through
+//! the crash-safe `CheckpointStore` discipline, and churn faults are
+//! injectable via [`ChurnFaultInjector`]).
 
 pub mod ab;
 pub mod breaker;
@@ -26,7 +34,9 @@ pub mod fault;
 pub mod health;
 pub mod index;
 pub mod kv;
+pub mod segment;
 pub mod serving;
+pub mod snapshot;
 pub mod topk;
 pub mod tree;
 
@@ -36,11 +46,17 @@ pub use deadline::{Clock, DeadlineBudget};
 pub use error::{ServeError, Stage};
 pub use eval::{recall_at_k, reciprocal_rank, QualityAccumulator, RetrievalQuality};
 pub use fault::{Fault, FaultConfig, FaultInjector};
-pub use health::HealthReport;
-pub use index::InvertedIndex;
+pub use health::{ChurnStats, HealthReport};
+pub use index::{Bm25Scorer, InvertedIndex};
 pub use kv::RewriteCache;
+pub use segment::{CatalogOp, MutationBatch, Segment};
 pub use serving::{
-    plan_online, RewriteLadder, RewriteSource, SearchEngine, SearchResponse, ServingConfig,
+    plan_online, PinnedCatalog, RewriteLadder, RewriteSource, SearchEngine, SearchResponse,
+    ServingConfig,
+};
+pub use snapshot::{
+    CatalogError, CatalogWriter, ChurnFault, ChurnFaultInjector, IndexSnapshot, PinnedSnapshot,
+    SnapshotStore,
 };
 pub use topk::{bm25_topk_exhaustive, bm25_topk_maxscore, ScoredDoc};
 pub use tree::{QueryTree, RetrievalCost};

@@ -21,13 +21,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use qrw_core::QueryRewriter;
 use qrw_obs::{Histogram, Tracer};
 
+use std::sync::Arc;
+
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::deadline::DeadlineBudget;
 use crate::error::{ServeError, Stage};
 use crate::fault::{Fault, FaultInjector};
-use crate::health::{HealthCounters, HealthReport};
+use crate::health::{ChurnStats, HealthCounters, HealthReport};
 use crate::index::InvertedIndex;
 use crate::kv::RewriteCache;
+use crate::snapshot::{PinnedSnapshot, SnapshotStore};
 use crate::tree::{QueryTree, RetrievalCost};
 
 /// Serving knobs mirroring the paper's online setup.
@@ -104,11 +107,50 @@ pub struct SearchResponse {
     /// Every degradation this request suffered, in the order observed.
     /// Empty for a request served at full quality.
     pub degradations: Vec<ServeError>,
+    /// Catalog epoch the request was served against: `0` for a frozen
+    /// index, the pinned epoch for a live catalog. The whole response —
+    /// every candidate, rank and score — is a pure function of the query
+    /// and this one epoch (the torn-read invariant).
+    pub epoch: u64,
 }
 
-/// The search engine: index + rewrite plumbing + serving health.
+/// The catalog an engine serves: a frozen index built before serving
+/// (the original, zero-overhead path) or an epoch-pinned live catalog
+/// that a [`CatalogWriter`](crate::snapshot::CatalogWriter) mutates under
+/// traffic.
+enum Catalog {
+    Frozen(InvertedIndex),
+    Live(Arc<SnapshotStore>),
+}
+
+/// One request's view of the catalog: a borrow of the frozen index, or a
+/// pinned epoch that stays immutable (and unreclaimed) until dropped.
+pub enum PinnedCatalog<'a> {
+    Frozen(&'a InvertedIndex),
+    Live(PinnedSnapshot),
+}
+
+impl PinnedCatalog<'_> {
+    /// The immutable index this request reads.
+    pub fn index(&self) -> &InvertedIndex {
+        match self {
+            PinnedCatalog::Frozen(index) => index,
+            PinnedCatalog::Live(pin) => pin.index(),
+        }
+    }
+
+    /// The epoch this request is pinned to (`0` for a frozen index).
+    pub fn epoch(&self) -> u64 {
+        match self {
+            PinnedCatalog::Frozen(_) => 0,
+            PinnedCatalog::Live(pin) => pin.epoch(),
+        }
+    }
+}
+
+/// The search engine: catalog + rewrite plumbing + serving health.
 pub struct SearchEngine {
-    index: InvertedIndex,
+    catalog: Catalog,
     breaker: CircuitBreaker,
     health: HealthCounters,
     tracer: Option<Tracer>,
@@ -138,10 +180,47 @@ impl SearchEngine {
     /// An engine with custom circuit-breaker tuning.
     pub fn with_breaker(index: InvertedIndex, breaker: BreakerConfig) -> Self {
         SearchEngine {
-            index,
+            catalog: Catalog::Frozen(index),
             breaker: CircuitBreaker::new(breaker),
             health: HealthCounters::default(),
             tracer: None,
+        }
+    }
+
+    /// An engine serving an epoch-pinned live catalog: each request pins
+    /// the current epoch of `store` for its whole duration, so a
+    /// concurrent [`CatalogWriter`](crate::snapshot::CatalogWriter) never
+    /// tears a response.
+    pub fn live(store: Arc<SnapshotStore>) -> Self {
+        Self::live_with_breaker(store, BreakerConfig::default())
+    }
+
+    /// [`live`](Self::live) with custom circuit-breaker tuning.
+    pub fn live_with_breaker(store: Arc<SnapshotStore>, breaker: BreakerConfig) -> Self {
+        SearchEngine {
+            catalog: Catalog::Live(store),
+            breaker: CircuitBreaker::new(breaker),
+            health: HealthCounters::default(),
+            tracer: None,
+        }
+    }
+
+    /// Pins the catalog for one request: a no-op borrow for a frozen
+    /// index, an epoch pin for a live catalog. Public so callers that
+    /// post-process a response against the index (e.g. the A/B
+    /// simulator) can read the same epoch the engine served from.
+    pub fn pin(&self) -> PinnedCatalog<'_> {
+        match &self.catalog {
+            Catalog::Frozen(index) => PinnedCatalog::Frozen(index),
+            Catalog::Live(store) => PinnedCatalog::Live(store.pin()),
+        }
+    }
+
+    /// The epoch a request arriving now would pin (`0` when frozen).
+    pub fn current_epoch(&self) -> u64 {
+        match &self.catalog {
+            Catalog::Frozen(_) => 0,
+            Catalog::Live(store) => store.current_epoch(),
         }
     }
 
@@ -166,8 +245,16 @@ impl SearchEngine {
         self.health.latency_histogram()
     }
 
+    /// The frozen index. Panics for a live-catalog engine — live readers
+    /// must hold an epoch via [`pin`](Self::pin) instead of borrowing an
+    /// unpinned index that a writer may retire mid-read.
     pub fn index(&self) -> &InvertedIndex {
-        &self.index
+        match &self.catalog {
+            Catalog::Frozen(index) => index,
+            Catalog::Live(_) => {
+                panic!("SearchEngine::index() on a live catalog; use pin() to hold an epoch")
+            }
+        }
     }
 
     /// The breaker guarding the online rewriter rung.
@@ -176,13 +263,32 @@ impl SearchEngine {
     }
 
     /// Snapshot of serving health: per-rung counts, degradation causes,
-    /// per-stage latency sums and breaker status.
+    /// per-stage latency sums, breaker status and (for a live catalog)
+    /// churn counters.
     pub fn health_report(&self) -> HealthReport {
-        self.health.snapshot(self.breaker.state(), self.breaker.times_opened())
+        let churn = match &self.catalog {
+            Catalog::Frozen(_) => ChurnStats::default(),
+            Catalog::Live(store) => store.churn_stats(),
+        };
+        self.health.snapshot(self.breaker.state(), self.breaker.times_opened(), churn)
     }
 
     /// Baseline retrieval: original query only.
     pub fn search_baseline(&self, query: &[String], config: &ServingConfig) -> SearchResponse {
+        let pinned = self.pin();
+        self.search_baseline_pinned(query, config, &pinned)
+    }
+
+    /// [`search_baseline`](Self::search_baseline) against an
+    /// already-pinned epoch (the panic-fallback path reuses the request's
+    /// pin rather than re-pinning a possibly newer epoch).
+    fn search_baseline_pinned(
+        &self,
+        query: &[String],
+        config: &ServingConfig,
+        pinned: &PinnedCatalog<'_>,
+    ) -> SearchResponse {
+        let epoch = pinned.epoch();
         if query.is_empty() {
             // An empty AND tree would match the whole index; an empty
             // query retrieves nothing instead.
@@ -195,10 +301,12 @@ impl SearchEngine {
                 rewrite_source: RewriteSource::None,
                 cost: RetrievalCost::default(),
                 degradations: Vec::new(),
+                epoch,
             };
         }
-        let (docs, cost) = QueryTree::and_of_tokens(query).evaluate(&self.index);
-        let ranked = self.rank(query, &docs, config.top_k);
+        let index = pinned.index();
+        let (docs, cost) = QueryTree::and_of_tokens(query).evaluate(index);
+        let ranked = rank_at(index, query, &docs, config.top_k);
         SearchResponse {
             base_candidates: docs.len(),
             extra_candidates: 0,
@@ -208,6 +316,7 @@ impl SearchEngine {
             rewrite_source: RewriteSource::None,
             cost,
             degradations: Vec::new(),
+            epoch,
         }
     }
 
@@ -232,7 +341,8 @@ impl SearchEngine {
 
         let budget = DeadlineBudget::unlimited();
         let mut events = Vec::new();
-        self.retrieve_and_rank(query, rewrites, source, config, &budget, &mut events, None)
+        let pinned = self.pin();
+        self.retrieve_and_rank(query, rewrites, source, config, &budget, &mut events, None, &pinned)
     }
 
     /// Fault-tolerant serving entry point. Never panics; always returns a
@@ -279,8 +389,19 @@ impl SearchEngine {
             }
             _ => None,
         };
+        // Pin one catalog epoch for the whole request: every stage below
+        // (ladder, retrieval, ranking, the panic fallback) reads this
+        // epoch and nothing else.
+        let pinned = {
+            let mut pin_span = ctx.map(|c| c.child("pin"));
+            let pinned = self.pin();
+            if let Some(s) = pin_span.as_mut() {
+                s.attr("epoch", pinned.epoch());
+            }
+            pinned
+        };
         let guarded = catch_unwind(AssertUnwindSafe(|| {
-            self.serve_inner(query, ladder, config, budget, faults, ctx)
+            self.serve_inner(query, ladder, config, budget, faults, ctx, &pinned)
         }));
         let response = match guarded {
             Ok(resp) => resp,
@@ -292,7 +413,7 @@ impl SearchEngine {
                 let err = ServeError::EnginePanic;
                 let mut resp = catch_unwind(AssertUnwindSafe(|| {
                     let (query, _) = sanitize_query(query, config);
-                    self.search_baseline(&query, config)
+                    self.search_baseline_pinned(&query, config, &pinned)
                 }))
                 .unwrap_or_else(|_| SearchResponse {
                     ranked: Vec::new(),
@@ -303,6 +424,7 @@ impl SearchEngine {
                     rewrite_source: RewriteSource::None,
                     cost: RetrievalCost::default(),
                     degradations: Vec::new(),
+                    epoch: pinned.epoch(),
                 });
                 resp.degradations.push(err);
                 resp
@@ -322,6 +444,7 @@ impl SearchEngine {
         response
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn serve_inner(
         &self,
         query: &[String],
@@ -330,6 +453,7 @@ impl SearchEngine {
         budget: &DeadlineBudget,
         faults: Option<&FaultInjector>,
         ctx: Option<TraceCtx<'_>>,
+        pinned: &PinnedCatalog<'_>,
     ) -> SearchResponse {
         let mut events: Vec<ServeError> = Vec::new();
         let (query, truncated) = sanitize_query(query, config);
@@ -342,7 +466,7 @@ impl SearchEngine {
             self.acquire_rewrites(&query, ladder, config, budget, faults, &mut events, ctx);
         self.health.record_stage_latency(Stage::Rewrite, budget.elapsed().saturating_sub(t0));
 
-        self.retrieve_and_rank(&query, rewrites, source, config, budget, &mut events, ctx)
+        self.retrieve_and_rank(&query, rewrites, source, config, budget, &mut events, ctx, pinned)
     }
 
     /// Walks the degradation ladder until a rung yields usable rewrites.
@@ -552,7 +676,9 @@ impl SearchEngine {
         budget: &DeadlineBudget,
         events: &mut Vec<ServeError>,
         ctx: Option<TraceCtx<'_>>,
+        pinned: &PinnedCatalog<'_>,
     ) -> SearchResponse {
+        let epoch = pinned.epoch();
         if query.is_empty() {
             // An empty AND tree matches the whole index; an empty query
             // must instead retrieve nothing (well-formed, never a panic).
@@ -565,12 +691,14 @@ impl SearchEngine {
                 rewrite_source: RewriteSource::None,
                 cost: RetrievalCost::default(),
                 degradations: std::mem::take(events),
+                epoch,
             };
         }
+        let index = pinned.index();
         let t0 = budget.elapsed();
         let mut retrieve_span = ctx.map(|c| c.child("retrieve"));
         // Original-query candidates always survive in full.
-        let (base_docs, base_cost) = QueryTree::and_of_tokens(query).evaluate(&self.index);
+        let (base_docs, base_cost) = QueryTree::and_of_tokens(query).evaluate(index);
         let mut cost = base_cost;
         let mut extra: Vec<usize> = Vec::new();
 
@@ -586,12 +714,12 @@ impl SearchEngine {
             if use_merged {
                 let mut all = vec![query.to_vec()];
                 all.extend(rewrites.iter().cloned());
-                let (docs, c) = QueryTree::merge_factored(&all).evaluate(&self.index);
+                let (docs, c) = QueryTree::merge_factored(&all).evaluate(index);
                 cost = c; // the merged tree replaces the single-query tree
                 extra = docs.into_iter().filter(|d| !base_docs.contains(d)).collect();
             } else {
                 for rw in &rewrites {
-                    let (docs, c) = QueryTree::and_of_tokens(rw).evaluate(&self.index);
+                    let (docs, c) = QueryTree::and_of_tokens(rw).evaluate(index);
                     cost = cost + c;
                     for d in docs {
                         if !base_docs.contains(&d) && !extra.contains(&d) {
@@ -630,7 +758,7 @@ impl SearchEngine {
             events.push(ServeError::DeadlineExceeded { stage: Stage::Rank });
             candidates.iter().take(config.top_k).copied().collect()
         } else {
-            self.rank(&rank_query, &candidates, config.top_k)
+            rank_at(index, &rank_query, &candidates, config.top_k)
         };
         if let Some(s) = rank_span.as_mut() {
             s.attr("candidates", candidates.len());
@@ -647,17 +775,27 @@ impl SearchEngine {
             rewrite_source: source,
             cost,
             degradations: std::mem::take(events),
+            epoch,
         }
     }
+}
 
-    fn rank(&self, query: &[String], candidates: &[usize], top_k: usize) -> Vec<usize> {
-        let mut scored: Vec<(f64, usize)> = candidates
-            .iter()
-            .map(|&d| (self.index.bm25(query, d), d))
-            .collect();
-        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        scored.into_iter().take(top_k).map(|(_, d)| d).collect()
-    }
+/// BM25-ranks `candidates` against one pinned index. Query statistics
+/// (live df, avg length, doc count) are frozen once via
+/// [`InvertedIndex::bm25_scorer`] — scores are bit-identical to per-doc
+/// `bm25` calls but cost O(|doc|·|query|) per candidate instead of
+/// rescanning postings for each.
+fn rank_at(
+    index: &InvertedIndex,
+    query: &[String],
+    candidates: &[usize],
+    top_k: usize,
+) -> Vec<usize> {
+    let scorer = index.bm25_scorer(query);
+    let mut scored: Vec<(f64, usize)> =
+        candidates.iter().map(|&d| (scorer.score(d), d)).collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().take(top_k).map(|(_, d)| d).collect()
 }
 
 /// Stable label for the ladder rung that served a request, used as a span

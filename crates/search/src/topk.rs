@@ -52,6 +52,10 @@ pub fn bm25_topk_maxscore(index: &InvertedIndex, query: &[String], k: usize) -> 
     // Per-term upper bound on its BM25 contribution:
     // idf * (k1 + 1) bounds tf*(k1+1)/(tf+K) since the fraction < k1+1;
     // we use the tight per-term bound computed from the term's best tf.
+    // Tombstoned documents are excluded: they can never be returned, so
+    // letting a dead doc's tf inflate a bound would only loosen pruning
+    // (the live-statistics discipline of `InvertedIndex::bm25` applies to
+    // the bounds too).
     let mut infos: Vec<(String, f64)> = terms
         .into_iter()
         .filter(|t| index.doc_freq(t) > 0)
@@ -59,6 +63,7 @@ pub fn bm25_topk_maxscore(index: &InvertedIndex, query: &[String], k: usize) -> 
             let ub = index
                 .postings(&t)
                 .iter()
+                .filter(|&&d| index.is_alive(d))
                 .map(|&d| index.bm25(std::slice::from_ref(&t), d))
                 .fold(0.0f64, f64::max);
             (t, ub)
@@ -280,6 +285,50 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().all(|s| s.doc != 3), "deleted doc must not be returned");
         assert!(!a.is_empty());
+    }
+
+    /// MaxScore stays equal to exhaustive while the catalog churns:
+    /// interleaved add/remove/compact between queries, with the dead-doc-
+    /// excluded upper bounds still valid at every step.
+    #[test]
+    fn prop_maxscore_equals_exhaustive_under_churn() {
+        let alphabet = ["a", "b", "c", "d", "e"];
+        let mut rng = StdRng::seed_from_u64(0x0C0B);
+        let mut idx = InvertedIndex::build(vec![
+            toks("a b c"),
+            toks("b c d"),
+            toks("c d e"),
+        ]);
+        for _ in 0..128 {
+            match rng.gen_range(0u32..10) {
+                0..=5 => {
+                    let len = rng.gen_range(1usize..5);
+                    let doc: Vec<String> = (0..len)
+                        .map(|_| alphabet[rng.gen_range(0usize..alphabet.len())].to_string())
+                        .collect();
+                    idx.add_doc(doc);
+                }
+                6..=8 if !idx.is_empty() => {
+                    idx.remove_doc(rng.gen_range(0usize..idx.len()));
+                }
+                _ => {
+                    idx.compact();
+                }
+            }
+            let qlen = rng.gen_range(1usize..4);
+            let query: Vec<String> = (0..qlen)
+                .map(|_| alphabet[rng.gen_range(0usize..alphabet.len())].to_string())
+                .collect();
+            let k = rng.gen_range(1usize..5);
+            let a = bm25_topk_exhaustive(&idx, &query, k);
+            let b = bm25_topk_maxscore(&idx, &query, k);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.doc, y.doc);
+                assert!((x.score - y.score).abs() < 1e-9);
+                assert!(idx.is_alive(x.doc), "dead doc served from top-k");
+            }
+        }
     }
 
     /// MaxScore always returns exactly the exhaustive top-k over random

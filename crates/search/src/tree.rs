@@ -13,6 +13,12 @@
 //! * [`QueryTree::merge_factored`] — factors tokens common to all queries
 //!   into the top-level AND and ORs the per-query remainders. Exactly
 //!   recall-preserving (retrieves precisely the union).
+//!
+//! Under a live catalog (`crate::snapshot`), a tree evaluation must run
+//! against a single pinned epoch's index: the leaf cache assumes every
+//! posting lookup for one evaluation observes the same immutable catalog
+//! (the torn-read invariant). `SearchEngine` guarantees this by pinning
+//! once per request and threading that epoch's `&InvertedIndex` here.
 
 use std::collections::HashMap;
 

@@ -54,4 +54,4 @@ pub mod workload;
 pub use batch::BatchedQ2Q;
 pub use queue::{AdmissionQueue, Pending, ResponseSlot};
 pub use runtime::{Outcome, Runtime, RuntimeConfig, ServeStack, ServedRecord};
-pub use workload::{synthetic_docs, MixConfig, Workload};
+pub use workload::{mutation_batches, synthetic_docs, ChurnMix, MixConfig, Workload};

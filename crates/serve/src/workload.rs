@@ -7,6 +7,7 @@
 //! always yields the same request sequence, so open-loop and closed-loop
 //! runs — and batched vs sequential baselines — replay identical traffic.
 
+use qrw_search::MutationBatch;
 use qrw_tensor::rng::StdRng;
 use qrw_text::{Vocab, NUM_SPECIALS};
 
@@ -106,6 +107,78 @@ impl Workload {
     }
 }
 
+/// Shape of a synthetic catalog-churn stream: the writer half of a
+/// mutate-while-serving workload. The same seed always yields the same
+/// batch sequence, so a churn run replays exactly (which is what lets the
+/// mutation bench re-serve a request against the epoch it pinned).
+#[derive(Clone, Debug)]
+pub struct ChurnMix {
+    /// Number of mutation batches the writer publishes.
+    pub batches: usize,
+    /// Ops per batch, inclusive range.
+    pub batch_ops: (usize, usize),
+    /// Fraction of ops that add a new document.
+    pub add_fraction: f64,
+    /// Fraction of ops that tombstone a live document (the remainder are
+    /// updates: tombstone + re-add under a fresh id).
+    pub remove_fraction: f64,
+    pub seed: u64,
+}
+
+impl ChurnMix {
+    /// A balanced catalog-refresh mix: mostly adds and updates with some
+    /// delistings, the shape of a merchant feed.
+    pub fn feed(batches: usize, seed: u64) -> Self {
+        ChurnMix {
+            batches,
+            batch_ops: (1, 6),
+            add_fraction: 0.5,
+            remove_fraction: 0.2,
+            seed,
+        }
+    }
+}
+
+/// Generates a deterministic batch stream against a catalog that starts
+/// with `initial_docs` documents. Remove/update ops always target a
+/// currently-live id (tracked across batches, ids follow the
+/// `InvertedIndex` discipline: insertion order, tombstones keep their
+/// slot, updates re-add under a fresh id).
+pub fn mutation_batches(vocab: &Vocab, initial_docs: usize, mix: &ChurnMix) -> Vec<MutationBatch> {
+    let words = word_table(vocab);
+    assert!(!words.is_empty(), "vocab has no non-special tokens");
+    let mut rng = StdRng::seed_from_u64(mix.seed);
+    let mut alive: Vec<usize> = (0..initial_docs).collect();
+    let mut next_id = initial_docs;
+    let doc = |rng: &mut StdRng| -> Vec<String> {
+        let len = rng.gen_range(3..=8);
+        (0..len).map(|_| words[rng.gen_range(0..words.len())].clone()).collect()
+    };
+    (0..mix.batches)
+        .map(|_| {
+            let ops = rng.gen_range(mix.batch_ops.0..=mix.batch_ops.1).max(1);
+            let mut batch = MutationBatch::new();
+            for _ in 0..ops {
+                if rng.gen_bool(mix.add_fraction) || alive.is_empty() {
+                    batch = batch.add_doc(doc(&mut rng));
+                    alive.push(next_id);
+                    next_id += 1;
+                } else if rng.gen_bool(mix.remove_fraction / (1.0 - mix.add_fraction).max(1e-9)) {
+                    let slot = rng.gen_range(0..alive.len());
+                    batch = batch.remove_doc(alive.swap_remove(slot));
+                } else {
+                    let slot = rng.gen_range(0..alive.len());
+                    let old = alive[slot];
+                    batch = batch.update_doc(old, doc(&mut rng));
+                    alive[slot] = next_id;
+                    next_id += 1;
+                }
+            }
+            batch
+        })
+        .collect()
+}
+
 /// Deterministic synthetic documents over the vocab, for building the
 /// bench's retrieval index.
 pub fn synthetic_docs(vocab: &Vocab, n: usize, seed: u64) -> Vec<Vec<String>> {
@@ -162,6 +235,44 @@ mod tests {
         let head_hits =
             w.requests.iter().filter(|q| w.head.contains(q)).count();
         assert!(head_hits < 100, "expected a tail-dominated mix, got {head_hits}/200");
+    }
+
+    #[test]
+    fn churn_stream_replays_identically_and_targets_live_docs() {
+        use qrw_search::{segment::replay, CatalogOp, Segment};
+        let v = vocab();
+        let mix = ChurnMix::feed(40, 11);
+        let a = mutation_batches(&v, 10, &mix);
+        let b = mutation_batches(&v, 10, &mix);
+        assert_eq!(a, b, "same seed must replay the same batch stream");
+        assert_eq!(a.len(), 40);
+        // Applying the stream after the initial corpus never touches a
+        // dead or out-of-range id: every remove/update targets a doc that
+        // is live at that point in the replay.
+        let docs = synthetic_docs(&v, 10, 3);
+        let mut segments =
+            vec![Segment::base_of(docs.iter().map(|d| d.as_slice()))];
+        let mut idx = replay(&segments);
+        for batch in &a {
+            // Check op-by-op: an update may target a doc added earlier in
+            // the same batch, so validity is against the index state at
+            // the op, not at the batch boundary.
+            for op in &batch.ops {
+                if let CatalogOp::Remove { doc } | CatalogOp::Update { doc, .. } = op {
+                    assert!(
+                        idx.is_alive(*doc as usize),
+                        "op targets dead/out-of-range doc {doc}"
+                    );
+                }
+                Segment::seal(MutationBatch { ops: vec![op.clone()] }).apply(&mut idx);
+            }
+            segments.push(Segment::seal(batch.clone()));
+        }
+        assert_eq!(
+            idx.fingerprint(),
+            replay(&segments).fingerprint(),
+            "incremental apply and full replay disagree"
+        );
     }
 
     #[test]

@@ -304,6 +304,56 @@ fn duplicate_in_flight_queries_coalesce_without_changing_responses() {
 }
 
 #[test]
+fn live_catalog_runtime_serves_every_request_under_writer_churn() {
+    use qrw_search::CatalogWriter;
+    use qrw_serve::{mutation_batches, ChurnMix};
+
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let docs = synthetic_docs(&vocab, 60, 11);
+    let (store, mut writer) = CatalogWriter::bootstrap(docs);
+    let mut stack = stack(&vocab, &w.head);
+    stack.engine = Arc::new(SearchEngine::live(Arc::clone(&store)));
+
+    let batches = mutation_batches(&vocab, 60, &ChurnMix::feed(12, 17));
+    let n_batches = batches.len() as u64;
+    let writer_thread = std::thread::spawn(move || {
+        for batch in batches {
+            writer.apply(batch).expect("in-memory publish cannot fail");
+        }
+        writer
+    });
+
+    let config = RuntimeConfig { workers: 4, max_batch: 8, ..RuntimeConfig::default() };
+    let runtime = Runtime::new(stack.clone(), config);
+    let records = runtime.execute(
+        w.requests.iter().map(|q| (q.clone(), DeadlineBudget::unlimited())).collect(),
+    );
+    let writer = writer_thread.join().expect("writer must not panic");
+    drop(writer);
+
+    // Every request was served from *some* whole epoch: the stamped epoch
+    // never exceeds what the writer had published.
+    let last = store.current_epoch();
+    assert_eq!(last, n_batches, "one epoch per applied batch");
+    for r in &records {
+        match &r.outcome {
+            Outcome::Served(resp) => {
+                assert!(resp.epoch <= last, "response from unpublished epoch {}", resp.epoch);
+            }
+            other => panic!("request {} not served: {other:?}", r.id),
+        }
+    }
+
+    let report = stack.engine.health_report();
+    assert!(report.churn.live_catalog);
+    assert_eq!(report.churn.epochs_published, n_batches);
+    assert_eq!(report.churn.writer_panics, 0);
+    assert_eq!(report.churn.publish_failures, 0);
+    assert_eq!(report.churn.pinned_now, 0, "all request pins released");
+}
+
+#[test]
 fn run_reports_requests_and_cache_traffic_in_health_report() {
     let vocab = vocab();
     let w = workload(&vocab);

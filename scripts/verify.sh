@@ -3,7 +3,7 @@
 # without touching the network (the build is fully hermetic — no external
 # crates, see CHANGES.md).
 #
-#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--obs-smoke]
+#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--obs-smoke] [--mutate-smoke]
 #
 # With --bench-smoke, additionally runs the smoke benchmarks: they write
 # BENCH_decode.json / BENCH_matmul.json at the repo root, fail on any
@@ -26,6 +26,15 @@
 # against the harness schema, asserting histogram totals equal the served
 # request counts, and enforcing the <5% tracing-overhead bar.
 #
+# With --mutate-smoke, additionally runs the live-catalog smoke: serving
+# under writer churn with the torn-read invariant checked byte-for-byte
+# against serial per-epoch replays, frozen-vs-pinned overhead bounded,
+# and recovery after a mid-commit kill verified by fingerprint. Writes +
+# validates BENCH_mutate.json at the repo root. When QRW_VERIFY_BUDGET is
+# set to "full", also sweeps EVERY byte offset of the commit stream as a
+# kill point (slower; the same sweep always runs in the qrw-search
+# tests/mutation.rs suite, so the quick mode loses no coverage per PR).
+#
 # Always runs the test-inventory guard: every crates/*/src module must
 # either contain #[test]s or be exercised by that crate's integration
 # tests (re-export-only entry points are whitelisted below).
@@ -36,12 +45,14 @@ BENCH_SMOKE=0
 TRAIN_RESUME=0
 LOAD_SMOKE=0
 OBS_SMOKE=0
+MUTATE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --train-resume) TRAIN_RESUME=1 ;;
     --load-smoke) LOAD_SMOKE=1 ;;
     --obs-smoke) OBS_SMOKE=1 ;;
+    --mutate-smoke) MUTATE_SMOKE=1 ;;
     *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -117,6 +128,17 @@ fi
 if [ "$OBS_SMOKE" = 1 ]; then
   echo "== obs smoke (traced load mix, JSONL schema, overhead bar) =="
   cargo run --release --offline -p qrw-bench --bin obs_smoke
+fi
+
+if [ "$MUTATE_SMOKE" = 1 ]; then
+  echo "== mutate smoke (offline, writes + validates BENCH_mutate.json) =="
+  MUTATE_ARGS=""
+  if [ "${QRW_VERIFY_BUDGET:-quick}" = "full" ]; then
+    echo "   (QRW_VERIFY_BUDGET=full: including the exhaustive kill-point sweep)"
+    MUTATE_ARGS="--sweep"
+  fi
+  # shellcheck disable=SC2086
+  cargo run --release --offline -p qrw-bench --bin mutate_smoke -- --out . $MUTATE_ARGS
 fi
 
 echo "verify: OK"
