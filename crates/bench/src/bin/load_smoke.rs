@@ -250,7 +250,7 @@ fn build_stack(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> ServeStack {
     for q in head {
         cache.insert(q, online.rewrite(q, ServingConfig::default().max_rewrites));
     }
-    ServeStack { engine, cache: Some(cache), online: Some(online), baseline: None }
+    ServeStack { engine, cache: Some(cache), student: None, online: Some(online), baseline: None }
 }
 
 fn open_loop_config() -> RuntimeConfig {
@@ -272,6 +272,7 @@ fn run_sequential(stack: &ServeStack, requests: &[Vec<String>]) -> (Duration, Ve
         .map(|q| {
             let ladder = RewriteLadder {
                 cache: stack.cache.as_deref(),
+                student: stack.student.as_deref().map(|s| s as &dyn QueryRewriter),
                 online,
                 baseline: None,
             };

@@ -257,7 +257,7 @@ fn prefilled_cache(head: &[Vec<String>]) -> RewriteCache {
 }
 
 fn serve(engine: &SearchEngine, cache: &RewriteCache, query: &[String]) -> (u64, String) {
-    let ladder = RewriteLadder { cache: Some(cache), online: None, baseline: None };
+    let ladder = RewriteLadder { cache: Some(cache), ..RewriteLadder::default() };
     let resp = engine.search_resilient(
         query,
         ladder,

@@ -47,6 +47,18 @@ pub fn group(title: &str) {
     println!("\n== {title} ==");
 }
 
+/// Optional per-entry derived metrics alongside the raw nanosecond
+/// [`Sample`]: decode throughput, and a throughput ratio against another
+/// entry in the same record (the distilled-student speedup bar).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Derived {
+    /// Decode throughput in tokens per second (from the median).
+    pub tokens_per_s: Option<f64>,
+    /// `(reference entry name, ratio)` — how many times faster this entry
+    /// is than the named reference, which must exist in the same record.
+    pub speedup_vs: Option<(String, f64)>,
+}
+
 /// A machine-readable benchmark trajectory: one named [`Sample`] per
 /// entry, persisted as `BENCH_<name>.json` so successive optimisation PRs
 /// leave comparable numbers behind.
@@ -55,12 +67,18 @@ pub fn group(title: &str) {
 ///
 /// ```json
 /// {"bench": "decode", "unit": "ns",
-///  "entries": [{"name": "...", "median_ns": 1, "min_ns": 1, "max_ns": 2}]}
+///  "entries": [{"name": "...", "median_ns": 1, "min_ns": 1, "max_ns": 2,
+///               "tokens_per_s": 15750.5,
+///               "speedup_vs": {"name": "...", "ratio": 2.5}}]}
 /// ```
+///
+/// `tokens_per_s` and `speedup_vs` are optional per entry; when present
+/// they must be finite and positive, and `speedup_vs.name` must reference
+/// another entry of the same record.
 #[derive(Clone, Debug)]
 pub struct BenchRecord {
     pub bench: String,
-    entries: Vec<(String, Sample)>,
+    entries: Vec<(String, Sample, Derived)>,
 }
 
 impl BenchRecord {
@@ -70,17 +88,27 @@ impl BenchRecord {
 
     /// Records one named sample (names must be unique within a record).
     pub fn push(&mut self, name: impl Into<String>, sample: Sample) {
+        self.push_derived(name, sample, Derived::default());
+    }
+
+    /// Records one named sample with derived metrics attached.
+    pub fn push_derived(&mut self, name: impl Into<String>, sample: Sample, derived: Derived) {
         let name = name.into();
         assert!(
-            self.entries.iter().all(|(n, _)| *n != name),
+            self.entries.iter().all(|(n, _, _)| *n != name),
             "duplicate bench entry name: {name}"
         );
-        self.entries.push((name, sample));
+        self.entries.push((name, sample, derived));
     }
 
     /// The recorded sample for `name`, if present.
     pub fn entry(&self, name: &str) -> Option<Sample> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
+        self.entries.iter().find(|(n, _, _)| n == name).map(|(_, s, _)| *s)
+    }
+
+    /// The derived metrics for `name`, if the entry exists.
+    pub fn derived(&self, name: &str) -> Option<&Derived> {
+        self.entries.iter().find(|(n, _, _)| n == name).map(|(_, _, d)| d)
     }
 
     /// Serializes the record to the `BENCH_*.json` schema.
@@ -90,15 +118,24 @@ impl BenchRecord {
         out.push_str(&format!("  \"bench\": {},\n", json_string(&self.bench)));
         out.push_str("  \"unit\": \"ns\",\n");
         out.push_str("  \"entries\": [\n");
-        for (i, (name, s)) in self.entries.iter().enumerate() {
+        for (i, (name, s, d)) in self.entries.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+                "    {{\"name\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}",
                 json_string(name),
                 s.median_ns,
                 s.min_ns,
                 s.max_ns,
-                if i + 1 < self.entries.len() { "," } else { "" }
             ));
+            if let Some(t) = d.tokens_per_s {
+                out.push_str(&format!(", \"tokens_per_s\": {t}"));
+            }
+            if let Some((vs, ratio)) = &d.speedup_vs {
+                out.push_str(&format!(
+                    ", \"speedup_vs\": {{\"name\": {}, \"ratio\": {ratio}}}",
+                    json_string(vs)
+                ));
+            }
+            out.push_str(&format!("}}{}\n", if i + 1 < self.entries.len() { "," } else { "" }));
         }
         out.push_str("  ]\n}\n");
         out
@@ -297,7 +334,51 @@ pub fn validate_bench_json(text: &str) -> Result<BenchRecord, String> {
                 sample.min_ns, sample.median_ns, sample.max_ns
             ));
         }
-        record.entries.push((name.to_string(), sample));
+        let mut derived = Derived::default();
+        if let Some(v) = e.get("tokens_per_s") {
+            let t = v
+                .as_f64()
+                .ok_or_else(|| format!("entries[{i}] ({name}) \"tokens_per_s\" is not a number"))?;
+            if !t.is_finite() || t <= 0.0 {
+                return Err(format!(
+                    "entries[{i}] ({name}) \"tokens_per_s\" must be finite and positive, got {t}"
+                ));
+            }
+            derived.tokens_per_s = Some(t);
+        }
+        if let Some(v) = e.get("speedup_vs") {
+            if v.as_object().is_none() {
+                return Err(format!("entries[{i}] ({name}) \"speedup_vs\" is not an object"));
+            }
+            let vs = v.get("name").and_then(Json::as_str).ok_or_else(|| {
+                format!("entries[{i}] ({name}) \"speedup_vs\" missing string \"name\"")
+            })?;
+            if vs.is_empty() {
+                return Err(format!("entries[{i}] ({name}) \"speedup_vs\" has an empty name"));
+            }
+            let ratio = v.get("ratio").and_then(Json::as_f64).ok_or_else(|| {
+                format!("entries[{i}] ({name}) \"speedup_vs\" missing number \"ratio\"")
+            })?;
+            if !ratio.is_finite() || ratio <= 0.0 {
+                return Err(format!(
+                    "entries[{i}] ({name}) \"speedup_vs\" ratio must be finite and positive, \
+                     got {ratio}"
+                ));
+            }
+            derived.speedup_vs = Some((vs.to_string(), ratio));
+        }
+        record.entries.push((name.to_string(), sample, derived));
+    }
+    // Speedup references must resolve within the record: a ratio against
+    // a missing baseline is meaningless.
+    for (name, _, d) in &record.entries {
+        if let Some((vs, _)) = &d.speedup_vs {
+            if record.entry(vs).is_none() {
+                return Err(format!(
+                    "entry {name:?} \"speedup_vs\" references unknown entry {vs:?}"
+                ));
+            }
+        }
     }
     Ok(record)
 }
@@ -332,6 +413,85 @@ pub fn validate_mutate_json(text: &str) -> Result<BenchRecord, String> {
         }
     }
     Ok(record)
+}
+
+/// Entry names a `BENCH_distill.json` record must carry: teacher and
+/// student max-length decode latency and the held-out oracle
+/// win/tie/lose verdict of the student against the teacher.
+pub const DISTILL_REQUIRED_ENTRIES: [&str; 5] = [
+    "teacher/decode_maxlen",
+    "student/decode_maxlen",
+    "oracle/win",
+    "oracle/tie",
+    "oracle/lose",
+];
+
+/// Parses and schema-checks a `BENCH_distill.json` document: the general
+/// bench schema ([`validate_bench_json`]) plus the distill-specific
+/// contract — the record must be named `distill`, carry every entry in
+/// [`DISTILL_REQUIRED_ENTRIES`] (extras allowed), and the student decode
+/// entry must carry `tokens_per_s` and its `speedup_vs` ratio against the
+/// teacher decode entry (the PR's ≥2x acceptance bar lives in that field).
+pub fn validate_distill_json(text: &str) -> Result<BenchRecord, String> {
+    let record = validate_bench_json(text)?;
+    if record.bench != "distill" {
+        return Err(format!("\"bench\" is {:?}, expected \"distill\"", record.bench));
+    }
+    for name in DISTILL_REQUIRED_ENTRIES {
+        if record.entry(name).is_none() {
+            return Err(format!("missing required distill entry {name:?}"));
+        }
+    }
+    let student = record.derived("student/decode_maxlen").expect("entry checked above");
+    if student.tokens_per_s.is_none() {
+        return Err("\"student/decode_maxlen\" must carry \"tokens_per_s\"".into());
+    }
+    match &student.speedup_vs {
+        Some((vs, _)) if vs == "teacher/decode_maxlen" => {}
+        _ => {
+            return Err(
+                "\"student/decode_maxlen\" must carry \"speedup_vs\" against \
+                 \"teacher/decode_maxlen\""
+                    .into(),
+            )
+        }
+    }
+    Ok(record)
+}
+
+/// Compares a fresh record against the committed baseline it is about to
+/// replace: any entry present in both whose fresh median exceeds the
+/// committed median by more than `tolerance` (0.20 = 20%) is a
+/// regression, and so is an entry that disappeared from the fresh run.
+/// New entries are allowed — that is how the trajectory grows.
+pub fn median_regressions(
+    committed: &BenchRecord,
+    fresh: &BenchRecord,
+    tolerance: f64,
+) -> Result<(), String> {
+    let mut problems = Vec::new();
+    for (name, old, _) in &committed.entries {
+        match fresh.entry(name) {
+            None => problems.push(format!("entry {name:?} disappeared from the fresh run")),
+            Some(new) => {
+                if new.median_ns as f64 > old.median_ns as f64 * (1.0 + tolerance) {
+                    problems.push(format!(
+                        "{name}: median {} ns vs committed {} ns \
+                         (+{:.0}%, tolerance {:.0}%)",
+                        new.median_ns,
+                        old.median_ns,
+                        100.0 * (new.median_ns as f64 / old.median_ns.max(1) as f64 - 1.0),
+                        100.0 * tolerance
+                    ));
+                }
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("; "))
+    }
 }
 
 /// One validated line of a span-trace JSONL export (the `qrw-obs`
@@ -718,6 +878,126 @@ mod tests {
             let err = validate_bench_json(text).expect_err(text);
             assert!(err.contains(want), "{text}: error {err:?} should mention {want:?}");
         }
+    }
+
+    #[test]
+    fn derived_metrics_round_trip_and_validate() {
+        let mut rec = BenchRecord::new("decode");
+        rec.push("kv_cache", sample(1000, 900, 1100));
+        rec.push_derived(
+            "student_quantized",
+            sample(400, 380, 450),
+            Derived {
+                tokens_per_s: Some(37_500.25),
+                speedup_vs: Some(("kv_cache".into(), 2.5)),
+            },
+        );
+        let parsed = validate_bench_json(&rec.to_json()).expect("round trip validates");
+        let d = parsed.derived("student_quantized").unwrap();
+        assert_eq!(d.tokens_per_s, Some(37_500.25));
+        assert_eq!(d.speedup_vs, Some(("kv_cache".to_string(), 2.5)));
+        // Plain entries parse back with empty derived metrics.
+        assert_eq!(parsed.derived("kv_cache"), Some(&Derived::default()));
+    }
+
+    #[test]
+    fn derived_metric_violations_are_rejected() {
+        let entry = |extra: &str| {
+            format!(
+                "{{\"bench\": \"d\", \"unit\": \"ns\", \"entries\": [\
+                 {{\"name\": \"base\", \"median_ns\": 1, \"min_ns\": 1, \"max_ns\": 2}},\
+                 {{\"name\": \"a\", \"median_ns\": 1, \"min_ns\": 1, \"max_ns\": 2{extra}}}]}}"
+            )
+        };
+        let bad = [
+            (entry(", \"tokens_per_s\": -5"), "finite and positive"),
+            (entry(", \"tokens_per_s\": \"fast\""), "not a number"),
+            (entry(", \"speedup_vs\": 3"), "not an object"),
+            (entry(", \"speedup_vs\": {\"ratio\": 2}"), "\"name\""),
+            (entry(", \"speedup_vs\": {\"name\": \"base\"}"), "\"ratio\""),
+            (entry(", \"speedup_vs\": {\"name\": \"base\", \"ratio\": 0}"), "finite and positive"),
+            (entry(", \"speedup_vs\": {\"name\": \"ghost\", \"ratio\": 2}"), "unknown entry"),
+        ];
+        for (text, want) in bad {
+            let err = validate_bench_json(&text).expect_err(&text);
+            assert!(err.contains(want), "{text}: error {err:?} should mention {want:?}");
+        }
+    }
+
+    #[test]
+    fn distill_validator_enforces_entries_and_student_derived_fields() {
+        let full = || {
+            let mut rec = BenchRecord::new("distill");
+            rec.push("teacher/decode_maxlen", sample(1000, 900, 1100));
+            rec.push_derived(
+                "student/decode_maxlen",
+                sample(400, 380, 450),
+                Derived {
+                    tokens_per_s: Some(37_500.0),
+                    speedup_vs: Some(("teacher/decode_maxlen".into(), 2.5)),
+                },
+            );
+            for name in ["oracle/win", "oracle/tie", "oracle/lose"] {
+                rec.push(name, sample(3, 3, 3));
+            }
+            rec
+        };
+        assert_eq!(validate_distill_json(&full().to_json()).unwrap().bench, "distill");
+
+        // Dropping any required entry fails, naming the entry.
+        for missing in DISTILL_REQUIRED_ENTRIES {
+            let mut partial = BenchRecord::new("distill");
+            for (name, s, d) in &full().entries {
+                if name != missing {
+                    partial.push_derived(name.clone(), *s, d.clone());
+                }
+            }
+            // Dropping the teacher entry also invalidates the student's
+            // speedup reference — either error is acceptable, but it must
+            // not validate.
+            assert!(validate_distill_json(&partial.to_json()).is_err(), "{missing}");
+        }
+
+        // A student entry without the derived fields is rejected.
+        let mut plain = BenchRecord::new("distill");
+        for (name, s, _) in &full().entries {
+            plain.push(name.clone(), *s);
+        }
+        let err = validate_distill_json(&plain.to_json()).unwrap_err();
+        assert!(err.contains("tokens_per_s"), "{err}");
+
+        // The wrong record name is rejected.
+        let mut wrong = full();
+        wrong.bench = "decode".into();
+        assert!(validate_distill_json(&wrong.to_json()).unwrap_err().contains("distill"));
+    }
+
+    #[test]
+    fn median_regression_guard_flags_slowdowns_and_dropped_entries() {
+        let mut committed = BenchRecord::new("decode");
+        committed.push("kv_cache", sample(1000, 900, 1100));
+        committed.push("hybrid", sample(2000, 1900, 2100));
+
+        // Within tolerance (+20% exactly) and a brand-new entry: fine.
+        let mut ok = BenchRecord::new("decode");
+        ok.push("kv_cache", sample(1200, 1100, 1300));
+        ok.push("hybrid", sample(1500, 1400, 1600));
+        ok.push("student_quantized", sample(400, 380, 450));
+        assert!(median_regressions(&committed, &ok, 0.20).is_ok());
+
+        // A >20% slowdown on a shared entry is named in the error.
+        let mut slow = BenchRecord::new("decode");
+        slow.push("kv_cache", sample(1201, 1100, 1300));
+        slow.push("hybrid", sample(2000, 1900, 2100));
+        let err = median_regressions(&committed, &slow, 0.20).unwrap_err();
+        assert!(err.contains("kv_cache"), "{err}");
+        assert!(!err.contains("hybrid"), "{err}");
+
+        // An entry missing from the fresh run is a regression too.
+        let mut dropped = BenchRecord::new("decode");
+        dropped.push("kv_cache", sample(1000, 900, 1100));
+        let err = median_regressions(&committed, &dropped, 0.20).unwrap_err();
+        assert!(err.contains("disappeared"), "{err}");
     }
 
     #[test]

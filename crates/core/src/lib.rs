@@ -10,6 +10,9 @@
 //! * [`pipeline`] — the two-stage inference pipeline of §III-E/Figure 3
 //!   and the [`pipeline::QueryRewriter`] trait all rewriters implement.
 //! * [`q2q`] — the §III-G direct query→query serving model (Figure 9).
+//! * [`distill`] — the distill-and-quantize fast path: the teacher
+//!   pipeline's top rewrites train a compact q2q student that serves
+//!   through the i8 integer kernels of `qrw_nmt::student`.
 //! * [`embed`] — SGNS embeddings standing in for the production embedding
 //!   model behind Table VII's cosine metric.
 //! * [`lm_rewriter`] — the §V GPT-style single-LM alternative
@@ -23,6 +26,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod cyclic;
+pub mod distill;
 pub mod embed;
 pub mod fault;
 pub mod lm_rewriter;
@@ -36,6 +40,7 @@ pub use cyclic::{
     CurvePoint, CyclicTrainer, JointModel, SpikeDetector, SpikeVerdict, TrainHealthReport,
     TrainMode, TrainingCurve,
 };
+pub use distill::{distill_pairs, distill_student, DistillConfig, Distilled, StudentRewriter};
 pub use embed::{cosine, EmbeddingModel, SgnsConfig};
 pub use fault::TrainFaultInjector;
 pub use lm_rewriter::{make_lm, train_lm, LmCorpus, LmPoint, LmRewriter, LmTrainConfig};

@@ -11,7 +11,7 @@
 use qrw_tensor::rng::StdRng;
 use qrw_tensor::Tensor;
 
-use qrw_text::{BOS, EOS};
+use qrw_text::{BOS, EOS, PAD, UNK};
 
 use crate::seq2seq::{DecodeState, Seq2Seq};
 
@@ -422,6 +422,113 @@ fn sample_top_n(lp: &[f32], n: usize, rng: &mut StdRng) -> usize {
     order[order.len() - 1]
 }
 
+/// Outcome of one fused decode step: the sampled token and its true model
+/// log-prob `log softmax(logits)[token]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FusedStep {
+    pub token: usize,
+    pub log_prob: f32,
+}
+
+/// Fused softmax + top-n-sampling epilogue over raw output *logits*.
+///
+/// The unfused decode path materializes a full log-softmax vector
+/// (`rows_to_log_probs`), masks the special tokens, sorts the whole
+/// vocabulary, and only then samples. The distilled student instead hands
+/// its raw logits straight here: one pass over the vocabulary maintains a
+/// streaming log-sum-exp (for the true log-prob of whatever gets sampled)
+/// and an insertion-sorted top-`n` pool, then samples from the pool —
+/// no intermediate vocab-sized allocation, no full sort.
+///
+/// Semantics mirror the unfused pair exactly: PAD/BOS/UNK are excluded
+/// from the pool (they are masked to `-inf` before [`sample_top_n`] on
+/// the teacher path), ties keep ascending token order (the stable-sort
+/// order), weights renormalize against the pool maximum, and a fully
+/// degenerate input degrades to PAD instead of panicking.
+pub fn fused_top_n_from_logits(logits: &[f32], n: usize, rng: &mut StdRng) -> FusedStep {
+    let cap = n.max(1);
+    // Streaming log-sum-exp over *all* finite logits (softmax normalizes
+    // over the full vocabulary, specials included, before masking).
+    let mut lse_max = f32::NEG_INFINITY;
+    let mut lse_sum = 0.0f32;
+    // Top-n pool of (logit, token), sorted descending, ties in ascending
+    // token order — identical to a stable descending sort.
+    let mut pool: Vec<(f32, usize)> = Vec::with_capacity(cap + 1);
+    for (t, &l) in logits.iter().enumerate() {
+        if !l.is_finite() {
+            continue;
+        }
+        if l > lse_max {
+            lse_sum = lse_sum * (lse_max - l).exp() + 1.0;
+            lse_max = l;
+        } else {
+            lse_sum += (l - lse_max).exp();
+        }
+        if t == PAD || t == BOS || t == UNK {
+            continue;
+        }
+        // First index whose value is strictly below `l`: equal values stay
+        // ahead, preserving the stable ascending-token tie order.
+        let pos = pool.partition_point(|&(v, _)| v.total_cmp(&l).is_ge());
+        if pos == cap {
+            continue;
+        }
+        pool.insert(pos, (l, t));
+        pool.truncate(cap);
+    }
+    if pool.is_empty() {
+        // Fully degenerate logits (every entry NaN/inf, or nothing but
+        // specials survives). Emit PAD, which downstream special-token
+        // filters drop; the serve path must not panic.
+        return FusedStep { token: PAD, log_prob: f32::NEG_INFINITY };
+    }
+    let lse = lse_max + lse_sum.ln();
+    let max = pool[0].0;
+    let total: f32 = pool.iter().map(|&(l, _)| (l - max).exp()).sum();
+    let mut draw = rng.gen::<f32>() * total;
+    for &(l, t) in &pool {
+        draw -= (l - max).exp();
+        if draw <= 0.0 {
+            return FusedStep { token: t, log_prob: l - lse };
+        }
+    }
+    let &(l, t) = pool.last().expect("pool checked non-empty");
+    FusedStep { token: t, log_prob: l - lse }
+}
+
+/// First-step companion of [`fused_top_n_from_logits`]: the `k` most
+/// likely *distinct* first tokens from raw logits, excluding EOS (so no
+/// candidate decodes empty) on top of the usual PAD/BOS/UNK mask —
+/// the fused mirror of the first step of [`top_n_sampling_batch`].
+/// Returns `(token, log_prob)` best-first, ties in ascending token order.
+pub fn top_k_first_tokens_from_logits(logits: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let mut lse_max = f32::NEG_INFINITY;
+    let mut lse_sum = 0.0f32;
+    let mut pool: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+    for (t, &l) in logits.iter().enumerate() {
+        if !l.is_finite() {
+            continue;
+        }
+        if l > lse_max {
+            lse_sum = lse_sum * (lse_max - l).exp() + 1.0;
+            lse_max = l;
+        } else {
+            lse_sum += (l - lse_max).exp();
+        }
+        if t == PAD || t == BOS || t == UNK || t == EOS {
+            continue;
+        }
+        let pos = pool.partition_point(|&(v, _)| v.total_cmp(&l).is_ge());
+        if pos == k {
+            continue;
+        }
+        pool.insert(pos, (l, t));
+        pool.truncate(k);
+    }
+    let lse = lse_max + lse_sum.ln();
+    pool.into_iter().map(|(l, t)| (t, l - lse)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,5 +665,96 @@ mod tests {
             let t = sample_top_n(&lp, 2, &mut rng);
             assert!(t == 0 || t == 2);
         }
+    }
+
+    /// The unfused reference: full log-softmax, then PAD/BOS/UNK masked to
+    /// `-inf` — exactly what `rows_to_log_probs` feeds `sample_top_n`.
+    fn masked_log_probs(logits: &[f32]) -> Vec<f32> {
+        let max = logits.iter().copied().filter(|v| v.is_finite()).fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + logits.iter().filter(|v| v.is_finite()).map(|&v| (v - max).exp()).sum::<f32>().ln();
+        logits
+            .iter()
+            .enumerate()
+            .map(|(t, &l)| {
+                if !l.is_finite() || t == PAD || t == BOS || t == UNK {
+                    f32::NEG_INFINITY
+                } else {
+                    l - lse
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_epilogue_matches_unfused_sampler() {
+        let logits = vec![0.5, 3.0, -1.0, 9.0, 1.5, 1.5, -0.25, 0.75, 2.5, -4.0];
+        let lp = masked_log_probs(&logits);
+        for n in [1usize, 2, 3, 5, 40] {
+            for seed in 0..60u64 {
+                let want = sample_top_n(&lp, n, &mut StdRng::seed_from_u64(seed));
+                let got = fused_top_n_from_logits(&logits, n, &mut StdRng::seed_from_u64(seed));
+                assert_eq!(got.token, want, "n={n} seed={seed}");
+                assert!(
+                    (got.log_prob - lp[want]).abs() < 1e-5,
+                    "n={n} seed={seed}: {} vs {}",
+                    got.log_prob,
+                    lp[want]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_is_shift_invariant_in_token_choice() {
+        let logits = vec![0.0, 1.0, 2.0, -0.5, 4.0, 3.0, 1.0];
+        let shifted: Vec<f32> = logits.iter().map(|v| v + 16.0).collect();
+        for seed in 0..20u64 {
+            let a = fused_top_n_from_logits(&logits, 3, &mut StdRng::seed_from_u64(seed));
+            let b = fused_top_n_from_logits(&shifted, 3, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(a.token, b.token, "seed {seed}");
+            assert!((a.log_prob - b.log_prob).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_degrades_to_pad_on_degenerate_logits() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for logits in
+            [vec![], vec![f32::NAN; 6], vec![f32::NEG_INFINITY; 6], vec![1.0, 2.0, f32::NEG_INFINITY, 0.5]]
+        {
+            // The last case has finite logits only at maskable special
+            // positions (PAD/BOS/UNK; EOS itself stays sampleable).
+            let got = fused_top_n_from_logits(&logits, 3, &mut rng);
+            assert_eq!(got.token, PAD, "{logits:?}");
+            assert_eq!(got.log_prob, f32::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_ties_keep_ascending_token_order() {
+        // Tokens 5 and 7 tie for the maximum; n=1 must keep the stable
+        // (ascending-index) winner, exactly like the unfused stable sort.
+        let mut logits = vec![f32::NEG_INFINITY; 9];
+        logits[5] = 2.0;
+        logits[7] = 2.0;
+        logits[4] = 1.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            assert_eq!(fused_top_n_from_logits(&logits, 1, &mut rng).token, 5);
+        }
+    }
+
+    #[test]
+    fn top_k_first_tokens_excludes_specials_and_ranks_desc() {
+        let logits = vec![10.0, 10.0, 10.0, 10.0, 1.0, 3.0, 2.0, f32::NAN, 0.0];
+        let got = top_k_first_tokens_from_logits(&logits, 3);
+        let toks: Vec<usize> = got.iter().map(|&(t, _)| t).collect();
+        assert_eq!(toks, vec![5, 6, 4]);
+        let lp = masked_log_probs(&logits);
+        for &(t, l) in &got {
+            assert!((l - lp[t]).abs() < 1e-5, "token {t}: {l} vs {}", lp[t]);
+        }
+        // k larger than the eligible set returns everything eligible.
+        assert_eq!(top_k_first_tokens_from_logits(&logits, 10).len(), 4);
     }
 }

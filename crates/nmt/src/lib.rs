@@ -13,6 +13,7 @@ pub mod layers;
 pub mod lm;
 pub mod rnn;
 pub mod seq2seq;
+pub mod student;
 pub mod transformer;
 
 pub use config::{ComponentKind, ModelConfig};
@@ -22,4 +23,5 @@ pub use decode::{
 };
 pub use lm::{CausalLm, CausalLmConfig};
 pub use seq2seq::{DecodeState, DecodeStats, Seq2Seq, TransformerDecodeMode};
+pub use student::{QuantStudent, StudentKvCache};
 pub use transformer::KvCache;

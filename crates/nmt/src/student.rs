@@ -1,0 +1,850 @@
+//! The distilled q2q student's quantized inference path (§IV online
+//! serving).
+//!
+//! [`QuantStudent`] is an inference-only transformer seq2seq built from a
+//! trained [`Seq2Seq`]'s parameters. Every weight matrix on the per-step
+//! critical path (attention projections, FFN, output projection) is i8
+//! per-row quantized ([`QuantizedMatrix`]), so the inner loops are
+//! dequant-free integer dots with one f32 epilogue per output element.
+//! Decoder attention keys are quantized once when cached
+//! ([`QuantizedRows`]) and every attention score against them is an
+//! integer dot; attention values, embeddings, biases, layer norms and the
+//! positional table stay f32 — they are either read once per step or need
+//! the dynamic range.
+//!
+//! The integer inner loops make the whole decode bitwise deterministic
+//! across runs and thread counts (integer accumulation is associative;
+//! every f32 epilogue runs in a fixed per-element order), which
+//! `tests/quant_props.rs` in `qrw-tensor` pins at the kernel level and the
+//! tests here pin end to end.
+//!
+//! Artifacts: the quantized matrices serialize as a version-gated `QRWT`
+//! v3 blob ([`qrw_tensor::serialize::save_quantized`]); the f32 remainder
+//! rides in an ordinary v2 blob. [`QuantStudent::from_artifacts`] rebuilds
+//! the student from the pair, bit-identically.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use qrw_tensor::quant::{quantize_row, QuantizedMatrix, QuantizedRows};
+use qrw_tensor::rng::StdRng;
+use qrw_tensor::serialize;
+use qrw_tensor::tensor::softmax_in_place;
+use qrw_tensor::{ParamSet, Tensor};
+use qrw_text::{BOS, EOS};
+
+use crate::config::{ComponentKind, ModelConfig};
+use crate::decode::{
+    fused_top_n_from_logits, top_k_first_tokens_from_logits, Hypothesis, TopNSampling,
+};
+use crate::layers::positional_encoding;
+use crate::seq2seq::{DecodeStats, Seq2Seq};
+
+/// A dense layer with an i8-quantized weight and an f32 bias.
+struct QuantLinear {
+    /// Stored transposed (`d_out x d_in`): inner products are contiguous.
+    w: QuantizedMatrix,
+    b: Vec<f32>,
+}
+
+impl QuantLinear {
+    fn matvec_into(&self, xq: &[i8], x_scale: f32, out: &mut [f32]) {
+        self.w.matvec_quantized(xq, x_scale, Some(&self.b), out);
+    }
+
+    fn matvec(&self, xq: &[i8], x_scale: f32) -> Vec<f32> {
+        let mut out = vec![0.0; self.w.rows()];
+        self.matvec_into(xq, x_scale, &mut out);
+        out
+    }
+
+    fn matmul(&self, x: &Tensor) -> Tensor {
+        self.w.matmul(x, Some(&self.b))
+    }
+}
+
+/// Learned layer norm replicating `LayerNorm::forward_inference`'s
+/// arithmetic (same epsilon, biased variance, evaluation order).
+struct Norm {
+    gain: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Norm {
+    fn apply(&self, x: &mut [f32]) {
+        const EPS: f32 = 1e-5;
+        let n = x.len() as f32;
+        let mean = x.iter().sum::<f32>() / n;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let istd = 1.0 / (var + EPS).sqrt();
+        for (c, v) in x.iter_mut().enumerate() {
+            let xh = (*v - mean) * istd;
+            *v = xh * self.gain[c] + self.bias[c];
+        }
+    }
+}
+
+struct QuantAttention {
+    wq: QuantLinear,
+    wk: QuantLinear,
+    wv: QuantLinear,
+    wo: QuantLinear,
+    heads: usize,
+    d_head: usize,
+}
+
+impl QuantAttention {
+    /// Full (unmasked) self-attention over `x`, quantized projections,
+    /// f32 score/softmax/context — the encoder runs once per query, so
+    /// only its matmuls need the fast path.
+    fn attend_full(&self, x: &Tensor) -> Tensor {
+        let q = self.wq.matmul(x);
+        let k = self.wk.matmul(x);
+        let v = self.wv.matmul(x);
+        let scale = 1.0 / (self.d_head as f32).sqrt();
+        let d_model = self.heads * self.d_head;
+        let mut merged = Tensor::zeros(x.rows(), d_model);
+        let mut scores: Vec<f32> = Vec::new();
+        for r in 0..x.rows() {
+            let q_row = q.row_slice(r).to_vec();
+            let out_row = merged.row_slice_mut(r);
+            for h in 0..self.heads {
+                let off = h * self.d_head;
+                let qh = &q_row[off..off + self.d_head];
+                scores.clear();
+                for j in 0..k.rows() {
+                    let kh = &k.row_slice(j)[off..off + self.d_head];
+                    let mut s = 0.0f32;
+                    for (a, b) in qh.iter().zip(kh) {
+                        s += a * b;
+                    }
+                    scores.push(s * scale);
+                }
+                softmax_in_place(&mut scores);
+                let ctx = &mut out_row[off..off + self.d_head];
+                for (j, &w) in scores.iter().enumerate() {
+                    let vh = &v.row_slice(j)[off..off + self.d_head];
+                    for (o, &vv) in ctx.iter_mut().zip(vh) {
+                        *o += w * vv;
+                    }
+                }
+            }
+        }
+        self.wo.matmul(&merged)
+    }
+
+    /// Incremental attention for the newest row: query projected from the
+    /// already-quantized `(xq, x_scale)`, scores as integer dots against
+    /// the per-head quantized key cache, context in f32 over the cached
+    /// values, all in ascending key order (fixed-order epilogue →
+    /// deterministic bits).
+    fn attend_cached(
+        &self,
+        xq: &[i8],
+        x_scale: f32,
+        keys: &[QuantizedRows],
+        values: &Tensor,
+    ) -> Vec<f32> {
+        let d_model = self.heads * self.d_head;
+        let q = self.wq.matvec(xq, x_scale);
+        let scale = 1.0 / (self.d_head as f32).sqrt();
+        let mut merged = vec![0.0f32; d_model];
+        let mut scores: Vec<f32> = Vec::new();
+        for (h, kh) in keys.iter().enumerate() {
+            let off = h * self.d_head;
+            let (qh, qs) = quantize_row(&q[off..off + self.d_head]);
+            kh.scores_into(&qh, qs, scale, &mut scores);
+            softmax_in_place(&mut scores);
+            let ctx = &mut merged[off..off + self.d_head];
+            for (j, &w) in scores.iter().enumerate() {
+                let vh = &values.row_slice(j)[off..off + self.d_head];
+                for (o, &vv) in ctx.iter_mut().zip(vh) {
+                    *o += w * vv;
+                }
+            }
+        }
+        let (mq, ms) = quantize_row(&merged);
+        self.wo.matvec(&mq, ms)
+    }
+}
+
+struct QuantEncoderLayer {
+    self_attn: QuantAttention,
+    ff1: QuantLinear,
+    ff2: QuantLinear,
+    norm1: Norm,
+    norm2: Norm,
+}
+
+impl QuantEncoderLayer {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let sa = self.self_attn.attend_full(x);
+        let mut out = Tensor::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let row = out.row_slice_mut(r);
+            for ((o, &a), &b) in row.iter_mut().zip(x.row_slice(r)).zip(sa.row_slice(r)) {
+                *o = a + b;
+            }
+            self.norm1.apply(row);
+        }
+        let mut h1 = self.ff1.matmul(&out);
+        for v in h1.data_mut() {
+            *v = v.max(0.0);
+        }
+        let ff = self.ff2.matmul(&h1);
+        for r in 0..out.rows() {
+            let row = out.row_slice_mut(r);
+            for (o, &f) in row.iter_mut().zip(ff.row_slice(r)) {
+                *o += f;
+            }
+            self.norm2.apply(row);
+        }
+        out
+    }
+}
+
+struct QuantDecoderLayer {
+    self_attn: QuantAttention,
+    cross_attn: QuantAttention,
+    ff1: QuantLinear,
+    ff2: QuantLinear,
+    norm1: Norm,
+    norm2: Norm,
+    norm3: Norm,
+}
+
+/// Per-layer cache state: growable per-head quantized self-attention keys
+/// plus f32 values, and `Arc`-shared cross-attention keys/values projected
+/// once per source (cloning a cache for a candidate fork copies only the
+/// per-token rows).
+#[derive(Clone)]
+struct StudentLayerKv {
+    self_k: Vec<QuantizedRows>,
+    self_v: Tensor,
+    cross_k: Arc<Vec<QuantizedRows>>,
+    cross_v: Arc<Tensor>,
+}
+
+/// Incremental decode state for [`QuantStudent`].
+#[derive(Clone)]
+pub struct StudentKvCache {
+    layers: Vec<StudentLayerKv>,
+    pos: usize,
+}
+
+impl StudentKvCache {
+    /// Number of tokens this cache has consumed.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+/// The weight names [`QuantStudent`] quantizes; everything else stays f32.
+fn is_quantized_name(name: &str) -> bool {
+    [".wq.w", ".wk.w", ".wv.w", ".wo.w", ".ff1.w", ".ff2.w"]
+        .iter()
+        .any(|s| name.ends_with(s))
+        || name == "s2s.out.w"
+}
+
+/// The distilled q2q student: a transformer seq2seq decoding through
+/// quantized microkernels and the fused softmax+top-n epilogue.
+pub struct QuantStudent {
+    config: ModelConfig,
+    src_emb: Tensor,
+    tgt_emb: Tensor,
+    enc_pe: Tensor,
+    dec_pe: Tensor,
+    enc: Vec<QuantEncoderLayer>,
+    dec: Vec<QuantDecoderLayer>,
+    out: QuantLinear,
+    steps: AtomicU64,
+    tokens: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl QuantStudent {
+    /// Quantizes a trained f32 model into a student. The model must be a
+    /// pure transformer (the student architecture).
+    pub fn from_seq2seq(model: &Seq2Seq) -> Result<Self, String> {
+        let config = model.config().clone();
+        let mut f32s: BTreeMap<String, Tensor> = BTreeMap::new();
+        let mut quants: BTreeMap<String, QuantizedMatrix> = BTreeMap::new();
+        for p in model.params().iter() {
+            let name = p.name();
+            if is_quantized_name(&name) {
+                quants.insert(name, p.with_value(QuantizedMatrix::from_weight));
+            } else {
+                f32s.insert(name, p.value());
+            }
+        }
+        Self::build(config, &f32s, &quants)
+    }
+
+    /// Rebuilds a student from its serialized artifact pair: the `QRWT` v3
+    /// quantized-weight blob and the v2 f32 remainder.
+    pub fn from_artifacts(
+        config: ModelConfig,
+        quant_bytes: &[u8],
+        f32_bytes: &[u8],
+    ) -> Result<Self, String> {
+        let quants: BTreeMap<String, QuantizedMatrix> = serialize::parse_quantized(quant_bytes)
+            .map_err(|e| format!("quantized artifact: {e}"))?
+            .into_iter()
+            .collect();
+        let f32s: BTreeMap<String, Tensor> = serialize::parse(f32_bytes)
+            .map_err(|e| format!("f32 artifact: {e}"))?
+            .into_iter()
+            .collect();
+        Self::build(config, &f32s, &quants)
+    }
+
+    fn build(
+        config: ModelConfig,
+        f32s: &BTreeMap<String, Tensor>,
+        quants: &BTreeMap<String, QuantizedMatrix>,
+    ) -> Result<Self, String> {
+        if config.enc_kind != ComponentKind::Transformer
+            || config.dec_kind != ComponentKind::Transformer
+        {
+            return Err("student must be a pure transformer".into());
+        }
+        if config.heads == 0 || !config.d_model.is_multiple_of(config.heads) {
+            return Err("d_model must divide by heads".into());
+        }
+        let tensor = |name: &str| -> Result<Tensor, String> {
+            f32s.get(name).cloned().ok_or_else(|| format!("missing f32 record {name}"))
+        };
+        let rowvec = |name: &str, want: usize| -> Result<Vec<f32>, String> {
+            let t = tensor(name)?;
+            if t.rows() * t.cols() != want {
+                return Err(format!("record {name}: {} values, expected {want}", t.rows() * t.cols()));
+            }
+            Ok(t.data().to_vec())
+        };
+        let qmat = |name: &str, d_in: usize, d_out: usize| -> Result<QuantizedMatrix, String> {
+            let m = quants.get(name).ok_or_else(|| format!("missing quantized record {name}"))?;
+            // Stored transposed: rows index outputs.
+            if m.rows() != d_out || m.cols() != d_in {
+                return Err(format!(
+                    "record {name}: {}x{}, expected {d_out}x{d_in}",
+                    m.rows(),
+                    m.cols()
+                ));
+            }
+            Ok(m.clone())
+        };
+        let qlin = |name: &str, d_in: usize, d_out: usize| -> Result<QuantLinear, String> {
+            Ok(QuantLinear {
+                w: qmat(&format!("{name}.w"), d_in, d_out)?,
+                b: rowvec(&format!("{name}.b"), d_out)?,
+            })
+        };
+        let norm = |name: &str| -> Result<Norm, String> {
+            Ok(Norm {
+                gain: rowvec(&format!("{name}.gain"), config.d_model)?,
+                bias: rowvec(&format!("{name}.bias"), config.d_model)?,
+            })
+        };
+        let attn = |name: &str| -> Result<QuantAttention, String> {
+            Ok(QuantAttention {
+                wq: qlin(&format!("{name}.wq"), config.d_model, config.d_model)?,
+                wk: qlin(&format!("{name}.wk"), config.d_model, config.d_model)?,
+                wv: qlin(&format!("{name}.wv"), config.d_model, config.d_model)?,
+                wo: qlin(&format!("{name}.wo"), config.d_model, config.d_model)?,
+                heads: config.heads,
+                d_head: config.d_model / config.heads,
+            })
+        };
+
+        let src_emb = tensor("s2s.src.emb")?;
+        let tgt_emb = tensor("s2s.tgt.emb")?;
+        for (label, t) in [("s2s.src.emb", &src_emb), ("s2s.tgt.emb", &tgt_emb)] {
+            if t.shape() != (config.vocab, config.d_model) {
+                return Err(format!("record {label}: shape mismatch with config"));
+            }
+        }
+        let enc = (0..config.enc_layers)
+            .map(|i| -> Result<QuantEncoderLayer, String> {
+                let base = format!("s2s.enc{i}");
+                Ok(QuantEncoderLayer {
+                    self_attn: attn(&format!("{base}.self"))?,
+                    ff1: qlin(&format!("{base}.ffn.ff1"), config.d_model, config.d_ff)?,
+                    ff2: qlin(&format!("{base}.ffn.ff2"), config.d_ff, config.d_model)?,
+                    norm1: norm(&format!("{base}.norm1"))?,
+                    norm2: norm(&format!("{base}.norm2"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let dec = (0..config.dec_layers)
+            .map(|i| -> Result<QuantDecoderLayer, String> {
+                let base = format!("s2s.dec{i}");
+                Ok(QuantDecoderLayer {
+                    self_attn: attn(&format!("{base}.self"))?,
+                    cross_attn: attn(&format!("{base}.cross"))?,
+                    ff1: qlin(&format!("{base}.ffn.ff1"), config.d_model, config.d_ff)?,
+                    ff2: qlin(&format!("{base}.ffn.ff2"), config.d_ff, config.d_model)?,
+                    norm1: norm(&format!("{base}.norm1"))?,
+                    norm2: norm(&format!("{base}.norm2"))?,
+                    norm3: norm(&format!("{base}.norm3"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let out = qlin("s2s.out", config.d_model, config.vocab)?;
+        let enc_pe = positional_encoding(config.max_src_len + 2, config.d_model);
+        let dec_pe = positional_encoding(config.max_tgt_len + 2, config.d_model);
+        Ok(QuantStudent {
+            config,
+            src_emb,
+            tgt_emb,
+            enc_pe,
+            dec_pe,
+            enc,
+            dec,
+            out,
+            steps: AtomicU64::new(0),
+            tokens: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The quantized weights as a version-gated `QRWT` v3 blob.
+    pub fn export_quantized(&self) -> Vec<u8> {
+        let records = self.quant_records();
+        let refs: Vec<(&str, &QuantizedMatrix)> =
+            records.iter().map(|(n, m)| (n.as_str(), *m)).collect();
+        serialize::save_quantized(&refs)
+    }
+
+    /// The f32 remainder (embeddings, biases, norms) as a `QRWT` v2 blob.
+    pub fn export_f32(&self) -> Vec<u8> {
+        let mut ps = ParamSet::new();
+        for (name, t) in self.f32_records() {
+            ps.add(name, t);
+        }
+        serialize::save(&ps)
+    }
+
+    fn quant_records(&self) -> Vec<(String, &QuantizedMatrix)> {
+        let mut out: Vec<(String, &QuantizedMatrix)> = Vec::new();
+        for (i, layer) in self.enc.iter().enumerate() {
+            let base = format!("s2s.enc{i}");
+            for (tag, lin) in [
+                ("self.wq", &layer.self_attn.wq),
+                ("self.wk", &layer.self_attn.wk),
+                ("self.wv", &layer.self_attn.wv),
+                ("self.wo", &layer.self_attn.wo),
+                ("ffn.ff1", &layer.ff1),
+                ("ffn.ff2", &layer.ff2),
+            ] {
+                out.push((format!("{base}.{tag}.w"), &lin.w));
+            }
+        }
+        for (i, layer) in self.dec.iter().enumerate() {
+            let base = format!("s2s.dec{i}");
+            for (tag, lin) in [
+                ("self.wq", &layer.self_attn.wq),
+                ("self.wk", &layer.self_attn.wk),
+                ("self.wv", &layer.self_attn.wv),
+                ("self.wo", &layer.self_attn.wo),
+                ("cross.wq", &layer.cross_attn.wq),
+                ("cross.wk", &layer.cross_attn.wk),
+                ("cross.wv", &layer.cross_attn.wv),
+                ("cross.wo", &layer.cross_attn.wo),
+                ("ffn.ff1", &layer.ff1),
+                ("ffn.ff2", &layer.ff2),
+            ] {
+                out.push((format!("{base}.{tag}.w"), &lin.w));
+            }
+        }
+        out.push(("s2s.out.w".into(), &self.out.w));
+        out
+    }
+
+    fn f32_records(&self) -> Vec<(String, Tensor)> {
+        let row = |v: &[f32]| Tensor::from_vec(1, v.len(), v.to_vec());
+        let mut out: Vec<(String, Tensor)> = vec![
+            ("s2s.src.emb".into(), self.src_emb.clone()),
+            ("s2s.tgt.emb".into(), self.tgt_emb.clone()),
+        ];
+        for (i, layer) in self.enc.iter().enumerate() {
+            let base = format!("s2s.enc{i}");
+            for (tag, lin) in [
+                ("self.wq", &layer.self_attn.wq),
+                ("self.wk", &layer.self_attn.wk),
+                ("self.wv", &layer.self_attn.wv),
+                ("self.wo", &layer.self_attn.wo),
+                ("ffn.ff1", &layer.ff1),
+                ("ffn.ff2", &layer.ff2),
+            ] {
+                out.push((format!("{base}.{tag}.b"), row(&lin.b)));
+            }
+            for (tag, n) in [("norm1", &layer.norm1), ("norm2", &layer.norm2)] {
+                out.push((format!("{base}.{tag}.gain"), row(&n.gain)));
+                out.push((format!("{base}.{tag}.bias"), row(&n.bias)));
+            }
+        }
+        for (i, layer) in self.dec.iter().enumerate() {
+            let base = format!("s2s.dec{i}");
+            for (tag, lin) in [
+                ("self.wq", &layer.self_attn.wq),
+                ("self.wk", &layer.self_attn.wk),
+                ("self.wv", &layer.self_attn.wv),
+                ("self.wo", &layer.self_attn.wo),
+                ("cross.wq", &layer.cross_attn.wq),
+                ("cross.wk", &layer.cross_attn.wk),
+                ("cross.wv", &layer.cross_attn.wv),
+                ("cross.wo", &layer.cross_attn.wo),
+                ("ffn.ff1", &layer.ff1),
+                ("ffn.ff2", &layer.ff2),
+            ] {
+                out.push((format!("{base}.{tag}.b"), row(&lin.b)));
+            }
+            for (tag, n) in
+                [("norm1", &layer.norm1), ("norm2", &layer.norm2), ("norm3", &layer.norm3)]
+            {
+                out.push((format!("{base}.{tag}.gain"), row(&n.gain)));
+                out.push((format!("{base}.{tag}.bias"), row(&n.bias)));
+            }
+        }
+        out.push(("s2s.out.b".into(), row(&self.out.b)));
+        out
+    }
+
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Maximum target length this model decodes.
+    pub fn max_tgt_len(&self) -> usize {
+        self.config.max_tgt_len
+    }
+
+    /// Snapshot of the cumulative decode counters (relaxed atomics: the
+    /// student may serve from multiple threads).
+    pub fn decode_stats(&self) -> DecodeStats {
+        DecodeStats {
+            steps: self.steps.load(Ordering::Relaxed),
+            tokens: self.tokens.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Truncates and appends EOS to raw source token ids (the teacher's
+    /// `prep_src` discipline).
+    pub fn prep_src(&self, src: &[usize]) -> Vec<usize> {
+        let cut = src.len().min(self.config.max_src_len);
+        let mut out = Vec::with_capacity(cut + 1);
+        out.extend_from_slice(&src[..cut]);
+        out.push(EOS);
+        out
+    }
+
+    /// Encodes raw source ids into a `len x d_model` memory.
+    pub fn encode(&self, src: &[usize]) -> Tensor {
+        let src = self.prep_src(src);
+        let scale = (self.config.d_model as f32).sqrt();
+        let mut x = Tensor::zeros(src.len(), self.config.d_model);
+        for (r, &id) in src.iter().enumerate() {
+            assert!(id < self.config.vocab, "token id {id} out of vocabulary");
+            let pe = self.enc_pe.row_slice(r);
+            for ((o, &e), &p) in
+                x.row_slice_mut(r).iter_mut().zip(self.src_emb.row_slice(id)).zip(pe)
+            {
+                *o = e * scale + p;
+            }
+        }
+        for layer in &self.enc {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Fresh incremental decode cache: cross-attention keys are projected
+    /// and quantized once per source, values stay f32; both are `Arc`d.
+    pub fn start_cache(&self, memory: &Tensor) -> StudentKvCache {
+        let d_head = self.config.d_head();
+        let layers = self
+            .dec
+            .iter()
+            .map(|layer| {
+                let ck = layer.cross_attn.wk.matmul(memory);
+                let cv = layer.cross_attn.wv.matmul(memory);
+                let mut per_head: Vec<QuantizedRows> =
+                    (0..self.config.heads).map(|_| QuantizedRows::new(d_head)).collect();
+                for r in 0..ck.rows() {
+                    let row = ck.row_slice(r);
+                    for (h, rows) in per_head.iter_mut().enumerate() {
+                        rows.push_row(&row[h * d_head..(h + 1) * d_head]);
+                    }
+                }
+                StudentLayerKv {
+                    self_k: (0..self.config.heads).map(|_| QuantizedRows::new(d_head)).collect(),
+                    self_v: Tensor::with_row_capacity(
+                        self.config.max_tgt_len + 2,
+                        self.config.d_model,
+                    ),
+                    cross_k: Arc::new(per_head),
+                    cross_v: Arc::new(cv),
+                }
+            })
+            .collect();
+        StudentKvCache { layers, pos: 0 }
+    }
+
+    /// Consumes one token and returns the raw next-token *logits* — the
+    /// caller finishes the step with [`fused_top_n_from_logits`], so the
+    /// per-step epilogue is one fused pass instead of
+    /// log-softmax + mask + sort + sample.
+    pub fn step_logits(&self, cache: &mut StudentKvCache, token: usize) -> Vec<f32> {
+        assert_eq!(cache.layers.len(), self.dec.len(), "cache belongs to a different student");
+        assert!(cache.pos < self.dec_pe.rows(), "decode past the positional table");
+        assert!(token < self.config.vocab, "token id {token} out of vocabulary");
+        let d_head = self.config.d_head();
+        let scale = (self.config.d_model as f32).sqrt();
+        let mut x: Vec<f32> = self
+            .tgt_emb
+            .row_slice(token)
+            .iter()
+            .zip(self.dec_pe.row_slice(cache.pos))
+            .map(|(&e, &p)| e * scale + p)
+            .collect();
+        for (layer, kv) in self.dec.iter().zip(cache.layers.iter_mut()) {
+            // Project and append the newest self-attention K/V rows, then
+            // attend — K quantized per head, V kept f32.
+            let (xq, xs) = quantize_row(&x);
+            let k_new = layer.self_attn.wk.matvec(&xq, xs);
+            let v_new = layer.self_attn.wv.matvec(&xq, xs);
+            for (h, rows) in kv.self_k.iter_mut().enumerate() {
+                rows.push_row(&k_new[h * d_head..(h + 1) * d_head]);
+            }
+            kv.self_v.push_row(&v_new);
+            let sa = layer.self_attn.attend_cached(&xq, xs, &kv.self_k, &kv.self_v);
+            for (o, &s) in x.iter_mut().zip(&sa) {
+                *o += s;
+            }
+            layer.norm1.apply(&mut x);
+
+            let (xq, xs) = quantize_row(&x);
+            let ca = layer.cross_attn.attend_cached(&xq, xs, &kv.cross_k, &kv.cross_v);
+            for (o, &c) in x.iter_mut().zip(&ca) {
+                *o += c;
+            }
+            layer.norm2.apply(&mut x);
+
+            let (xq, xs) = quantize_row(&x);
+            let mut h1 = layer.ff1.matvec(&xq, xs);
+            for v in &mut h1 {
+                *v = v.max(0.0);
+            }
+            let (hq, hs) = quantize_row(&h1);
+            let ff = layer.ff2.matvec(&hq, hs);
+            for (o, &f) in x.iter_mut().zip(&ff) {
+                *o += f;
+            }
+            layer.norm3.apply(&mut x);
+        }
+        self.steps.fetch_add(1, Ordering::Relaxed);
+        self.tokens.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(cache.pos as u64, Ordering::Relaxed);
+        cache.pos += 1;
+        let (xq, xs) = quantize_row(&x);
+        self.out.matvec(&xq, xs)
+    }
+
+    /// The paper's top-n sampling decoder on the quantized fast path:
+    /// `k` distinct most-likely first tokens, then one fused
+    /// softmax+top-n pass per step per candidate. RNG draws happen in
+    /// candidate order per step, mirroring the teacher decoder.
+    pub fn top_n_sampling(
+        &self,
+        src: &[usize],
+        cfg: TopNSampling,
+        rng: &mut StdRng,
+    ) -> Vec<Hypothesis> {
+        struct Cand {
+            prefix: Vec<usize>,
+            cache: StudentKvCache,
+            log_prob: f32,
+            finished: bool,
+        }
+        let memory = self.encode(src);
+        let mut first_cache = self.start_cache(&memory);
+        let logits = self.step_logits(&mut first_cache, BOS);
+        let mut cands: Vec<Cand> = top_k_first_tokens_from_logits(&logits, cfg.k)
+            .into_iter()
+            .map(|(tok, lp)| Cand {
+                prefix: vec![BOS, tok],
+                cache: first_cache.clone(),
+                log_prob: lp,
+                finished: false,
+            })
+            .collect();
+        while cands.iter().any(|c| !c.finished) {
+            for cand in cands.iter_mut().filter(|c| !c.finished) {
+                let last = *cand.prefix.last().expect("non-empty prefix");
+                let logits = self.step_logits(&mut cand.cache, last);
+                let step = fused_top_n_from_logits(&logits, cfg.n, rng);
+                cand.log_prob += step.log_prob;
+                if step.token == EOS || cand.prefix.len() > self.config.max_tgt_len {
+                    cand.finished = true;
+                } else {
+                    cand.prefix.push(step.token);
+                }
+            }
+        }
+        let mut hyps: Vec<Hypothesis> = cands
+            .into_iter()
+            .map(|c| Hypothesis { tokens: c.prefix[1..].to_vec(), log_prob: c.log_prob })
+            .collect();
+        hyps.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
+        hyps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrw_text::{PAD, UNK};
+
+    fn teacher(vocab: usize, seed: u64) -> Seq2Seq {
+        Seq2Seq::new(ModelConfig::student(vocab), seed)
+    }
+
+    fn masked_log_probs(logits: &[f32]) -> Vec<f32> {
+        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + logits.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+        logits
+            .iter()
+            .enumerate()
+            .map(|(t, &l)| {
+                if t == PAD || t == BOS || t == UNK {
+                    f32::NEG_INFINITY
+                } else {
+                    l - lse
+                }
+            })
+            .collect()
+    }
+
+    /// Quantization error through the full stack stays small: the
+    /// student's first-step distribution tracks the f32 teacher it was
+    /// built from, and both agree on the most likely token.
+    #[test]
+    fn student_tracks_f32_model_distribution() {
+        let m = teacher(40, 11);
+        let s = QuantStudent::from_seq2seq(&m).unwrap();
+        let src = [5usize, 6, 7];
+        let mem = m.encode(&src);
+        let mut st = m.start_state(&mem);
+        let want = m.next_log_probs(&mem, &mut st, &[BOS]);
+        let s_mem = s.encode(&src);
+        let mut cache = s.start_cache(&s_mem);
+        let got = masked_log_probs(&s.step_logits(&mut cache, BOS));
+        let argmax = |v: &[f32]| {
+            v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
+        };
+        assert_eq!(argmax(&want), argmax(&got));
+        for (t, (&a, &b)) in want.iter().zip(&got).enumerate() {
+            if a.is_finite() {
+                assert!((a - b).abs() < 0.25, "token {t}: {a} vs {b}");
+            } else {
+                assert_eq!(b, f32::NEG_INFINITY, "token {t} should stay masked");
+            }
+        }
+    }
+
+    /// Two independent quantizations of the same weights produce bitwise
+    /// identical logits, step after step — the serving determinism
+    /// guarantee at the model level.
+    #[test]
+    fn student_decode_is_bitwise_deterministic() {
+        let m = teacher(30, 3);
+        let a = QuantStudent::from_seq2seq(&m).unwrap();
+        let b = QuantStudent::from_seq2seq(&m).unwrap();
+        let mem_a = a.encode(&[4, 9, 12]);
+        let mem_b = b.encode(&[4, 9, 12]);
+        assert_eq!(mem_a, mem_b);
+        let mut ca = a.start_cache(&mem_a);
+        let mut cb = b.start_cache(&mem_b);
+        let mut tok = BOS;
+        for _ in 0..8 {
+            let la = a.step_logits(&mut ca, tok);
+            let lb = b.step_logits(&mut cb, tok);
+            assert_eq!(la, lb);
+            tok = la
+                .iter()
+                .enumerate()
+                .skip(qrw_text::NUM_SPECIALS)
+                .max_by(|x, y| x.1.total_cmp(y.1))
+                .map(|(i, _)| i)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn top_n_sampling_is_seeded_and_well_formed() {
+        let m = teacher(30, 5);
+        let s = QuantStudent::from_seq2seq(&m).unwrap();
+        let cfg = TopNSampling { k: 3, n: 5 };
+        let a = s.top_n_sampling(&[6, 7], cfg, &mut StdRng::seed_from_u64(9));
+        let b = s.top_n_sampling(&[6, 7], cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let mut firsts: Vec<usize> =
+            a.iter().filter_map(|h| h.tokens.first().copied()).collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), a.iter().filter(|h| !h.tokens.is_empty()).count());
+        for h in &a {
+            assert!(h.tokens.len() <= s.max_tgt_len());
+            assert!(h.tokens.iter().all(|&t| t >= qrw_text::NUM_SPECIALS));
+            assert!(h.log_prob <= 0.0);
+        }
+        // Telemetry moved.
+        let stats = s.decode_stats();
+        assert!(stats.steps > 0 && stats.tokens > 0);
+    }
+
+    /// Export → import round-trips bitwise: the rebuilt student produces
+    /// identical logits and identical sampled hypotheses.
+    #[test]
+    fn artifact_roundtrip_is_bit_identical() {
+        let m = teacher(30, 7);
+        let s = QuantStudent::from_seq2seq(&m).unwrap();
+        let q = s.export_quantized();
+        let f = s.export_f32();
+        let r = QuantStudent::from_artifacts(s.config().clone(), &q, &f).unwrap();
+        let mem_s = s.encode(&[5, 8]);
+        let mem_r = r.encode(&[5, 8]);
+        assert_eq!(mem_s, mem_r);
+        let mut cs = s.start_cache(&mem_s);
+        let mut cr = r.start_cache(&mem_r);
+        assert_eq!(s.step_logits(&mut cs, BOS), r.step_logits(&mut cr, BOS));
+        let cfg = TopNSampling::default();
+        assert_eq!(
+            s.top_n_sampling(&[5, 8], cfg, &mut StdRng::seed_from_u64(2)),
+            r.top_n_sampling(&[5, 8], cfg, &mut StdRng::seed_from_u64(2)),
+        );
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_artifacts_are_rejected() {
+        let m = teacher(30, 7);
+        let s = QuantStudent::from_seq2seq(&m).unwrap();
+        let q = s.export_quantized();
+        let f = s.export_f32();
+        // Truncated quantized blob.
+        assert!(QuantStudent::from_artifacts(s.config().clone(), &q[..q.len() - 3], &f).is_err());
+        // Swapped blobs (version gate fires both ways).
+        assert!(QuantStudent::from_artifacts(s.config().clone(), &f, &q).is_err());
+        // Config that disagrees with the stored shapes.
+        let other = ModelConfig::student(31);
+        assert!(QuantStudent::from_artifacts(other, &q, &f).is_err());
+        // Non-transformer config is rejected outright.
+        let mut rnn_cfg = ModelConfig::student(30);
+        rnn_cfg.dec_kind = ComponentKind::Gru;
+        assert!(QuantStudent::from_artifacts(rnn_cfg, &q, &f).is_err());
+    }
+}

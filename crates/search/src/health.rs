@@ -23,6 +23,7 @@ pub struct HealthCounters {
     latency_us: Mutex<Histogram>,
     requests: AtomicU64,
     served_cache: AtomicU64,
+    served_student: AtomicU64,
     served_online: AtomicU64,
     served_baseline: AtomicU64,
     served_raw: AtomicU64,
@@ -44,6 +45,10 @@ pub struct HealthCounters {
     decode_tokens: AtomicU64,
     decode_cache_hits: AtomicU64,
     decode_micros: AtomicU64,
+    student_steps: AtomicU64,
+    student_tokens: AtomicU64,
+    student_cache_hits: AtomicU64,
+    student_micros: AtomicU64,
 }
 
 impl HealthCounters {
@@ -54,6 +59,7 @@ impl HealthCounters {
     pub fn record_source(&self, source: RewriteSource) {
         let counter = match source {
             RewriteSource::Cache => &self.served_cache,
+            RewriteSource::Student => &self.served_student,
             RewriteSource::Fallback => &self.served_online,
             RewriteSource::Baseline => &self.served_baseline,
             RewriteSource::None => &self.served_raw,
@@ -115,6 +121,16 @@ impl HealthCounters {
         self.decode_micros.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
     }
 
+    /// Like [`record_decode`](Self::record_decode), but for the quantized
+    /// student rung — kept in a separate counter block so the report can
+    /// compare student vs teacher decode throughput directly.
+    pub fn record_student_decode(&self, delta: DecodeStats, elapsed: Duration) {
+        self.student_steps.fetch_add(delta.steps, Ordering::Relaxed);
+        self.student_tokens.fetch_add(delta.tokens, Ordering::Relaxed);
+        self.student_cache_hits.fetch_add(delta.cache_hits, Ordering::Relaxed);
+        self.student_micros.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
     pub fn snapshot(
         &self,
         breaker_state: BreakerState,
@@ -132,6 +148,7 @@ impl HealthCounters {
             latency_count,
             requests: self.requests.load(Ordering::Relaxed),
             served_cache: self.served_cache.load(Ordering::Relaxed),
+            served_student: self.served_student.load(Ordering::Relaxed),
             served_online: self.served_online.load(Ordering::Relaxed),
             served_baseline: self.served_baseline.load(Ordering::Relaxed),
             served_raw: self.served_raw.load(Ordering::Relaxed),
@@ -153,6 +170,10 @@ impl HealthCounters {
             decode_tokens: self.decode_tokens.load(Ordering::Relaxed),
             decode_cache_hits: self.decode_cache_hits.load(Ordering::Relaxed),
             decode_micros: self.decode_micros.load(Ordering::Relaxed),
+            student_steps: self.student_steps.load(Ordering::Relaxed),
+            student_tokens: self.student_tokens.load(Ordering::Relaxed),
+            student_cache_hits: self.student_cache_hits.load(Ordering::Relaxed),
+            student_micros: self.student_micros.load(Ordering::Relaxed),
             breaker_state,
             breaker_opens,
             churn,
@@ -204,6 +225,7 @@ pub struct HealthReport {
     pub latency_count: u64,
     /// Requests whose rewrites came from each ladder rung.
     pub served_cache: u64,
+    pub served_student: u64,
     pub served_online: u64,
     pub served_baseline: u64,
     pub served_raw: u64,
@@ -234,6 +256,13 @@ pub struct HealthReport {
     pub decode_tokens: u64,
     pub decode_cache_hits: u64,
     pub decode_micros: u64,
+    /// Decode telemetry from the quantized student rung, separated from
+    /// the teacher's so student-vs-teacher throughput is directly
+    /// comparable in one report.
+    pub student_steps: u64,
+    pub student_tokens: u64,
+    pub student_cache_hits: u64,
+    pub student_micros: u64,
     /// Breaker status at snapshot time.
     pub breaker_state: BreakerState,
     pub breaker_opens: u64,
@@ -247,7 +276,8 @@ impl HealthReport {
         if self.requests == 0 {
             return 0.0;
         }
-        let rewritten = self.served_cache + self.served_online + self.served_baseline;
+        let rewritten =
+            self.served_cache + self.served_student + self.served_online + self.served_baseline;
         rewritten as f64 / self.requests as f64
     }
 
@@ -259,6 +289,27 @@ impl HealthReport {
             return 0.0;
         }
         self.decode_steps as f64 / (self.decode_micros as f64 / 1e6)
+    }
+
+    /// Decode throughput of the quantized student rung in generated
+    /// tokens per second. `0.0` until the student has decoded.
+    pub fn student_tokens_per_sec(&self) -> f64 {
+        if self.student_micros == 0 {
+            return 0.0;
+        }
+        self.student_steps as f64 / (self.student_micros as f64 / 1e6)
+    }
+
+    /// Student decode throughput relative to the teacher's
+    /// ([`student_tokens_per_sec`](Self::student_tokens_per_sec) /
+    /// [`decode_tokens_per_sec`](Self::decode_tokens_per_sec)); `0.0`
+    /// until both rungs have decoded.
+    pub fn student_speedup(&self) -> f64 {
+        let teacher = self.decode_tokens_per_sec();
+        if teacher == 0.0 {
+            return 0.0;
+        }
+        self.student_tokens_per_sec() / teacher
     }
 
     /// Fraction of decoder token positions served from the KV cache
@@ -360,6 +411,29 @@ mod tests {
         merged.merge(&c.latency_histogram());
         assert_eq!(merged.count(), 10);
         assert_eq!(merged.quantile(0.5), r.latency_p50_us);
+    }
+
+    #[test]
+    fn student_decode_telemetry_is_separate_and_derives_speedup() {
+        let c = HealthCounters::default();
+        c.record_source(RewriteSource::Student);
+        // Teacher: 10 tokens in 2 ms (5k tok/s); student: 15 in 1 ms (15k).
+        c.record_decode(
+            DecodeStats { steps: 10, tokens: 10, cache_hits: 45 },
+            Duration::from_micros(2_000),
+        );
+        c.record_student_decode(
+            DecodeStats { steps: 15, tokens: 15, cache_hits: 105 },
+            Duration::from_micros(1_000),
+        );
+        let r = c.snapshot(BreakerState::Closed, 0, ChurnStats::default());
+        assert_eq!(r.served_student, 1);
+        assert_eq!(r.student_steps, 15);
+        assert_eq!(r.student_cache_hits, 105);
+        // The teacher block is untouched by student decodes.
+        assert_eq!(r.decode_steps, 10);
+        assert!((r.student_tokens_per_sec() - 15_000.0).abs() < 1e-9);
+        assert!((r.student_speedup() - 3.0).abs() < 1e-9);
     }
 
     #[test]

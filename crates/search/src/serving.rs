@@ -8,7 +8,8 @@
 //! rewrites are acquired down an explicit degradation ladder
 //!
 //! ```text
-//! KV cache → online q2q model → rule-based baseline → raw query only
+//! KV cache → quantized student → online q2q model → rule-based baseline
+//!          → raw query only
 //! ```
 //!
 //! where each rung is guarded by the per-request [`DeadlineBudget`], the
@@ -67,6 +68,9 @@ impl Default for ServingConfig {
 pub enum RewriteSource {
     /// Precomputed top-query entry served from the KV store.
     Cache,
+    /// Computed online by the quantized distilled student (the preferred
+    /// neural rung; the teacher-backed model is its fallback).
+    Student,
     /// Computed online by the fallback (q2q) model.
     Fallback,
     /// Produced by the rule-based baseline after the neural rungs
@@ -82,9 +86,13 @@ pub enum RewriteSource {
 pub struct RewriteLadder<'a> {
     /// Rung 1: precomputed KV cache.
     pub cache: Option<&'a RewriteCache>,
-    /// Rung 2: online q2q model (guarded by the circuit breaker).
+    /// Rung 2: quantized distilled student — the preferred online model.
+    /// Budget-gated and panic-isolated; a failure here falls through to
+    /// the teacher-backed rung below without tripping the breaker.
+    pub student: Option<&'a dyn QueryRewriter>,
+    /// Rung 3: online q2q model (guarded by the circuit breaker).
     pub online: Option<&'a dyn QueryRewriter>,
-    /// Rung 3: cheap rule-based rewriter.
+    /// Rung 4: cheap rule-based rewriter.
     pub baseline: Option<&'a dyn QueryRewriter>,
 }
 
@@ -514,7 +522,55 @@ impl SearchEngine {
             }
         }
 
-        // Rung 2: online q2q model, guarded by budget, breaker and
+        // Rung 2: quantized distilled student. Budget-gated and
+        // panic-isolated like the teacher rung, but NOT breaker-guarded:
+        // a student failure degrades to the teacher below, and only the
+        // teacher's health feeds the breaker. Decode telemetry lands in
+        // the student counter block so the health report can compare
+        // student vs teacher throughput.
+        if let Some(student) = ladder.student {
+            let mut span = ctx.map(|c| c.child("rung_student"));
+            let mut outcome = "empty";
+            if budget.expired() {
+                events.push(ServeError::DeadlineExceeded { stage: Stage::Rewrite });
+                outcome = "deadline";
+            } else {
+                let decode_before = student.decode_stats();
+                let t_call = budget.elapsed();
+                let result = self.call_rewriter(student, query, config, Fault::None);
+                if let (Some(before), Some(after)) = (decode_before, student.decode_stats()) {
+                    self.health.record_student_decode(
+                        after.since(&before),
+                        budget.elapsed().saturating_sub(t_call),
+                    );
+                }
+                match result {
+                    Ok(cleaned) if !cleaned.is_empty() => {
+                        if let Some(s) = span.as_mut() {
+                            s.attr("outcome", "served");
+                        }
+                        return (cleaned, RewriteSource::Student);
+                    }
+                    Ok(_) => {
+                        events.push(ServeError::EmptyOutput {
+                            rewriter: student.name().to_string(),
+                        });
+                    }
+                    Err(e) => {
+                        outcome = match &e {
+                            ServeError::ModelPanic { .. } => "panic",
+                            _ => "error",
+                        };
+                        events.push(e);
+                    }
+                }
+            }
+            if let Some(s) = span.as_mut() {
+                s.attr("outcome", outcome);
+            }
+        }
+
+        // Rung 3: online q2q model, guarded by budget, breaker and
         // catch_unwind.
         if let Some(online) = ladder.online {
             let mut span = ctx.map(|c| c.child("rung_online"));
@@ -578,7 +634,7 @@ impl SearchEngine {
             }
         }
 
-        // Rung 3: rule-based baseline. Deliberately NOT budget-gated: its
+        // Rung 4: rule-based baseline. Deliberately NOT budget-gated: its
         // cost is bounded (dictionary substitution), and salvaging a
         // blown-deadline request with cheap rewrites is exactly what the
         // ladder is for. Panic isolation still applies.
@@ -614,7 +670,7 @@ impl SearchEngine {
             }
         }
 
-        // Rung 4: raw query only.
+        // Rung 5: raw query only.
         if let Some(c) = ctx {
             c.child("rung_raw").finish();
         }
@@ -649,6 +705,16 @@ impl SearchEngine {
     /// model run; the runtime records the batch-level delta here instead.
     pub fn record_decode(&self, delta: qrw_core::DecodeStats, elapsed: std::time::Duration) {
         self.health.record_decode(delta, elapsed);
+    }
+
+    /// Folds one student decode's telemetry delta into the health report.
+    /// The concurrent runtime answers decode-misses with the quantized
+    /// student *before* the teacher's batched decode, so (as with
+    /// [`record_decode`](Self::record_decode)) the per-call accounting in
+    /// `acquire_rewrites` never sees the student run; the runtime records
+    /// the pre-pass delta here instead.
+    pub fn record_student_decode(&self, delta: qrw_core::DecodeStats, elapsed: std::time::Duration) {
+        self.health.record_student_decode(delta, elapsed);
     }
 
     /// Records an admission-control event (queue rejection or in-queue
@@ -803,6 +869,7 @@ fn rank_at(
 fn source_label(source: RewriteSource) -> &'static str {
     match source {
         RewriteSource::Cache => "cache",
+        RewriteSource::Student => "student",
         RewriteSource::Fallback => "online",
         RewriteSource::Baseline => "baseline",
         RewriteSource::None => "raw",

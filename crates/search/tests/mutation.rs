@@ -92,7 +92,7 @@ fn prefilled_cache(queries: &[Vec<String>]) -> RewriteCache {
 }
 
 fn serve(engine: &SearchEngine, cache: &RewriteCache, query: &[String]) -> String {
-    let ladder = RewriteLadder { cache: Some(cache), online: None, baseline: None };
+    let ladder = RewriteLadder { cache: Some(cache), ..RewriteLadder::default() };
     let resp = engine.search_resilient(
         query,
         ladder,

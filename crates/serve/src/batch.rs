@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use qrw_core::QueryRewriter;
-use qrw_nmt::{top_n_sampling_batch, Hypothesis, Seq2Seq, TopNSampling};
+use qrw_nmt::{top_n_sampling_batch, Hypothesis, QuantStudent, Seq2Seq, TopNSampling};
 use qrw_tensor::rng::StdRng;
 use qrw_text::{Vocab, NUM_SPECIALS};
 
@@ -144,6 +144,74 @@ impl QueryRewriter for BatchedQ2Q {
     }
 }
 
+/// The quantized-student serving rung: thread-safe like [`BatchedQ2Q`]
+/// (per-query RNG derived from the query tokens, shared weights behind
+/// `Arc`s), but decoding one request at a time — the student's integer
+/// microkernels are fast enough that cross-request batching buys nothing
+/// at serving batch sizes.
+pub struct StudentOnline {
+    student: Arc<QuantStudent>,
+    vocab: Arc<Vocab>,
+    /// Sampling pool size per step (the paper's `n`).
+    top_n: usize,
+    /// Base seed XORed with each query's token hash.
+    seed: u64,
+    name: String,
+}
+
+impl StudentOnline {
+    pub fn new(student: Arc<QuantStudent>, vocab: Arc<Vocab>, top_n: usize, seed: u64) -> Self {
+        StudentOnline { student, vocab, top_n, seed, name: "student-quantized".to_string() }
+    }
+
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The shared quantized model (for decode-telemetry snapshots).
+    pub fn student(&self) -> &QuantStudent {
+        &self.student
+    }
+}
+
+impl QueryRewriter for StudentOnline {
+    fn rewrite(&self, query: &[String], k: usize) -> Vec<Vec<String>> {
+        if query.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let ids = self.vocab.encode(query);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ fnv1a_tokens(query));
+        let hyps =
+            self.student.top_n_sampling(&ids, TopNSampling { k, n: self.top_n }, &mut rng);
+        let mut out: Vec<Vec<String>> = Vec::new();
+        for h in &hyps {
+            let tokens: Vec<String> = h
+                .tokens
+                .iter()
+                .filter(|&&id| id >= NUM_SPECIALS)
+                .map(|&id| self.vocab.token(id).to_string())
+                .collect();
+            if tokens.is_empty() || tokens == query || out.contains(&tokens) {
+                continue;
+            }
+            out.push(tokens);
+            if out.len() == k {
+                break;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decode_stats(&self) -> Option<qrw_nmt::DecodeStats> {
+        Some(self.student.decode_stats())
+    }
+}
+
 /// The online rung handed to `search_resilient` for a request whose
 /// rewrites were already produced by the batch decode: replays the
 /// precomputed output under the batched rewriter's name, so the response
@@ -247,6 +315,29 @@ mod tests {
         assert!(out[0].is_empty());
         assert!(!out[1].is_empty() || out[1].is_empty()); // well-formed either way
         assert!(rw.rewrite_batch(&[&q], 0).pop().unwrap().is_empty());
+    }
+
+    #[test]
+    fn student_rung_is_order_independent_and_filtered() {
+        let (_, vocab) = setup();
+        let model = Seq2Seq::new(ModelConfig::student(20), 43);
+        let student = Arc::new(QuantStudent::from_seq2seq(&model).unwrap());
+        let rw = StudentOnline::new(student, Arc::clone(&vocab), 8, 7);
+        assert_eq!(rw.name(), "student-quantized");
+        let a = toks("w2 w5");
+        let b = toks("w9");
+        // The per-query derived RNG makes results independent of call
+        // order — the property batching transparency rests on.
+        let a_first = rw.rewrite(&a, 3);
+        let _ = rw.rewrite(&b, 3);
+        assert_eq!(rw.rewrite(&a, 3), a_first);
+        for r in &a_first {
+            assert!(!r.is_empty());
+            assert_ne!(*r, a);
+        }
+        // Telemetry moved through the trait.
+        assert!(rw.decode_stats().unwrap().tokens > 0);
+        assert!(rw.rewrite(&a, 0).is_empty());
     }
 
     #[test]

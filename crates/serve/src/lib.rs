@@ -16,7 +16,9 @@
 //! * [`batch`] — [`BatchedQ2Q`], the cross-request online rewriter: all
 //!   KV-cache-miss requests of a batch decode *together* through one
 //!   stacked [`next_log_probs_multi`](qrw_nmt::seq2seq::Seq2Seq::next_log_probs_multi)
-//!   forward per step;
+//!   forward per step; and [`StudentOnline`], the quantized distilled
+//!   student that answers decode-misses first (the teacher's batched
+//!   decode only covers what the student leaves unserved);
 //! * [`workload`] — deterministic seeded request mixes (KV-hit-heavy head
 //!   + decode-heavy tail) for the load-generation bench.
 //!
@@ -51,7 +53,7 @@ pub mod queue;
 pub mod runtime;
 pub mod workload;
 
-pub use batch::BatchedQ2Q;
+pub use batch::{BatchedQ2Q, StudentOnline};
 pub use queue::{AdmissionQueue, Pending, ResponseSlot};
 pub use runtime::{Outcome, Runtime, RuntimeConfig, ServeStack, ServedRecord};
 pub use workload::{mutation_batches, synthetic_docs, ChurnMix, MixConfig, Workload};

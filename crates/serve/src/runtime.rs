@@ -33,7 +33,7 @@ use qrw_search::{
 };
 use qrw_tensor::sync::Mutex;
 
-use crate::batch::{BatchedQ2Q, PanicOnline, PrecomputedOnline};
+use crate::batch::{BatchedQ2Q, PanicOnline, PrecomputedOnline, StudentOnline};
 use crate::queue::{AdmissionQueue, Pending, ResponseSlot};
 
 /// Scheduler and pool knobs.
@@ -72,9 +72,14 @@ pub struct ServeStack {
     pub engine: Arc<SearchEngine>,
     /// Rung 1: the precomputed rewrite cache.
     pub cache: Option<Arc<RewriteCache>>,
-    /// Rung 2: the batch-capable online model.
+    /// Rung 2: the quantized distilled student — the preferred online
+    /// model. Decode-misses it serves never reach the teacher's batched
+    /// decode.
+    pub student: Option<Arc<StudentOnline>>,
+    /// Rung 3: the batch-capable online model (the teacher-backed
+    /// fallback behind the student).
     pub online: Option<Arc<BatchedQ2Q>>,
-    /// Rung 3: the rule-based fallback.
+    /// Rung 4: the rule-based fallback.
     pub baseline: Option<Arc<dyn QueryRewriter + Send + Sync>>,
 }
 
@@ -271,16 +276,18 @@ impl Runtime {
             return;
         }
 
-        // Plan which requests need the online model (miss the rewrite
+        // Plan which requests need a neural decode (miss the rewrite
         // cache after sanitization), mirroring ladder rung 1 without
         // touching the hit/miss counters — the serve pass below counts.
+        let student = self.stack.student.as_deref();
         let online = self.stack.online.as_ref();
         let plans: Vec<Option<Vec<String>>> = live
             .iter()
             .map(|p| {
-                online.and_then(|_| {
-                    plan_online(&p.query, self.stack.cache.as_deref(), &self.config.serving)
-                })
+                if student.is_none() && online.is_none() {
+                    return None;
+                }
+                plan_online(&p.query, self.stack.cache.as_deref(), &self.config.serving)
             })
             .collect();
 
@@ -308,6 +315,53 @@ impl Runtime {
             s.attr("decode_slots", miss_queries.len());
             s.attr("decode_requests", decode_requests);
         }
+
+        // Student pre-pass: the quantized student answers decode-misses
+        // first; only queries it cannot serve fall through to the
+        // teacher's batched decode. Its telemetry delta lands in the
+        // engine's student counter block, so the health report compares
+        // student vs teacher throughput directly.
+        let student_out: Option<Result<Vec<Vec<Vec<String>>>, ()>> = match student {
+            Some(st) if !miss_queries.is_empty() => {
+                let mut span = batch_span
+                    .as_ref()
+                    .zip(tracer)
+                    .map(|(b, t)| t.span(b.trace(), Some(b.id()), "student_decode"));
+                if let Some(s) = span.as_mut() {
+                    s.attr("slots", miss_queries.len());
+                }
+                let before = st.student().decode_stats();
+                let t0 = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    miss_queries
+                        .iter()
+                        .map(|q| st.rewrite(q, self.config.serving.max_rewrites))
+                        .collect::<Vec<_>>()
+                }));
+                self.stack.engine.record_student_decode(
+                    st.student().decode_stats().since(&before),
+                    t0.elapsed(),
+                );
+                if let Some(s) = span.as_mut() {
+                    s.attr("ok", result.is_ok());
+                }
+                Some(result.map_err(|_| ()))
+            }
+            _ => None,
+        };
+
+        // The teacher only decodes the slots the student left unserved.
+        let mut teacher_slot: Vec<Option<usize>> = vec![None; miss_queries.len()];
+        let mut teacher_queries: Vec<&[String]> = Vec::new();
+        for (i, &q) in miss_queries.iter().enumerate() {
+            let served = matches!(&student_out, Some(Ok(all)) if !all[i].is_empty());
+            if !served {
+                teacher_slot[i] = Some(teacher_queries.len());
+                teacher_queries.push(q);
+            }
+        }
+        let miss_queries = teacher_queries;
+
         let decoded: Option<Result<Vec<Vec<Vec<String>>>, ()>> = match online {
             Some(online) if !miss_queries.is_empty() => {
                 let mut decode_span = batch_span
@@ -338,7 +392,18 @@ impl Runtime {
         // batch-decode output (or re-panic inside the ladder's guard) under
         // the online rewriter's name; hits take rung 1 as usual.
         for (p, slot) in live.into_iter().zip(miss_slot) {
-            let online_rung: Option<Box<dyn QueryRewriter>> = match (&decoded, slot) {
+            let student_rung: Option<Box<dyn QueryRewriter>> = match (student, &student_out, slot)
+            {
+                (Some(st), Some(Ok(all)), Some(slot)) => {
+                    Some(Box::new(PrecomputedOnline::new(st.name().to_string(), all[slot].clone())))
+                }
+                (Some(st), Some(Err(())), Some(_)) => {
+                    Some(Box::new(PanicOnline::new(st.name().to_string())))
+                }
+                _ => None,
+            };
+            let t_slot = slot.and_then(|s| teacher_slot[s]);
+            let online_rung: Option<Box<dyn QueryRewriter>> = match (&decoded, t_slot) {
                 (Some(Ok(all)), Some(slot)) => {
                     let name = online.expect("decoded implies online").name().to_string();
                     Some(Box::new(PrecomputedOnline::new(name, all[slot].clone())))
@@ -351,6 +416,7 @@ impl Runtime {
             };
             let ladder = RewriteLadder {
                 cache: self.stack.cache.as_deref(),
+                student: student_rung.as_deref(),
                 online: online_rung.as_deref(),
                 baseline: self
                     .stack

@@ -12,7 +12,8 @@ use qrw_search::{
     ServingConfig,
 };
 use qrw_serve::{
-    synthetic_docs, BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack, Workload,
+    synthetic_docs, BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack,
+    StudentOnline, Workload,
 };
 use qrw_text::Vocab;
 
@@ -56,6 +57,7 @@ fn stack(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> ServeStack {
     ServeStack {
         engine,
         cache: Some(cache),
+        student: None,
         online: Some(online),
         baseline: Some(Arc::new(FixedBaseline)),
     }
@@ -81,6 +83,7 @@ fn serve_alone(stack: &ServeStack, query: &[String], config: &ServingConfig) -> 
     let online = stack.online.as_deref().map(|o| o as &dyn QueryRewriter);
     let ladder = RewriteLadder {
         cache: stack.cache.as_deref(),
+        student: stack.student.as_deref().map(|s| s as &dyn QueryRewriter),
         online,
         baseline: stack.baseline.as_deref().map(|b| b as &dyn QueryRewriter),
     };
@@ -351,6 +354,49 @@ fn live_catalog_runtime_serves_every_request_under_writer_churn() {
     assert_eq!(report.churn.writer_panics, 0);
     assert_eq!(report.churn.publish_failures, 0);
     assert_eq!(report.churn.pinned_now, 0, "all request pins released");
+}
+
+/// Same stack as [`stack`] plus the quantized-student rung between the
+/// cache and the teacher.
+fn stack_with_student(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> ServeStack {
+    let mut s = stack(vocab, head);
+    let model = Seq2Seq::new(ModelConfig::student(vocab.len()), MODEL_SEED + 1);
+    let student = qrw_nmt::QuantStudent::from_seq2seq(&model).expect("transformer student");
+    s.student =
+        Some(Arc::new(StudentOnline::new(Arc::new(student), Arc::clone(vocab), 8, REWRITE_SEED)));
+    s
+}
+
+#[test]
+fn student_rung_keeps_batched_responses_identical_to_standalone_serving() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+
+    // Reference: the same student-bearing stack, each request served alone.
+    let reference_stack = stack_with_student(&vocab, &w.head);
+    let expected: Vec<String> = w
+        .requests
+        .iter()
+        .map(|q| serve_alone(&reference_stack, q, &ServingConfig::default()))
+        .collect();
+
+    let batched_stack = stack_with_student(&vocab, &w.head);
+    let config = RuntimeConfig { workers: 4, max_batch: 8, ..RuntimeConfig::default() };
+    let got = run_and_render(&batched_stack, config, &w.requests);
+    assert_eq!(expected, got);
+
+    // The student answered the decode misses: its rung and telemetry moved,
+    // and the teacher only saw slots the student left empty.
+    let report = batched_stack.engine.health_report();
+    assert!(report.served_student > 0, "student rung never served: {report:?}");
+    assert!(report.student_steps > 0, "student decode telemetry never recorded");
+    assert!(report.student_micros > 0, "student decode wall time never recorded");
+    assert_eq!(
+        report.served_cache + report.served_student + report.served_online
+            + report.served_baseline
+            + report.served_raw,
+        w.requests.len() as u64,
+    );
 }
 
 #[test]

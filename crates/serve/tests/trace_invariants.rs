@@ -68,6 +68,7 @@ fn traced_stack(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> (ServeStack, Tracer
     let stack = ServeStack {
         engine,
         cache: Some(cache),
+        student: None,
         online: Some(online),
         baseline: Some(Arc::new(FixedBaseline)),
     };
@@ -310,6 +311,7 @@ fn injected_q2q_faults_appear_as_rung_outcomes_in_well_formed_traces() {
         let faults = FaultInjector::new(3, FaultConfig::always(fault));
         let ladder = RewriteLadder {
             cache: None,
+            student: None,
             online: Some(&online),
             baseline: Some(&baseline),
         };
@@ -350,6 +352,7 @@ fn injected_q2q_faults_appear_as_rung_outcomes_in_well_formed_traces() {
     faults.poison_cache(&cache, &query);
     let ladder = RewriteLadder {
         cache: Some(&cache),
+        student: None,
         online: Some(&online),
         baseline: Some(&baseline),
     };

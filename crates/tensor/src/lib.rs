@@ -17,6 +17,8 @@
 //!   couple two separate models in one backward pass.
 //! * [`optim`] — Adam and the Noam schedule, the paper's §IV-A training
 //!   setup.
+//! * [`quant`] — i8 per-row-scaled matrices with dequant-free integer
+//!   microkernels (the distilled student's fast path).
 //! * [`init`] — deterministic, seeded initializers.
 //! * [`serialize`] — tiny binary checkpoints.
 //! * [`rng`] — the in-repo SplitMix64 generator (hermetic builds: no
@@ -26,6 +28,7 @@
 pub mod init;
 pub mod optim;
 pub mod param;
+pub mod quant;
 pub mod rng;
 pub mod serialize;
 pub mod sync;
@@ -33,6 +36,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use param::{Param, ParamSet};
+pub use quant::{dot_i8, quantize_row, QuantizedMatrix, QuantizedRows};
 pub use rng::StdRng;
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::{log_sum_exp, Activation, Tensor, PAR_MIN_WORK};

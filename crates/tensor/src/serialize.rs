@@ -25,13 +25,19 @@
 use std::collections::HashMap;
 
 use crate::param::ParamSet;
+use crate::quant::QuantizedMatrix;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"QRWT";
-/// The checkpoint version this module writes.
+/// The checkpoint version this module writes for f32 parameter sets.
 pub const VERSION: u32 = 2;
 /// The legacy unchecked version this module still reads.
 pub const VERSION_V1: u32 = 1;
+/// The quantized-record version ([`save_quantized`] / [`parse_quantized`]).
+/// Deliberately a *different* version under the same magic: a v2 reader
+/// sees a quantized checkpoint as `UnsupportedVersion(3)` instead of
+/// misinterpreting i8 payloads as f32 weights, and vice versa.
+pub const VERSION_V3: u32 = 3;
 
 /// Typed checkpoint failure. Every way a checkpoint buffer can be
 /// unusable maps to a distinct variant, so callers (and the kill-point /
@@ -43,7 +49,9 @@ pub enum CheckpointError {
     TooShort,
     /// The first four bytes are not `QRWT`.
     BadMagic,
-    /// A version this build does not read (v1 and v2 are supported).
+    /// A version the invoked reader does not handle: [`parse`] reads
+    /// v1/v2 (f32), [`parse_quantized`] reads v3 (i8) — never each
+    /// other's.
     UnsupportedVersion(u32),
     /// Ran out of bytes mid-structure; the payload names which one.
     Truncated(&'static str),
@@ -75,7 +83,10 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::TooShort => write!(f, "checkpoint too short"),
             CheckpointError::BadMagic => write!(f, "bad checkpoint magic"),
             CheckpointError::UnsupportedVersion(v) => {
-                write!(f, "unsupported checkpoint version {v} (supported: 1, 2)")
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (f32 reader: 1, 2; quantized reader: 3)"
+                )
             }
             CheckpointError::Truncated(what) => write!(f, "truncated {what}"),
             CheckpointError::ShapeOverflow => write!(f, "parameter shape overflow"),
@@ -321,6 +332,115 @@ pub fn load(params: &ParamSet, buf: &[u8]) -> Result<(), CheckpointError> {
     Ok(())
 }
 
+/// Serializes named quantized matrices into a v3 checkpoint buffer.
+///
+/// Same CRC framing discipline as v2 (per-record + whole-file), new
+/// record body:
+///
+/// ```text
+/// magic "QRWT" | version u32 = 3 | record count u32
+/// per record:   name_len u32 | name | rows u32 | cols u32
+///               | f32 row scales (rows) … | i8 data (rows*cols) …
+///               | record crc32 u32
+/// file trailer: crc32 u32
+/// ```
+pub fn save_quantized(records: &[(&str, &QuantizedMatrix)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    put_u32_le(&mut buf, VERSION_V3);
+    put_u32_le(&mut buf, records.len() as u32);
+    let mut record = Vec::new();
+    for (name, m) in records {
+        record.clear();
+        let bytes = name.as_bytes();
+        put_u32_le(&mut record, bytes.len() as u32);
+        record.extend_from_slice(bytes);
+        put_u32_le(&mut record, m.rows() as u32);
+        put_u32_le(&mut record, m.cols() as u32);
+        for &s in m.scales() {
+            record.extend_from_slice(&s.to_le_bytes());
+        }
+        record.extend(m.data().iter().map(|&q| q as u8));
+        let rec_crc = crc32(&record);
+        put_u32_le(&mut record, rec_crc);
+        buf.extend_from_slice(&record);
+    }
+    let file_crc = crc32(&buf);
+    put_u32_le(&mut buf, file_crc);
+    buf
+}
+
+/// Parses a v3 quantized checkpoint into `(name, matrix)` records with
+/// the same hostility as [`parse`]: CRCs verified first, every length
+/// bounds-checked, scales must be finite and non-negative, framing must
+/// be exact. v1/v2 buffers are rejected with
+/// [`CheckpointError::UnsupportedVersion`] — an f32 checkpoint is never
+/// reinterpreted as i8 payloads.
+pub fn parse_quantized(buf: &[u8]) -> Result<Vec<(String, QuantizedMatrix)>, CheckpointError> {
+    if buf.len() < 12 {
+        return Err(CheckpointError::TooShort);
+    }
+    let mut r = Reader { buf };
+    let magic = r.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.get_u32_le("version")?;
+    if version != VERSION_V3 {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    if buf.len() < 16 {
+        return Err(CheckpointError::Truncated("file trailer"));
+    }
+    let (body, trailer) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    if crc32(body) != stored {
+        return Err(CheckpointError::FileChecksum);
+    }
+    let count = r.get_u32_le("record count")? as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
+    for index in 0..count {
+        let record_start = buf.len() - r.remaining();
+        let name_len = r.get_u32_le("record header")? as usize;
+        if r.remaining() < name_len {
+            return Err(CheckpointError::Truncated("parameter name"));
+        }
+        let name = String::from_utf8(r.take(name_len, "parameter name")?.to_vec())
+            .map_err(|_| CheckpointError::BadUtf8)?;
+        let rows = r.get_u32_le("record shape")? as usize;
+        let cols = r.get_u32_le("record shape")? as usize;
+        let n = rows.checked_mul(cols).ok_or(CheckpointError::ShapeOverflow)?;
+        if r.remaining() < rows.saturating_mul(4).saturating_add(n) {
+            return Err(CheckpointError::Truncated("quantized data"));
+        }
+        let mut scales = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let s = r.get_f32_le("row scales")?;
+            if !s.is_finite() || s < 0.0 {
+                return Err(CheckpointError::NonFinite { name });
+            }
+            scales.push(s);
+        }
+        let data: Vec<i8> = r.take(n, "quantized data")?.iter().map(|&b| b as i8).collect();
+        let record_end = buf.len() - r.remaining();
+        let stored = r.get_u32_le("record checksum")?;
+        if crc32(&buf[record_start..record_end]) != stored {
+            return Err(CheckpointError::RecordChecksum { index });
+        }
+        let matrix = QuantizedMatrix::from_parts(rows, cols, data, scales)
+            .map_err(|_| CheckpointError::ShapeOverflow)?;
+        out.push((name, matrix));
+    }
+    if r.remaining() != 4 {
+        return Err(if r.remaining() < 4 {
+            CheckpointError::Truncated("file trailer")
+        } else {
+            CheckpointError::TrailingBytes
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +581,93 @@ mod tests {
         bytes[body_len..].copy_from_slice(&file_crc.to_le_bytes());
         let err = parse(&bytes).unwrap_err();
         assert_eq!(err, CheckpointError::NonFinite { name: "w".into() });
+    }
+
+    fn sample_quant() -> Vec<(String, QuantizedMatrix)> {
+        let a = QuantizedMatrix::from_rows(&Tensor::from_vec(2, 3, vec![0.5, -1.0, 0.25, 2.0, 0.0, -0.125]));
+        let b = QuantizedMatrix::from_rows(&Tensor::row(vec![1.0, -1.0]));
+        vec![("student.out".into(), a), ("student.ff".into(), b)]
+    }
+
+    #[test]
+    fn quantized_roundtrip_is_exact() {
+        let records = sample_quant();
+        let refs: Vec<(&str, &QuantizedMatrix)> =
+            records.iter().map(|(n, m)| (n.as_str(), m)).collect();
+        let bytes = save_quantized(&refs);
+        let back = parse_quantized(&bytes).unwrap();
+        assert_eq!(back.len(), records.len());
+        for ((n0, m0), (n1, m1)) in records.iter().zip(&back) {
+            assert_eq!(n0, n1);
+            assert_eq!(m0, m1);
+        }
+    }
+
+    /// The version gate both ways: a v2 (f32) reader must reject a v3
+    /// quantized checkpoint with a *typed* error, and the v3 reader must
+    /// reject v1/v2 f32 files rather than reinterpret their payloads.
+    #[test]
+    fn version_gate_separates_f32_and_quantized_readers() {
+        let records = sample_quant();
+        let refs: Vec<(&str, &QuantizedMatrix)> =
+            records.iter().map(|(n, m)| (n.as_str(), m)).collect();
+        let v3 = save_quantized(&refs);
+        assert_eq!(parse(&v3).unwrap_err(), CheckpointError::UnsupportedVersion(3));
+        assert_eq!(load(&sample_set(), &v3).unwrap_err(), CheckpointError::UnsupportedVersion(3));
+
+        let v2 = save(&sample_set());
+        assert_eq!(parse_quantized(&v2).unwrap_err(), CheckpointError::UnsupportedVersion(2));
+        let v1 = save_v1(&sample_set());
+        assert_eq!(parse_quantized(&v1).unwrap_err(), CheckpointError::UnsupportedVersion(1));
+        // And v1/v2 still load through the f32 reader (no regression).
+        assert!(parse(&v1).is_ok());
+        assert!(parse(&v2).is_ok());
+    }
+
+    #[test]
+    fn quantized_rejects_every_single_bit_flip() {
+        let records = sample_quant();
+        let refs: Vec<(&str, &QuantizedMatrix)> =
+            records.iter().map(|(n, m)| (n.as_str(), m)).collect();
+        let bytes = save_quantized(&refs);
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    parse_quantized(&corrupt).is_err(),
+                    "bit flip at byte {byte} bit {bit} was silently accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_rejects_hostile_structures() {
+        // Truncation at every prefix length: typed error, never a panic.
+        let records = sample_quant();
+        let refs: Vec<(&str, &QuantizedMatrix)> =
+            records.iter().map(|(n, m)| (n.as_str(), m)).collect();
+        let bytes = save_quantized(&refs);
+        for cut in 0..bytes.len() {
+            assert!(parse_quantized(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        // A negative / non-finite scale with re-sealed CRCs must fail the
+        // finiteness check itself, not the checksum.
+        let m = QuantizedMatrix::from_rows(&Tensor::row(vec![1.0, 2.0]));
+        let mut evil = save_quantized(&[("w", &m)]);
+        let off = 12 + 4 + 1 + 8; // header, name_len, "w", rows+cols
+        evil[off..off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        let rec_end = evil.len() - 8; // record crc + file crc
+        let rec_crc = crc32(&evil[12..rec_end]);
+        evil[rec_end..rec_end + 4].copy_from_slice(&rec_crc.to_le_bytes());
+        let body_len = evil.len() - 4;
+        let file_crc = crc32(&evil[..body_len]);
+        evil[body_len..].copy_from_slice(&file_crc.to_le_bytes());
+        assert_eq!(
+            parse_quantized(&evil).unwrap_err(),
+            CheckpointError::NonFinite { name: "w".into() }
+        );
     }
 
     #[test]

@@ -100,6 +100,7 @@ fn main() {
     let rules = RuleBasedRewriter::new(SynonymDict::from_catalog(&data.log.catalog));
     let ladder = RewriteLadder {
         cache: Some(&*cache),
+        student: None,
         online: Some(&q2q),
         baseline: Some(&rules),
     };
@@ -167,6 +168,7 @@ fn main() {
     let stack = ServeStack {
         engine: Arc::clone(&engine),
         cache: Some(Arc::clone(&cache)),
+        student: None,
         online: Some(Arc::new(BatchedQ2Q::new(Arc::clone(&q2q_model), vocab_arc, 8, 78))),
         baseline: Some(Arc::new(RuleBasedRewriter::new(SynonymDict::from_catalog(
             &data.log.catalog,

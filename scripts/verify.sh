@@ -3,7 +3,7 @@
 # without touching the network (the build is fully hermetic — no external
 # crates, see CHANGES.md).
 #
-#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--obs-smoke] [--mutate-smoke]
+#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--obs-smoke] [--mutate-smoke] [--distill-smoke]
 #
 # With --bench-smoke, additionally runs the smoke benchmarks: they write
 # BENCH_decode.json / BENCH_matmul.json at the repo root, fail on any
@@ -35,6 +35,15 @@
 # kill point (slower; the same sweep always runs in the qrw-search
 # tests/mutation.rs suite, so the quick mode loses no coverage per PR).
 #
+# With --distill-smoke, additionally runs the distill-and-quantize smoke:
+# train a smoke-scale cyclic teacher, distill a quantized q2q student from
+# its top-n rewrites (checkpointed atomically), round-trip the QRWT v3
+# artifacts bitwise, require the student to hold win+tie >= lose against
+# the teacher on the held-out oracle set and to decode at >=2x the
+# KV-cached teacher's tokens/s. Writes + validates BENCH_distill.json at
+# the repo root. When QRW_VERIFY_BUDGET is set to "full", distillation
+# runs with a 3x step budget over the whole harvest corpus.
+#
 # Always runs the test-inventory guard: every crates/*/src module must
 # either contain #[test]s or be exercised by that crate's integration
 # tests (re-export-only entry points are whitelisted below).
@@ -46,6 +55,7 @@ TRAIN_RESUME=0
 LOAD_SMOKE=0
 OBS_SMOKE=0
 MUTATE_SMOKE=0
+DISTILL_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -53,6 +63,7 @@ for arg in "$@"; do
     --load-smoke) LOAD_SMOKE=1 ;;
     --obs-smoke) OBS_SMOKE=1 ;;
     --mutate-smoke) MUTATE_SMOKE=1 ;;
+    --distill-smoke) DISTILL_SMOKE=1 ;;
     *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -139,6 +150,17 @@ if [ "$MUTATE_SMOKE" = 1 ]; then
   fi
   # shellcheck disable=SC2086
   cargo run --release --offline -p qrw-bench --bin mutate_smoke -- --out . $MUTATE_ARGS
+fi
+
+if [ "$DISTILL_SMOKE" = 1 ]; then
+  echo "== distill smoke (offline, writes + validates BENCH_distill.json) =="
+  DISTILL_ARGS=""
+  if [ "${QRW_VERIFY_BUDGET:-quick}" = "full" ]; then
+    echo "   (QRW_VERIFY_BUDGET=full: 3x distillation budget, full eval set)"
+    DISTILL_ARGS="--full"
+  fi
+  # shellcheck disable=SC2086
+  cargo run --release --offline -p qrw-bench --bin distill_smoke -- --out . $DISTILL_ARGS
 fi
 
 echo "verify: OK"

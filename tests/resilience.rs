@@ -72,7 +72,7 @@ fn every_online_fault_still_yields_ranked_responses() {
         let e = engine();
         let injector = FaultInjector::new(42, FaultConfig::always(fault));
         let ladder =
-            RewriteLadder { cache: None, online: Some(&online), baseline: Some(&baseline) };
+            RewriteLadder { student: None, cache: None, online: Some(&online), baseline: Some(&baseline) };
         for _ in 0..10 {
             let budget = DeadlineBudget::new(Duration::from_secs(1));
             let resp = e.search_resilient(&query, ladder, &cfg, &budget, Some(&injector));
@@ -111,7 +111,7 @@ fn breaker_opens_and_recovers_deterministically() {
 
     // Phase 1: every online call errors. Failures 1..3 close->open.
     let broken = FaultInjector::new(7, FaultConfig::always(Fault::ModelError));
-    let ladder = RewriteLadder { cache: None, online: Some(&online), baseline: None };
+    let ladder = RewriteLadder { student: None, cache: None, online: Some(&online), baseline: None };
     for _ in 0..3 {
         let budget = DeadlineBudget::unlimited();
         let resp = e.search_resilient(&query, ladder, &cfg, &budget, Some(&broken));
@@ -157,7 +157,7 @@ fn fault_sequences_are_reproducible_across_engines() {
     let run = || {
         let e = engine();
         let injector = FaultInjector::new(99, mixed);
-        let ladder = RewriteLadder { cache: None, online: Some(&online), baseline: None };
+        let ladder = RewriteLadder { student: None, cache: None, online: Some(&online), baseline: None };
         (0..20)
             .map(|_| {
                 let budget = DeadlineBudget::new(Duration::from_secs(1));
@@ -179,7 +179,7 @@ fn poisoned_cache_entry_degrades_to_online_rung() {
     injector.poison_cache(&cache, &query);
 
     let online = FixedRewriter(vec![toks("senior smartphone")]);
-    let ladder = RewriteLadder { cache: Some(&cache), online: Some(&online), baseline: None };
+    let ladder = RewriteLadder { student: None, cache: Some(&cache), online: Some(&online), baseline: None };
     let budget = DeadlineBudget::unlimited();
     let resp = e.search_resilient(&query, ladder, &ServingConfig::default(), &budget, None);
     assert_eq!(resp.rewrite_source, RewriteSource::Fallback);
@@ -195,7 +195,7 @@ fn healthy_cache_entry_still_wins_the_ladder() {
     let query = toks("phone for grandpa");
     cache.insert(&query, vec![toks("senior handset")]);
     let online = FixedRewriter(vec![toks("senior smartphone")]);
-    let ladder = RewriteLadder { cache: Some(&cache), online: Some(&online), baseline: None };
+    let ladder = RewriteLadder { student: None, cache: Some(&cache), online: Some(&online), baseline: None };
     let budget = DeadlineBudget::unlimited();
     let resp = e.search_resilient(&query, ladder, &ServingConfig::default(), &budget, None);
     assert_eq!(resp.rewrite_source, RewriteSource::Cache);
@@ -209,7 +209,7 @@ fn rewriter_panic_is_contained_without_injector() {
     let panicking = PanickingRewriter;
     let baseline = RuleBasedRewriter::new(dict());
     let ladder =
-        RewriteLadder { cache: None, online: Some(&panicking), baseline: Some(&baseline) };
+        RewriteLadder { student: None, cache: None, online: Some(&panicking), baseline: Some(&baseline) };
     let budget = DeadlineBudget::unlimited();
     let resp = e.search_resilient(
         &toks("phone for grandpa"),
@@ -233,7 +233,7 @@ fn rewriter_panic_is_contained_without_injector() {
 fn expired_budget_serves_raw_query_only() {
     let e = engine();
     let online = FixedRewriter(vec![toks("senior smartphone")]);
-    let ladder = RewriteLadder { cache: None, online: Some(&online), baseline: None };
+    let ladder = RewriteLadder { student: None, cache: None, online: Some(&online), baseline: None };
     let budget = DeadlineBudget::new(Duration::from_millis(10));
     budget.charge(Duration::from_millis(20)); // synthetic: already over
     let resp =
@@ -254,7 +254,7 @@ fn hostile_inputs_never_panic_and_stay_well_formed() {
     let online = FixedRewriter(vec![toks("senior smartphone")]);
     let cfg = ServingConfig::default();
     let ladder =
-        RewriteLadder { cache: None, online: Some(&online), baseline: Some(&baseline) };
+        RewriteLadder { student: None, cache: None, online: Some(&online), baseline: Some(&baseline) };
 
     let ten_k_tokens: Vec<String> = (0..10_000).map(|i| format!("tok{i}")).collect();
     let hostile: Vec<(&str, Vec<String>)> = vec![
@@ -298,7 +298,7 @@ fn hostile_inputs_never_panic_and_stay_well_formed() {
 fn health_report_aggregates_stage_latency_and_coverage() {
     let e = engine();
     let online = FixedRewriter(vec![toks("senior smartphone")]);
-    let ladder = RewriteLadder { cache: None, online: Some(&online), baseline: None };
+    let ladder = RewriteLadder { student: None, cache: None, online: Some(&online), baseline: None };
     let cfg = ServingConfig::default();
     for _ in 0..4 {
         let budget = DeadlineBudget::unlimited();
@@ -340,7 +340,7 @@ fn health_report_carries_decode_throughput_from_the_online_model() {
         vocab.insert(&format!("t{i}"));
     }
     let online = Q2QRewriter::new(&model, &vocab, 6, 9);
-    let ladder = RewriteLadder { cache: None, online: Some(&online), baseline: None };
+    let ladder = RewriteLadder { student: None, cache: None, online: Some(&online), baseline: None };
     let cfg = ServingConfig::default();
     let budget = DeadlineBudget::unlimited();
     let query: Vec<String> = vec!["t2".into(), "t6".into()];
@@ -358,7 +358,7 @@ fn health_report_carries_decode_throughput_from_the_online_model() {
     // A fixed (non-neural) rewriter reports nothing and leaves the decode
     // counters untouched.
     let fixed = FixedRewriter(vec![toks("senior smartphone")]);
-    let ladder2 = RewriteLadder { cache: None, online: Some(&fixed), baseline: None };
+    let ladder2 = RewriteLadder { student: None, cache: None, online: Some(&fixed), baseline: None };
     e.search_resilient(&toks("phone for grandpa"), ladder2, &cfg, &budget, None);
     let after = e.health_report();
     assert_eq!(after.decode_steps, report.decode_steps);
