@@ -25,11 +25,12 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use qrw_bench::harness::{group, validate_bench_json, BenchRecord, Sample};
+use qrw_bench::harness::{group, validate_bench_json, validate_shard_json, BenchRecord, Sample};
 use qrw_core::QueryRewriter;
 use qrw_nmt::{ModelConfig, Seq2Seq};
 use qrw_search::{
-    DeadlineBudget, InvertedIndex, RewriteCache, RewriteLadder, SearchEngine, ServingConfig,
+    DeadlineBudget, InvertedIndex, RewriteCache, RewriteLadder, SearchEngine, ServeError,
+    ServingConfig, ShardFaultInjector,
 };
 use qrw_serve::{
     synthetic_docs, BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack, Workload,
@@ -52,7 +53,7 @@ const REPS: usize = 5;
 const CLOSED_LOOP_DRIVERS: usize = 4;
 
 fn main() -> ExitCode {
-    let out_dir = parse_out_dir();
+    let (out_dir, full_sweep) = parse_args();
     let vocab = build_vocab();
     let tail = Workload::generate(&vocab, &MixConfig::tail_heavy(REQUESTS, MIX_SEED));
     let head = Workload::generate(&vocab, &MixConfig::head_heavy(REQUESTS, MIX_SEED));
@@ -179,7 +180,16 @@ fn main() -> ExitCode {
     print_sample("head/batched_open_loop_ns_per_req", head_sample);
     record.push("head/batched_open_loop_ns_per_req", head_sample);
 
-    // --- Persist + re-validate against the harness schema.
+    // --- Shard-scaling sweep: the scatter-gather tier at increasing
+    // shard counts (byte-identical to the monolith at every count) plus
+    // the partial-results rate under a permanently poisoned shard.
+    if let Err(e) = shard_scaling(&vocab, &tail, full_sweep, &mut record) {
+        eprintln!("load_smoke: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // --- Persist + re-validate against the harness schema (general +
+    // the shard-scaling entry contract).
     let path = out_dir.join("BENCH_serve.json");
     match record.write_validated(&path) {
         Ok(_) => println!("\nwrote {}", path.display()),
@@ -191,6 +201,10 @@ fn main() -> ExitCode {
     let text = std::fs::read_to_string(&path).expect("re-read bench file");
     if let Err(e) = validate_bench_json(&text) {
         eprintln!("load_smoke: {} is malformed: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = validate_shard_json(&text) {
+        eprintln!("load_smoke: {} misses the shard-scaling contract: {e}", path.display());
         return ExitCode::FAILURE;
     }
 
@@ -219,16 +233,20 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn parse_out_dir() -> PathBuf {
+fn parse_args() -> (PathBuf, bool) {
     let mut args = std::env::args().skip(1);
     let mut out = PathBuf::from(".");
+    let mut full_sweep = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = PathBuf::from(args.next().expect("--out needs a directory")),
-            other => panic!("unknown argument {other:?} (usage: load_smoke [--out DIR])"),
+            "--shard-sweep-full" => full_sweep = true,
+            other => panic!(
+                "unknown argument {other:?} (usage: load_smoke [--out DIR] [--shard-sweep-full])"
+            ),
         }
     }
-    out
+    (out, full_sweep)
 }
 
 fn build_vocab() -> Arc<Vocab> {
@@ -282,6 +300,116 @@ fn run_sequential(stack: &ServeStack, requests: &[Vec<String>]) -> (Duration, Ve
         })
         .collect();
     (t0.elapsed(), responses)
+}
+
+/// Like [`build_stack`], but the engine serves through the scatter-gather
+/// tier at `shards` shards.
+fn build_sharded_stack(vocab: &Arc<Vocab>, head: &[Vec<String>], shards: usize) -> ServeStack {
+    let docs = synthetic_docs(vocab, DOCS, 11);
+    let engine = Arc::new(SearchEngine::sharded(InvertedIndex::build(docs), shards));
+    let model = Arc::new(Seq2Seq::new(ModelConfig::tiny_transformer(vocab.len()), MODEL_SEED));
+    let online = Arc::new(BatchedQ2Q::new(model, Arc::clone(vocab), 40, REWRITE_SEED));
+    let cache = Arc::new(RewriteCache::new());
+    for q in head {
+        cache.insert(q, online.rewrite(q, ServingConfig::default().max_rewrites));
+    }
+    ServeStack { engine, cache: Some(cache), student: None, online: Some(online), baseline: None }
+}
+
+/// Sweeps shard counts, requiring byte-identical responses at every
+/// count, then measures serving with one shard permanently poisoned: the
+/// partial-results rate must be exactly 1000‰ (every response ranked,
+/// stamped `shards_ok = N-1`, never an error).
+fn shard_scaling(
+    vocab: &Arc<Vocab>,
+    tail: &Workload,
+    full_sweep: bool,
+    record: &mut BenchRecord,
+) -> Result<(), String> {
+    let counts: &[usize] = if full_sweep { &[1, 2, 4, 8] } else { &[1, 4] };
+    group(if full_sweep {
+        "shard scaling (counts 1/2/4/8, byte-transparency enforced)"
+    } else {
+        "shard scaling (counts 1/4, byte-transparency enforced; full sweep under QRW_VERIFY_BUDGET=full)"
+    });
+
+    let mono = build_stack(vocab, &tail.head);
+    let (_, mono_responses) = run_sequential(&mono, &tail.requests);
+
+    for &shards in counts {
+        let mut ns = Vec::new();
+        for rep in 0..=REPS {
+            let stack = build_sharded_stack(vocab, &tail.head, shards);
+            let (total, responses) = run_sequential(&stack, &tail.requests);
+            if responses != mono_responses {
+                return Err(format!(
+                    "sharded responses at {shards} shards diverge from the monolith"
+                ));
+            }
+            if rep > 0 {
+                ns.push(total.as_nanos() / REQUESTS as u128);
+            }
+        }
+        let s = to_sample(&mut ns);
+        let name = format!("shard_scaling/s{shards}_ns_per_req");
+        print_sample(&name, s);
+        record.push(name, s);
+    }
+
+    // Fault-injected run: poison one shard of the largest swept tier and
+    // serve the whole mix. Every response must degrade to partial
+    // results — never an error, never an empty shard accounting.
+    let shards = *counts.last().expect("non-empty sweep");
+    let stack = build_sharded_stack(vocab, &tail.head, shards);
+    stack.engine.set_shard_faults(Some(ShardFaultInjector::poison_shard(0)));
+    let cfg = ServingConfig::default();
+    let t0 = Instant::now();
+    let mut partial = 0usize;
+    for q in &tail.requests {
+        let ladder = RewriteLadder {
+            cache: stack.cache.as_deref(),
+            student: None,
+            online: stack.online.as_deref().map(|o| o as &dyn QueryRewriter),
+            baseline: None,
+        };
+        let resp =
+            stack.engine.search_resilient(q, ladder, &cfg, &DeadlineBudget::unlimited(), None);
+        if resp.shards_ok != shards - 1 || resp.shards_total != shards {
+            return Err(format!(
+                "poisoned tier served {}/{} shards, expected {}/{}",
+                resp.shards_ok,
+                resp.shards_total,
+                shards - 1,
+                shards
+            ));
+        }
+        if !resp
+            .degradations
+            .iter()
+            .any(|e| matches!(e, ServeError::PartialResults { .. }))
+        {
+            return Err("partial response without a PartialResults degradation".into());
+        }
+        partial += 1;
+    }
+    let total = t0.elapsed();
+    let rate_permille = (partial * 1000 / tail.requests.len()) as u128;
+    let partial_sample = point_sample(total.as_nanos() / REQUESTS as u128);
+    print_sample("shard_scaling/partial_ns_per_req", partial_sample);
+    record.push("shard_scaling/partial_ns_per_req", partial_sample);
+    let rate_sample = point_sample(rate_permille);
+    print_sample("shard_scaling/partial_rate_permille", rate_sample);
+    record.push("shard_scaling/partial_rate_permille", rate_sample);
+    if rate_permille != 1000 {
+        return Err(format!(
+            "expected every request partial under a permanently poisoned shard, got {rate_permille}‰"
+        ));
+    }
+    let report = stack.engine.health_report();
+    if report.partial_results != tail.requests.len() as u64 {
+        return Err("health_report() partial_results disagrees with the served count".into());
+    }
+    Ok(())
 }
 
 fn overload_demo(vocab: &Arc<Vocab>, tail: &Workload) -> Result<(), String> {

@@ -415,6 +415,39 @@ pub fn validate_mutate_json(text: &str) -> Result<BenchRecord, String> {
     Ok(record)
 }
 
+/// Entry names the shard-scaling section of `BENCH_serve.json` must
+/// carry: per-request serve latency at shard counts 1 and 4 (the quick
+/// sweep; `QRW_VERIFY_BUDGET=full` adds counts 2 and 8 as extra entries)
+/// and the partial-results rate under 100% single-shard fault injection
+/// (per mille of served requests; 1000 means every response degraded to
+/// `shards_ok = N-1` partial results, the expected value with a
+/// permanently poisoned shard).
+pub const SHARD_REQUIRED_ENTRIES: [&str; 4] = [
+    "shard_scaling/s1_ns_per_req",
+    "shard_scaling/s4_ns_per_req",
+    "shard_scaling/partial_ns_per_req",
+    "shard_scaling/partial_rate_permille",
+];
+
+/// Parses and schema-checks a `BENCH_serve.json` document for its
+/// shard-scaling contract: the general bench schema
+/// ([`validate_bench_json`]) plus the record being named `serve` and
+/// carrying every entry in [`SHARD_REQUIRED_ENTRIES`] (extra entries —
+/// the load-generation sections, the full-sweep shard counts — are
+/// allowed).
+pub fn validate_shard_json(text: &str) -> Result<BenchRecord, String> {
+    let record = validate_bench_json(text)?;
+    if record.bench != "serve" {
+        return Err(format!("\"bench\" is {:?}, expected \"serve\"", record.bench));
+    }
+    for name in SHARD_REQUIRED_ENTRIES {
+        if record.entry(name).is_none() {
+            return Err(format!("missing required shard-scaling entry {name:?}"));
+        }
+    }
+    Ok(record)
+}
+
 /// Entry names a `BENCH_distill.json` record must carry: teacher and
 /// student max-length decode latency and the held-out oracle
 /// win/tie/lose verdict of the student against the teacher.
@@ -1024,6 +1057,35 @@ mod tests {
         let mut wrong = BenchRecord::new("serve");
         wrong.push("frozen/serve_ns_per_req", sample(1, 1, 1));
         assert!(validate_mutate_json(&wrong.to_json()).unwrap_err().contains("mutate"));
+    }
+
+    #[test]
+    fn shard_validator_enforces_the_required_entry_set() {
+        let mut rec = BenchRecord::new("serve");
+        for name in SHARD_REQUIRED_ENTRIES {
+            rec.push(name, sample(2, 1, 3));
+        }
+        // The load-generation sections and the full-sweep shard counts
+        // ride along as extras.
+        rec.push("tail/sequential_ns_per_req", sample(5, 4, 6));
+        rec.push("shard_scaling/s8_ns_per_req", sample(2, 1, 3));
+        let parsed = validate_shard_json(&rec.to_json()).expect("full record validates");
+        assert_eq!(parsed.bench, "serve");
+
+        for missing in SHARD_REQUIRED_ENTRIES {
+            let mut partial = BenchRecord::new("serve");
+            for name in SHARD_REQUIRED_ENTRIES.iter().filter(|n| **n != missing) {
+                partial.push(*name, sample(1, 1, 1));
+            }
+            let err = validate_shard_json(&partial.to_json()).expect_err(missing);
+            assert!(err.contains(missing), "error {err:?} should name {missing:?}");
+        }
+
+        let mut wrong = BenchRecord::new("mutate");
+        for name in SHARD_REQUIRED_ENTRIES {
+            wrong.push(name, sample(1, 1, 1));
+        }
+        assert!(validate_shard_json(&wrong.to_json()).unwrap_err().contains("serve"));
     }
 
     #[test]

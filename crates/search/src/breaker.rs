@@ -144,6 +144,53 @@ impl Default for CircuitBreaker {
     }
 }
 
+/// A fixed-size family of [`CircuitBreaker`]s keyed by shard id.
+///
+/// The scatter-gather tier gives every shard its own breaker so one
+/// repeatedly-failing shard fails fast (and the query degrades to partial
+/// results) without tripping healthy shards. Each member follows the same
+/// deterministic request-count half-open schedule as the single breaker.
+#[derive(Debug)]
+pub struct BreakerSet {
+    breakers: Vec<CircuitBreaker>,
+}
+
+impl BreakerSet {
+    /// `n` independent breakers sharing one config.
+    pub fn new(n: usize, config: BreakerConfig) -> Self {
+        BreakerSet { breakers: (0..n).map(|_| CircuitBreaker::new(config)).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.breakers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.breakers.is_empty()
+    }
+
+    /// Asks permission for one call against shard `shard`.
+    pub fn allow(&self, shard: usize) -> bool {
+        self.breakers[shard].allow()
+    }
+
+    pub fn record_success(&self, shard: usize) {
+        self.breakers[shard].record_success();
+    }
+
+    pub fn record_failure(&self, shard: usize) {
+        self.breakers[shard].record_failure();
+    }
+
+    pub fn state(&self, shard: usize) -> BreakerState {
+        self.breakers[shard].state()
+    }
+
+    pub fn times_opened(&self, shard: usize) -> u64 {
+        self.breakers[shard].times_opened()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +246,59 @@ mod tests {
         b.record_success();
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.times_opened(), 1);
+    }
+
+    /// Satellite: members of a `BreakerSet` are fully independent and
+    /// each follows the exact deterministic half-open schedule of the
+    /// single breaker (cooldown_requests = 4 → three rejects, fourth
+    /// request is the trial).
+    #[test]
+    fn breaker_set_members_are_independent_with_exact_half_open_schedule() {
+        let set = BreakerSet::new(
+            3,
+            BreakerConfig {
+                failure_threshold: 3,
+                cooldown_requests: 4,
+                half_open_successes: 2,
+            },
+        );
+        assert_eq!(set.len(), 3);
+        // Trip shard 1 only.
+        for _ in 0..3 {
+            assert!(set.allow(1));
+            set.record_failure(1);
+        }
+        assert_eq!(set.state(1), BreakerState::Open);
+        assert_eq!(set.times_opened(1), 1);
+        // Neighbours are untouched and keep flowing.
+        for shard in [0, 2] {
+            assert_eq!(set.state(shard), BreakerState::Closed);
+            assert_eq!(set.times_opened(shard), 0);
+            assert!(set.allow(shard));
+        }
+        // Shard 1's cooldown: requests 1–3 rejected, request 4 is the
+        // half-open trial; two successes close it.
+        assert!(!set.allow(1));
+        assert!(!set.allow(1));
+        assert!(!set.allow(1));
+        assert!(set.allow(1));
+        assert_eq!(set.state(1), BreakerState::HalfOpen);
+        set.record_success(1);
+        assert_eq!(set.state(1), BreakerState::HalfOpen);
+        set.record_success(1);
+        assert_eq!(set.state(1), BreakerState::Closed);
+        // A half-open trial failure re-opens (and only shard 1 counts it).
+        for _ in 0..3 {
+            set.record_failure(1);
+        }
+        for _ in 0..4 {
+            set.allow(1);
+        }
+        set.record_failure(1);
+        assert_eq!(set.state(1), BreakerState::Open);
+        assert_eq!(set.times_opened(1), 3);
+        assert_eq!(set.times_opened(0), 0);
+        assert_eq!(set.times_opened(2), 0);
     }
 
     #[test]

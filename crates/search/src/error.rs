@@ -63,6 +63,10 @@ pub enum ServeError {
     /// queue; it was shed at dequeue instead of being served dead on
     /// arrival.
     ExpiredInQueue,
+    /// One or more shards of the scatter-gather tier failed (panic,
+    /// deadline, stall, or open breaker) and were excluded; the response
+    /// ranks the documents of the `shards_ok` surviving shards only.
+    PartialResults { shards_ok: usize, shards_total: usize },
 }
 
 impl fmt::Display for ServeError {
@@ -87,6 +91,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::ExpiredInQueue => {
                 write!(f, "deadline expired while queued, shed at dequeue")
+            }
+            ServeError::PartialResults { shards_ok, shards_total } => {
+                write!(f, "partial results: {shards_ok}/{shards_total} shards answered")
             }
         }
     }

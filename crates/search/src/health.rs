@@ -36,6 +36,7 @@ pub struct HealthCounters {
     truncated_queries: AtomicU64,
     queue_rejections: AtomicU64,
     queue_sheds: AtomicU64,
+    partial_results: AtomicU64,
     queue_depth: AtomicU64,
     queue_peak_depth: AtomicU64,
     rewrite_micros: AtomicU64,
@@ -78,6 +79,7 @@ impl HealthCounters {
             ServeError::QueryTruncated { .. } => &self.truncated_queries,
             ServeError::QueueFull { .. } => &self.queue_rejections,
             ServeError::ExpiredInQueue => &self.queue_sheds,
+            ServeError::PartialResults { .. } => &self.partial_results,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -161,6 +163,7 @@ impl HealthCounters {
             truncated_queries: self.truncated_queries.load(Ordering::Relaxed),
             queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
             queue_sheds: self.queue_sheds.load(Ordering::Relaxed),
+            partial_results: self.partial_results.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_peak_depth: self.queue_peak_depth.load(Ordering::Relaxed),
             rewrite_micros: self.rewrite_micros.load(Ordering::Relaxed),
@@ -177,8 +180,52 @@ impl HealthCounters {
             breaker_state,
             breaker_opens,
             churn,
+            shard_tier: None,
         }
     }
+}
+
+/// Per-shard health block of the scatter-gather tier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardStatReport {
+    /// Shard id (`0..shards_total`).
+    pub shard: usize,
+    /// Scatter traversals dispatched to this shard (hedges included).
+    pub requests: u64,
+    /// Traversals that failed (panic, deadline/stall, poisoned state).
+    pub failures: u64,
+    /// Straggler-hedging retries issued against this shard.
+    pub hedges: u64,
+    /// Requests whose response excluded this shard (served partial).
+    pub excluded: u64,
+    /// Times this shard's breaker opened.
+    pub breaker_trips: u64,
+    /// Breaker status at snapshot time.
+    pub breaker_state: BreakerState,
+    /// Per-shard traversal latency quantiles (µs, bucket lower bounds)
+    /// and sample count, from the same fixed-layout histogram the
+    /// end-to-end latencies use.
+    pub latency_p50_us: u64,
+    pub latency_p95_us: u64,
+    pub latency_p99_us: u64,
+    pub latency_count: u64,
+}
+
+/// Shard-tier section of a [`HealthReport`]: one [`ShardStatReport`] per
+/// shard plus the epoch/plan the whole block was snapshotted under.
+///
+/// The entire block is captured under a single telemetry lock at one
+/// catalog epoch and one routing-plan version — a report read mid-churn
+/// or mid-rebalance can never mix counters from different epochs or
+/// different shard layouts (the PR-6 torn-read discipline applied to
+/// observability).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardTierReport {
+    /// Catalog epoch the shard set was built from.
+    pub epoch: u64,
+    /// Routing-plan version (bumped by every `rebalance`).
+    pub plan_version: u64,
+    pub shards: Vec<ShardStatReport>,
 }
 
 /// Live-catalog churn counters, populated from the engine's
@@ -211,7 +258,8 @@ pub struct ChurnStats {
 
 /// Point-in-time health snapshot returned by
 /// [`SearchEngine::health_report`](crate::serving::SearchEngine::health_report).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// (No longer `Copy`: the shard tier contributes a per-shard vector.)
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HealthReport {
     /// Requests served through the resilient path.
     pub requests: u64,
@@ -243,6 +291,8 @@ pub struct HealthReport {
     /// depth last observed, and its high-water mark.
     pub queue_rejections: u64,
     pub queue_sheds: u64,
+    /// Responses served with one or more shards excluded.
+    pub partial_results: u64,
     pub queue_depth: u64,
     pub queue_peak_depth: u64,
     /// Cumulative per-stage latency (µs), including synthetic charges.
@@ -268,6 +318,9 @@ pub struct HealthReport {
     pub breaker_opens: u64,
     /// Live-catalog churn counters (all-zero for a frozen index).
     pub churn: ChurnStats,
+    /// Scatter-gather shard tier (`None` for a monolithic engine). The
+    /// block is snapshotted atomically under one epoch + plan version.
+    pub shard_tier: Option<ShardTierReport>,
 }
 
 impl HealthReport {
@@ -333,6 +386,7 @@ impl HealthReport {
             + self.truncated_queries
             + self.queue_rejections
             + self.queue_sheds
+            + self.partial_results
     }
 }
 
@@ -434,6 +488,17 @@ mod tests {
         assert_eq!(r.decode_steps, 10);
         assert!((r.student_tokens_per_sec() - 15_000.0).abs() < 1e-9);
         assert!((r.student_speedup() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_results_count_as_degradations() {
+        let c = HealthCounters::default();
+        c.record_error(&ServeError::PartialResults { shards_ok: 3, shards_total: 4 });
+        c.record_error(&ServeError::PartialResults { shards_ok: 1, shards_total: 4 });
+        let r = c.snapshot(BreakerState::Closed, 0, ChurnStats::default());
+        assert_eq!(r.partial_results, 2);
+        assert_eq!(r.degradations(), 2);
+        assert_eq!(r.shard_tier, None, "monolithic snapshot carries no shard tier");
     }
 
     #[test]

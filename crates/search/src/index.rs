@@ -88,6 +88,14 @@ impl InvertedIndex {
         self.alive_docs
     }
 
+    /// Total token count across live documents (the numerator of
+    /// [`avg_doc_len`](Self::avg_doc_len)). The sharded tier sums this
+    /// per shard to reconstruct the global average document length
+    /// exactly.
+    pub fn live_tokens(&self) -> usize {
+        self.alive_tokens
+    }
+
     /// Rebuilds the index without tombstoned documents. Returns the
     /// old-id → new-id mapping (`None` for removed docs).
     pub fn compact(&mut self) -> Vec<Option<usize>> {
@@ -222,6 +230,23 @@ impl InvertedIndex {
                 (tok.as_str(), idf)
             })
             .collect();
+        Bm25Scorer { index: self, terms, avg }
+    }
+
+    /// A BM25 scorer over *externally supplied* statistics: precomputed
+    /// `(token, idf)` terms (duplicates kept, in query order) and an
+    /// already-clamped average document length. The sharded tier computes
+    /// global statistics once at gather time (summing per-shard live-doc
+    /// counts and document frequencies) and hands each shard this scorer,
+    /// so per-shard scores are bit-identical to what the monolithic index
+    /// would produce: same idf, same avg, same accumulation order — only
+    /// `tf` and `dl` are read locally, and those are per-document facts.
+    pub fn bm25_scorer_from_stats<'a>(
+        &'a self,
+        terms: &'a [(String, f64)],
+        avg: f64,
+    ) -> Bm25Scorer<'a> {
+        let terms = terms.iter().map(|(tok, idf)| (tok.as_str(), *idf)).collect();
         Bm25Scorer { index: self, terms, avg }
     }
 }
@@ -582,6 +607,31 @@ mod tests {
                 }
             }
             idx.remove_doc(1); // second round runs tombstoned
+        }
+    }
+
+    /// Feeding a scorer its own index's statistics through
+    /// `bm25_scorer_from_stats` reproduces `bm25_scorer` bit-for-bit —
+    /// the contract the sharded tier's global-statistics hand-off rests
+    /// on.
+    #[test]
+    fn bm25_scorer_from_stats_matches_local_scorer() {
+        let mut idx = sample_index();
+        idx.remove_doc(1);
+        let q = toks("red red shoes women");
+        let n = idx.live_len() as f64;
+        let terms: Vec<(String, f64)> = q
+            .iter()
+            .map(|tok| {
+                let df = idx.doc_freq(tok) as f64;
+                (tok.clone(), ((n - df + 0.5) / (df + 0.5) + 1.0).ln())
+            })
+            .collect();
+        let avg = idx.avg_doc_len().max(1e-9);
+        let external = idx.bm25_scorer_from_stats(&terms, avg);
+        let local = idx.bm25_scorer(&q);
+        for d in 0..idx.len() {
+            assert_eq!(external.score(d).to_bits(), local.score(d).to_bits());
         }
     }
 

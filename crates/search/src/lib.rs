@@ -24,6 +24,12 @@
 //! readers pin one immutable epoch per request, commits persist through
 //! the crash-safe `CheckpointStore` discipline, and churn faults are
 //! injectable via [`ChurnFaultInjector`]).
+//!
+//! The sharded scatter-gather serving tier lives in [`shard`]: FNV-routed
+//! document shards rebuilt per epoch, per-shard fault isolation
+//! (breakers, deadline slices, straggler hedging) and partial-results
+//! degradation, with healthy responses byte-identical to the monolith at
+//! every shard count.
 
 pub mod ab;
 pub mod breaker;
@@ -36,17 +42,22 @@ pub mod index;
 pub mod kv;
 pub mod segment;
 pub mod serving;
+pub mod shard;
 pub mod snapshot;
 pub mod topk;
 pub mod tree;
 
 pub use ab::{run_ab, AbConfig, AbOutcome, ArmMetrics};
-pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerConfig, BreakerSet, BreakerState, CircuitBreaker};
 pub use deadline::{Clock, DeadlineBudget};
 pub use error::{ServeError, Stage};
 pub use eval::{recall_at_k, reciprocal_rank, QualityAccumulator, RetrievalQuality};
 pub use fault::{Fault, FaultConfig, FaultInjector};
-pub use health::{ChurnStats, HealthReport};
+pub use health::{ChurnStats, HealthReport, ShardStatReport, ShardTierReport};
+pub use shard::{
+    RebalanceError, RebalancePlan, RoutingPlan, ShardFault, ShardFaultInjector, ShardedCatalog,
+    ShardedIndex,
+};
 pub use index::{Bm25Scorer, InvertedIndex};
 pub use kv::RewriteCache;
 pub use segment::{CatalogOp, MutationBatch, Segment};

@@ -16,22 +16,41 @@
 //! online rung additionally by a [`CircuitBreaker`], and every rewriter
 //! call by `catch_unwind`. Degradations are recorded on the response
 //! (`degradations`) and aggregated into [`SearchEngine::health_report`].
+//!
+//! # Sharded scatter-gather
+//!
+//! Engines built with [`SearchEngine::sharded`] /
+//! [`SearchEngine::sharded_live`] serve retrieval and ranking through the
+//! document-sharded tier in [`crate::shard`]: per-shard tree traversals
+//! run on scoped worker threads under per-shard [`DeadlineBudget`]
+//! slices, a slow shard is hedged once, a panicking / stalled /
+//! breaker-open shard is excluded wholly and the request degrades to
+//! **partial results** (`shards_ok < shards_total`, recorded as
+//! [`ServeError::PartialResults`]) instead of failing. A healthy sharded
+//! response is byte-identical to the monolithic response at every shard
+//! count; a partial response is byte-identical (modulo `cost`) to a
+//! monolith whose failed shards' documents were tombstoned.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 use qrw_core::QueryRewriter;
 use qrw_obs::{Histogram, Tracer};
 
 use std::sync::Arc;
 
-use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::breaker::{BreakerConfig, BreakerSet, CircuitBreaker};
 use crate::deadline::DeadlineBudget;
 use crate::error::{ServeError, Stage};
 use crate::fault::{Fault, FaultInjector};
 use crate::health::{ChurnStats, HealthCounters, HealthReport};
-use crate::index::InvertedIndex;
+use crate::index::{union_sorted, InvertedIndex};
 use crate::kv::RewriteCache;
-use crate::snapshot::{PinnedSnapshot, SnapshotStore};
+use crate::shard::{
+    combine_costs, idf, RebalanceError, RebalancePlan, ShardFaultInjector, ShardOutcome,
+    ShardTraversal, ShardedCatalog, ShardedIndex,
+};
+use crate::snapshot::{IndexSnapshot, PinnedSnapshot, SnapshotStore};
 use crate::tree::{QueryTree, RetrievalCost};
 
 /// Serving knobs mirroring the paper's online setup.
@@ -97,7 +116,7 @@ pub struct RewriteLadder<'a> {
 }
 
 /// One search response with retrieval accounting.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SearchResponse {
     /// Ranked doc ids, best first, length ≤ `top_k`.
     pub ranked: Vec<usize>,
@@ -115,11 +134,42 @@ pub struct SearchResponse {
     /// Every degradation this request suffered, in the order observed.
     /// Empty for a request served at full quality.
     pub degradations: Vec<ServeError>,
+    /// Shards whose documents are represented in this response. Equals
+    /// `shards_total` for a fully healthy request (and `1`/`1` on the
+    /// monolithic paths); smaller when the scatter-gather tier excluded
+    /// failed shards and served partial results.
+    pub shards_ok: usize,
+    /// Shards the scatter-gather tier fanned out to (`1` on the
+    /// monolithic paths).
+    pub shards_total: usize,
     /// Catalog epoch the request was served against: `0` for a frozen
     /// index, the pinned epoch for a live catalog. The whole response —
     /// every candidate, rank and score — is a pure function of the query
     /// and this one epoch (the torn-read invariant).
     pub epoch: u64,
+}
+
+/// Manual `Debug`: field order matches the declaration, but the shard
+/// stamp is printed **only when the response is partial**. The shard
+/// transparency bar compares `format!("{resp:?}")` across shard counts —
+/// a healthy sharded response must render byte-identically to the
+/// monolithic one, while a degraded response must say so.
+impl std::fmt::Debug for SearchResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("SearchResponse");
+        d.field("ranked", &self.ranked)
+            .field("candidates", &self.candidates)
+            .field("base_candidates", &self.base_candidates)
+            .field("extra_candidates", &self.extra_candidates)
+            .field("rewrites_used", &self.rewrites_used)
+            .field("rewrite_source", &self.rewrite_source)
+            .field("cost", &self.cost)
+            .field("degradations", &self.degradations);
+        if self.shards_ok < self.shards_total {
+            d.field("shards_ok", &self.shards_ok).field("shards_total", &self.shards_total);
+        }
+        d.field("epoch", &self.epoch).finish()
+    }
 }
 
 /// The catalog an engine serves: a frozen index built before serving
@@ -129,6 +179,9 @@ pub struct SearchResponse {
 enum Catalog {
     Frozen(InvertedIndex),
     Live(Arc<SnapshotStore>),
+    /// Epoch-pinned catalog served through the document-sharded
+    /// scatter-gather tier.
+    Sharded(ShardedCatalog),
 }
 
 /// One request's view of the catalog: a borrow of the frozen index, or a
@@ -136,14 +189,20 @@ enum Catalog {
 pub enum PinnedCatalog<'a> {
     Frozen(&'a InvertedIndex),
     Live(PinnedSnapshot),
+    /// A pinned epoch plus the (possibly cached) shard set built from it
+    /// under the current routing plan.
+    Sharded { pin: PinnedSnapshot, shards: Arc<ShardedIndex> },
 }
 
 impl PinnedCatalog<'_> {
-    /// The immutable index this request reads.
+    /// The immutable index this request reads. For a sharded pin this is
+    /// the *monolithic* view of the same epoch — the baseline and
+    /// panic-fallback paths use it, bypassing the shard tier.
     pub fn index(&self) -> &InvertedIndex {
         match self {
             PinnedCatalog::Frozen(index) => index,
             PinnedCatalog::Live(pin) => pin.index(),
+            PinnedCatalog::Sharded { pin, .. } => pin.index(),
         }
     }
 
@@ -152,6 +211,7 @@ impl PinnedCatalog<'_> {
         match self {
             PinnedCatalog::Frozen(_) => 0,
             PinnedCatalog::Live(pin) => pin.epoch(),
+            PinnedCatalog::Sharded { pin, .. } => pin.epoch(),
         }
     }
 }
@@ -213,6 +273,87 @@ impl SearchEngine {
         }
     }
 
+    /// An engine serving a frozen index through the `shards`-way
+    /// scatter-gather tier (epoch `0`, like [`new`](Self::new)). Healthy
+    /// responses are byte-identical to the monolithic engine's at every
+    /// shard count; per-shard faults degrade to partial results.
+    pub fn sharded(index: InvertedIndex, shards: usize) -> Self {
+        Self::sharded_with_breaker(index, shards, BreakerConfig::default())
+    }
+
+    /// [`sharded`](Self::sharded) with custom breaker tuning. `breaker`
+    /// configures both the online-rewriter breaker and every member of
+    /// the per-shard [`BreakerSet`].
+    pub fn sharded_with_breaker(index: InvertedIndex, shards: usize, breaker: BreakerConfig) -> Self {
+        let store = SnapshotStore::new(IndexSnapshot::new(0, index));
+        SearchEngine {
+            catalog: Catalog::Sharded(ShardedCatalog::new(store, shards, breaker, false)),
+            breaker: CircuitBreaker::new(breaker),
+            health: HealthCounters::default(),
+            tracer: None,
+        }
+    }
+
+    /// An engine serving an epoch-pinned **live** catalog through the
+    /// scatter-gather tier: each request pins one epoch, and the shard
+    /// set for that epoch is built once and cached until the epoch or the
+    /// routing plan changes.
+    pub fn sharded_live(store: Arc<SnapshotStore>, shards: usize) -> Self {
+        Self::sharded_live_with_breaker(store, shards, BreakerConfig::default())
+    }
+
+    /// [`sharded_live`](Self::sharded_live) with custom breaker tuning
+    /// (applied to the online-rewriter breaker and the per-shard set).
+    pub fn sharded_live_with_breaker(
+        store: Arc<SnapshotStore>,
+        shards: usize,
+        breaker: BreakerConfig,
+    ) -> Self {
+        SearchEngine {
+            catalog: Catalog::Sharded(ShardedCatalog::new(store, shards, breaker, true)),
+            breaker: CircuitBreaker::new(breaker),
+            health: HealthCounters::default(),
+            tracer: None,
+        }
+    }
+
+    /// Attaches (or clears) the deterministic shard-fault injector.
+    /// No-op on unsharded engines.
+    pub fn set_shard_faults(&self, injector: Option<Arc<ShardFaultInjector>>) {
+        if let Catalog::Sharded(cat) = &self.catalog {
+            cat.set_injector(injector);
+        }
+    }
+
+    /// Number of shards in the scatter-gather tier; `None` for
+    /// monolithic engines.
+    pub fn shard_count(&self) -> Option<usize> {
+        match &self.catalog {
+            Catalog::Sharded(cat) => Some(cat.shard_count()),
+            _ => None,
+        }
+    }
+
+    /// The per-shard breaker set; `None` for monolithic engines.
+    pub fn shard_breakers(&self) -> Option<&BreakerSet> {
+        match &self.catalog {
+            Catalog::Sharded(cat) => Some(cat.breakers()),
+            _ => None,
+        }
+    }
+
+    /// Applies a rebalance plan to the shard tier: documents are
+    /// re-routed between shards, the plan version bumps, and the next
+    /// pin rebuilds the shard set. Serving stays byte-identical across
+    /// the boundary (responses are routing-independent); a killed or
+    /// invalid plan leaves the old routing serving untouched.
+    pub fn rebalance(&self, plan: &RebalancePlan) -> Result<u64, RebalanceError> {
+        match &self.catalog {
+            Catalog::Sharded(cat) => cat.rebalance(plan),
+            _ => Err(RebalanceError::NotSharded),
+        }
+    }
+
     /// Pins the catalog for one request: a no-op borrow for a frozen
     /// index, an epoch pin for a live catalog. Public so callers that
     /// post-process a response against the index (e.g. the A/B
@@ -221,6 +362,11 @@ impl SearchEngine {
         match &self.catalog {
             Catalog::Frozen(index) => PinnedCatalog::Frozen(index),
             Catalog::Live(store) => PinnedCatalog::Live(store.pin()),
+            Catalog::Sharded(cat) => {
+                let pin = cat.store().pin();
+                let shards = cat.pin_shards(&pin);
+                PinnedCatalog::Sharded { pin, shards }
+            }
         }
     }
 
@@ -229,6 +375,7 @@ impl SearchEngine {
         match &self.catalog {
             Catalog::Frozen(_) => 0,
             Catalog::Live(store) => store.current_epoch(),
+            Catalog::Sharded(cat) => cat.store().current_epoch(),
         }
     }
 
@@ -259,7 +406,7 @@ impl SearchEngine {
     pub fn index(&self) -> &InvertedIndex {
         match &self.catalog {
             Catalog::Frozen(index) => index,
-            Catalog::Live(_) => {
+            Catalog::Live(_) | Catalog::Sharded(_) => {
                 panic!("SearchEngine::index() on a live catalog; use pin() to hold an epoch")
             }
         }
@@ -277,8 +424,18 @@ impl SearchEngine {
         let churn = match &self.catalog {
             Catalog::Frozen(_) => ChurnStats::default(),
             Catalog::Live(store) => store.churn_stats(),
+            Catalog::Sharded(cat) if cat.is_live() => cat.store().churn_stats(),
+            Catalog::Sharded(_) => ChurnStats::default(),
         };
-        self.health.snapshot(self.breaker.state(), self.breaker.times_opened(), churn)
+        let mut report =
+            self.health.snapshot(self.breaker.state(), self.breaker.times_opened(), churn);
+        if let Catalog::Sharded(cat) = &self.catalog {
+            // All per-shard counters, the epoch and the plan version come
+            // from one critical section inside the tier — a report read
+            // mid-churn or mid-rebalance never mixes them.
+            report.shard_tier = Some(cat.tier_report());
+        }
+        report
     }
 
     /// Baseline retrieval: original query only.
@@ -309,6 +466,8 @@ impl SearchEngine {
                 rewrite_source: RewriteSource::None,
                 cost: RetrievalCost::default(),
                 degradations: Vec::new(),
+                shards_ok: 1,
+                shards_total: 1,
                 epoch,
             };
         }
@@ -324,6 +483,8 @@ impl SearchEngine {
             rewrite_source: RewriteSource::None,
             cost,
             degradations: Vec::new(),
+            shards_ok: 1,
+            shards_total: 1,
             epoch,
         }
     }
@@ -432,6 +593,8 @@ impl SearchEngine {
                     rewrite_source: RewriteSource::None,
                     cost: RetrievalCost::default(),
                     degradations: Vec::new(),
+                    shards_ok: 1,
+                    shards_total: 1,
                     epoch: pinned.epoch(),
                 });
                 resp.degradations.push(err);
@@ -757,8 +920,17 @@ impl SearchEngine {
                 rewrite_source: RewriteSource::None,
                 cost: RetrievalCost::default(),
                 degradations: std::mem::take(events),
+                shards_ok: 1,
+                shards_total: 1,
                 epoch,
             };
+        }
+        if let PinnedCatalog::Sharded { shards, .. } = pinned {
+            if let Catalog::Sharded(cat) = &self.catalog {
+                return self.scatter_retrieve_and_rank(
+                    cat, shards, query, rewrites, source, config, budget, events, ctx,
+                );
+            }
         }
         let index = pinned.index();
         let t0 = budget.elapsed();
@@ -841,6 +1013,442 @@ impl SearchEngine {
             rewrite_source: source,
             cost,
             degradations: std::mem::take(events),
+            shards_ok: 1,
+            shards_total: 1,
+            epoch,
+        }
+    }
+
+    /// Scatter-gather retrieval + ranking over the sharded tier. Two
+    /// parallel phases on scoped worker threads, both replicating the
+    /// monolithic `retrieve_and_rank` flow exactly:
+    ///
+    /// 1. **Scatter/traverse** — every admitted shard evaluates the base
+    ///    tree plus the merged (or per-rewrite) trees against its local
+    ///    index under its own [`DeadlineBudget`] slice, returning
+    ///    globally-sorted doc lists, partition-additive costs and local
+    ///    BM25 statistics. A panicking shard is caught per-worker; a
+    ///    stalled/expired shard is hedged once (sequentially, so retries
+    ///    are deterministic) while the parent budget allows.
+    /// 2. **Gather + rank** — per-tree doc lists are k-way-unioned, costs
+    ///    recombined, and global BM25 statistics (doc count, average
+    ///    length, per-term idf) computed from the *surviving* shards
+    ///    only. Each surviving shard then scores its slice of the
+    ///    candidate set with those frozen statistics and its top-k stream
+    ///    is merged under the monolith tie-break. A shard that fails in
+    ///    phase 2 is excluded wholly and the gather re-runs over the
+    ///    smaller survivor set (terminates: each round removes a shard).
+    ///
+    /// Failed shards degrade the response to partial results
+    /// ([`ServeError::PartialResults`], `shards_ok < shards_total`) —
+    /// never an error. The response then equals, field for field (cost
+    /// excepted), the monolithic response over an index with the failed
+    /// shards' documents tombstoned.
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_retrieve_and_rank(
+        &self,
+        cat: &ShardedCatalog,
+        sharded: &ShardedIndex,
+        query: &[String],
+        rewrites: Vec<Vec<String>>,
+        source: RewriteSource,
+        config: &ServingConfig,
+        budget: &DeadlineBudget,
+        events: &mut Vec<ServeError>,
+        ctx: Option<TraceCtx<'_>>,
+    ) -> SearchResponse {
+        let epoch = sharded.epoch();
+        let n = sharded.shard_count();
+        let t0 = budget.elapsed();
+        let mut scatter_span = ctx.map(|c| c.child("scatter"));
+        if let Some(s) = scatter_span.as_mut() {
+            s.attr("shards", n);
+        }
+
+        // Degradation decision mirrors the monolith exactly: out of time
+        // for one tree per rewrite means falling back to the merged tree.
+        let mut use_merged = config.merged_tree;
+        if !rewrites.is_empty() && !use_merged && budget.expired() {
+            events.push(ServeError::DeadlineExceeded { stage: Stage::Retrieval });
+            use_merged = true;
+        }
+
+        // Tree slot 0 is the base query; then the merged tree, or one
+        // tree per rewrite.
+        let mut trees = vec![QueryTree::and_of_tokens(query)];
+        if !rewrites.is_empty() {
+            if use_merged {
+                let mut all = vec![query.to_vec()];
+                all.extend(rewrites.iter().cloned());
+                trees.push(QueryTree::merge_factored(&all));
+            } else {
+                for rw in &rewrites {
+                    trees.push(QueryTree::and_of_tokens(rw));
+                }
+            }
+        }
+        // The rank vocabulary (query + rewrite tokens, deduplicated,
+        // order preserved — exactly the monolith's `rank_query`) is known
+        // up front so phase 1 returns per-shard dfs in the same pass.
+        let mut rank_query: Vec<String> = query.to_vec();
+        for rw in &rewrites {
+            for tok in rw {
+                if !rank_query.contains(tok) {
+                    rank_query.push(tok.clone());
+                }
+            }
+        }
+
+        // ---- Phase 1: parallel per-shard traversals -----------------
+        let injector = cat.injector();
+        // One breaker consult per shard per request, in shard order on
+        // this thread — the cooldown schedule stays deterministic.
+        let admitted: Vec<bool> = (0..n).map(|i| cat.breakers().allow(i)).collect();
+
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum ShardPhase {
+            Ok,
+            Panic,
+            Deadline,
+            BreakerOpen,
+        }
+
+        let traverse_one =
+            |shard: usize, slice: &DeadlineBudget| -> Result<ShardTraversal, ShardPhase> {
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(inj) = &injector {
+                        inj.on_traverse(shard, slice);
+                    }
+                    if slice.expired() {
+                        return Err(ShardPhase::Deadline);
+                    }
+                    let tr = sharded.shard(shard).traverse(&trees, &rank_query);
+                    if slice.expired() {
+                        return Err(ShardPhase::Deadline);
+                    }
+                    Ok(tr)
+                }));
+                match out {
+                    Ok(r) => r,
+                    Err(_) => Err(ShardPhase::Panic),
+                }
+            };
+
+        let mut statuses: Vec<ShardPhase> = admitted
+            .iter()
+            .map(|&a| if a { ShardPhase::Ok } else { ShardPhase::BreakerOpen })
+            .collect();
+        let mut traversals: Vec<Option<ShardTraversal>> = (0..n).map(|_| None).collect();
+        let mut latencies: Vec<Duration> = vec![Duration::ZERO; n];
+        let mut attempts: Vec<u64> = admitted.iter().map(|&a| u64::from(a)).collect();
+        let mut failure_counts: Vec<u64> = vec![0; n];
+        let mut hedged: Vec<bool> = vec![false; n];
+
+        // First attempts get *half* the remaining budget each: a shard
+        // that blows its slice is abandoned at the slice deadline, which
+        // leaves headroom for the hedged retry below. The parent is
+        // charged back at most the slice allowance — a worker cannot
+        // consume more time than it was given.
+        let phase1_cap = budget.remaining().map(|r| r / 2);
+        let mut max_spent = Duration::ZERO;
+        std::thread::scope(|scope| {
+            let worker = &traverse_one;
+            let handles: Vec<_> = (0..n)
+                .filter(|&i| admitted[i])
+                .map(|i| {
+                    let slice = budget.slice_div(2);
+                    scope.spawn(move || {
+                        let out = worker(i, &slice);
+                        (i, out, slice.synthetic_spent(), slice.elapsed())
+                    })
+                })
+                .collect();
+            for h in handles {
+                // Worker bodies are panic-proof (catch_unwind inside), so
+                // a join error cannot name its shard; it is unreachable
+                // and safely ignored.
+                if let Ok((i, out, spent, latency)) = h.join() {
+                    // Workers ran in parallel: the parent is charged the
+                    // *maximum* synthetic charge across slices, not the
+                    // sum — a stalled shard costs its stall once.
+                    let spent = match phase1_cap {
+                        Some(cap) => spent.min(cap),
+                        None => spent,
+                    };
+                    max_spent = max_spent.max(spent);
+                    latencies[i] = latency;
+                    match out {
+                        Ok(tr) => traversals[i] = Some(tr),
+                        Err(phase) => {
+                            statuses[i] = phase;
+                            failure_counts[i] += 1;
+                        }
+                    }
+                }
+            }
+        });
+        if max_spent > Duration::ZERO {
+            budget.charge(max_spent);
+        }
+
+        // Straggler hedging: one sequential retry for each deadline- or
+        // stall-failed shard (not panics — a panicked traversal gets no
+        // second chance to poison the request) while the parent budget
+        // still has time. Sequential and in shard order, so retry counts
+        // are deterministic.
+        for i in 0..n {
+            if statuses[i] == ShardPhase::Deadline && !budget.expired() {
+                // The hedge also gets half the remaining budget (and is
+                // charged back at most that allowance), so one stubbornly
+                // stalled shard cannot drain the whole request: the
+                // gather/rank phases still run on whatever survived.
+                let hedge_cap = budget.remaining().map(|r| r / 2);
+                let slice = budget.slice_div(2);
+                hedged[i] = true;
+                attempts[i] += 1;
+                let out = traverse_one(i, &slice);
+                let spent = match hedge_cap {
+                    Some(cap) => slice.synthetic_spent().min(cap),
+                    None => slice.synthetic_spent(),
+                };
+                budget.charge(spent);
+                latencies[i] = slice.elapsed();
+                match out {
+                    Ok(tr) => {
+                        traversals[i] = Some(tr);
+                        statuses[i] = ShardPhase::Ok;
+                    }
+                    Err(phase) => {
+                        statuses[i] = phase;
+                        failure_counts[i] += 1;
+                    }
+                }
+            }
+        }
+        self.health.record_stage_latency(Stage::Retrieval, budget.elapsed().saturating_sub(t0));
+        let t1 = budget.elapsed();
+
+        // ---- Gather + phase-2 rank ----------------------------------
+        let mut alive: Vec<bool> = traversals.iter().map(Option::is_some).collect();
+        let mut base_docs: Vec<usize> = Vec::new();
+        let mut extra: Vec<usize> = Vec::new();
+        let mut cost = RetrievalCost::default();
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut ranked: Vec<usize> = Vec::new();
+        loop {
+            let survivors: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+            if survivors.is_empty() {
+                // Every shard failed: a well-formed empty response (the
+                // PartialResults stamp below says 0 of n answered). No
+                // monolith fallback — the monolithic view exists, but
+                // serving it would mask a dead tier as healthy.
+                base_docs.clear();
+                extra.clear();
+                candidates.clear();
+                ranked.clear();
+                break;
+            }
+            let traversal =
+                |i: usize| traversals[i].as_ref().expect("survivors hold traversals");
+
+            // Reconstruct each tree's monolithic doc list (k-way union of
+            // disjoint sorted global-id lists) and its cost
+            // (partition-additive; see `shard::combine_costs`).
+            let mut tree_docs: Vec<Vec<usize>> = Vec::with_capacity(trees.len());
+            let mut tree_costs: Vec<RetrievalCost> = Vec::with_capacity(trees.len());
+            for t in 0..trees.len() {
+                let mut merged: Vec<usize> = Vec::new();
+                for &i in &survivors {
+                    merged = union_sorted(&merged, &traversal(i).evals[t].0);
+                }
+                let costs: Vec<RetrievalCost> =
+                    survivors.iter().map(|&i| traversal(i).evals[t].1).collect();
+                tree_docs.push(merged);
+                tree_costs.push(combine_costs(&costs));
+            }
+
+            base_docs = std::mem::take(&mut tree_docs[0]);
+            cost = tree_costs[0];
+            extra.clear();
+            if !rewrites.is_empty() {
+                if use_merged {
+                    let docs = std::mem::take(&mut tree_docs[1]);
+                    cost = tree_costs[1]; // merged tree replaces the base tree
+                    extra = docs.into_iter().filter(|d| !base_docs.contains(d)).collect();
+                } else {
+                    for r in 0..rewrites.len() {
+                        let docs = std::mem::take(&mut tree_docs[1 + r]);
+                        cost = cost + tree_costs[1 + r];
+                        for d in docs {
+                            if !base_docs.contains(&d) && !extra.contains(&d) {
+                                extra.push(d);
+                            }
+                        }
+                    }
+                }
+                extra.truncate(config.max_extra_candidates * rewrites.len());
+            }
+            candidates = base_docs.clone();
+            candidates.extend(extra.iter().copied());
+
+            if budget.expired() && !candidates.is_empty() {
+                // No time for BM25: unranked prefix, like the monolith.
+                events.push(ServeError::DeadlineExceeded { stage: Stage::Rank });
+                ranked = candidates.iter().take(config.top_k).copied().collect();
+                break;
+            }
+            if candidates.is_empty() {
+                ranked.clear();
+                break;
+            }
+
+            // Global BM25 statistics from the survivor set: same frozen
+            // (token, idf) table and average length on every shard, so
+            // per-shard scores are bit-identical to monolith scores.
+            let n_live: u64 = survivors.iter().map(|&i| traversal(i).alive_docs).sum();
+            let tok_live: u64 = survivors.iter().map(|&i| traversal(i).alive_tokens).sum();
+            let avg = if n_live == 0 { 0.0 } else { tok_live as f64 / n_live as f64 };
+            let avg = avg.max(1e-9);
+            let terms: Vec<(String, f64)> = rank_query
+                .iter()
+                .enumerate()
+                .map(|(k, tok)| {
+                    let df: u64 = survivors.iter().map(|&i| traversal(i).dfs[k]).sum();
+                    (tok.clone(), idf(n_live as f64, df as f64))
+                })
+                .collect();
+
+            // Partition candidates by routing. Every candidate routes to
+            // a surviving shard: failed shards contributed no documents.
+            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for &d in &candidates {
+                parts[sharded.route(d)].push(d);
+            }
+
+            let score_one = |i: usize| -> Result<Vec<(f64, usize)>, ()> {
+                catch_unwind(AssertUnwindSafe(|| {
+                    sharded.shard(i).rank_candidates(&terms, avg, &parts[i], config.top_k)
+                }))
+                .map_err(|_| ())
+            };
+            let mut round_failures: Vec<usize> = Vec::new();
+            let mut streams: Vec<Vec<(f64, usize)>> = Vec::new();
+            std::thread::scope(|scope| {
+                let worker = &score_one;
+                let handles: Vec<_> = survivors
+                    .iter()
+                    .copied()
+                    .filter(|&i| !parts[i].is_empty())
+                    .map(|i| scope.spawn(move || (i, worker(i))))
+                    .collect();
+                for h in handles {
+                    if let Ok((i, out)) = h.join() {
+                        match out {
+                            Ok(s) => streams.push(s),
+                            Err(()) => round_failures.push(i),
+                        }
+                    }
+                }
+            });
+            if !round_failures.is_empty() {
+                // A shard died between phases: exclude it wholly (its
+                // phase-1 contribution too) and re-gather.
+                for i in round_failures {
+                    alive[i] = false;
+                    statuses[i] = ShardPhase::Panic;
+                    failure_counts[i] += 1;
+                }
+                continue;
+            }
+
+            // Merge per-shard top-k streams under the monolith tie-break
+            // (score descending, doc id ascending — a total order, so the
+            // merged prefix is exactly the monolith's).
+            let mut scored: Vec<(f64, usize)> = streams.into_iter().flatten().collect();
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            ranked = scored.into_iter().take(config.top_k).map(|(_, d)| d).collect();
+            break;
+        }
+
+        let shards_ok = alive.iter().filter(|&&a| a).count();
+        if let Some(s) = scatter_span.as_mut() {
+            s.attr("base", base_docs.len());
+            s.attr("extra", extra.len());
+            s.attr("merged", use_merged);
+            s.attr("outcome", if shards_ok < n { "partial" } else { "complete" });
+        }
+        // Gather children: exactly one per shard, created sequentially in
+        // shard order on this thread (workers never touch the tracer), so
+        // the canonical trace structure is identical under any worker
+        // interleaving or shard count.
+        if let (Some(c), Some(parent)) = (ctx, scatter_span.as_ref()) {
+            for i in 0..n {
+                let mut g = c.tracer.span(c.trace, Some(parent.id()), "gather");
+                g.attr("shard", i);
+                g.attr(
+                    "outcome",
+                    match statuses[i] {
+                        ShardPhase::Ok => "ok",
+                        ShardPhase::Panic => "panic",
+                        ShardPhase::Deadline => "deadline",
+                        ShardPhase::BreakerOpen => "breaker_open",
+                    },
+                );
+                g.attr("hedged", hedged[i]);
+            }
+        }
+        drop(scatter_span);
+
+        let mut rank_span = ctx.map(|c| c.child("rank"));
+        if let Some(s) = rank_span.as_mut() {
+            s.attr("candidates", candidates.len());
+        }
+        drop(rank_span);
+        self.health.record_stage_latency(Stage::Rank, budget.elapsed().saturating_sub(t1));
+
+        if shards_ok < n {
+            events.push(ServeError::PartialResults { shards_ok, shards_total: n });
+        }
+
+        // Breaker bookkeeping: skipped shards already paid via allow();
+        // included shards report success (a hedged recovery clears the
+        // failure run), excluded shards report one failure per failed
+        // attempt.
+        for i in 0..n {
+            if !admitted[i] {
+                continue;
+            }
+            if alive[i] {
+                cat.breakers().record_success(i);
+            } else {
+                for _ in 0..failure_counts[i] {
+                    cat.breakers().record_failure(i);
+                }
+            }
+        }
+        let outcomes: Vec<ShardOutcome> = (0..n)
+            .map(|i| ShardOutcome {
+                shard: i,
+                attempts: attempts[i],
+                failures: failure_counts[i],
+                hedged: hedged[i],
+                included: alive[i],
+                latency: latencies[i],
+            })
+            .collect();
+        cat.record_outcomes(&outcomes);
+
+        SearchResponse {
+            base_candidates: base_docs.len(),
+            extra_candidates: extra.len(),
+            ranked,
+            candidates,
+            rewrites_used: rewrites,
+            rewrite_source: source,
+            cost,
+            degradations: std::mem::take(events),
+            shards_ok,
+            shards_total: n,
             epoch,
         }
     }

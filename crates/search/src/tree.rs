@@ -211,18 +211,25 @@ impl QueryTree {
                     // Empty AND = everything (used by merge_factored).
                     return (0..index.len()).collect();
                 }
-                let mut lists: Vec<Vec<usize>> = children
+                let lists: Vec<Vec<usize>> = children
                     .iter()
                     .map(|c| c.eval_inner(index, cache, cost))
                     .collect();
-                // Intersect smallest-first to bound merge work.
-                lists.sort_by_key(Vec::len);
-                let mut acc = lists.remove(0);
-                for l in lists {
+                // Intersect in tree order and charge merge_ops for every
+                // child even once the accumulator is empty (the actual
+                // intersect is skipped — it would be a no-op). Tree-order
+                // evaluation plus charge-through-empty makes the counters
+                // *partition-additive*: evaluated over any disjoint split
+                // of the documents, the per-partition costs sum exactly to
+                // the monolithic cost. The sharded scatter-gather tier
+                // (`crate::shard`) relies on this for byte-identical
+                // response costs at every shard count.
+                let mut iter = lists.into_iter();
+                let mut acc = iter.next().expect("non-empty children");
+                for l in iter {
                     cost.merge_ops += acc.len() + l.len();
-                    acc = intersect_sorted(&acc, &l);
-                    if acc.is_empty() {
-                        break;
+                    if !acc.is_empty() {
+                        acc = intersect_sorted(&acc, &l);
                     }
                 }
                 acc

@@ -1,0 +1,259 @@
+//! Shard-transparency property suite: the sharded scatter-gather tier
+//! must be invisible in healthy responses.
+//!
+//! The load-bearing check is byte equality — `format!("{resp:?}")` of a
+//! sharded response must equal the monolith's rendering exactly (ranked
+//! scores bitwise, retrieval costs, degradations, epoch) — across seeded
+//! catalogs × shard counts {1, 2, 4, 8} × random deletions × live churn
+//! epochs × a rebalance boundary. Anything weaker (score tolerance,
+//! set equality of ids) would let partition-dependent ranking drift in
+//! silently.
+
+use std::sync::Arc;
+
+use qrw_search::segment::replay;
+use qrw_search::{
+    CatalogWriter, DeadlineBudget, InvertedIndex, MutationBatch, RebalancePlan, RewriteCache,
+    RewriteLadder, SearchEngine, Segment, ServingConfig,
+};
+use qrw_tensor::rng::StdRng;
+
+// ---------------------------------------------------------------- fixtures
+
+const WORDS: [&str; 8] = ["red", "shoes", "men", "dress", "phone", "case", "sale", "new"];
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn word(i: usize) -> String {
+    WORDS[i % WORDS.len()].to_string()
+}
+
+fn corpus(n: usize) -> Vec<Vec<String>> {
+    (0..n).map(|i| vec![word(i), word(i + 1), word(i * 2 + 3)]).collect()
+}
+
+/// A deterministic batch stream whose remove/update ops always target a
+/// doc live at that point of the replay (same generator as mutation.rs).
+fn batches(initial_docs: usize, n: usize, seed: u64) -> Vec<MutationBatch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alive: Vec<usize> = (0..initial_docs).collect();
+    let mut next_id = initial_docs;
+    (0..n)
+        .map(|_| {
+            let ops = rng.gen_range(1usize..4);
+            let mut batch = MutationBatch::new();
+            for _ in 0..ops {
+                match rng.gen_range(0u32..10) {
+                    0..=5 => {
+                        let doc = vec![
+                            word(rng.gen_range(0..WORDS.len())),
+                            word(rng.gen_range(0..WORDS.len())),
+                        ];
+                        batch = batch.add_doc(doc);
+                        alive.push(next_id);
+                        next_id += 1;
+                    }
+                    6..=7 if !alive.is_empty() => {
+                        let slot = rng.gen_range(0..alive.len());
+                        batch = batch.remove_doc(alive.swap_remove(slot));
+                    }
+                    _ if !alive.is_empty() => {
+                        let slot = rng.gen_range(0..alive.len());
+                        let old = alive[slot];
+                        batch = batch.update_doc(old, vec![word(rng.gen_range(0..WORDS.len()))]);
+                        alive[slot] = next_id;
+                        next_id += 1;
+                    }
+                    _ => {
+                        batch = batch.add_doc(vec![word(0)]);
+                        alive.push(next_id);
+                        next_id += 1;
+                    }
+                }
+            }
+            batch
+        })
+        .collect()
+}
+
+/// The index of epoch `e`: base corpus plus the first `e` batches,
+/// replayed serially.
+fn epoch_index(docs: &[Vec<String>], stream: &[MutationBatch], e: usize) -> InvertedIndex {
+    let mut segments = vec![Segment::base_of(docs.iter().map(Vec::as_slice))];
+    segments.extend(stream[..e].iter().cloned().map(Segment::seal));
+    replay(&segments)
+}
+
+fn prefilled_cache(queries: &[Vec<String>]) -> RewriteCache {
+    let cache = RewriteCache::new();
+    for q in queries {
+        cache.insert(q, vec![vec![word(3), word(5)]]);
+    }
+    cache
+}
+
+fn serve_cfg(
+    engine: &SearchEngine,
+    cache: &RewriteCache,
+    query: &[String],
+    config: &ServingConfig,
+) -> String {
+    let ladder = RewriteLadder { cache: Some(cache), ..RewriteLadder::default() };
+    let resp =
+        engine.search_resilient(query, ladder, config, &DeadlineBudget::unlimited(), None);
+    format!("{resp:?}")
+}
+
+fn serve(engine: &SearchEngine, cache: &RewriteCache, query: &[String]) -> String {
+    serve_cfg(engine, cache, query, &ServingConfig::default())
+}
+
+fn response_epoch(rendered: &str) -> u64 {
+    let tail = rendered.rsplit("epoch: ").next().expect("epoch field present");
+    tail.trim_end_matches(&[' ', '}'][..]).trim().parse().expect("epoch parses")
+}
+
+fn query_set() -> Vec<Vec<String>> {
+    let mut qs: Vec<Vec<String>> = (0..WORDS.len()).map(|i| vec![word(i), word(i + 2)]).collect();
+    qs.push(vec![word(1)]);
+    qs.push(vec![word(4), word(5), word(6)]);
+    qs.push(vec!["nosuchtoken".to_string()]);
+    qs
+}
+
+// --------------------------------------------------- frozen catalogs
+
+/// Seeded frozen catalogs with random tombstones: sharded serving is
+/// byte-identical to the monolith at every shard count, with and without
+/// the merged-tree optimization (the two retrieval paths charge costs
+/// differently, so both must survive partitioning).
+#[test]
+fn frozen_sharded_responses_are_byte_identical_at_every_shard_count() {
+    let queries = query_set();
+    let cache = prefilled_cache(&queries);
+
+    for seed in [1u64, 42, 0xC0FFEE] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_docs = 16 + (seed as usize % 17);
+        let mut idx = InvertedIndex::build(corpus(n_docs));
+        for _ in 0..n_docs / 4 {
+            idx.remove_doc(rng.gen_range(0..n_docs));
+        }
+
+        let mono = SearchEngine::new(idx.clone());
+        for &shards in &SHARD_COUNTS {
+            let sharded = SearchEngine::sharded(idx.clone(), shards);
+            assert_eq!(sharded.shard_count(), Some(shards));
+            for merged in [true, false] {
+                let config = ServingConfig { merged_tree: merged, ..ServingConfig::default() };
+                for q in &queries {
+                    let want = serve_cfg(&mono, &cache, q, &config);
+                    let got = serve_cfg(&sharded, &cache, q, &config);
+                    assert_eq!(
+                        got, want,
+                        "seed {seed:#x} shards {shards} merged {merged} query {q:?}"
+                    );
+                    assert!(
+                        !got.contains("shards_ok"),
+                        "healthy responses must not leak shard accounting: {got}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- live churn
+
+/// Live catalogs: a sharded engine and a monolith engine share one
+/// snapshot store; between every published epoch each query's sharded
+/// response must (a) equal the live monolith byte for byte and (b) equal
+/// a serial rebuild of exactly the epoch the response claims — the
+/// torn-read invariant extended per shard.
+#[test]
+fn live_sharded_serving_matches_monolith_and_serial_rebuild_across_epochs() {
+    let docs = corpus(14);
+    let stream = batches(docs.len(), 12, 0xA11CE);
+    let queries = query_set();
+    let cache = prefilled_cache(&queries);
+
+    for &shards in &SHARD_COUNTS {
+        let (store, mut writer) = CatalogWriter::bootstrap(docs.clone());
+        let mono = SearchEngine::live(Arc::clone(&store));
+        let sharded = SearchEngine::sharded_live(Arc::clone(&store), shards);
+
+        for e in 0..=stream.len() {
+            for q in &queries {
+                let want = serve(&mono, &cache, q);
+                let got = serve(&sharded, &cache, q);
+                assert_eq!(got, want, "shards {shards} epoch {e} query {q:?}");
+
+                let pinned = response_epoch(&got);
+                let serial = SearchEngine::new(epoch_index(&docs, &stream, pinned as usize));
+                // The serial engine reports epoch 0; splice the pinned
+                // epoch back in for the byte comparison.
+                let serial_rendered = serve(&serial, &cache, q)
+                    .replace("epoch: 0 }", &format!("epoch: {pinned} }}"));
+                assert_eq!(got, serial_rendered, "serial rebuild of epoch {pinned}");
+            }
+            if e < stream.len() {
+                writer.apply(stream[e].clone()).expect("in-memory publish cannot fail");
+            }
+        }
+    }
+}
+
+// -------------------------------------------------- rebalance boundary
+
+/// Rebalancing re-routes documents between shards under traffic; since
+/// healthy serving is routing-independent, responses must stay byte
+/// -identical across the boundary, and the plan version must bump.
+#[test]
+fn serving_is_byte_identical_across_a_rebalance_boundary() {
+    let docs = corpus(20);
+    let stream = batches(docs.len(), 6, 0xBEEF);
+    let queries = query_set();
+    let cache = prefilled_cache(&queries);
+    let shards = 4;
+
+    let (store, mut writer) = CatalogWriter::bootstrap(docs.clone());
+    let mono = SearchEngine::live(Arc::clone(&store));
+    let sharded = SearchEngine::sharded_live(Arc::clone(&store), shards);
+
+    let check_all = |label: &str| {
+        for q in &queries {
+            assert_eq!(serve(&sharded, &cache, q), serve(&mono, &cache, q), "{label}: {q:?}");
+        }
+    };
+
+    check_all("before rebalance");
+    let v0 = sharded
+        .health_report()
+        .shard_tier
+        .expect("sharded engine reports its tier")
+        .plan_version;
+
+    // Move a handful of documents off their FNV home shards.
+    let plan = RebalancePlan::new(vec![(0, 3), (1, 2), (7, 0), (13, 1)]);
+    let v1 = sharded.rebalance(&plan).expect("valid rebalance plan");
+    assert!(v1 > v0, "plan version must bump ({v0} -> {v1})");
+    check_all("after rebalance");
+
+    // Keep churning on the rebalanced plan: overrides apply to every
+    // subsequent epoch's shard build.
+    for batch in &stream {
+        writer.apply(batch.clone()).expect("in-memory publish cannot fail");
+        check_all("churn after rebalance");
+    }
+
+    // Moving a doc back to its FNV home clears the override; still
+    // byte-identical.
+    let home = RebalancePlan::new(vec![(0, 0)]);
+    sharded.rebalance(&home).expect("restoring the FNV home is valid");
+    check_all("after restoring FNV home");
+
+    // An invalid plan is rejected atomically: serving is untouched.
+    let bad = RebalancePlan::new(vec![(2, shards + 5)]);
+    assert!(sharded.rebalance(&bad).is_err(), "out-of-range target must be rejected");
+    check_all("after rejected rebalance");
+}

@@ -56,4 +56,6 @@ pub mod workload;
 pub use batch::{BatchedQ2Q, StudentOnline};
 pub use queue::{AdmissionQueue, Pending, ResponseSlot};
 pub use runtime::{Outcome, Runtime, RuntimeConfig, ServeStack, ServedRecord};
-pub use workload::{mutation_batches, synthetic_docs, ChurnMix, MixConfig, Workload};
+pub use workload::{
+    mutation_batches, skewed_shard_plan, synthetic_docs, ChurnMix, MixConfig, SkewMix, Workload,
+};

@@ -7,7 +7,7 @@
 //! always yields the same request sequence, so open-loop and closed-loop
 //! runs — and batched vs sequential baselines — replay identical traffic.
 
-use qrw_search::MutationBatch;
+use qrw_search::{MutationBatch, RebalancePlan};
 use qrw_tensor::rng::StdRng;
 use qrw_text::{Vocab, NUM_SPECIALS};
 
@@ -179,6 +179,39 @@ pub fn mutation_batches(vocab: &Vocab, initial_docs: usize, mix: &ChurnMix) -> V
         .collect()
 }
 
+/// Shape of a deliberately skewed shard assignment: a fraction of the
+/// catalog is piled onto one hot shard. Documents route by FNV of their
+/// id, so a writer cannot *produce* skew through content — skew arrives
+/// as routing overrides (a previous rebalance, a migration in flight).
+/// This mix generates that state deterministically so benches and tests
+/// can serve against a lopsided tier and then measure `rebalance` back
+/// to uniformity.
+#[derive(Clone, Debug)]
+pub struct SkewMix {
+    /// Shard count of the tier being skewed.
+    pub shards: usize,
+    /// The shard that receives the pile-up.
+    pub hot: usize,
+    /// Fraction of documents force-routed to the hot shard (on top of
+    /// the ~1/N that already live there).
+    pub fraction: f64,
+    pub seed: u64,
+}
+
+/// A deterministic [`RebalancePlan`] that moves `fraction` of the ids in
+/// `0..total_docs` onto the mix's hot shard. Applying it to a
+/// `SearchEngine::sharded*` engine produces a skewed-shard serving tier;
+/// healthy responses stay byte-identical (routing independence), which is
+/// exactly what makes the skew safe to create under traffic.
+pub fn skewed_shard_plan(total_docs: usize, mix: &SkewMix) -> RebalancePlan {
+    let mut rng = StdRng::seed_from_u64(mix.seed);
+    let moves = (0..total_docs)
+        .filter(|_| rng.gen_bool(mix.fraction))
+        .map(|doc| (doc, mix.hot))
+        .collect();
+    RebalancePlan::new(moves)
+}
+
 /// Deterministic synthetic documents over the vocab, for building the
 /// bench's retrieval index.
 pub fn synthetic_docs(vocab: &Vocab, n: usize, seed: u64) -> Vec<Vec<String>> {
@@ -273,6 +306,25 @@ mod tests {
             replay(&segments).fingerprint(),
             "incremental apply and full replay disagree"
         );
+    }
+
+    #[test]
+    fn skewed_plan_is_deterministic_and_targets_the_hot_shard() {
+        let mix = SkewMix { shards: 4, hot: 2, fraction: 0.4, seed: 17 };
+        let a = skewed_shard_plan(50, &mix);
+        let b = skewed_shard_plan(50, &mix);
+        assert_eq!(a.moves, b.moves, "same seed must replay the same plan");
+        assert!(!a.moves.is_empty(), "a 0.4 fraction over 50 docs moves something");
+        assert!(a.moves.len() < 50, "skew is a fraction, not the whole catalog");
+        assert!(a.moves.iter().all(|&(doc, target)| doc < 50 && target == 2));
+        // The plan applies cleanly to a live sharded engine and serving
+        // survives the skew (byte-transparency is covered by the search
+        // crate's equivalence suite).
+        use qrw_search::{InvertedIndex, SearchEngine};
+        let v = vocab();
+        let engine =
+            SearchEngine::sharded(InvertedIndex::build(synthetic_docs(&v, 50, 3)), mix.shards);
+        engine.rebalance(&a).expect("skew plan applies");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use qrw_nmt::{ModelConfig, Seq2Seq};
 use qrw_obs::{canonical_structure, SpanRecord, Tracer, MINTED_TRACE_BIT};
 use qrw_search::{
     DeadlineBudget, Fault, FaultConfig, FaultInjector, InvertedIndex, RewriteCache,
-    RewriteLadder, SearchEngine, ServingConfig,
+    RewriteLadder, SearchEngine, ServingConfig, ShardFaultInjector,
 };
 use qrw_serve::{
     synthetic_docs, BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack, Workload,
@@ -286,6 +286,179 @@ fn span_structure_is_byte_identical_across_worker_counts() {
     assert_eq!(solo, pooled, "per-request span trees must not depend on worker count");
 
     // And the structure is reproducible run-to-run, byte for byte.
+    assert_eq!(pooled, render(pooled_config()));
+}
+
+// ------------------------------------------------ scatter-gather traces
+
+const SHARDS: usize = 4;
+
+/// Like [`traced_stack`], but the engine serves through the sharded
+/// scatter-gather tier.
+fn traced_sharded_stack(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> (ServeStack, Tracer) {
+    let tracer = Tracer::logical();
+    let docs = synthetic_docs(vocab, 60, 11);
+    let engine = Arc::new(
+        SearchEngine::sharded(InvertedIndex::build(docs), SHARDS).with_tracer(tracer.clone()),
+    );
+    let model = Arc::new(Seq2Seq::new(ModelConfig::tiny_transformer(vocab.len()), MODEL_SEED));
+    let online = Arc::new(BatchedQ2Q::new(model, Arc::clone(vocab), 8, REWRITE_SEED));
+    let cache = Arc::new(RewriteCache::new());
+    for q in head {
+        cache.insert(q, online.rewrite(q, 3));
+    }
+    let stack = ServeStack {
+        engine,
+        cache: Some(cache),
+        student: None,
+        online: Some(online),
+        baseline: Some(Arc::new(FixedBaseline)),
+    };
+    (stack, tracer)
+}
+
+fn run_traced_sharded(
+    config: RuntimeConfig,
+    requests: Vec<(Vec<String>, DeadlineBudget)>,
+) -> (Vec<qrw_serve::ServedRecord>, Vec<SpanRecord>) {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let (stack, tracer) = traced_sharded_stack(&vocab, &w.head);
+    let runtime = Runtime::new(stack, config);
+    let records = runtime.execute(requests);
+    assert_eq!(tracer.dropped(), 0, "ring must not evict during these runs");
+    (records, tracer.snapshot())
+}
+
+/// The scatter span's claim is structural: exactly one `scatter` per
+/// served request, exactly `SHARDS` `gather` children under it (one per
+/// shard, in shard order), exactly one terminal `outcome` attribute
+/// (`partial` | `complete`), and no monolithic `retrieve` span.
+#[test]
+fn scatter_spans_claim_exactly_one_gather_child_per_shard() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    for config in [solo_config(), pooled_config()] {
+        let (records, spans) = run_traced_sharded(config, unlimited(&w.requests));
+        assert!(records.iter().all(|r| matches!(r.outcome, Outcome::Served(_))));
+        for r in &records {
+            let t = trace_spans(&spans, r.id);
+            assert_eq!(count_named(&t, "scatter"), 1, "request {}", r.id);
+            assert_eq!(count_named(&t, "retrieve"), 0, "scatter replaces retrieve");
+            assert_eq!(count_named(&t, "rank"), 1);
+            let scatter = t.iter().find(|s| s.name == "scatter").unwrap();
+            assert_eq!(
+                scatter.attr("shards").and_then(|v| v.as_int()),
+                Some(SHARDS as i64)
+            );
+            // Exactly one terminal outcome, and on this healthy run it is
+            // always "complete".
+            let outcome = scatter.attr("outcome").and_then(|v| v.as_str());
+            assert!(
+                matches!(outcome, Some("partial") | Some("complete")),
+                "request {}: scatter outcome must be terminal, got {outcome:?}",
+                r.id
+            );
+            assert_eq!(outcome, Some("complete"));
+
+            let gathers: Vec<&&SpanRecord> = t
+                .iter()
+                .filter(|s| s.name == "gather")
+                .collect();
+            assert_eq!(gathers.len(), SHARDS, "one gather child per shard");
+            for (i, g) in gathers.iter().enumerate() {
+                assert_eq!(g.parent, Some(scatter.id), "gather under its scatter");
+                assert_eq!(g.attr("shard").and_then(|v| v.as_int()), Some(i as i64));
+                assert_eq!(g.attr("outcome").and_then(|v| v.as_str()), Some("ok"));
+                assert_eq!(g.attr("hedged").and_then(|v| v.as_int()), Some(0));
+            }
+        }
+    }
+}
+
+/// Hedged retries and failed shards are visible per gather span: a
+/// one-shot stall tags its shard `hedged` with outcome `ok` (and the
+/// scatter stays `complete`); a poisoned shard reports `panic` and flips
+/// the scatter to `partial`.
+#[test]
+fn hedged_retries_and_failures_are_tagged_per_gather_span() {
+    let vocab = vocab();
+    let docs = synthetic_docs(&vocab, 60, 11);
+    let tracer = Tracer::logical();
+    let engine =
+        SearchEngine::sharded(InvertedIndex::build(docs), SHARDS).with_tracer(tracer.clone());
+    let cfg = ServingConfig::default();
+    let query = vec!["w3".to_string(), "w7".to_string()];
+    let victim = 2usize;
+
+    // One-shot stall past the phase-1 slice: the hedge recovers it.
+    engine.set_shard_faults(Some(ShardFaultInjector::stall_on_shard(
+        victim,
+        Duration::from_millis(60),
+        1,
+    )));
+    engine.search_resilient_traced(
+        &query,
+        RewriteLadder::default(),
+        &cfg,
+        &DeadlineBudget::synthetic(Duration::from_millis(100)),
+        None,
+        Some(0),
+    );
+    let spans = tracer.snapshot();
+    let t = trace_spans(&spans, 0);
+    let scatter = t.iter().find(|s| s.name == "scatter").expect("scatter span");
+    assert_eq!(scatter.attr("outcome").and_then(|v| v.as_str()), Some("complete"));
+    for g in t.iter().filter(|s| s.name == "gather") {
+        let shard = g.attr("shard").and_then(|v| v.as_int()).unwrap() as usize;
+        let expect_hedged = i64::from(shard == victim);
+        assert_eq!(g.attr("hedged").and_then(|v| v.as_int()), Some(expect_hedged));
+        assert_eq!(g.attr("outcome").and_then(|v| v.as_str()), Some("ok"));
+    }
+
+    // A poisoned shard: outcome panic, scatter partial, not hedged
+    // (panics get no retry).
+    tracer.clear();
+    engine.set_shard_faults(Some(ShardFaultInjector::poison_shard(victim)));
+    engine.search_resilient_traced(
+        &query,
+        RewriteLadder::default(),
+        &cfg,
+        &DeadlineBudget::unlimited(),
+        None,
+        Some(1),
+    );
+    let spans = tracer.snapshot();
+    let t = trace_spans(&spans, 1);
+    let scatter = t.iter().find(|s| s.name == "scatter").expect("scatter span");
+    assert_eq!(scatter.attr("outcome").and_then(|v| v.as_str()), Some("partial"));
+    for g in t.iter().filter(|s| s.name == "gather") {
+        let shard = g.attr("shard").and_then(|v| v.as_int()).unwrap() as usize;
+        let expect = if shard == victim { "panic" } else { "ok" };
+        assert_eq!(g.attr("outcome").and_then(|v| v.as_str()), Some(expect));
+        assert_eq!(g.attr("hedged").and_then(|v| v.as_int()), Some(0));
+    }
+}
+
+/// The scatter-gather tier preserves the runtime's structural guarantee:
+/// per-request span trees (now including the per-shard gather fan) are
+/// byte-identical across worker counts and run-to-run.
+#[test]
+fn sharded_span_structure_is_byte_identical_across_worker_counts() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let render = |config: RuntimeConfig| {
+        let (records, spans) = run_traced_sharded(config, unlimited(&w.requests));
+        assert!(records.iter().all(|r| matches!(r.outcome, Outcome::Served(_))));
+        let request_spans: Vec<SpanRecord> =
+            spans.into_iter().filter(|s| s.trace & MINTED_TRACE_BIT == 0).collect();
+        canonical_structure(&request_spans)
+    };
+    let solo = render(solo_config());
+    let pooled = render(pooled_config());
+    assert!(!solo.is_empty());
+    assert!(solo.contains("scatter") && solo.contains("gather"));
+    assert_eq!(solo, pooled, "per-request span trees must not depend on worker count");
     assert_eq!(pooled, render(pooled_config()));
 }
 

@@ -3,7 +3,7 @@
 # without touching the network (the build is fully hermetic — no external
 # crates, see CHANGES.md).
 #
-#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--obs-smoke] [--mutate-smoke] [--distill-smoke]
+#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--shard-smoke] [--obs-smoke] [--mutate-smoke] [--distill-smoke]
 #
 # With --bench-smoke, additionally runs the smoke benchmarks: they write
 # BENCH_decode.json / BENCH_matmul.json at the repo root, fail on any
@@ -20,6 +20,15 @@
 # requires batched runtime responses to be byte-identical to the
 # sequential baseline, enforces the >=2x micro-batched throughput bar on
 # the decode-heavy tail mix, and checks graceful overload accounting.
+#
+# With --shard-smoke, additionally runs the load generator's shard-scaling
+# sweep (it shares the load_smoke binary, so the full load run rides
+# along): sharded scatter-gather serving at shard counts {1, 4}, required
+# to be byte-identical to the monolith at every count, plus the
+# partial-results rate under a permanently poisoned shard (must be 1000
+# per mille, every response ranked and stamped shards_ok = N-1). The
+# validated shard_scaling entries land in BENCH_serve.json. When
+# QRW_VERIFY_BUDGET is set to "full", the sweep covers {1, 2, 4, 8}.
 #
 # With --obs-smoke, additionally runs the observability smoke: the traced
 # load mix through the runtime, validating the exported trace JSONL
@@ -53,6 +62,7 @@ cd "$(dirname "$0")/.."
 BENCH_SMOKE=0
 TRAIN_RESUME=0
 LOAD_SMOKE=0
+SHARD_SMOKE=0
 OBS_SMOKE=0
 MUTATE_SMOKE=0
 DISTILL_SMOKE=0
@@ -61,6 +71,7 @@ for arg in "$@"; do
     --bench-smoke) BENCH_SMOKE=1 ;;
     --train-resume) TRAIN_RESUME=1 ;;
     --load-smoke) LOAD_SMOKE=1 ;;
+    --shard-smoke) SHARD_SMOKE=1 ;;
     --obs-smoke) OBS_SMOKE=1 ;;
     --mutate-smoke) MUTATE_SMOKE=1 ;;
     --distill-smoke) DISTILL_SMOKE=1 ;;
@@ -131,9 +142,15 @@ if [ "$TRAIN_RESUME" = 1 ]; then
   cargo run --release --offline -p qrw-bench --bin train_resume -- --out .
 fi
 
-if [ "$LOAD_SMOKE" = 1 ]; then
+if [ "$LOAD_SMOKE" = 1 ] || [ "$SHARD_SMOKE" = 1 ]; then
   echo "== load smoke (offline, writes + validates BENCH_serve.json) =="
-  cargo run --release --offline -p qrw-bench --bin load_smoke -- --out .
+  SHARD_ARGS=""
+  if [ "$SHARD_SMOKE" = 1 ] && [ "${QRW_VERIFY_BUDGET:-quick}" = "full" ]; then
+    echo "   (QRW_VERIFY_BUDGET=full: shard-scaling sweep over counts 1/2/4/8)"
+    SHARD_ARGS="--shard-sweep-full"
+  fi
+  # shellcheck disable=SC2086
+  cargo run --release --offline -p qrw-bench --bin load_smoke -- --out . $SHARD_ARGS
 fi
 
 if [ "$OBS_SMOKE" = 1 ]; then
