@@ -268,7 +268,7 @@ fn build_stack(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> ServeStack {
     for q in head {
         cache.insert(q, online.rewrite(q, ServingConfig::default().max_rewrites));
     }
-    ServeStack { engine, cache: Some(cache), student: None, online: Some(online), baseline: None }
+    ServeStack { engine, cache: Some(cache), student: None, online: Some(online), baseline: None, models: None }
 }
 
 fn open_loop_config() -> RuntimeConfig {
@@ -313,7 +313,7 @@ fn build_sharded_stack(vocab: &Arc<Vocab>, head: &[Vec<String>], shards: usize) 
     for q in head {
         cache.insert(q, online.rewrite(q, ServingConfig::default().max_rewrites));
     }
-    ServeStack { engine, cache: Some(cache), student: None, online: Some(online), baseline: None }
+    ServeStack { engine, cache: Some(cache), student: None, online: Some(online), baseline: None, models: None }
 }
 
 /// Sweeps shard counts, requiring byte-identical responses at every

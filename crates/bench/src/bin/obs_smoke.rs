@@ -86,7 +86,7 @@ fn build_stack(vocab: &Arc<Vocab>, head: &[Vec<String>], tracer: Option<Tracer>)
     for q in head {
         cache.insert(q, online.rewrite(q, ServingConfig::default().max_rewrites));
     }
-    ServeStack { engine, cache: Some(cache), student: None, online: Some(online), baseline: None }
+    ServeStack { engine, cache: Some(cache), student: None, online: Some(online), baseline: None, models: None }
 }
 
 fn runtime_config() -> RuntimeConfig {

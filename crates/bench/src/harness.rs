@@ -492,6 +492,51 @@ pub fn validate_distill_json(text: &str) -> Result<BenchRecord, String> {
     Ok(record)
 }
 
+/// Entry names a `BENCH_online.json` record must carry: the held-out
+/// session-oracle relevance trajectory over the simulated days (day 0 is
+/// the cold pre-training eval; `QRW_VERIFY_BUDGET=full` adds later days
+/// as extra entries), plus the closed loop's serving and swap accounting.
+pub const ONLINE_REQUIRED_ENTRIES: [&str; 8] = [
+    "day0/oracle_permille",
+    "day1/oracle_permille",
+    "day2/oracle_permille",
+    "day3/oracle_permille",
+    "serve/requests_total",
+    "serve/harvested_total",
+    "swap/epochs_published",
+    "swap/swap_failures",
+];
+
+/// Parses and schema-checks a `BENCH_online.json` document: the general
+/// bench schema ([`validate_bench_json`]) plus the online-loop contract —
+/// the record must be named `online`, carry every entry in
+/// [`ONLINE_REQUIRED_ENTRIES`] (extra days are allowed), and the
+/// day-by-day oracle trajectory must never regress below day 0 (the
+/// ISSUE's monotone-or-flat acceptance bar, re-checked at read time so a
+/// regenerated trajectory cannot silently degrade).
+pub fn validate_online_json(text: &str) -> Result<BenchRecord, String> {
+    let record = validate_bench_json(text)?;
+    if record.bench != "online" {
+        return Err(format!("\"bench\" is {:?}, expected \"online\"", record.bench));
+    }
+    for name in ONLINE_REQUIRED_ENTRIES {
+        if record.entry(name).is_none() {
+            return Err(format!("missing required online entry {name:?}"));
+        }
+    }
+    let day0 = record.entry("day0/oracle_permille").expect("presence checked above");
+    for (name, s, _) in &record.entries {
+        let is_day = name.starts_with("day") && name.ends_with("/oracle_permille");
+        if is_day && s.median_ns < day0.median_ns {
+            return Err(format!(
+                "oracle trajectory regressed: {name} median {} below day0 median {}",
+                s.median_ns, day0.median_ns
+            ));
+        }
+    }
+    Ok(record)
+}
+
 /// Compares a fresh record against the committed baseline it is about to
 /// replace: any entry present in both whose fresh median exceeds the
 /// committed median by more than `tolerance` (0.20 = 20%) is a
@@ -1003,6 +1048,51 @@ mod tests {
         let mut wrong = full();
         wrong.bench = "decode".into();
         assert!(validate_distill_json(&wrong.to_json()).unwrap_err().contains("distill"));
+    }
+
+    #[test]
+    fn online_validator_enforces_entries_and_the_trajectory_bar() {
+        let full = || {
+            let mut rec = BenchRecord::new("online");
+            for (day, permille) in [(0u64, 0u128), (1, 120), (2, 180), (3, 180)] {
+                rec.push(format!("day{day}/oracle_permille"), sample(permille, permille, permille));
+            }
+            rec.push("serve/requests_total", sample(96, 96, 96));
+            rec.push("serve/harvested_total", sample(40, 40, 40));
+            rec.push("swap/epochs_published", sample(3, 3, 3));
+            rec.push("swap/swap_failures", sample(0, 0, 0));
+            rec
+        };
+        assert_eq!(validate_online_json(&full().to_json()).unwrap().bench, "online");
+
+        // Dropping any required entry fails, naming the entry.
+        for missing in ONLINE_REQUIRED_ENTRIES {
+            let mut partial = BenchRecord::new("online");
+            for (name, s, _) in &full().entries {
+                if name != missing {
+                    partial.push(name.clone(), *s);
+                }
+            }
+            let err = validate_online_json(&partial.to_json()).unwrap_err();
+            assert!(err.contains(missing), "{missing}: {err}");
+        }
+
+        // A day below day 0 is a trajectory regression — even an *extra*
+        // day beyond the required four.
+        let mut dipped = full();
+        dipped.push("day4/oracle_permille", sample(0, 0, 0));
+        let mut day0_high = BenchRecord::new("online");
+        for (name, s, _) in &dipped.entries {
+            let s = if name == "day0/oracle_permille" { sample(50, 50, 50) } else { *s };
+            day0_high.push(name.clone(), s);
+        }
+        let err = validate_online_json(&day0_high.to_json()).unwrap_err();
+        assert!(err.contains("day4") && err.contains("regressed"), "{err}");
+
+        // The wrong record name is rejected.
+        let mut wrong = full();
+        wrong.bench = "serve".into();
+        assert!(validate_online_json(&wrong.to_json()).unwrap_err().contains("online"));
     }
 
     #[test]

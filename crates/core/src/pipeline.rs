@@ -30,6 +30,22 @@ pub trait QueryRewriter {
     /// the original query itself.
     fn rewrite(&self, query: &[String], k: usize) -> Vec<Vec<String>>;
 
+    /// Up to `k` rewrites conditioned on the user's previous in-session
+    /// queries (oldest first). The default ignores the context and
+    /// delegates to [`rewrite`](Self::rewrite), so every existing rewriter
+    /// is trivially context-capable and the context-off serving path is
+    /// byte-identical to single-shot serving. Session-aware models (the
+    /// online crate's context-prefix q2q) override this.
+    fn rewrite_with_context(
+        &self,
+        context: &[Vec<String>],
+        query: &[String],
+        k: usize,
+    ) -> Vec<Vec<String>> {
+        let _ = context;
+        self.rewrite(query, k)
+    }
+
     /// Human-readable name for report tables.
     fn name(&self) -> &str;
 

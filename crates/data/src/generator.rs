@@ -279,6 +279,86 @@ fn simulate_clicks(
     (out, sessions)
 }
 
+/// Multi-query session generation parameters.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Number of sessions to generate.
+    pub sessions: usize,
+    /// Minimum queries per session.
+    pub min_len: usize,
+    /// Maximum queries per session (inclusive).
+    pub max_len: usize,
+    /// Probability each follow-up query *drifts* to a different category
+    /// instead of refining the current intent.
+    pub drift: f64,
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig { sessions: 200, min_len: 2, max_len: 5, drift: 0.3, seed: 47 }
+    }
+}
+
+/// Multi-query sessions with drifting intent over a click log's query
+/// pool: each session is a sequence of indices into [`ClickLog::queries`].
+///
+/// The opening query is drawn frequency-weighted — head queries open
+/// sessions far more often, matching the log's traffic skew. Each
+/// follow-up then either **refines** the current intent (a different
+/// query of the same category: the user rephrasing, narrowing, switching
+/// register) or, with probability `drift`, **drifts** to a different
+/// category (the user moving on to a new shopping goal mid-session).
+/// Session-aware rewriters condition on the preceding queries; the drift
+/// split is what makes that conditioning non-trivial — context helps on
+/// refinements and must not hurt after a drift.
+pub fn generate_sessions(log: &ClickLog, config: &SessionConfig) -> Vec<Vec<usize>> {
+    assert!(config.min_len >= 1 && config.min_len <= config.max_len, "bad session length range");
+    let n_cats = log.catalog.categories.len();
+    let mut by_category: Vec<Vec<usize>> = vec![Vec::new(); n_cats];
+    for (qi, q) in log.queries.iter().enumerate() {
+        by_category[q.category].push(qi);
+    }
+    // Frequency-weighted opener distribution.
+    let weights: Vec<(usize, f32)> =
+        log.queries.iter().enumerate().map(|(qi, q)| (qi, q.frequency as f32)).collect();
+    let total: f32 = weights.iter().map(|&(_, w)| w).sum();
+    let openers: Vec<(usize, f32)> =
+        weights.into_iter().map(|(qi, w)| (qi, w / total)).collect();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut sessions = Vec::with_capacity(config.sessions);
+    for _ in 0..config.sessions {
+        let len = config.min_len + rng.gen_range(0..config.max_len - config.min_len + 1);
+        let mut session = vec![sample_weighted(&mut rng, &openers)];
+        while session.len() < len {
+            let cur = *session.last().expect("session is non-empty");
+            let cur_cat = log.queries[cur].category;
+            let drifted = rng.gen_bool(config.drift);
+            let pool: &[usize] = if drifted {
+                // Drift: a random *other* non-empty category.
+                let others: Vec<usize> = (0..n_cats)
+                    .filter(|&c| c != cur_cat && !by_category[c].is_empty())
+                    .collect();
+                if others.is_empty() {
+                    &by_category[cur_cat]
+                } else {
+                    &by_category[others[rng.gen_range(0..others.len())]]
+                }
+            } else {
+                &by_category[cur_cat]
+            };
+            let next = pool[rng.gen_range(0..pool.len())];
+            if next == cur && pool.len() > 1 {
+                continue; // re-draw: an exact repeat is not a reformulation
+            }
+            session.push(next);
+        }
+        sessions.push(session);
+    }
+    sessions
+}
+
 fn pick(rng: &mut StdRng, xs: &[String]) -> String {
     xs[rng.gen_range(0..xs.len())].clone()
 }
@@ -392,5 +472,61 @@ mod tests {
         texts.sort();
         texts.dedup();
         assert_eq!(before, texts.len());
+    }
+
+    #[test]
+    fn sessions_are_deterministic_and_length_bounded() {
+        let l = log();
+        let cfg = SessionConfig::default();
+        let a = generate_sessions(&l, &cfg);
+        let b = generate_sessions(&l, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.sessions);
+        for s in &a {
+            assert!(s.len() >= cfg.min_len && s.len() <= cfg.max_len);
+            for &qi in s {
+                assert!(qi < l.queries.len());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_drift_sessions_stay_in_category() {
+        let l = log();
+        let cfg = SessionConfig { drift: 0.0, ..SessionConfig::default() };
+        for s in generate_sessions(&l, &cfg) {
+            let cat = l.queries[s[0]].category;
+            assert!(s.iter().all(|&qi| l.queries[qi].category == cat));
+        }
+    }
+
+    #[test]
+    fn drift_produces_category_changes() {
+        let l = log();
+        let cfg = SessionConfig { drift: 0.8, sessions: 100, ..SessionConfig::default() };
+        let sessions = generate_sessions(&l, &cfg);
+        let drifted = sessions
+            .iter()
+            .filter(|s| {
+                s.windows(2).any(|w| l.queries[w[0]].category != l.queries[w[1]].category)
+            })
+            .count();
+        assert!(drifted > 50, "only {drifted}/100 sessions drifted at drift=0.8");
+    }
+
+    #[test]
+    fn follow_ups_are_reformulations_not_repeats() {
+        let l = log();
+        let cfg = SessionConfig { drift: 0.0, sessions: 100, ..SessionConfig::default() };
+        for s in generate_sessions(&l, &cfg) {
+            for w in s.windows(2) {
+                // A category can hold a single query; only multi-query
+                // pools must avoid immediate repeats.
+                let pool = l.queries.iter().filter(|q| q.category == l.queries[w[0]].category);
+                if pool.count() > 1 {
+                    assert_ne!(w[0], w[1], "immediate repeat in session {s:?}");
+                }
+            }
+        }
     }
 }

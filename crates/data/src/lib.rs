@@ -26,7 +26,7 @@ mod words;
 
 pub use catalog::{Catalog, CatalogConfig, Item, Sense};
 pub use dataset::{Dataset, DatasetConfig, Pair};
-pub use generator::{ClickLog, ClickPair, GeneratedQuery, LogConfig, QueryKind};
+pub use generator::{generate_sessions, ClickLog, ClickPair, GeneratedQuery, LogConfig, QueryKind, SessionConfig};
 pub use intent::{intent_relevance, parse_intent, ParsedIntent};
 pub use io::{export_pairs_tsv, import_pairs_tsv, ExternalCorpus};
 pub use stats::DataStats;

@@ -60,6 +60,81 @@ fn shard_hash(key: &str) -> u64 {
     h
 }
 
+/// The namespace a cache entry is valid in.
+///
+/// Entries used to be keyed by query text alone — a stale-rewrite hazard
+/// once models hot-swap: after a swap the cache would keep serving the
+/// *old* model's rewrites for every previously seen query, forever. The
+/// scope namespaces keys by the model epoch that produced the rewrites
+/// (and, for session-aware serving, by a hash of the in-session context
+/// the rewrite was conditioned on), so a swap naturally invalidates every
+/// entry of the superseded epoch: lookups under the new epoch miss and
+/// repopulate.
+///
+/// The default scope (`model_epoch == 0`, no context) reproduces the
+/// legacy key byte-for-byte, so frozen single-model serving — including
+/// every pre-existing cache file and test — is unaffected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheScope {
+    /// Model epoch the rewrites were produced by (0 = frozen model, no
+    /// model store).
+    pub model_epoch: u64,
+    /// FNV-1a hash of the session context the rewrites were conditioned
+    /// on (0 = no context).
+    pub context_hash: u64,
+}
+
+impl CacheScope {
+    /// Scope for a session request: the pinned model epoch plus a hash of
+    /// the previous in-session queries (oldest first). An empty context
+    /// hashes to 0, so context-free requests against epoch 0 collapse to
+    /// the legacy scope.
+    pub fn for_session(model_epoch: u64, context: &[Vec<String>]) -> Self {
+        CacheScope { model_epoch, context_hash: hash_context(context) }
+    }
+
+    fn is_legacy(&self) -> bool {
+        self.model_epoch == 0 && self.context_hash == 0
+    }
+
+    /// The full cache key for `query` under this scope. Legacy scope keys
+    /// are exactly `query.join(" ")`; scoped keys prepend the epoch and
+    /// context hash with `\u{1f}` (unit separator) delimiters, which never
+    /// occur in tokenized query text.
+    fn key(&self, query: &[String]) -> String {
+        let joined = query.join(" ");
+        if self.is_legacy() {
+            joined
+        } else {
+            format!("@{}\u{1f}{:016x}\u{1f}{}", self.model_epoch, self.context_hash, joined)
+        }
+    }
+}
+
+/// FNV-1a over the context queries, folding a 0xff separator between
+/// tokens and a 0xfe separator between queries so `["a b"]` and
+/// `["a","b"]` hash differently. Empty context hashes to 0.
+pub fn hash_context(context: &[Vec<String>]) -> u64 {
+    if context.is_empty() {
+        return 0;
+    }
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for query in context {
+        for token in query {
+            for b in token.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0xfe;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 impl RewriteCache {
     pub fn new() -> Self {
         Self::default()
@@ -85,9 +160,17 @@ impl RewriteCache {
         &self.shards[idx]
     }
 
-    /// Precomputes (stores) the rewrites for one query.
+    /// Precomputes (stores) the rewrites for one query in the legacy
+    /// (frozen-model) scope.
     pub fn insert(&self, query: &[String], rewrites: Vec<Vec<String>>) {
-        let key = query.join(" ");
+        self.insert_scoped(CacheScope::default(), query, rewrites);
+    }
+
+    /// [`insert`](Self::insert) under an explicit scope: the entry is
+    /// only visible to lookups with the same model epoch and session
+    /// context.
+    pub fn insert_scoped(&self, scope: CacheScope, query: &[String], rewrites: Vec<Vec<String>>) {
+        let key = scope.key(query);
         self.shard(&key)
             .write()
             .insert(key, CacheEntry { rewrites: Arc::new(rewrites), docs: None });
@@ -147,10 +230,15 @@ impl RewriteCache {
         (rebuilt, dropped)
     }
 
-    /// Looks up rewrites, counting the hit or miss. Hits cost a refcount
-    /// bump, not a deep clone of the rewrite set.
+    /// Looks up rewrites in the legacy scope, counting the hit or miss.
+    /// Hits cost a refcount bump, not a deep clone of the rewrite set.
     pub fn get(&self, query: &[String]) -> Option<Arc<Vec<Vec<String>>>> {
-        let found = self.peek(query);
+        self.get_scoped(CacheScope::default(), query)
+    }
+
+    /// [`get`](Self::get) under an explicit scope.
+    pub fn get_scoped(&self, scope: CacheScope, query: &[String]) -> Option<Arc<Vec<Vec<String>>>> {
+        let found = self.peek_scoped(scope, query);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -162,7 +250,12 @@ impl RewriteCache {
     /// runtime probes entries while planning a batch and the serve pass
     /// does the counted lookup, so each request is accounted exactly once.
     pub fn peek(&self, query: &[String]) -> Option<Arc<Vec<Vec<String>>>> {
-        let key = query.join(" ");
+        self.peek_scoped(CacheScope::default(), query)
+    }
+
+    /// [`peek`](Self::peek) under an explicit scope.
+    pub fn peek_scoped(&self, scope: CacheScope, query: &[String]) -> Option<Arc<Vec<Vec<String>>>> {
+        let key = scope.key(query);
         self.shard(&key).read().get(&key).map(|e| Arc::clone(&e.rewrites))
     }
 
@@ -308,6 +401,67 @@ mod tests {
         cache.insert(&toks("a"), vec![toks("b")]);
         assert_eq!(cache.doc_hints(&toks("a")), None);
         assert_eq!(cache.doc_hints(&toks("missing")), None);
+    }
+
+    #[test]
+    fn model_swap_invalidates_scoped_entries() {
+        // Regression: keyed by query alone, a hot-swap would serve the old
+        // model's rewrites forever. Scoped by epoch, the swap misses.
+        let cache = RewriteCache::new();
+        let epoch1 = CacheScope::for_session(1, &[]);
+        cache.insert_scoped(epoch1, &toks("red shoes"), vec![toks("crimson sneakers")]);
+        assert!(cache.get_scoped(epoch1, &toks("red shoes")).is_some());
+
+        // After the swap to epoch 2, the epoch-1 entry is invisible.
+        let epoch2 = CacheScope::for_session(2, &[]);
+        assert!(cache.get_scoped(epoch2, &toks("red shoes")).is_none());
+        // And the legacy (frozen-model) scope never saw it either.
+        assert!(cache.peek(&toks("red shoes")).is_none());
+
+        // The new epoch repopulates independently; the old entry is
+        // untouched for requests still pinning epoch 1.
+        cache.insert_scoped(epoch2, &toks("red shoes"), vec![toks("scarlet sneakers")]);
+        assert_eq!(*cache.get_scoped(epoch1, &toks("red shoes")).unwrap(), vec![toks(
+            "crimson sneakers"
+        )]);
+        assert_eq!(*cache.get_scoped(epoch2, &toks("red shoes")).unwrap(), vec![toks(
+            "scarlet sneakers"
+        )]);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn session_context_namespaces_entries() {
+        let cache = RewriteCache::new();
+        let ctx_a = vec![toks("running gear")];
+        let ctx_b = vec![toks("dress shoes")];
+        let scope_a = CacheScope::for_session(3, &ctx_a);
+        let scope_b = CacheScope::for_session(3, &ctx_b);
+        assert_ne!(scope_a, scope_b);
+        cache.insert_scoped(scope_a, &toks("shoes"), vec![toks("trainers")]);
+        assert!(cache.peek_scoped(scope_a, &toks("shoes")).is_some());
+        assert!(cache.peek_scoped(scope_b, &toks("shoes")).is_none());
+        // Token-boundary sensitivity: ["a b"] and ["a","b"] are distinct
+        // contexts.
+        assert_ne!(
+            hash_context(&[toks("a b")]),
+            hash_context(&[vec!["a b".to_string()]])
+        );
+        assert_eq!(hash_context(&[]), 0);
+    }
+
+    #[test]
+    fn legacy_scope_is_the_unscoped_key() {
+        // The default scope must reproduce the historical key exactly so
+        // frozen-model serving stays byte-identical: an insert through the
+        // legacy API is visible to a default-scope lookup and vice versa.
+        let cache = RewriteCache::new();
+        cache.insert(&toks("plain query"), vec![toks("rewrite")]);
+        assert!(cache.peek_scoped(CacheScope::default(), &toks("plain query")).is_some());
+        cache.insert_scoped(CacheScope::default(), &toks("other"), vec![toks("r2")]);
+        assert!(cache.peek(&toks("other")).is_some());
+        assert!(CacheScope::for_session(0, &[]).is_legacy());
+        assert!(!CacheScope::for_session(1, &[]).is_legacy());
     }
 
     #[test]

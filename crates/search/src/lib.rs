@@ -30,6 +30,13 @@
 //! (breakers, deadline slices, straggler hedging) and partial-results
 //! degradation, with healthy responses byte-identical to the monolith at
 //! every shard count.
+//!
+//! Zero-downtime model hot-swap lives in [`models`]: the same epoch-pinned
+//! slot-ring discipline applied to rewriter models, so the online
+//! training loop can publish retrained models under traffic while every
+//! request serves from exactly one pinned model epoch
+//! ([`SessionState`] threads the pinned model and the user's previous
+//! in-session queries through the degradation ladder).
 
 pub mod ab;
 pub mod breaker;
@@ -40,6 +47,7 @@ pub mod fault;
 pub mod health;
 pub mod index;
 pub mod kv;
+pub mod models;
 pub mod segment;
 pub mod serving;
 pub mod shard;
@@ -59,11 +67,12 @@ pub use shard::{
     ShardedIndex,
 };
 pub use index::{Bm25Scorer, InvertedIndex};
-pub use kv::RewriteCache;
+pub use kv::{CacheScope, RewriteCache};
+pub use models::{ModelEpoch, ModelStore, PinnedModel, SharedRewriter, SwapStats};
 pub use segment::{CatalogOp, MutationBatch, Segment};
 pub use serving::{
     plan_online, PinnedCatalog, RewriteLadder, RewriteSource, SearchEngine, SearchResponse,
-    ServingConfig,
+    ServingConfig, SessionState,
 };
 pub use snapshot::{
     CatalogError, CatalogWriter, ChurnFault, ChurnFaultInjector, IndexSnapshot, PinnedSnapshot,

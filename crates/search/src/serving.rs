@@ -45,7 +45,8 @@ use crate::error::{ServeError, Stage};
 use crate::fault::{Fault, FaultInjector};
 use crate::health::{ChurnStats, HealthCounters, HealthReport};
 use crate::index::{union_sorted, InvertedIndex};
-use crate::kv::RewriteCache;
+use crate::kv::{CacheScope, RewriteCache};
+use crate::models::PinnedModel;
 use crate::shard::{
     combine_costs, idf, RebalanceError, RebalancePlan, ShardFaultInjector, ShardOutcome,
     ShardTraversal, ShardedCatalog, ShardedIndex,
@@ -99,6 +100,40 @@ pub enum RewriteSource {
     None,
 }
 
+/// Per-request session state for session-aware serving: the user's
+/// previous in-session queries plus the model epoch the request pinned
+/// for its whole ladder walk.
+///
+/// The default (`context` empty, `model` absent) is single-shot frozen
+/// serving — every path below is byte-identical to pre-session behaviour
+/// under it: the cache rung uses the legacy key, rewriters are called
+/// through [`QueryRewriter::rewrite_with_context`] with an empty context
+/// (which delegates to `rewrite`), and the response's `model_epoch`
+/// stays `0`.
+#[derive(Clone, Copy, Default)]
+pub struct SessionState<'a> {
+    /// Previous queries of this session, oldest first. Session-aware
+    /// rewriters condition on them; everything else ignores them.
+    pub context: &'a [Vec<String>],
+    /// The model epoch pinned for this request. When present, its
+    /// rewriter replaces the ladder's online rung and the epoch is
+    /// stamped into the response — exactly one pinned model serves the
+    /// whole request (the torn-swap invariant).
+    pub model: Option<&'a PinnedModel>,
+}
+
+impl SessionState<'_> {
+    /// The model epoch this request serves from (`0` = no model store).
+    pub fn model_epoch(&self) -> u64 {
+        self.model.map_or(0, |m| m.epoch())
+    }
+
+    /// The cache scope entries of this request live in.
+    pub fn cache_scope(&self) -> CacheScope {
+        CacheScope::for_session(self.model_epoch(), self.context)
+    }
+}
+
 /// The rewrite rungs available to [`SearchEngine::search_resilient`],
 /// ordered best-first. Any rung may be absent.
 #[derive(Clone, Copy, Default)]
@@ -147,13 +182,22 @@ pub struct SearchResponse {
     /// every candidate, rank and score — is a pure function of the query
     /// and this one epoch (the torn-read invariant).
     pub epoch: u64,
+    /// Model epoch the request's rewrites came from: `0` when serving
+    /// without a [`ModelStore`](crate::models::ModelStore), the pinned
+    /// epoch otherwise. As with `epoch`, the response is a pure function
+    /// of the query, the session context and this one model epoch (the
+    /// torn-swap invariant).
+    pub model_epoch: u64,
 }
 
 /// Manual `Debug`: field order matches the declaration, but the shard
-/// stamp is printed **only when the response is partial**. The shard
-/// transparency bar compares `format!("{resp:?}")` across shard counts —
-/// a healthy sharded response must render byte-identically to the
-/// monolithic one, while a degraded response must say so.
+/// stamp is printed **only when the response is partial** and the model
+/// epoch **only when a model store served the request**. The shard and
+/// hot-swap transparency bars compare `format!("{resp:?}")` across shard
+/// counts / against serial per-epoch replays — a healthy sharded response
+/// must render byte-identically to the monolithic one, a model-store
+/// response must say which epoch it served from, and frozen-model
+/// serving must render exactly as it did before model stores existed.
 impl std::fmt::Debug for SearchResponse {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut d = f.debug_struct("SearchResponse");
@@ -168,7 +212,11 @@ impl std::fmt::Debug for SearchResponse {
         if self.shards_ok < self.shards_total {
             d.field("shards_ok", &self.shards_ok).field("shards_total", &self.shards_total);
         }
-        d.field("epoch", &self.epoch).finish()
+        d.field("epoch", &self.epoch);
+        if self.model_epoch != 0 {
+            d.field("model_epoch", &self.model_epoch);
+        }
+        d.finish()
     }
 }
 
@@ -469,6 +517,7 @@ impl SearchEngine {
                 shards_ok: 1,
                 shards_total: 1,
                 epoch,
+                model_epoch: 0,
             };
         }
         let index = pinned.index();
@@ -486,6 +535,7 @@ impl SearchEngine {
             shards_ok: 1,
             shards_total: 1,
             epoch,
+            model_epoch: 0,
         }
     }
 
@@ -547,6 +597,36 @@ impl SearchEngine {
         faults: Option<&FaultInjector>,
         trace: Option<u64>,
     ) -> SearchResponse {
+        self.search_session_traced(query, SessionState::default(), ladder, config, budget, faults, trace)
+    }
+
+    /// Session-aware serving:
+    /// [`search_resilient_traced`](Self::search_resilient_traced) with a
+    /// [`SessionState`] threaded through the whole ladder walk. With the
+    /// default session this **is** `search_resilient_traced`, byte for
+    /// byte. With a session:
+    ///
+    /// * the cache rung looks entries up under the session's
+    ///   [`CacheScope`] (model epoch + context hash), so a hot-swap never
+    ///   serves a superseded model's rewrites;
+    /// * the online rung runs the session's pinned model instead of
+    ///   `ladder.online` — exactly one model epoch serves the request, no
+    ///   matter how many swaps land mid-flight (torn-swap invariant);
+    /// * rewriters are called with the session context
+    ///   ([`QueryRewriter::rewrite_with_context`]);
+    /// * the `pin` span carries a `model_epoch` attribute and the
+    ///   response is stamped with the pinned model epoch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_session_traced(
+        &self,
+        query: &[String],
+        session: SessionState<'_>,
+        ladder: RewriteLadder<'_>,
+        config: &ServingConfig,
+        budget: &DeadlineBudget,
+        faults: Option<&FaultInjector>,
+        trace: Option<u64>,
+    ) -> SearchResponse {
         self.health.record_request();
         let mut serve_span = self.tracer.as_ref().map(|t| {
             let trace = trace.unwrap_or_else(|| t.next_trace());
@@ -560,19 +640,24 @@ impl SearchEngine {
         };
         // Pin one catalog epoch for the whole request: every stage below
         // (ladder, retrieval, ranking, the panic fallback) reads this
-        // epoch and nothing else.
+        // epoch and nothing else. The session's model epoch was pinned by
+        // the caller before the request entered; the pin span records
+        // both so the trace shows exactly one epoch pair per request.
         let pinned = {
             let mut pin_span = ctx.map(|c| c.child("pin"));
             let pinned = self.pin();
             if let Some(s) = pin_span.as_mut() {
                 s.attr("epoch", pinned.epoch());
+                if session.model.is_some() {
+                    s.attr("model_epoch", session.model_epoch());
+                }
             }
             pinned
         };
         let guarded = catch_unwind(AssertUnwindSafe(|| {
-            self.serve_inner(query, ladder, config, budget, faults, ctx, &pinned)
+            self.serve_inner(query, session, ladder, config, budget, faults, ctx, &pinned)
         }));
-        let response = match guarded {
+        let mut response = match guarded {
             Ok(resp) => resp,
             Err(_) => {
                 // The engine itself panicked (not a rewriter — those are
@@ -596,11 +681,13 @@ impl SearchEngine {
                     shards_ok: 1,
                     shards_total: 1,
                     epoch: pinned.epoch(),
+                    model_epoch: 0,
                 });
                 resp.degradations.push(err);
                 resp
             }
         };
+        response.model_epoch = session.model_epoch();
         if let Some(span) = serve_span.as_mut() {
             span.attr("source", source_label(response.rewrite_source));
             span.attr("degradations", response.degradations.len());
@@ -619,6 +706,7 @@ impl SearchEngine {
     fn serve_inner(
         &self,
         query: &[String],
+        session: SessionState<'_>,
         ladder: RewriteLadder<'_>,
         config: &ServingConfig,
         budget: &DeadlineBudget,
@@ -634,7 +722,7 @@ impl SearchEngine {
 
         let t0 = budget.elapsed();
         let (rewrites, source) =
-            self.acquire_rewrites(&query, ladder, config, budget, faults, &mut events, ctx);
+            self.acquire_rewrites(&query, session, ladder, config, budget, faults, &mut events, ctx);
         self.health.record_stage_latency(Stage::Rewrite, budget.elapsed().saturating_sub(t0));
 
         self.retrieve_and_rank(&query, rewrites, source, config, budget, &mut events, ctx, pinned)
@@ -648,6 +736,7 @@ impl SearchEngine {
     fn acquire_rewrites(
         &self,
         query: &[String],
+        session: SessionState<'_>,
         ladder: RewriteLadder<'_>,
         config: &ServingConfig,
         budget: &DeadlineBudget,
@@ -662,9 +751,12 @@ impl SearchEngine {
         // Rung 1: KV cache. Cheap enough to try regardless of budget, but
         // entries are validated — a poisoned entry must not reach
         // retrieval. A span is recorded only when an entry exists (the
-        // rung was genuinely attempted, not just probed empty).
+        // rung was genuinely attempted, not just probed empty). Lookups
+        // run under the session's scope: the default session uses the
+        // legacy key; a model-pinned session only sees entries its own
+        // model epoch (and context) produced.
         if let Some(cache) = ladder.cache {
-            if let Some(cached) = cache.get(query) {
+            if let Some(cached) = cache.get_scoped(session.cache_scope(), query) {
                 let mut span = ctx.map(|c| c.child("rung_cache"));
                 let any_invalid = cached.iter().any(|r| !valid_rewrite(r, config));
                 let cleaned = clean_rewrites(&cached, query, config);
@@ -700,7 +792,7 @@ impl SearchEngine {
             } else {
                 let decode_before = student.decode_stats();
                 let t_call = budget.elapsed();
-                let result = self.call_rewriter(student, query, config, Fault::None);
+                let result = self.call_rewriter(student, session.context, query, config, Fault::None);
                 if let (Some(before), Some(after)) = (decode_before, student.decode_stats()) {
                     self.health.record_student_decode(
                         after.since(&before),
@@ -734,8 +826,15 @@ impl SearchEngine {
         }
 
         // Rung 3: online q2q model, guarded by budget, breaker and
-        // catch_unwind.
-        if let Some(online) = ladder.online {
+        // catch_unwind. A model-pinned session serves this rung from its
+        // pinned epoch's rewriter instead of the ladder's static model —
+        // the pin was taken before the request started, so even if swaps
+        // land mid-request every call below hits the same frozen model.
+        let online_rung: Option<&dyn QueryRewriter> = match session.model {
+            Some(pin) => Some(pin.rewriter()),
+            None => ladder.online,
+        };
+        if let Some(online) = online_rung {
             let mut span = ctx.map(|c| c.child("rung_online"));
             let mut outcome = "empty";
             if budget.expired() {
@@ -758,7 +857,7 @@ impl SearchEngine {
                     // health report carries throughput next to faults.
                     let decode_before = online.decode_stats();
                     let t_call = budget.elapsed();
-                    let result = self.call_rewriter(online, query, config, fault);
+                    let result = self.call_rewriter(online, session.context, query, config, fault);
                     if let (Some(before), Some(after)) = (decode_before, online.decode_stats()) {
                         self.health.record_decode(
                             after.since(&before),
@@ -803,7 +902,7 @@ impl SearchEngine {
         // ladder is for. Panic isolation still applies.
         if let Some(baseline) = ladder.baseline {
             let mut span = ctx.map(|c| c.child("rung_baseline"));
-            match self.call_rewriter(baseline, query, config, Fault::None) {
+            match self.call_rewriter(baseline, session.context, query, config, Fault::None) {
                 Ok(cleaned) if !cleaned.is_empty() => {
                     if let Some(s) = span.as_mut() {
                         s.attr("outcome", "served");
@@ -841,10 +940,14 @@ impl SearchEngine {
     }
 
     /// Invokes one rewriter behind `catch_unwind`, applying an injected
-    /// fault, and returns its cleaned output.
+    /// fault, and returns its cleaned output. The session context is
+    /// passed through [`QueryRewriter::rewrite_with_context`]: rewriters
+    /// that don't condition on context (the default impl) behave exactly
+    /// as a plain `rewrite` call.
     fn call_rewriter(
         &self,
         rewriter: &dyn QueryRewriter,
+        context: &[Vec<String>],
         query: &[String],
         config: &ServingConfig,
         fault: Fault,
@@ -853,7 +956,9 @@ impl SearchEngine {
         let outcome = catch_unwind(AssertUnwindSafe(|| match fault {
             Fault::Panic => panic!("injected rewriter panic"),
             Fault::ModelError => Err(ServeError::ModelError { rewriter: name.clone() }),
-            Fault::None | Fault::Latency(_) => Ok(rewriter.rewrite(query, config.max_rewrites)),
+            Fault::None | Fault::Latency(_) => {
+                Ok(rewriter.rewrite_with_context(context, query, config.max_rewrites))
+            }
         }));
         match outcome {
             Err(_) => Err(ServeError::ModelPanic { rewriter: name }),
@@ -923,6 +1028,7 @@ impl SearchEngine {
                 shards_ok: 1,
                 shards_total: 1,
                 epoch,
+                model_epoch: 0,
             };
         }
         if let PinnedCatalog::Sharded { shards, .. } = pinned {
@@ -1016,6 +1122,7 @@ impl SearchEngine {
             shards_ok: 1,
             shards_total: 1,
             epoch,
+            model_epoch: 0,
         }
     }
 
@@ -1450,6 +1557,7 @@ impl SearchEngine {
             shards_ok,
             shards_total: n,
             epoch,
+            model_epoch: 0,
         }
     }
 }
@@ -1665,5 +1773,139 @@ mod tests {
             &ServingConfig { top_k: 1, ..Default::default() },
         );
         assert_eq!(resp.ranked.len(), 1);
+    }
+
+    #[test]
+    fn default_session_is_byte_identical_to_single_shot() {
+        let e = engine();
+        let rw = FixedRewriter(vec![toks("senior smartphone")]);
+        let cache = RewriteCache::new();
+        cache.insert(&toks("cached q"), vec![toks("senior handset")]);
+        let ladder =
+            RewriteLadder { cache: Some(&cache), online: Some(&rw), ..Default::default() };
+        let config = ServingConfig::default();
+        for q in [toks("phone for grandpa"), toks("cached q"), toks("smartphone")] {
+            let single = e.search_resilient(&q, ladder, &config, &DeadlineBudget::unlimited(), None);
+            let session = e.search_session_traced(
+                &q,
+                SessionState::default(),
+                ladder,
+                &config,
+                &DeadlineBudget::unlimited(),
+                None,
+                None,
+            );
+            assert_eq!(format!("{single:?}"), format!("{session:?}"));
+            assert_eq!(session.model_epoch, 0);
+        }
+    }
+
+    #[test]
+    fn pinned_model_serves_the_online_rung_and_stamps_the_epoch() {
+        use crate::models::{ModelStore, SharedRewriter};
+        let e = engine();
+        let m1: SharedRewriter = Arc::new(FixedRewriter(vec![toks("senior smartphone")]));
+        let store = ModelStore::new(m1);
+        let pin = store.pin();
+        // Publish a different model mid-request: the pin must keep rung 3
+        // on epoch 1's rewriter.
+        let m2: SharedRewriter = Arc::new(FixedRewriter(vec![toks("sneaker red")]));
+        store.publish(m2);
+        let session = SessionState { context: &[], model: Some(&pin) };
+        // The ladder's static online rung would say "sneaker red" too —
+        // it must be ignored in favour of the pinned model.
+        let decoy = FixedRewriter(vec![toks("sneaker red")]);
+        let ladder = RewriteLadder { online: Some(&decoy), ..Default::default() };
+        let resp = e.search_session_traced(
+            &toks("phone for grandpa"),
+            session,
+            ladder,
+            &ServingConfig::default(),
+            &DeadlineBudget::unlimited(),
+            None,
+            None,
+        );
+        assert_eq!(resp.model_epoch, 1);
+        assert_eq!(resp.rewrites_used, vec![toks("senior smartphone")]);
+        assert_eq!(resp.rewrite_source, RewriteSource::Fallback);
+        let rendered = format!("{resp:?}");
+        assert!(rendered.contains("model_epoch: 1"), "{rendered}");
+    }
+
+    struct ContextEcho;
+    impl QueryRewriter for ContextEcho {
+        fn rewrite(&self, _query: &[String], _k: usize) -> Vec<Vec<String>> {
+            vec![toks("senior smartphone")]
+        }
+        fn rewrite_with_context(
+            &self,
+            context: &[Vec<String>],
+            query: &[String],
+            k: usize,
+        ) -> Vec<Vec<String>> {
+            if context.is_empty() {
+                self.rewrite(query, k)
+            } else {
+                vec![toks("senior handset")]
+            }
+        }
+        fn name(&self) -> &str {
+            "context-echo"
+        }
+    }
+
+    #[test]
+    fn session_context_reaches_the_rewriter() {
+        let e = engine();
+        let rw = ContextEcho;
+        let ladder = RewriteLadder { online: Some(&rw), ..Default::default() };
+        let config = ServingConfig::default();
+        let ctx = vec![toks("previous query")];
+        let with_ctx = e.search_session_traced(
+            &toks("phone for grandpa"),
+            SessionState { context: &ctx, model: None },
+            ladder,
+            &config,
+            &DeadlineBudget::unlimited(),
+            None,
+            None,
+        );
+        assert_eq!(with_ctx.rewrites_used, vec![toks("senior handset")]);
+        let without = e.search_session_traced(
+            &toks("phone for grandpa"),
+            SessionState::default(),
+            ladder,
+            &config,
+            &DeadlineBudget::unlimited(),
+            None,
+            None,
+        );
+        assert_eq!(without.rewrites_used, vec![toks("senior smartphone")]);
+    }
+
+    #[test]
+    fn session_cache_scope_isolates_epochs() {
+        use crate::models::{ModelStore, SharedRewriter};
+        let e = engine();
+        let cache = RewriteCache::new();
+        // Legacy entry: invisible to a model-pinned session.
+        cache.insert(&toks("phone for grandpa"), vec![toks("senior handset")]);
+        let m: SharedRewriter = Arc::new(FixedRewriter(vec![toks("senior smartphone")]));
+        let store = ModelStore::new(m);
+        let pin = store.pin();
+        let session = SessionState { context: &[], model: Some(&pin) };
+        let ladder = RewriteLadder { cache: Some(&cache), ..Default::default() };
+        let resp = e.search_session_traced(
+            &toks("phone for grandpa"),
+            session,
+            ladder,
+            &ServingConfig::default(),
+            &DeadlineBudget::unlimited(),
+            None,
+            None,
+        );
+        // Cache missed (wrong scope) → pinned model served rung 3.
+        assert_eq!(resp.rewrite_source, RewriteSource::Fallback);
+        assert_eq!(resp.rewrites_used, vec![toks("senior smartphone")]);
     }
 }

@@ -57,5 +57,6 @@ pub use batch::{BatchedQ2Q, StudentOnline};
 pub use queue::{AdmissionQueue, Pending, ResponseSlot};
 pub use runtime::{Outcome, Runtime, RuntimeConfig, ServeStack, ServedRecord};
 pub use workload::{
-    mutation_batches, skewed_shard_plan, synthetic_docs, ChurnMix, MixConfig, SkewMix, Workload,
+    mutation_batches, skewed_shard_plan, synthetic_docs, ChurnMix, MixConfig, SessionMix, SkewMix,
+    Workload,
 };

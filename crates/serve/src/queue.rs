@@ -21,6 +21,10 @@ pub struct Pending {
     /// Submission-order id (also the key results are sorted by).
     pub id: u64,
     pub query: Vec<String>,
+    /// The user's previous in-session queries, oldest first. Empty for
+    /// single-shot requests; the session serving path conditions the
+    /// model (and scopes the cache) on it.
+    pub context: Vec<Vec<String>>,
     pub budget: DeadlineBudget,
     /// Present for closed-loop callers blocked on the response.
     pub slot: Option<Arc<ResponseSlot>>,
@@ -172,6 +176,7 @@ mod tests {
         Pending {
             id,
             query: vec![format!("q{id}")],
+            context: Vec::new(),
             budget: DeadlineBudget::unlimited(),
             slot: None,
             admitted_us: None,

@@ -28,8 +28,8 @@ use std::time::{Duration, Instant};
 
 use qrw_core::QueryRewriter;
 use qrw_search::{
-    plan_online, DeadlineBudget, RewriteCache, RewriteLadder, SearchEngine, SearchResponse,
-    ServeError, ServingConfig,
+    plan_online, DeadlineBudget, ModelStore, RewriteCache, RewriteLadder, SearchEngine,
+    SearchResponse, ServeError, ServingConfig, SessionState,
 };
 use qrw_tensor::sync::Mutex;
 
@@ -81,6 +81,13 @@ pub struct ServeStack {
     pub online: Option<Arc<BatchedQ2Q>>,
     /// Rung 4: the rule-based fallback.
     pub baseline: Option<Arc<dyn QueryRewriter + Send + Sync>>,
+    /// The hot-swappable session-model store. When present the runtime
+    /// serves every request through the **session path**: the worker
+    /// pins exactly one model epoch for the whole ladder walk
+    /// (bypassing the shared-teacher batch decode — the pinned model is
+    /// the online rung) and stamps the epoch on the response. `None`
+    /// keeps the legacy batched path byte-for-byte.
+    pub models: Option<Arc<ModelStore>>,
 }
 
 /// How a request left the runtime.
@@ -141,16 +148,38 @@ impl Runtime {
     /// typed rejection. Rejections are recorded (health counters and a
     /// `Rejected` record) here, at admission time.
     pub fn submit(&self, query: Vec<String>, budget: DeadlineBudget) -> Result<u64, ServeError> {
+        self.submit_session(query, Vec::new(), budget)
+    }
+
+    /// [`submit`](Self::submit) with the user's previous in-session
+    /// queries (oldest first). The session path conditions the pinned
+    /// model on the context and scopes cache lookups by it.
+    pub fn submit_session(
+        &self,
+        query: Vec<String>,
+        context: Vec<Vec<String>>,
+        budget: DeadlineBudget,
+    ) -> Result<u64, ServeError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.enqueue(id, query, budget, None).map(|_| id)
+        self.enqueue(id, query, context, budget, None).map(|_| id)
     }
 
     /// Closed-loop call: enqueue and block until the request's record is
     /// published (or return the rejection record immediately).
     pub fn call(&self, query: Vec<String>, budget: DeadlineBudget) -> ServedRecord {
+        self.call_session(query, Vec::new(), budget)
+    }
+
+    /// [`call`](Self::call) with session context.
+    pub fn call_session(
+        &self,
+        query: Vec<String>,
+        context: Vec<Vec<String>>,
+        budget: DeadlineBudget,
+    ) -> ServedRecord {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(ResponseSlot::new());
-        match self.enqueue(id, query, budget, Some(Arc::clone(&slot))) {
+        match self.enqueue(id, query, context, budget, Some(Arc::clone(&slot))) {
             Ok(()) => slot.wait(),
             Err(_) => {
                 let results = self.results.lock();
@@ -163,6 +192,7 @@ impl Runtime {
         &self,
         id: u64,
         query: Vec<String>,
+        context: Vec<Vec<String>>,
         budget: DeadlineBudget,
         slot: Option<Arc<ResponseSlot>>,
     ) -> Result<(), ServeError> {
@@ -172,7 +202,7 @@ impl Runtime {
         // it immediately.
         let mut admit = tracer.map(|t| t.span(id, None, "admit"));
         let admitted_us = tracer.map(|t| t.now_us());
-        match self.queue.push(Pending { id, query: query.clone(), budget, slot, admitted_us }) {
+        match self.queue.push(Pending { id, query: query.clone(), context, budget, slot, admitted_us }) {
             Ok(depth) => {
                 if let Some(s) = admit.as_mut() {
                     s.attr("outcome", "queued");
@@ -273,6 +303,38 @@ impl Runtime {
             s.attr("shed", shed);
         }
         if live.is_empty() {
+            return;
+        }
+
+        // Session path: with a model store attached, each request pins
+        // exactly one model epoch for its whole ladder walk — the pinned
+        // session model *is* the online rung, so the shared-teacher batch
+        // decode is bypassed (rewrites are a pure function of
+        // (context, query, epoch), so per-request decode is already
+        // coalescing-transparent). Cache lookups are scoped by
+        // (epoch, context) and the response is stamped with the epoch.
+        if let Some(models) = &self.stack.models {
+            for p in live {
+                let pin = models.pin();
+                let session = SessionState { context: &p.context, model: Some(&pin) };
+                let ladder = RewriteLadder {
+                    cache: self.stack.cache.as_deref(),
+                    student: self.stack.student.as_deref().map(|s| s as &dyn QueryRewriter),
+                    online: None,
+                    baseline: self.stack.baseline.as_deref().map(|b| b as &dyn QueryRewriter),
+                };
+                let response = self.stack.engine.search_session_traced(
+                    &p.query,
+                    session,
+                    ladder,
+                    &self.config.serving,
+                    &p.budget,
+                    None,
+                    Some(p.id),
+                );
+                self.fulfill(p, Outcome::Served(response));
+            }
+            self.stack.engine.record_queue_depth(self.queue.depth());
             return;
         }
 

@@ -107,6 +107,84 @@ impl Workload {
     }
 }
 
+/// Shape of a deterministic multi-query session mix: the request side of
+/// the closed online-learning loop. Session *openers* reuse the
+/// [`MixConfig`] head/tail machinery (popular openers replay the head,
+/// rare ones the tail); each session then issues 1..=`max_len` queries
+/// where every follow-up either **reformulates** the previous query
+/// (swaps one word — same intent, new phrasing) or **drifts** to a fresh
+/// tail query (intent change), with probability `drift`. The same seed
+/// always replays the same sessions, so serving runs and their replays
+/// observe identical traffic.
+#[derive(Clone, Debug)]
+pub struct SessionMix {
+    /// Opener mix; `mix.requests` is the number of *sessions*.
+    pub mix: MixConfig,
+    /// Session length range, inclusive.
+    pub len: (usize, usize),
+    /// Probability a follow-up drifts to a new intent instead of
+    /// reformulating the current one.
+    pub drift: f64,
+}
+
+impl SessionMix {
+    /// A head-heavy session mix: most openers are popular queries, with
+    /// moderate in-session intent drift.
+    pub fn head_heavy(sessions: usize, seed: u64) -> Self {
+        SessionMix { mix: MixConfig::head_heavy(sessions, seed), len: (2, 4), drift: 0.3 }
+    }
+
+    /// A tail-heavy session mix: rare openers, high drift — the workload
+    /// that stresses context-conditioned decoding hardest.
+    pub fn tail_heavy(sessions: usize, seed: u64) -> Self {
+        SessionMix { mix: MixConfig::tail_heavy(sessions, seed), len: (2, 5), drift: 0.6 }
+    }
+
+    /// Generates the session set. Each session is its queries in issue
+    /// order; request `i` of a session is served with context
+    /// `session[..i]`.
+    pub fn generate(&self, vocab: &Vocab) -> Vec<Vec<Vec<String>>> {
+        let words = word_table(vocab);
+        assert!(words.len() >= 2, "session mixes need at least two non-special tokens");
+        // A stride coprime with the table size guarantees the swapped
+        // word actually changes (no infinite re-draw below).
+        let stride = if words.len().is_multiple_of(5) { 1 } else { 5 };
+        let openers = Workload::generate(vocab, &self.mix);
+        let mut rng = StdRng::seed_from_u64(self.mix.seed ^ 0x5e55);
+        let (min_len, max_len) = (self.len.0.max(1), self.len.1.max(self.len.0.max(1)));
+        openers
+            .requests
+            .into_iter()
+            .map(|opener| {
+                let len = min_len + rng.gen_range(0..max_len - min_len + 1);
+                let mut session = vec![opener];
+                while session.len() < len {
+                    let prev = session.last().expect("opener present");
+                    let next = if rng.gen_bool(self.drift) {
+                        // Intent drift: a fresh query unrelated to the
+                        // opener's word neighbourhood.
+                        let n = rng.gen_range(self.mix.tail_len.0..=self.mix.tail_len.1).max(1);
+                        (0..n).map(|_| words[rng.gen_range(0..words.len())].clone()).collect()
+                    } else {
+                        // Reformulation: same intent, one word swapped
+                        // for a strided neighbour.
+                        let mut q = prev.clone();
+                        let slot = rng.gen_range(0..q.len());
+                        let cur = vocab.id(&q[slot]).unwrap_or(NUM_SPECIALS) - NUM_SPECIALS;
+                        q[slot] = words[(cur + stride) % words.len()].clone();
+                        q
+                    };
+                    if next == *prev {
+                        continue;
+                    }
+                    session.push(next);
+                }
+                session
+            })
+            .collect()
+    }
+}
+
 /// Shape of a synthetic catalog-churn stream: the writer half of a
 /// mutate-while-serving workload. The same seed always yields the same
 /// batch sequence, so a churn run replays exactly (which is what lets the
@@ -268,6 +346,67 @@ mod tests {
         let head_hits =
             w.requests.iter().filter(|q| w.head.contains(q)).count();
         assert!(head_hits < 100, "expected a tail-dominated mix, got {head_hits}/200");
+    }
+
+    #[test]
+    fn session_mix_replays_identically_and_respects_length_bounds() {
+        let v = vocab();
+        let mix = SessionMix::head_heavy(60, 23);
+        let a = mix.generate(&v);
+        let b = mix.generate(&v);
+        assert_eq!(a, b, "same seed must replay the same sessions");
+        assert_eq!(a.len(), 60);
+        for s in &a {
+            assert!(s.len() >= mix.len.0 && s.len() <= mix.len.1, "len {} out of bounds", s.len());
+            // Consecutive queries always differ (a follow-up is a
+            // reformulation or a drift, never a repeat).
+            for w in s.windows(2) {
+                assert_ne!(w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn session_openers_keep_the_head_tail_shape() {
+        let v = vocab();
+        let head_sessions = SessionMix::head_heavy(100, 7).generate(&v);
+        let workload = Workload::generate(&v, &MixConfig::head_heavy(100, 7));
+        let head_openers =
+            head_sessions.iter().filter(|s| workload.head.contains(&s[0])).count();
+        assert!(head_openers > 75, "head-heavy openers: {head_openers}/100");
+        let tail_sessions = SessionMix::tail_heavy(100, 7).generate(&v);
+        let tail_openers =
+            tail_sessions.iter().filter(|s| workload.head.contains(&s[0])).count();
+        assert!(tail_openers < 50, "tail-heavy openers: {tail_openers}/100");
+    }
+
+    #[test]
+    fn zero_drift_sessions_reformulate_word_by_word() {
+        let v = vocab();
+        let mix = SessionMix { drift: 0.0, ..SessionMix::head_heavy(40, 5) };
+        for s in mix.generate(&v) {
+            for w in s.windows(2) {
+                // A reformulation swaps exactly one word slot.
+                assert_eq!(w[0].len(), w[1].len());
+                let diffs = w[0].iter().zip(&w[1]).filter(|(a, b)| a != b).count();
+                assert_eq!(diffs, 1, "{:?} -> {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn high_drift_sessions_change_intent() {
+        let v = vocab();
+        let mix = SessionMix { drift: 1.0, len: (3, 3), ..SessionMix::tail_heavy(50, 9) };
+        let sessions = mix.generate(&v);
+        // With drift 1.0 every follow-up is a fresh draw; at least some
+        // sessions must change query length (impossible for pure
+        // one-word reformulations).
+        let changed = sessions
+            .iter()
+            .filter(|s| s.windows(2).any(|w| w[0].len() != w[1].len()))
+            .count();
+        assert!(changed > 10, "drifting sessions should vary shape: {changed}/50");
     }
 
     #[test]

@@ -60,6 +60,7 @@ fn stack(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> ServeStack {
         student: None,
         online: Some(online),
         baseline: Some(Arc::new(FixedBaseline)),
+        models: None,
     }
 }
 

@@ -18,15 +18,20 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use qrw_core::QueryRewriter;
+use qrw_core::{CheckpointStore, QueryRewriter};
+use qrw_data::{ClickLog, LogConfig};
 use qrw_nmt::{ModelConfig, Seq2Seq};
 use qrw_obs::{canonical_structure, SpanRecord, Tracer, MINTED_TRACE_BIT};
+use qrw_online::{
+    ContextQ2Q, FeedbackBuffer, FeedbackConfig, OnlineConfig, OnlineLoop, ONLINE_MODEL_NAME,
+};
 use qrw_search::{
-    DeadlineBudget, Fault, FaultConfig, FaultInjector, InvertedIndex, RewriteCache,
-    RewriteLadder, SearchEngine, ServingConfig, ShardFaultInjector,
+    DeadlineBudget, Fault, FaultConfig, FaultInjector, InvertedIndex, ModelStore, RewriteCache,
+    RewriteLadder, SearchEngine, ServingConfig, ShardFaultInjector, SharedRewriter,
 };
 use qrw_serve::{
-    synthetic_docs, BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack, Workload,
+    synthetic_docs, BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack,
+    SessionMix, Workload,
 };
 use qrw_text::Vocab;
 
@@ -71,6 +76,7 @@ fn traced_stack(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> (ServeStack, Tracer
         student: None,
         online: Some(online),
         baseline: Some(Arc::new(FixedBaseline)),
+        models: None,
     };
     (stack, tracer)
 }
@@ -313,6 +319,7 @@ fn traced_sharded_stack(vocab: &Arc<Vocab>, head: &[Vec<String>]) -> (ServeStack
         student: None,
         online: Some(online),
         baseline: Some(Arc::new(FixedBaseline)),
+        models: None,
     };
     (stack, tracer)
 }
@@ -544,4 +551,278 @@ fn injected_q2q_faults_appear_as_rung_outcomes_in_well_formed_traces() {
     assert_eq!(rung.attr("outcome").and_then(|v| v.as_str()), Some("poisoned"));
     assert_eq!(terminal_count(&t), 0, "standalone serves have no runtime terminal");
     assert_eq!(count_named(&t, "serve"), 1);
+}
+
+// ------------------------------------------------ session / online-loop traces
+
+/// Like [`traced_stack`], but serving through the session path: a
+/// [`ModelStore`] seeded with a day-0 session model instead of the
+/// batched decode rewriter.
+fn traced_session_stack(vocab: &Arc<Vocab>) -> (ServeStack, Tracer, Arc<ModelStore>) {
+    let tracer = Tracer::logical();
+    let docs = synthetic_docs(vocab, 60, 11);
+    let engine =
+        Arc::new(SearchEngine::new(InvertedIndex::build(docs)).with_tracer(tracer.clone()));
+    let model = Arc::new(Seq2Seq::new(ModelConfig::tiny_transformer(vocab.len()), MODEL_SEED));
+    let day0: SharedRewriter = Arc::new(
+        ContextQ2Q::new(model, Arc::clone(vocab), 8, REWRITE_SEED).with_name(ONLINE_MODEL_NAME),
+    );
+    let store = ModelStore::new(day0);
+    let stack = ServeStack {
+        engine,
+        cache: None,
+        student: None,
+        online: None,
+        baseline: Some(Arc::new(FixedBaseline)),
+        models: Some(Arc::clone(&store)),
+    };
+    (stack, tracer, store)
+}
+
+/// Session requests for the runtime driver: each session's queries with
+/// the running context (previous queries, oldest first) attached.
+fn session_requests(vocab: &Vocab) -> Vec<(Vec<String>, Vec<Vec<String>>)> {
+    let sessions = SessionMix::head_heavy(6, 5).generate(vocab);
+    let mut requests = Vec::new();
+    for session in &sessions {
+        let mut context: Vec<Vec<String>> = Vec::new();
+        for q in session {
+            requests.push((q.clone(), context.clone()));
+            context.push(q.clone());
+        }
+    }
+    requests
+}
+
+/// The hot-swap serving invariant, structurally: a session request pins
+/// **exactly one** model epoch for its whole ladder walk — one `pin` span
+/// per trace, carrying a `model_epoch` attribute that matches the epoch
+/// stamped on the response — and a swap between runs moves every stamp
+/// (and every pin span) to the new epoch at once.
+#[test]
+fn session_requests_pin_exactly_one_model_epoch() {
+    let vocab = vocab();
+    let (stack, tracer, store) = traced_session_stack(&vocab);
+    let runtime = Runtime::new(stack, pooled_config());
+    let requests = session_requests(&vocab);
+
+    for expected_epoch in [1u64, 2] {
+        let records = runtime.run(|rt| {
+            for (query, context) in &requests {
+                let rec = rt.call_session(
+                    query.clone(),
+                    context.clone(),
+                    DeadlineBudget::unlimited(),
+                );
+                assert!(matches!(rec.outcome, Outcome::Served(_)));
+            }
+        });
+        assert_eq!(records.len(), requests.len());
+        let spans = tracer.snapshot();
+        for r in &records {
+            let resp = r.response().expect("served");
+            assert_eq!(resp.model_epoch, expected_epoch, "request {}", r.id);
+            let t = trace_spans(&spans, r.id);
+            assert_eq!(terminal_count(&t), 1);
+            assert_eq!(count_named(&t, "admit"), 1);
+            assert_eq!(count_named(&t, "queue_wait"), 1);
+            assert_eq!(count_named(&t, "serve"), 1);
+            assert_eq!(count_named(&t, "served"), 1);
+            // Exactly one pinned model epoch for the whole ladder walk.
+            assert_eq!(count_named(&t, "pin"), 1, "request {}: one pin span", r.id);
+            let pin = t.iter().find(|s| s.name == "pin").unwrap();
+            let serve = t.iter().find(|s| s.name == "serve").unwrap();
+            assert_eq!(pin.parent, Some(serve.id), "pin nests under serve");
+            assert!(pin.attr("epoch").is_some(), "pin records the catalog epoch");
+            assert_eq!(
+                pin.attr("model_epoch").and_then(|v| v.as_int()),
+                Some(expected_epoch as i64),
+                "request {}: pin span epoch must match the response stamp",
+                r.id
+            );
+            // The pinned model served as the online rung of the ladder.
+            let rung = t.iter().find(|s| s.name == "rung_online").expect("online rung");
+            assert_eq!(rung.attr("outcome").and_then(|v| v.as_str()), Some("served"));
+        }
+        // The session path serves per request: no batched decode anywhere.
+        assert!(spans.iter().all(|s| s.name != "decode"));
+        tracer.clear();
+
+        // Hot-swap for the next round: a fresh (differently seeded) model.
+        let next = Arc::new(Seq2Seq::new(
+            ModelConfig::tiny_transformer(vocab.len()),
+            MODEL_SEED ^ 0xdead,
+        ));
+        let swapped: SharedRewriter = Arc::new(
+            ContextQ2Q::new(next, Arc::clone(&vocab), 8, REWRITE_SEED)
+                .with_name(ONLINE_MODEL_NAME),
+        );
+        assert_eq!(store.publish(swapped), expected_epoch + 1);
+    }
+}
+
+/// Session-path traces keep the runtime's structural guarantee: the
+/// per-request span trees (admit → queue_wait → serve{pin, rungs,
+/// retrieve, rank} → served) are byte-identical across worker counts and
+/// run-to-run.
+#[test]
+fn session_span_structure_is_byte_identical_across_worker_counts() {
+    let vocab = vocab();
+    let requests = session_requests(&vocab);
+    let render = |config: RuntimeConfig| {
+        let (stack, tracer, _store) = traced_session_stack(&vocab);
+        let runtime = Runtime::new(stack, config);
+        for (query, context) in &requests {
+            runtime
+                .submit_session(query.clone(), context.clone(), DeadlineBudget::unlimited())
+                .unwrap();
+        }
+        let records = runtime.run(|_| {});
+        assert!(records.iter().all(|r| matches!(r.outcome, Outcome::Served(_))));
+        let spans = tracer.snapshot();
+        let request_spans: Vec<SpanRecord> =
+            spans.into_iter().filter(|s| s.trace & MINTED_TRACE_BIT == 0).collect();
+        canonical_structure(&request_spans)
+    };
+    let solo = render(solo_config());
+    let pooled = render(pooled_config());
+    assert!(!solo.is_empty());
+    assert!(solo.contains("pin"), "session traces must carry the pin span");
+    assert_eq!(solo, pooled, "session span trees must not depend on worker count");
+    assert_eq!(pooled, render(pooled_config()));
+}
+
+/// The A/B tests' oracle rewriter: query → the title-register phrasing of
+/// its ground-truth intent (guaranteed-relevant extra candidates, so the
+/// cascade click model clicks often enough to harvest).
+struct Oracle<'l> {
+    log: &'l ClickLog,
+}
+
+impl QueryRewriter for Oracle<'_> {
+    fn rewrite(&self, query: &[String], _k: usize) -> Vec<Vec<String>> {
+        let Some(q) = self.log.queries.iter().find(|q| q.tokens == query) else {
+            return Vec::new();
+        };
+        let cat = self.log.catalog.category(q.category);
+        let mut rw = Vec::new();
+        if let Some(aud) = q.audience {
+            rw.push(self.log.catalog.audience(aud).title_terms[0].clone());
+        }
+        if let Some(b) = q.brand {
+            rw.push(self.log.catalog.brand(b).formal.clone());
+        }
+        rw.push(cat.title_terms[0].clone());
+        vec![rw]
+    }
+    fn name(&self) -> &str {
+        "oracle"
+    }
+}
+
+/// The closed loop's own spans: every click observation records a
+/// `feedback` span (minted trace, `session` / `clicks` / `harvested`
+/// attributes), and a training tick records a `train_tick` span
+/// (`tick` / `buffer` / `steps`) with exactly one `model_swap` child
+/// carrying the published epoch.
+#[test]
+fn feedback_train_tick_and_model_swap_spans_carry_their_attrs() {
+    let tracer = Tracer::logical();
+    let log = ClickLog::generate(&LogConfig::default());
+    let engine = SearchEngine::new(InvertedIndex::build(
+        log.catalog.items.iter().map(|i| i.title_tokens.clone()),
+    ));
+    let mut v = Vocab::new();
+    for q in &log.queries {
+        for t in &q.tokens {
+            v.insert(t);
+        }
+    }
+    for item in &log.catalog.items {
+        for t in &item.title_tokens {
+            v.insert(t);
+        }
+    }
+    let vocab = Arc::new(v);
+    let oracle = Oracle { log: &log };
+    let serving = ServingConfig::default();
+    let fb = FeedbackConfig::default();
+
+    // Harvest clicked pairs from served responses, tracing every session.
+    let mut buffer = FeedbackBuffer::new(256);
+    let sessions = 40u64;
+    for s in 0..sessions {
+        let qi = s as usize % log.queries.len();
+        let resp = engine.search_with_rewrites(
+            &log.queries[qi].tokens,
+            None,
+            Some(&oracle),
+            &serving,
+        );
+        buffer.observe(&log, &vocab, s, &[], qi, &resp, &fb, Some(&tracer));
+    }
+    assert!(!buffer.is_empty(), "the oracle must harvest some clicked pairs");
+
+    // One training tick over the harvest, published through the store.
+    let day0: SharedRewriter = Arc::new(
+        ContextQ2Q::new(
+            Arc::new(Seq2Seq::new(ModelConfig::tiny_transformer(vocab.len()), MODEL_SEED)),
+            Arc::clone(&vocab),
+            8,
+            REWRITE_SEED,
+        )
+        .with_name(ONLINE_MODEL_NAME),
+    );
+    let store = ModelStore::new(day0);
+    let dir = std::env::temp_dir()
+        .join(format!("qrw_serve_trace_online_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pairs = buffer.pairs().to_vec();
+    let mut online = OnlineLoop::new(
+        OnlineConfig::smoke(vocab.len()),
+        Arc::clone(&vocab),
+        Arc::clone(&store),
+        CheckpointStore::new(&dir),
+    )
+    .with_tracer(tracer.clone());
+    let report = online.train_tick(&pairs, &pairs);
+    assert!(report.trained && !report.swap_failed);
+    assert_eq!(report.published_epoch, Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let spans = tracer.snapshot();
+
+    // One feedback span per observed session, each in its own minted
+    // trace, carrying the cascade's accounting.
+    let feedback: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "feedback").collect();
+    assert_eq!(feedback.len(), sessions as usize);
+    let mut traces = std::collections::BTreeSet::new();
+    let mut harvested = 0i64;
+    for f in &feedback {
+        assert!(f.trace & MINTED_TRACE_BIT != 0, "feedback lives in a minted trace");
+        assert!(traces.insert(f.trace), "one minted trace per observation");
+        assert!(f.attr("session").and_then(|a| a.as_int()).is_some());
+        assert!(f.attr("clicks").and_then(|a| a.as_int()).is_some());
+        harvested += f.attr("harvested").and_then(|a| a.as_int()).expect("harvested attr");
+    }
+    assert_eq!(harvested as usize, buffer.stats().harvested as usize);
+
+    // Exactly one train_tick, claiming the buffer it consumed and the
+    // steps it ran; exactly one model_swap child claiming the epoch it
+    // published.
+    let ticks: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "train_tick").collect();
+    assert_eq!(ticks.len(), 1);
+    let tick = ticks[0];
+    assert!(tick.trace & MINTED_TRACE_BIT != 0);
+    assert_eq!(tick.attr("tick").and_then(|a| a.as_int()), Some(1));
+    assert_eq!(tick.attr("buffer").and_then(|a| a.as_int()), Some(pairs.len() as i64));
+    assert!(tick.attr("steps").and_then(|a| a.as_int()).unwrap() > 0);
+
+    let swaps: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "model_swap").collect();
+    assert_eq!(swaps.len(), 1);
+    let swap = swaps[0];
+    assert_eq!(swap.trace, tick.trace, "swap joins its tick's trace");
+    assert_eq!(swap.parent, Some(tick.id), "swap nests under its tick");
+    assert_eq!(swap.attr("epoch").and_then(|a| a.as_int()), Some(2));
+    assert_eq!(swap.attr("ok").and_then(|a| a.as_int()), Some(1));
 }

@@ -173,6 +173,7 @@ fn main() {
         baseline: Some(Arc::new(RuleBasedRewriter::new(SynonymDict::from_catalog(
             &data.log.catalog,
         )))),
+        models: None,
     };
     let runtime = Runtime::new(
         stack,

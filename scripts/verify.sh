@@ -3,7 +3,7 @@
 # without touching the network (the build is fully hermetic — no external
 # crates, see CHANGES.md).
 #
-#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--shard-smoke] [--obs-smoke] [--mutate-smoke] [--distill-smoke]
+#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--shard-smoke] [--obs-smoke] [--mutate-smoke] [--distill-smoke] [--online-smoke]
 #
 # With --bench-smoke, additionally runs the smoke benchmarks: they write
 # BENCH_decode.json / BENCH_matmul.json at the repo root, fail on any
@@ -53,6 +53,15 @@
 # the repo root. When QRW_VERIFY_BUDGET is set to "full", distillation
 # runs with a 3x step budget over the whole harvest corpus.
 #
+# With --online-smoke, additionally runs the closed-loop online-learning
+# smoke: >=3 simulated days of serve -> click -> train -> hot-swap, the
+# trainer running concurrently with serving, every request served from
+# exactly one published model epoch (each day's traffic straddles the
+# mid-day swap, no serving gap), and the held-out session-oracle
+# relevance never regressing below day 0. Writes + validates
+# BENCH_online.json at the repo root. When QRW_VERIFY_BUDGET is set to
+# "full", the run extends to 5 days with a 2x per-tick step budget.
+#
 # Always runs the test-inventory guard: every crates/*/src module must
 # either contain #[test]s or be exercised by that crate's integration
 # tests (re-export-only entry points are whitelisted below).
@@ -66,6 +75,7 @@ SHARD_SMOKE=0
 OBS_SMOKE=0
 MUTATE_SMOKE=0
 DISTILL_SMOKE=0
+ONLINE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -75,6 +85,7 @@ for arg in "$@"; do
     --obs-smoke) OBS_SMOKE=1 ;;
     --mutate-smoke) MUTATE_SMOKE=1 ;;
     --distill-smoke) DISTILL_SMOKE=1 ;;
+    --online-smoke) ONLINE_SMOKE=1 ;;
     *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -90,6 +101,7 @@ crates/data/src/lib.rs
 crates/metrics/src/lib.rs
 crates/nmt/src/lib.rs
 crates/obs/src/lib.rs
+crates/online/src/lib.rs
 crates/search/src/lib.rs
 crates/serve/src/lib.rs
 crates/tensor/src/lib.rs
@@ -178,6 +190,17 @@ if [ "$DISTILL_SMOKE" = 1 ]; then
   fi
   # shellcheck disable=SC2086
   cargo run --release --offline -p qrw-bench --bin distill_smoke -- --out . $DISTILL_ARGS
+fi
+
+if [ "$ONLINE_SMOKE" = 1 ]; then
+  echo "== online smoke (offline, writes + validates BENCH_online.json) =="
+  ONLINE_ARGS=""
+  if [ "${QRW_VERIFY_BUDGET:-quick}" = "full" ]; then
+    echo "   (QRW_VERIFY_BUDGET=full: 5 simulated days, 2x per-tick step budget)"
+    ONLINE_ARGS="--full"
+  fi
+  # shellcheck disable=SC2086
+  cargo run --release --offline -p qrw-bench --bin online_smoke -- --out . $ONLINE_ARGS
 fi
 
 echo "verify: OK"

@@ -66,6 +66,7 @@ pub use qrw_data as data;
 pub use qrw_metrics as metrics;
 pub use qrw_nmt as nmt;
 pub use qrw_obs as obs;
+pub use qrw_online as online;
 pub use qrw_search as search;
 pub use qrw_serve as serve;
 pub use qrw_tensor as tensor;
@@ -89,14 +90,17 @@ pub mod prelude {
         Seq2Seq, TopNSampling,
     };
     pub use qrw_obs::{canonical_structure, Histogram, ObsClock, SpanRecord, Tracer};
+    pub use qrw_online::{
+        ContextQ2Q, FeedbackBuffer, FeedbackConfig, OnlineConfig, OnlineLoop, TickReport,
+    };
     pub use qrw_search::{
         run_ab, AbConfig, BreakerConfig, BreakerState, Clock, DeadlineBudget, Fault, FaultConfig,
-        FaultInjector, HealthReport, InvertedIndex, QueryTree, RewriteCache, RewriteLadder,
-        SearchEngine, ServeError, ServingConfig,
+        FaultInjector, HealthReport, InvertedIndex, ModelStore, QueryTree, RewriteCache,
+        RewriteLadder, SearchEngine, ServeError, ServingConfig,
     };
     pub use qrw_serve::{
         BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack, ServedRecord,
-        Workload,
+        SessionMix, Workload,
     };
     pub use qrw_text::{tokenize, Vocab};
 }
