@@ -19,15 +19,25 @@
 //! runtime into overload (queue capacity below the offered load) and
 //! requires the typed reject/shed accounting to surface in
 //! `health_report()`.
+//!
+//! The `sched_scaling/*` section sweeps the mailbox scheduler at shard
+//! counts {1, 2, 4} (wired as `scripts/verify.sh --sched-smoke`):
+//! responses must stay byte-identical to the sequential baseline at every
+//! count, and the deterministic virtual-cost p99 (computed from the
+//! scheduler's own minted `batch_form` spans — see [`virtual_p99`]) at 4
+//! shards must not exceed the 1-shard value on the burst mix.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use qrw_bench::harness::{group, validate_bench_json, validate_shard_json, BenchRecord, Sample};
+use qrw_bench::harness::{
+    group, validate_bench_json, validate_sched_json, validate_shard_json, BenchRecord, Sample,
+};
 use qrw_core::QueryRewriter;
 use qrw_nmt::{ModelConfig, Seq2Seq};
+use qrw_obs::{taxonomy, SpanRecord, Tracer};
 use qrw_search::{
     DeadlineBudget, InvertedIndex, RewriteCache, RewriteLadder, SearchEngine, ServeError,
     ServingConfig, ShardFaultInjector,
@@ -188,6 +198,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // --- Scheduler-scaling sweep: the mailbox scheduler at shard counts
+    // {1, 2, 4} (byte-identical to the sequential baseline at every
+    // count) plus the deterministic virtual-cost p99 scaling bar.
+    if let Err(e) = sched_scaling(&vocab, &tail, &mut record) {
+        eprintln!("load_smoke: {e}");
+        return ExitCode::FAILURE;
+    }
+
     // --- Persist + re-validate against the harness schema (general +
     // the shard-scaling entry contract).
     let path = out_dir.join("BENCH_serve.json");
@@ -205,6 +223,10 @@ fn main() -> ExitCode {
     }
     if let Err(e) = validate_shard_json(&text) {
         eprintln!("load_smoke: {} misses the shard-scaling contract: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = validate_sched_json(&text) {
+        eprintln!("load_smoke: {} misses the sched-scaling contract: {e}", path.display());
         return ExitCode::FAILURE;
     }
 
@@ -408,6 +430,126 @@ fn shard_scaling(
     let report = stack.engine.health_report();
     if report.partial_results != tail.requests.len() as u64 {
         return Err("health_report() partial_results disagrees with the served count".into());
+    }
+    Ok(())
+}
+
+/// Relative cost of a request that needs a neural decode vs a cache hit
+/// in the virtual service-cost model (decode dominates a batch's latency;
+/// the exact weight only has to keep decode-heavy work visibly heavy).
+const DECODE_VCOST_WEIGHT: u128 = 8;
+
+/// Like [`build_stack`], but with a logical-clock tracer on the engine so
+/// the scheduler mints `batch_form` spans to compute virtual costs from.
+fn build_traced_stack(vocab: &Arc<Vocab>, head: &[Vec<String>], tracer: &Tracer) -> ServeStack {
+    let docs = synthetic_docs(vocab, DOCS, 11);
+    let engine =
+        Arc::new(SearchEngine::new(InvertedIndex::build(docs)).with_tracer(tracer.clone()));
+    let model = Arc::new(Seq2Seq::new(ModelConfig::tiny_transformer(vocab.len()), MODEL_SEED));
+    let online = Arc::new(BatchedQ2Q::new(model, Arc::clone(vocab), 40, REWRITE_SEED));
+    let cache = Arc::new(RewriteCache::new());
+    for q in head {
+        cache.insert(q, online.rewrite(q, ServingConfig::default().max_rewrites));
+    }
+    ServeStack { engine, cache: Some(cache), student: None, online: Some(online), baseline: None, models: None }
+}
+
+/// Deterministic virtual p99 from the scheduler's minted `batch_form`
+/// spans: per worker, the cumulative service cost (`size +
+/// DECODE_VCOST_WEIGHT × decode_requests` per batch) in batch-formation
+/// order; every request in a batch completes at its worker's cumulative
+/// cost after that batch; p99 over requests. Per-request costs are
+/// scheduling-invariant (each request contributes `1 + weight` or `1`
+/// wherever it runs), so the per-worker sums are a pure partition of a
+/// fixed workload — the metric measures how evenly the scheduler spreads
+/// work, independent of host core count or wall-clock noise.
+fn virtual_p99(spans: &[SpanRecord]) -> u128 {
+    let mut cum: std::collections::BTreeMap<i64, u128> = std::collections::BTreeMap::new();
+    let mut completions: Vec<u128> = Vec::new();
+    // The snapshot is sorted by start tick, so each worker's batches
+    // appear in formation order.
+    for s in spans.iter().filter(|s| s.name == taxonomy::BATCH_FORM) {
+        let worker = s.attr("worker").and_then(|v| v.as_int()).expect("batch_form worker attr");
+        let size = s.attr("size").and_then(|v| v.as_int()).expect("batch_form size attr") as u128;
+        // Absent on batches that shed everything (the attr is recorded
+        // with the decode plan).
+        let decodes = s.attr("decode_requests").and_then(|v| v.as_int()).unwrap_or(0) as u128;
+        let c = cum.entry(worker).or_insert(0);
+        *c += size + DECODE_VCOST_WEIGHT * decodes;
+        for _ in 0..size {
+            completions.push(*c);
+        }
+    }
+    completions.sort_unstable();
+    percentile(&completions, 0.99)
+}
+
+/// Sweeps the mailbox scheduler over shard counts {1, 2, 4} (workers ==
+/// shards) on the decode-heavy burst mix, requiring byte-identical
+/// responses to the sequential baseline at every count, and records both
+/// wall-clock ns/req (informational) and the deterministic virtual-cost
+/// p99. Fails unless virtual p99 at 4 shards ≤ virtual p99 at 1 shard —
+/// the scheduler-scaling bar, re-enforced at read time by
+/// `validate_sched_json`.
+fn sched_scaling(
+    vocab: &Arc<Vocab>,
+    tail: &Workload,
+    record: &mut BenchRecord,
+) -> Result<(), String> {
+    group("scheduler scaling (mailbox shards 1/2/4, byte-transparency + virtual-p99 bar)");
+    let mono = build_stack(vocab, &tail.head);
+    let (_, baseline) = run_sequential(&mono, &tail.requests);
+
+    let mut vcosts: Vec<(usize, u128)> = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let tracer = Tracer::logical();
+        let stack = build_traced_stack(vocab, &tail.head, &tracer);
+        let runtime = Runtime::new(
+            stack,
+            RuntimeConfig {
+                queue_capacity: REQUESTS,
+                max_batch: 16,
+                workers: shards,
+                shards,
+                ..RuntimeConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let records = runtime.execute(
+            tail.requests.iter().map(|q| (q.clone(), DeadlineBudget::unlimited())).collect(),
+        );
+        let total = t0.elapsed();
+        let responses: Vec<String> = records
+            .iter()
+            .map(|r| match &r.outcome {
+                Outcome::Served(resp) => format!("{resp:?}"),
+                other => panic!("sched request {} not served: {other:?}", r.id),
+            })
+            .collect();
+        if responses != baseline {
+            return Err(format!(
+                "scheduler responses at {shards} shards diverge from the sequential baseline"
+            ));
+        }
+        let p99v = virtual_p99(&tracer.snapshot());
+        let ns = point_sample(total.as_nanos() / REQUESTS as u128);
+        let name = format!("sched_scaling/s{shards}_ns_per_req");
+        print_sample(&name, ns);
+        record.push(name, ns);
+        let vs = point_sample(p99v);
+        let name = format!("sched_scaling/s{shards}_p99_vcost");
+        print_sample(&name, vs);
+        record.push(name, vs);
+        vcosts.push((shards, p99v));
+    }
+
+    let v1 = vcosts.iter().find(|(s, _)| *s == 1).expect("swept").1;
+    let v4 = vcosts.iter().find(|(s, _)| *s == 4).expect("swept").1;
+    println!("virtual p99 (service units): 1 shard {v1}, 4 shards {v4}");
+    if v4 > v1 {
+        return Err(format!(
+            "virtual p99 at 4 shards ({v4}) exceeds 1 shard ({v1}) on the burst mix"
+        ));
     }
     Ok(())
 }

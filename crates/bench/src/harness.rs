@@ -448,6 +448,56 @@ pub fn validate_shard_json(text: &str) -> Result<BenchRecord, String> {
     Ok(record)
 }
 
+/// Entry names the mailbox-scheduler scaling section of
+/// `BENCH_serve.json` must carry: wall-clock per-request serve time at
+/// scheduler shard counts {1, 2, 4} (informational — it depends on host
+/// core count) and the **deterministic virtual-cost p99** at the same
+/// counts. The virtual p99 is computed from the scheduler's own minted
+/// `batch_form` spans under the logical clock: each worker's completion
+/// cost accumulates `batch size + DECODE weight × decode slots` per
+/// batch, every request completes at its worker's cumulative cost, and
+/// the p99 is taken over requests. It measures scheduling *structure*
+/// (how evenly work spreads across workers), so the scaling bar holds on
+/// any machine — including single-core CI, where wall-clock parallel
+/// speedup is physically unavailable.
+pub const SCHED_REQUIRED_ENTRIES: [&str; 6] = [
+    "sched_scaling/s1_ns_per_req",
+    "sched_scaling/s2_ns_per_req",
+    "sched_scaling/s4_ns_per_req",
+    "sched_scaling/s1_p99_vcost",
+    "sched_scaling/s2_p99_vcost",
+    "sched_scaling/s4_p99_vcost",
+];
+
+/// Parses and schema-checks a `BENCH_serve.json` document for its
+/// scheduler-scaling contract: the general bench schema
+/// ([`validate_bench_json`]) plus the record being named `serve`,
+/// carrying every entry in [`SCHED_REQUIRED_ENTRIES`], and the scaling
+/// bar itself — **virtual p99 at 4 shards must not exceed virtual p99 at
+/// 1 shard** on the burst mix. The bar is re-enforced at read time (the
+/// `validate_online_json` trajectory discipline) so a regenerated record
+/// cannot silently regress the scheduler's scaling behaviour.
+pub fn validate_sched_json(text: &str) -> Result<BenchRecord, String> {
+    let record = validate_bench_json(text)?;
+    if record.bench != "serve" {
+        return Err(format!("\"bench\" is {:?}, expected \"serve\"", record.bench));
+    }
+    for name in SCHED_REQUIRED_ENTRIES {
+        if record.entry(name).is_none() {
+            return Err(format!("missing required sched-scaling entry {name:?}"));
+        }
+    }
+    let p99_1 = record.entry("sched_scaling/s1_p99_vcost").expect("presence checked above");
+    let p99_4 = record.entry("sched_scaling/s4_p99_vcost").expect("presence checked above");
+    if p99_4.median_ns > p99_1.median_ns {
+        return Err(format!(
+            "scheduler scaling regressed: virtual p99 at 4 shards ({}) exceeds 1 shard ({})",
+            p99_4.median_ns, p99_1.median_ns
+        ));
+    }
+    Ok(record)
+}
+
 /// Entry names a `BENCH_distill.json` record must carry: teacher and
 /// student max-length decode latency and the held-out oracle
 /// win/tie/lose verdict of the student against the teacher.
@@ -1176,6 +1226,53 @@ mod tests {
             wrong.push(name, sample(1, 1, 1));
         }
         assert!(validate_shard_json(&wrong.to_json()).unwrap_err().contains("serve"));
+    }
+
+    #[test]
+    fn sched_validator_enforces_entries_and_the_virtual_p99_bar() {
+        let full = || {
+            let mut rec = BenchRecord::new("serve");
+            for (name, v) in [
+                ("sched_scaling/s1_ns_per_req", 900u128),
+                ("sched_scaling/s2_ns_per_req", 700),
+                ("sched_scaling/s4_ns_per_req", 600),
+                ("sched_scaling/s1_p99_vcost", 400),
+                ("sched_scaling/s2_p99_vcost", 220),
+                ("sched_scaling/s4_p99_vcost", 130),
+            ] {
+                rec.push(name, sample(v, v, v));
+            }
+            rec.push("tail/sequential_ns_per_req", sample(5, 4, 6));
+            rec
+        };
+        assert_eq!(validate_sched_json(&full().to_json()).unwrap().bench, "serve");
+
+        // Dropping any required entry fails, naming the entry.
+        for missing in SCHED_REQUIRED_ENTRIES {
+            let mut partial = BenchRecord::new("serve");
+            for (name, s, _) in &full().entries {
+                if name != missing {
+                    partial.push(name.clone(), *s);
+                }
+            }
+            let err = validate_sched_json(&partial.to_json()).expect_err(missing);
+            assert!(err.contains(missing), "error {err:?} should name {missing:?}");
+        }
+
+        // The scaling bar is re-enforced at read time: virtual p99 at 4
+        // shards above 1 shard rejects even a schema-complete record.
+        let mut regressed = BenchRecord::new("serve");
+        for (name, s, _) in &full().entries {
+            let s = if name == "sched_scaling/s4_p99_vcost" { sample(401, 401, 401) } else { *s };
+            regressed.push(name.clone(), s);
+        }
+        let err = validate_sched_json(&regressed.to_json()).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+
+        // The wrong record name is rejected.
+        let mut wrong = full();
+        wrong.bench = "sched".into();
+        assert!(validate_sched_json(&wrong.to_json()).unwrap_err().contains("serve"));
     }
 
     #[test]

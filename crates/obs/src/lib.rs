@@ -44,3 +44,22 @@ pub use hist::Histogram;
 pub use span::{
     canonical_structure, AttrValue, SpanGuard, SpanRecord, Tracer, MINTED_TRACE_BIT,
 };
+
+/// Span names for the serve scheduler's **minted** (scheduling-dependent)
+/// traces. Per-request traces must stay structurally invariant across
+/// shard and worker counts, so anything that depends on scheduling — the
+/// routing decision, batch composition, steal rescues — is recorded under
+/// these names in traces tagged with [`MINTED_TRACE_BIT`] and filtered
+/// out of canonical-structure comparisons. Centralised here so the
+/// runtime and the trace-invariant tests agree on the taxonomy.
+pub mod taxonomy {
+    /// Per admitted request: which shard mailbox it was routed to
+    /// (attrs: `id`, `shard`, `depth`).
+    pub const MAILBOX_ENQUEUE: &str = "mailbox_enqueue";
+    /// Root of each micro-batch's minted trace (attrs: `shard`, `worker`,
+    /// `size`, `ids`, `stolen`, `shed`, `decode_slots`, `decode_requests`).
+    pub const BATCH_FORM: &str = "batch_form";
+    /// Child of [`BATCH_FORM`] when the batch was stolen from a sibling
+    /// mailbox (attrs: `thief`, `victim`, `count`, `ids`).
+    pub const STEAL: &str = "steal";
+}

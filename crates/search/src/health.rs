@@ -37,8 +37,10 @@ pub struct HealthCounters {
     queue_rejections: AtomicU64,
     queue_sheds: AtomicU64,
     partial_results: AtomicU64,
-    queue_depth: AtomicU64,
-    queue_peak_depth: AtomicU64,
+    /// Admission-queue depth gauge and its high-water mark, packed into
+    /// one word (`peak << 32 | depth`) so the pair is updated and read
+    /// atomically — see [`record_queue_depth`](Self::record_queue_depth).
+    queue_gauge: AtomicU64,
     rewrite_micros: AtomicU64,
     retrieval_micros: AtomicU64,
     rank_micros: AtomicU64,
@@ -84,11 +86,23 @@ impl HealthCounters {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records the admission-queue depth observed after an enqueue or
-    /// dequeue (a gauge, plus a high-water mark).
+    /// Records the admission-queue depth observed at an enqueue or
+    /// dequeue event (a gauge, plus a high-water mark).
+    ///
+    /// Depth and peak live in **one packed word** (`peak << 32 | depth`),
+    /// updated with a single atomic read-modify-write. The previous
+    /// two-counter scheme (`store` + `fetch_max`) let a `health_report()`
+    /// racing a dequeue shed observe a **torn pair** — a fresh depth next
+    /// to a stale peak, i.e. `queue_depth > queue_peak_depth`. Packing
+    /// the pair is the same single-snapshot discipline `ShardTierReport`
+    /// adopted for the shard-tier telemetry block; the concurrent
+    /// never-torn test below hammers it.
     pub fn record_queue_depth(&self, depth: u64) {
-        self.queue_depth.store(depth, Ordering::Relaxed);
-        self.queue_peak_depth.fetch_max(depth, Ordering::Relaxed);
+        let depth = depth.min(u32::MAX as u64);
+        let _ = self.queue_gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            let peak = (cur >> 32).max(depth);
+            Some((peak << 32) | depth)
+        });
     }
 
     pub fn record_stage_latency(&self, stage: Stage, elapsed: Duration) {
@@ -143,6 +157,10 @@ impl HealthCounters {
             let h = self.latency_us.lock();
             (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99), h.count())
         };
+        // One load of the packed gauge yields a consistent (depth, peak)
+        // pair: the report can never show a depth above the peak that
+        // accompanied it, however many workers are shedding concurrently.
+        let gauge = self.queue_gauge.load(Ordering::Relaxed);
         HealthReport {
             latency_p50_us,
             latency_p95_us,
@@ -164,8 +182,8 @@ impl HealthCounters {
             queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
             queue_sheds: self.queue_sheds.load(Ordering::Relaxed),
             partial_results: self.partial_results.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            queue_peak_depth: self.queue_peak_depth.load(Ordering::Relaxed),
+            queue_depth: gauge & u32::MAX as u64,
+            queue_peak_depth: gauge >> 32,
             rewrite_micros: self.rewrite_micros.load(Ordering::Relaxed),
             retrieval_micros: self.retrieval_micros.load(Ordering::Relaxed),
             rank_micros: self.rank_micros.load(Ordering::Relaxed),
@@ -515,5 +533,47 @@ mod tests {
         assert_eq!(r.queue_depth, 2);
         assert_eq!(r.queue_peak_depth, 5);
         assert_eq!(r.degradations(), 3);
+    }
+
+    /// The depth/peak gauge pair must never tear: with writers hammering
+    /// `record_queue_depth` (enqueues racing dequeue sheds), every
+    /// concurrent snapshot must satisfy `depth <= peak` and observe a
+    /// monotone peak. The old two-counter scheme (`store` + `fetch_max`)
+    /// fails this; the packed single-word gauge cannot.
+    #[test]
+    fn queue_gauge_pair_never_tears_under_concurrency() {
+        let c = std::sync::Arc::new(HealthCounters::default());
+        let writers = 4;
+        let rounds = 2_000u64;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    // Deterministic per-writer depth pattern: ramps up and
+                    // down like enqueues racing sheds.
+                    for i in 0..rounds {
+                        let depth = (i * (w + 1)) % 97;
+                        c.record_queue_depth(depth);
+                    }
+                });
+            }
+            let c = std::sync::Arc::clone(&c);
+            scope.spawn(move || {
+                let mut last_peak = 0;
+                for _ in 0..rounds {
+                    let r = c.snapshot(BreakerState::Closed, 0, ChurnStats::default());
+                    assert!(
+                        r.queue_depth <= r.queue_peak_depth,
+                        "torn gauge pair: depth {} > peak {}",
+                        r.queue_depth,
+                        r.queue_peak_depth
+                    );
+                    assert!(r.queue_peak_depth >= last_peak, "peak went backwards");
+                    last_peak = r.queue_peak_depth;
+                }
+            });
+        });
+        let r = c.snapshot(BreakerState::Closed, 0, ChurnStats::default());
+        assert_eq!(r.queue_peak_depth, 96);
     }
 }

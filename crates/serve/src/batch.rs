@@ -24,7 +24,13 @@ use qrw_text::{Vocab, NUM_SPECIALS};
 
 /// FNV-1a over the query tokens, with a separator fold per token so
 /// `["ab","c"]` and `["a","bc"]` hash apart.
-fn fnv1a_tokens(tokens: &[String]) -> u64 {
+///
+/// This is the hash family the whole stack keys on — `RewriteCache`
+/// shard selection, `ShardedIndex` document routing, the per-query
+/// sampling RNG below, and (since the mailbox refactor) scheduler shard
+/// routing in [`AdmissionQueue`](crate::AdmissionQueue), so identical
+/// in-flight queries always meet on one shard and coalesce locally.
+pub fn fnv1a_tokens(tokens: &[String]) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for t in tokens {

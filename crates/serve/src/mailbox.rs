@@ -1,0 +1,190 @@
+//! Bounded per-shard mailboxes with a LIFO slot and head-stealing.
+//!
+//! Each scheduler shard owns one `Mailbox`: a fixed-capacity FIFO ring of
+//! [`SlotRef`](crate::slab::SlotRef)s plus a single-entry **LIFO slot**.
+//! A push tries the LIFO slot first (one lock-free CAS — the common
+//! uncontended case), falling back to the locked ring. The shard's home
+//! worker drains the LIFO slot and then the ring front, so a freshly
+//! enqueued request rides the fast path while the ring preserves FIFO
+//! order for the backlog.
+//!
+//! Stealing works from the other end of the bargain: a thief drains the
+//! victim's **ring head first** — the oldest, most deadline-endangered
+//! requests — and only takes the victim's LIFO slot when the ring is dry.
+//! That is what lets a stalled shard's backlog migrate to live workers
+//! before it expires (`tests/scheduler_invariants.rs`).
+//!
+//! The ring is preallocated at construction and never grows: the
+//! admission budget in [`AdmissionQueue`](crate::AdmissionQueue) bounds
+//! the total number of in-flight refs to the ring capacity, so a push can
+//! never force a reallocation (debug-asserted). Steady-state push/pop is
+//! therefore allocation-free, which `tests/zero_alloc.rs` enforces.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qrw_tensor::sync::Mutex;
+
+use crate::slab::SlotRef;
+
+/// Sentinel for an empty LIFO slot. [`SlotRef`] encoding can never
+/// produce it (slot indices are bounded far below `u32::MAX`).
+const EMPTY: u64 = u64::MAX;
+
+/// One shard's bounded MPSC mailbox.
+pub struct Mailbox {
+    ring: Mutex<VecDeque<u64>>,
+    lifo: AtomicU64,
+    capacity: usize,
+}
+
+impl Mailbox {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mailbox capacity must be positive");
+        Mailbox {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            lifo: AtomicU64::new(EMPTY),
+            capacity,
+        }
+    }
+
+    /// Enqueues a ref: LIFO slot when free (lock-free fast path),
+    /// otherwise the ring tail.
+    pub fn push(&self, r: SlotRef) {
+        debug_assert_ne!(r.0, EMPTY);
+        if self
+            .lifo
+            .compare_exchange(EMPTY, r.0, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        let mut ring = self.ring.lock();
+        debug_assert!(ring.len() < self.capacity, "admission budget must bound the ring");
+        ring.push_back(r.0);
+    }
+
+    /// Home-worker drain: appends up to `n` refs to `out` — the LIFO slot
+    /// first, then the ring front in FIFO order. Returns how many came out.
+    pub fn fill(&self, n: usize, out: &mut Vec<SlotRef>) -> usize {
+        let mut got = 0;
+        if got < n {
+            let taken = self.lifo.swap(EMPTY, Ordering::AcqRel);
+            if taken != EMPTY {
+                out.push(SlotRef(taken));
+                got += 1;
+            }
+        }
+        if got < n {
+            let mut ring = self.ring.lock();
+            while got < n {
+                match ring.pop_front() {
+                    Some(v) => {
+                        out.push(SlotRef(v));
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        got
+    }
+
+    /// Thief drain: appends up to `n` refs to `out` — the ring head
+    /// (oldest) first, the LIFO slot only when the ring is dry.
+    pub fn steal(&self, n: usize, out: &mut Vec<SlotRef>) -> usize {
+        let mut got = 0;
+        {
+            let mut ring = self.ring.lock();
+            while got < n {
+                match ring.pop_front() {
+                    Some(v) => {
+                        out.push(SlotRef(v));
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if got == 0 && n > 0 {
+            let taken = self.lifo.swap(EMPTY, Ordering::AcqRel);
+            if taken != EMPTY {
+                out.push(SlotRef(taken));
+                got += 1;
+            }
+        }
+        got
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lifo.load(Ordering::Acquire) == EMPTY && self.ring.lock().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        let lifo = usize::from(self.lifo.load(Ordering::Acquire) != EMPTY);
+        lifo + self.ring.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refs(out: &mut Vec<SlotRef>) -> Vec<u64> {
+        out.drain(..).map(|r| r.0).collect()
+    }
+
+    #[test]
+    fn first_push_lands_in_lifo_slot_rest_in_ring() {
+        let mb = Mailbox::new(8);
+        for v in 10..14 {
+            mb.push(SlotRef(v));
+        }
+        assert_eq!(mb.len(), 4);
+        let mut out = Vec::new();
+        // Home drain: LIFO slot (first push) then ring in FIFO order.
+        assert_eq!(mb.fill(8, &mut out), 4);
+        assert_eq!(refs(&mut out), vec![10, 11, 12, 13]);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn fill_respects_batch_bound() {
+        let mb = Mailbox::new(8);
+        for v in 0..5 {
+            mb.push(SlotRef(v));
+        }
+        let mut out = Vec::new();
+        assert_eq!(mb.fill(3, &mut out), 3);
+        assert_eq!(mb.fill(3, &mut out), 2);
+        assert_eq!(refs(&mut out), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn steal_takes_ring_head_before_lifo_slot() {
+        let mb = Mailbox::new(8);
+        for v in 20..24 {
+            mb.push(SlotRef(v));
+        }
+        let mut out = Vec::new();
+        // 20 sits in the LIFO slot; the thief must take the oldest ring
+        // entries (21, 22) first.
+        assert_eq!(mb.steal(2, &mut out), 2);
+        assert_eq!(refs(&mut out), vec![21, 22]);
+        assert_eq!(mb.steal(4, &mut out), 1);
+        assert_eq!(mb.steal(4, &mut out), 1);
+        assert_eq!(refs(&mut out), vec![23, 20]);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn lifo_slot_refills_after_drain() {
+        let mb = Mailbox::new(4);
+        mb.push(SlotRef(1));
+        let mut out = Vec::new();
+        assert_eq!(mb.fill(1, &mut out), 1);
+        mb.push(SlotRef(2));
+        assert_eq!(mb.fill(1, &mut out), 1);
+        assert_eq!(refs(&mut out), vec![1, 2]);
+    }
+}

@@ -1,4 +1,4 @@
-//! Bounded admission queue with backpressure and deadline-aware shedding.
+//! Sharded admission control: a global budget over per-shard mailboxes.
 //!
 //! Overload policy follows the Tail-at-Scale playbook: a full queue
 //! **rejects at submit** (`ServeError::QueueFull`) instead of queueing
@@ -6,15 +6,50 @@
 //! **shed at dequeue** (`ServeError::ExpiredInQueue`) instead of being
 //! served dead on arrival. Both are typed errors the runtime records into
 //! the engine's `health_report()`.
+//!
+//! Since the mailbox-scheduler refactor, [`AdmissionQueue`] is no longer
+//! one FIFO: it is the front-end over `shards` bounded
+//! [`Mailbox`](crate::mailbox::Mailbox)es plus a
+//! [`SlotArena`](crate::slab::SlotArena) of reusable request slots.
+//!
+//! * **Admission** is still a single global budget (`capacity`): one
+//!   atomic counter admits or rejects, so backpressure semantics — and the
+//!   deterministic "exactly the overflow is rejected" replay contract —
+//!   are identical to the old single-queue runtime regardless of shard
+//!   count. Every mailbox ring is sized to the full budget, so an
+//!   admitted request can never find its mailbox full.
+//! * **Routing** hashes the query tokens with the same FNV-1a family used
+//!   by `RewriteCache` and `ShardedIndex`
+//!   ([`fnv1a_tokens`](crate::batch::fnv1a_tokens)), so identical
+//!   in-flight queries land on the same shard and decode-slot coalescing
+//!   stays shard-local.
+//! * **Dequeue** is per-shard: a worker drains its home mailbox into a
+//!   micro-batch (same `max_batch`/`max_wait_ticks` policy as before, now
+//!   applied per shard) and **steals** from sibling mailboxes only when
+//!   its home runs dry — oldest refs first, so a stalled shard's backlog
+//!   migrates before it expires.
+//!
+//! The queue depth is decremented *at the dequeue event itself* (the same
+//! atomic that admits), and the depth/peak gauge pair lives in one packed
+//! word inside `HealthCounters` — a `health_report()` can no longer
+//! observe a torn `depth > peak` pair while another worker sheds
+//! (the PR-8 `ShardTierReport` single-snapshot discipline, applied here).
+//!
+//! Nothing on this path allocates in steady state: refs are `u64`s, the
+//! rings and the arena are preallocated, and batch buffers are reused
+//! across batches (`tests/zero_alloc.rs`).
 
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, PoisonError};
 use std::time::Duration;
 
 use qrw_search::{DeadlineBudget, ServeError};
 use qrw_tensor::sync::Mutex;
 
+use crate::batch::fnv1a_tokens;
+use crate::mailbox::Mailbox;
 use crate::runtime::ServedRecord;
+use crate::slab::{SlotArena, SlotRef};
 
 /// One admitted request waiting to be scheduled.
 pub struct Pending {
@@ -33,25 +68,70 @@ pub struct Pending {
     pub admitted_us: Option<u64>,
 }
 
-struct Inner {
-    deque: VecDeque<Pending>,
-    closed: bool,
+impl std::fmt::Debug for Pending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending")
+            .field("id", &self.id)
+            .field("query", &self.query)
+            .field("context", &self.context)
+            .field("closed_loop", &self.slot.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
-/// The bounded FIFO between submitters and the worker pool.
+/// A worker's reusable batch-formation buffers. Allocated once per worker
+/// (capacity `max_batch`), reused for every batch it forms.
+pub struct BatchBuf {
+    refs: Vec<SlotRef>,
+    /// The formed batch, in dequeue order.
+    pub items: Vec<Pending>,
+    /// `Some(victim)` when this batch was stolen from another shard's
+    /// mailbox (a batch is either all-home or all-stolen-from-one-victim).
+    pub stolen_from: Option<usize>,
+    /// Queue depth right after this batch was dequeued — the value the
+    /// runtime reports to the depth gauge, captured at the event instead
+    /// of re-read later.
+    pub depth_after: usize,
+}
+
+impl BatchBuf {
+    pub fn new(max_batch: usize) -> Self {
+        let cap = max_batch.max(1);
+        BatchBuf {
+            refs: Vec::with_capacity(cap),
+            items: Vec::with_capacity(cap),
+            stolen_from: None,
+            depth_after: 0,
+        }
+    }
+}
+
+/// The bounded, sharded front-end between submitters and the workers.
 pub struct AdmissionQueue {
-    inner: Mutex<Inner>,
-    not_empty: Condvar,
+    arena: SlotArena,
+    mailboxes: Box<[Mailbox]>,
+    /// Requests admitted but not yet dequeued — the global budget.
+    queued: AtomicU64,
     capacity: usize,
+    control: Mutex<bool>,
+    wake: Condvar,
 }
 
 impl AdmissionQueue {
-    pub fn new(capacity: usize) -> Self {
+    pub fn new(capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
+        let shards = shards.max(1);
+        // Every ring holds the full budget: routing skew can never
+        // overflow a mailbox that admission let through.
+        let mailboxes =
+            (0..shards).map(|_| Mailbox::new(capacity)).collect::<Vec<_>>().into_boxed_slice();
         AdmissionQueue {
-            inner: Mutex::new(Inner { deque: VecDeque::new(), closed: false }),
-            not_empty: Condvar::new(),
+            arena: SlotArena::new(capacity),
+            mailboxes,
+            queued: AtomicU64::new(0),
             capacity,
+            control: Mutex::new(false),
+            wake: Condvar::new(),
         }
     }
 
@@ -59,76 +139,167 @@ impl AdmissionQueue {
         self.capacity
     }
 
-    /// Requests currently queued.
-    pub fn depth(&self) -> usize {
-        self.inner.lock().deque.len()
+    pub fn shards(&self) -> usize {
+        self.mailboxes.len()
     }
 
-    /// Admits a request, returning the queue depth after the enqueue, or
-    /// rejects it when the queue is at capacity.
-    pub fn push(&self, pending: Pending) -> Result<usize, ServeError> {
-        let mut inner = self.inner.lock();
-        if inner.deque.len() >= self.capacity {
-            return Err(ServeError::QueueFull { capacity: self.capacity });
+    /// Requests currently queued (admitted, not yet dequeued).
+    pub fn depth(&self) -> usize {
+        self.queued.load(Ordering::Acquire) as usize
+    }
+
+    /// The home shard for a query: FNV-1a over the tokens — the same hash
+    /// family `RewriteCache` and `ShardedIndex` key on — modulo the shard
+    /// count.
+    pub fn route(&self, query: &[String]) -> usize {
+        (fnv1a_tokens(query) % self.mailboxes.len() as u64) as usize
+    }
+
+    /// Admits a request onto its home shard, returning `(shard, depth)`
+    /// after the enqueue; at capacity the request is handed back with the
+    /// typed rejection (no clone on either path).
+    #[allow(clippy::result_large_err)] // handing the Pending back by value IS the no-clone contract
+    pub fn push(&self, pending: Pending) -> Result<(usize, usize), (Pending, ServeError)> {
+        let shard = self.route(&pending.query);
+        self.push_to(shard, pending).map(|depth| (shard, depth))
+    }
+
+    /// [`push`](Self::push) with explicit routing — tests and fault drills
+    /// use it to aim load at a specific mailbox.
+    #[allow(clippy::result_large_err)] // see `push`
+    pub fn push_to(&self, shard: usize, pending: Pending) -> Result<usize, (Pending, ServeError)> {
+        debug_assert!(shard < self.mailboxes.len());
+        // The single global budget: admission does not depend on routing,
+        // so rejection behaviour is byte-identical to the pre-shard queue.
+        let admitted = self.queued.fetch_update(Ordering::AcqRel, Ordering::Acquire, |q| {
+            if q as usize >= self.capacity {
+                None
+            } else {
+                Some(q + 1)
+            }
+        });
+        if admitted.is_err() {
+            return Err((pending, ServeError::QueueFull { capacity: self.capacity }));
         }
-        inner.deque.push_back(pending);
-        let depth = inner.deque.len();
-        drop(inner);
-        self.not_empty.notify_one();
+        let depth = admitted.unwrap() as usize + 1;
+        let r = match self.arena.checkout(pending) {
+            Ok(r) => r,
+            Err(pending) => {
+                // Unreachable while budget == arena capacity; keep the
+                // accounting straight anyway.
+                self.queued.fetch_sub(1, Ordering::AcqRel);
+                return Err((pending, ServeError::QueueFull { capacity: self.capacity }));
+            }
+        };
+        self.mailboxes[shard].push(r);
+        self.wake.notify_all();
         Ok(depth)
     }
 
     /// No more submissions: workers drain what is queued, then exit.
     pub fn close(&self) {
-        self.inner.lock().closed = true;
-        self.not_empty.notify_all();
+        *self.control.lock() = true;
+        self.wake.notify_all();
     }
 
     /// Reopens a queue closed by a previous run (runtimes are reusable).
     pub fn reopen(&self) {
-        self.inner.lock().closed = false;
+        *self.control.lock() = false;
     }
 
-    /// Blocks for the next micro-batch. Returns up to `max_batch`
-    /// requests; after the first request is available, waits at most
-    /// `max_wait_ticks` ticks of `tick` for the batch to fill before
-    /// dispatching what it has. Returns `None` once the queue is closed
-    /// and drained — the worker's signal to exit.
+    fn is_closed(&self) -> bool {
+        *self.control.lock()
+    }
+
+    fn wait_tick(&self, tick: Duration) {
+        let guard = self.control.lock();
+        drop(
+            self.wake
+                .wait_timeout(guard, tick)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0,
+        );
+    }
+
+    /// One idle heartbeat for a worker that is not taking work (the stall
+    /// fault drill): waits up to a tick, then reports whether the
+    /// scheduler is closed and fully drained — the signal to exit.
+    pub fn park_tick(&self, tick: Duration) -> bool {
+        if self.is_closed() && self.depth() == 0 {
+            return true;
+        }
+        self.wait_tick(tick);
+        self.is_closed() && self.depth() == 0
+    }
+
+    /// Blocks for the next micro-batch on `home`, filling `buf`. A batch
+    /// comes from the home mailbox (LIFO slot + FIFO ring) when it has
+    /// work; after the first request is available, the worker waits at
+    /// most `max_wait_ticks` ticks for the batch to fill before
+    /// dispatching what it has. When home is dry the worker **steals** the
+    /// oldest refs from the first non-empty sibling mailbox instead.
+    /// Returns `false` once the queue is closed and drained — the
+    /// worker's signal to exit.
     pub fn next_batch(
         &self,
+        home: usize,
         max_batch: usize,
         max_wait_ticks: u32,
         tick: Duration,
-    ) -> Option<Vec<Pending>> {
+        buf: &mut BatchBuf,
+    ) -> bool {
         let max_batch = max_batch.max(1);
-        let mut inner = self.inner.lock();
+        buf.items.clear();
+        buf.refs.clear();
+        buf.stolen_from = None;
         loop {
-            if !inner.deque.is_empty() {
-                break;
+            self.mailboxes[home].fill(max_batch, &mut buf.refs);
+            if buf.refs.is_empty() {
+                let shards = self.mailboxes.len();
+                for off in 1..shards {
+                    let victim = (home + off) % shards;
+                    if self.mailboxes[victim].steal(max_batch, &mut buf.refs) > 0 {
+                        buf.stolen_from = Some(victim);
+                        break;
+                    }
+                }
             }
-            if inner.closed {
-                return None;
+            if !buf.refs.is_empty() {
+                if buf.stolen_from.is_none() {
+                    // Dynamic batching: something is ready; trade a
+                    // bounded wait for a fuller (cheaper per request)
+                    // batch, but never hold a closed queue's stragglers
+                    // back. Stolen batches dispatch immediately — rescue
+                    // is urgent.
+                    let mut waited = 0;
+                    while buf.refs.len() < max_batch && waited < max_wait_ticks && !self.is_closed()
+                    {
+                        self.wait_tick(tick);
+                        self.mailboxes[home].fill(max_batch - buf.refs.len(), &mut buf.refs);
+                        waited += 1;
+                    }
+                }
+                for r in buf.refs.drain(..) {
+                    // Generation-checked: a stale ref (double-pop bug)
+                    // skips instead of double-serving.
+                    if let Some(p) = self.arena.take(r) {
+                        buf.items.push(p);
+                    }
+                }
+                // Depth drops at the dequeue event; the gauge value the
+                // runtime reports is captured here, not re-read later.
+                self.queued.fetch_sub(buf.items.len() as u64, Ordering::AcqRel);
+                buf.depth_after = self.depth();
+                if !buf.items.is_empty() {
+                    return true;
+                }
+                continue;
             }
-            inner = self
-                .not_empty
-                .wait_timeout(inner, tick)
-                .unwrap_or_else(PoisonError::into_inner)
-                .0;
+            if self.is_closed() && self.depth() == 0 {
+                return false;
+            }
+            self.wait_tick(tick);
         }
-        // Dynamic batching: something is ready; trade a bounded wait for a
-        // fuller (cheaper per request) batch, but never hold a closed
-        // queue's stragglers back.
-        let mut waited = 0;
-        while inner.deque.len() < max_batch && waited < max_wait_ticks && !inner.closed {
-            inner = self
-                .not_empty
-                .wait_timeout(inner, tick)
-                .unwrap_or_else(PoisonError::into_inner)
-                .0;
-            waited += 1;
-        }
-        let take = inner.deque.len().min(max_batch);
-        Some(inner.deque.drain(..take).collect())
     }
 }
 
@@ -172,6 +343,8 @@ impl ResponseSlot {
 mod tests {
     use super::*;
 
+    const TICK: Duration = Duration::from_micros(10);
+
     fn pending(id: u64) -> Pending {
         Pending {
             id,
@@ -183,48 +356,107 @@ mod tests {
         }
     }
 
+    fn ids(buf: &mut BatchBuf) -> Vec<u64> {
+        buf.items.drain(..).map(|p| p.id).collect()
+    }
+
     #[test]
     fn rejects_when_full() {
-        let q = AdmissionQueue::new(2);
-        assert_eq!(q.push(pending(0)), Ok(1));
-        assert_eq!(q.push(pending(1)), Ok(2));
-        assert_eq!(q.push(pending(2)), Err(ServeError::QueueFull { capacity: 2 }));
+        let q = AdmissionQueue::new(2, 2);
+        assert!(q.push(pending(0)).is_ok());
+        assert!(q.push(pending(1)).is_ok());
+        let (back, err) = q.push(pending(2)).unwrap_err();
+        assert_eq!(back.id, 2);
+        assert_eq!(err, ServeError::QueueFull { capacity: 2 });
         assert_eq!(q.depth(), 2);
     }
 
     #[test]
     fn batches_respect_max_batch_and_fifo_order() {
-        let q = AdmissionQueue::new(8);
+        let q = AdmissionQueue::new(8, 1);
         for i in 0..5 {
-            q.push(pending(i)).unwrap();
+            q.push_to(0, pending(i)).unwrap();
         }
-        let batch = q.next_batch(3, 0, Duration::from_micros(10)).unwrap();
-        assert_eq!(batch.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 1, 2]);
-        let batch = q.next_batch(3, 0, Duration::from_micros(10)).unwrap();
-        assert_eq!(batch.iter().map(|p| p.id).collect::<Vec<_>>(), vec![3, 4]);
+        let mut buf = BatchBuf::new(3);
+        assert!(q.next_batch(0, 3, 0, TICK, &mut buf));
+        assert_eq!(ids(&mut buf), vec![0, 1, 2]);
+        assert_eq!(buf.depth_after, 2);
+        assert!(q.next_batch(0, 3, 0, TICK, &mut buf));
+        assert_eq!(ids(&mut buf), vec![3, 4]);
+        assert_eq!(q.depth(), 0);
     }
 
     #[test]
-    fn closed_and_drained_returns_none() {
-        let q = AdmissionQueue::new(4);
+    fn routing_is_deterministic_and_in_range() {
+        let q = AdmissionQueue::new(8, 4);
+        let query = vec!["red".to_string(), "dress".to_string()];
+        let shard = q.route(&query);
+        assert!(shard < 4);
+        assert_eq!(shard, q.route(&query));
+        assert_eq!(q.route(&query), (fnv1a_tokens(&query) % 4) as usize);
+    }
+
+    #[test]
+    fn dry_home_steals_oldest_from_sibling() {
+        let q = AdmissionQueue::new(8, 2);
+        for i in 0..4 {
+            q.push_to(1, pending(i)).unwrap();
+        }
+        let mut buf = BatchBuf::new(2);
+        // Worker homed on shard 0 finds it dry and steals from shard 1:
+        // the ring head (oldest backlog) before the LIFO slot.
+        assert!(q.next_batch(0, 2, 0, TICK, &mut buf));
+        assert_eq!(buf.stolen_from, Some(1));
+        assert_eq!(ids(&mut buf), vec![1, 2]);
+        assert!(q.next_batch(1, 4, 0, TICK, &mut buf));
+        assert_eq!(buf.stolen_from, None);
+        assert_eq!(ids(&mut buf), vec![0, 3]);
+    }
+
+    #[test]
+    fn closed_and_drained_returns_false() {
+        let q = AdmissionQueue::new(4, 2);
         q.push(pending(0)).unwrap();
         q.close();
-        assert!(q.next_batch(4, 2, Duration::from_micros(10)).is_some());
-        assert!(q.next_batch(4, 2, Duration::from_micros(10)).is_none());
+        let mut buf = BatchBuf::new(4);
+        let home = q.route(&pending(0).query);
+        assert!(q.next_batch(home, 4, 2, TICK, &mut buf));
+        assert_eq!(buf.items.len(), 1);
+        assert!(!q.next_batch(home, 4, 2, TICK, &mut buf));
+        assert!(q.park_tick(TICK));
         q.reopen();
         q.push(pending(1)).unwrap();
-        assert!(q.next_batch(4, 0, Duration::from_micros(10)).is_some());
+        assert!(q.next_batch(0, 4, 0, TICK, &mut buf));
     }
 
     #[test]
     fn waiting_worker_wakes_on_push() {
-        let q = Arc::new(AdmissionQueue::new(4));
+        let q = Arc::new(AdmissionQueue::new(4, 2));
         let q2 = Arc::clone(&q);
         let handle = std::thread::spawn(move || {
-            q2.next_batch(4, 0, Duration::from_millis(1)).map(|b| b.len())
+            let mut buf = BatchBuf::new(4);
+            // Either home pop or steal finds it, whichever shard it lands on.
+            assert!(q2.next_batch(0, 4, 0, Duration::from_millis(1), &mut buf));
+            buf.items.len()
         });
         std::thread::sleep(Duration::from_millis(5));
         q.push(pending(0)).unwrap();
-        assert_eq!(handle.join().unwrap(), Some(1));
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn depth_decrements_at_dequeue_not_at_fulfil() {
+        let q = AdmissionQueue::new(8, 1);
+        for i in 0..3 {
+            q.push(pending(i)).unwrap();
+        }
+        assert_eq!(q.depth(), 3);
+        let mut buf = BatchBuf::new(8);
+        assert!(q.next_batch(0, 8, 0, TICK, &mut buf));
+        // The batch is still in flight (not fulfilled), but it left the
+        // queue: depth reflects the dequeue event.
+        assert_eq!(q.depth(), 0);
+        assert_eq!(buf.depth_after, 0);
+        assert_eq!(buf.items.len(), 3);
     }
 }

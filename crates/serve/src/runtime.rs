@@ -1,13 +1,39 @@
-//! The serving runtime: scheduler + worker pool over a shared engine.
+//! The serving runtime: an actor-style mailbox scheduler over a shared
+//! engine.
 //!
-//! Workers drain the [`AdmissionQueue`](crate::AdmissionQueue) into dynamic
-//! micro-batches. Per batch: expired requests are shed, cache-miss requests
-//! are decoded *together* through one [`BatchedQ2Q::rewrite_batch`] call,
-//! and then **every** request — hit or miss — is served through
+//! Each of `config.shards` scheduler shards owns a bounded MPSC mailbox
+//! inside the [`AdmissionQueue`](crate::AdmissionQueue); submissions route
+//! to shards by FNV-1a of the query tokens (the family `RewriteCache` and
+//! `ShardedIndex` key on), so identical in-flight queries meet on one
+//! shard and decode-slot coalescing stays shard-local. Workers are homed
+//! to shards round-robin; each drains its home mailbox into dynamic
+//! micro-batches (the `max_batch`/`max_wait_ticks` policy, applied per
+//! shard) and **steals the oldest backlog** from sibling mailboxes when
+//! its home runs dry — the only cross-shard traffic besides the shared
+//! teacher decode.
+//!
+//! Per batch: expired requests are shed, cache-miss requests are decoded
+//! *together* through one [`BatchedQ2Q::rewrite_batch`] call, and then
+//! **every** request — hit or miss, home or stolen — is served through
 //! `SearchEngine::search_resilient` itself, with the batch-decode output
 //! replayed as the online rung. The engine path, rung attribution,
 //! degradation events, and breaker bookkeeping are therefore identical to
-//! a standalone serve, which is what makes batching byte-transparent.
+//! a standalone serve, which is what makes batching — and scheduling —
+//! byte-transparent: rewrites are a pure function of the query, so shard
+//! count, batch composition, and steal decisions can never change a
+//! response's bits (`tests/scheduler_invariants.rs` proves it at shard
+//! counts {1,2,4} × {1,4} workers).
+//!
+//! # Steady state allocates nothing
+//!
+//! The scheduler data plane — admission budget, slot arena, mailbox
+//! rings, batch buffers, shed/fulfil accounting — is preallocated and
+//! reused; after warm-up a request travels submit → mailbox → batch →
+//! outcome without a single heap allocation (`tests/zero_alloc.rs`
+//! enforces 0 allocations per steady-state request with a counting
+//! `#[global_allocator]`). The documented escape hatches are the cold or
+//! caller-side paths: model epoch swaps, the closed-loop rendezvous
+//! `Arc`, tracer spans, and the engine's decode/retrieval stages.
 //!
 //! # Tracing
 //!
@@ -15,11 +41,13 @@
 //! records each request's lifecycle as a trace keyed by the request id:
 //! an `admit` span at submission, a `queue_wait` span spanning
 //! admission → dequeue, the engine's `serve` tree (ladder rungs,
-//! retrieval, rank), and exactly one terminal span — `served`, `shed`, or
-//! `rejected`. Batch-level work (assembly and the coalesced decode) lands
-//! in separate minted traces, since batch composition is scheduling-
-//! dependent while per-request structure is not. Tests assert both
-//! (`tests/trace_invariants.rs`).
+//! retrieval, rank), and exactly one terminal span — `served`, `shed`,
+//! `rejected`, or (only under injected worker faults) `failed`.
+//! Scheduling-dependent work lands in separate **minted** traces so
+//! per-request structure stays invariant across shard and worker counts:
+//! `mailbox_enqueue` (routing decision per admitted request), and per
+//! batch a `batch_form` root with optional `steal`, `student_decode` and
+//! `decode` children. Tests assert both (`tests/trace_invariants.rs`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,6 +55,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qrw_core::QueryRewriter;
+use qrw_obs::taxonomy::{BATCH_FORM, MAILBOX_ENQUEUE, STEAL};
 use qrw_search::{
     plan_online, DeadlineBudget, ModelStore, RewriteCache, RewriteLadder, SearchEngine,
     SearchResponse, ServeError, ServingConfig, SessionState,
@@ -34,12 +63,13 @@ use qrw_search::{
 use qrw_tensor::sync::Mutex;
 
 use crate::batch::{BatchedQ2Q, PanicOnline, PrecomputedOnline, StudentOnline};
-use crate::queue::{AdmissionQueue, Pending, ResponseSlot};
+use crate::queue::{AdmissionQueue, BatchBuf, Pending, ResponseSlot};
 
 /// Scheduler and pool knobs.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
-    /// Admission-queue bound; submissions beyond it are rejected.
+    /// Admission budget across all mailboxes; submissions beyond it are
+    /// rejected.
     pub queue_capacity: usize,
     /// Largest micro-batch a worker will assemble.
     pub max_batch: usize,
@@ -47,8 +77,12 @@ pub struct RuntimeConfig {
     pub max_wait_ticks: u32,
     /// Scheduler tick (condvar wait quantum).
     pub tick: Duration,
-    /// Worker-pool size.
+    /// Worker-pool size. Workers are homed to shards round-robin
+    /// (worker *w* owns shard *w* mod `shards`) and all of them steal.
     pub workers: usize,
+    /// Scheduler shards (one bounded mailbox each). Shard choice never
+    /// affects response bytes — only locality and contention.
+    pub shards: usize,
     pub serving: ServingConfig,
 }
 
@@ -60,9 +94,24 @@ impl Default for RuntimeConfig {
             max_wait_ticks: 2,
             tick: Duration::from_micros(200),
             workers: 2,
+            shards: 2,
             serving: ServingConfig::default(),
         }
     }
+}
+
+/// Deterministic scheduler-level fault drills. Default: none. Tests aim
+/// these at specific shards/requests to prove containment and rescue.
+#[derive(Clone, Debug, Default)]
+pub struct SchedFaults {
+    /// Workers homed to these shards take no work (a wedged core): their
+    /// mailbox backlog must be rescued by sibling stealers. The stalled
+    /// worker still exits cleanly once the queue is closed and drained.
+    pub stall_shards: Vec<usize>,
+    /// Request ids whose serve call panics *inside the worker*, past the
+    /// engine's own guards — the panic must be contained to the in-flight
+    /// batch (the request fails, the worker and its shard live on).
+    pub panic_on_ids: Vec<u64>,
 }
 
 /// Everything a worker needs to serve a request, shared read-only.
@@ -99,6 +148,10 @@ pub enum Outcome {
     Shed(ServeError),
     /// Never admitted: the queue was full at submit.
     Rejected(ServeError),
+    /// The worker panicked while serving this request (scheduler-level
+    /// fault, past the engine's own guards); the panic was contained to
+    /// the in-flight batch and the worker kept running.
+    Failed(ServeError),
 }
 
 /// One request's final accounting.
@@ -128,12 +181,20 @@ pub struct Runtime {
     queue: AdmissionQueue,
     results: Mutex<Vec<ServedRecord>>,
     next_id: AtomicU64,
+    faults: Mutex<SchedFaults>,
 }
 
 impl Runtime {
     pub fn new(stack: ServeStack, config: RuntimeConfig) -> Self {
-        let queue = AdmissionQueue::new(config.queue_capacity);
-        Runtime { stack, config, queue, results: Mutex::new(Vec::new()), next_id: AtomicU64::new(0) }
+        let queue = AdmissionQueue::new(config.queue_capacity, config.shards.max(1));
+        Runtime {
+            stack,
+            config,
+            queue,
+            results: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+            faults: Mutex::new(SchedFaults::default()),
+        }
     }
 
     pub fn config(&self) -> &RuntimeConfig {
@@ -142,6 +203,24 @@ impl Runtime {
 
     pub fn stack(&self) -> &ServeStack {
         &self.stack
+    }
+
+    /// Arms deterministic scheduler fault drills for the next run.
+    pub fn set_sched_faults(&self, faults: SchedFaults) {
+        *self.faults.lock() = faults;
+    }
+
+    /// Pre-reserves result storage. Steady-state publishes then never
+    /// grow the vec — the zero-alloc drill sizes it to the exact request
+    /// count; production callers may ignore it (growth is amortised).
+    pub fn reserve_results(&self, additional: usize) {
+        self.results.lock().reserve(additional);
+    }
+
+    /// Records published so far (any terminal outcome). Open-loop drivers
+    /// poll this to detect drain without a closed-loop rendezvous.
+    pub fn results_len(&self) -> usize {
+        self.results.lock().len()
     }
 
     /// Open-loop submission: enqueue and return the request id, or the
@@ -202,16 +281,25 @@ impl Runtime {
         // it immediately.
         let mut admit = tracer.map(|t| t.span(id, None, "admit"));
         let admitted_us = tracer.map(|t| t.now_us());
-        match self.queue.push(Pending { id, query: query.clone(), context, budget, slot, admitted_us }) {
-            Ok(depth) => {
+        match self.queue.push(Pending { id, query, context, budget, slot, admitted_us }) {
+            Ok((shard, depth)) => {
                 if let Some(s) = admit.as_mut() {
                     s.attr("outcome", "queued");
+                    s.attr("depth", depth);
+                }
+                // The routing decision is scheduling detail: it lands in a
+                // minted trace so per-request trees stay invariant across
+                // shard counts.
+                if let Some(t) = tracer {
+                    let mut s = t.span(t.next_trace(), None, MAILBOX_ENQUEUE);
+                    s.attr("id", id as usize);
+                    s.attr("shard", shard);
                     s.attr("depth", depth);
                 }
                 self.stack.engine.record_queue_depth(depth);
                 Ok(())
             }
-            Err(err) => {
+            Err((back, err)) => {
                 if let Some(mut s) = admit.take() {
                     s.attr("outcome", "rejected");
                     s.finish();
@@ -220,9 +308,11 @@ impl Runtime {
                     t.span(id, None, "rejected").finish();
                 }
                 self.stack.engine.record_queue_event(&err);
+                // The rejected push hands the request back, so the record
+                // keeps the query without a submit-path clone.
                 self.results.lock().push(ServedRecord {
                     id,
-                    query,
+                    query: back.query,
                     outcome: Outcome::Rejected(err.clone()),
                     latency: Duration::ZERO,
                 });
@@ -237,17 +327,13 @@ impl Runtime {
     /// every record sorted by request id.
     pub fn run(&self, driver: impl FnOnce(&Self)) -> Vec<ServedRecord> {
         self.queue.reopen();
+        let shards = self.queue.shards();
+        let stall_shards = self.faults.lock().stall_shards.clone();
         std::thread::scope(|scope| {
-            for _ in 0..self.config.workers.max(1) {
-                scope.spawn(|| {
-                    while let Some(batch) = self.queue.next_batch(
-                        self.config.max_batch,
-                        self.config.max_wait_ticks,
-                        self.config.tick,
-                    ) {
-                        self.process_batch(batch);
-                    }
-                });
+            for w in 0..self.config.workers.max(1) {
+                let home = w % shards;
+                let stalled = stall_shards.contains(&home);
+                scope.spawn(move || self.worker(w, home, stalled));
             }
             driver(self);
             self.queue.close();
@@ -267,25 +353,62 @@ impl Runtime {
         self.run(|_| {})
     }
 
-    fn process_batch(&self, batch: Vec<Pending>) {
+    fn worker(&self, index: usize, home: usize, stalled: bool) {
+        if stalled {
+            // Fault drill: a wedged core never takes work. It still
+            // heartbeats the queue so it exits once everything (stolen by
+            // siblings) has drained.
+            while !self.queue.park_tick(self.config.tick) {}
+            return;
+        }
+        // Per-worker reusable buffers: batch formation and the shed/live
+        // partition allocate once here, never per batch.
+        let mut buf = BatchBuf::new(self.config.max_batch);
+        let mut live: Vec<Pending> = Vec::with_capacity(self.config.max_batch.max(1));
+        while self.queue.next_batch(
+            home,
+            self.config.max_batch,
+            self.config.max_wait_ticks,
+            self.config.tick,
+            &mut buf,
+        ) {
+            self.process_batch(index, home, &mut buf, &mut live);
+        }
+    }
+
+    /// True when the fault drill wants this request's serve to panic.
+    fn injected_panic(&self, id: u64) -> bool {
+        self.faults.lock().panic_on_ids.contains(&id)
+    }
+
+    fn process_batch(&self, worker: usize, home: usize, buf: &mut BatchBuf, live: &mut Vec<Pending>) {
         let tracer = self.stack.engine.tracer();
         // Batch-level spans go in a minted trace of their own: batch
         // composition depends on scheduling, while per-request traces must
-        // stay structurally identical across worker counts.
-        let mut batch_span = tracer.map(|t| t.span(t.next_trace(), None, "batch"));
+        // stay structurally identical across shard and worker counts.
+        let mut batch_span = tracer.map(|t| t.span(t.next_trace(), None, BATCH_FORM));
         if let Some(s) = batch_span.as_mut() {
-            s.attr("size", batch.len());
-            s.attr(
-                "ids",
-                batch.iter().map(|p| p.id.to_string()).collect::<Vec<_>>().join(","),
-            );
+            s.attr("shard", home);
+            s.attr("worker", worker);
+            s.attr("size", buf.items.len());
+            s.attr("ids", join_ids(&buf.items));
+            s.attr("stolen", buf.stolen_from.is_some());
+        }
+        if let Some(victim) = buf.stolen_from {
+            if let Some((b, t)) = batch_span.as_ref().zip(tracer) {
+                let mut s = t.span(b.trace(), Some(b.id()), STEAL);
+                s.attr("thief", home);
+                s.attr("victim", victim);
+                s.attr("count", buf.items.len());
+                s.attr("ids", join_ids(&buf.items));
+            }
         }
 
         // Shed requests whose deadline died in the queue. Each dequeued
         // request closes its queue_wait span here, shed or not.
         let mut shed = 0usize;
-        let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
-        for p in batch {
+        live.clear();
+        for p in buf.items.drain(..) {
             if let Some(t) = tracer {
                 let start = p.admitted_us.unwrap_or_else(|| t.now_us());
                 t.span_at(p.id, None, "queue_wait", start).finish();
@@ -302,6 +425,9 @@ impl Runtime {
         if let Some(s) = batch_span.as_mut() {
             s.attr("shed", shed);
         }
+        // The gauge gets the depth captured at the dequeue event itself
+        // (no re-read racing other workers' dequeues and sheds).
+        self.stack.engine.record_queue_depth(buf.depth_after);
         if live.is_empty() {
             return;
         }
@@ -314,27 +440,35 @@ impl Runtime {
         // coalescing-transparent). Cache lookups are scoped by
         // (epoch, context) and the response is stamped with the epoch.
         if let Some(models) = &self.stack.models {
-            for p in live {
-                let pin = models.pin();
-                let session = SessionState { context: &p.context, model: Some(&pin) };
-                let ladder = RewriteLadder {
-                    cache: self.stack.cache.as_deref(),
-                    student: self.stack.student.as_deref().map(|s| s as &dyn QueryRewriter),
-                    online: None,
-                    baseline: self.stack.baseline.as_deref().map(|b| b as &dyn QueryRewriter),
-                };
-                let response = self.stack.engine.search_session_traced(
-                    &p.query,
-                    session,
-                    ladder,
-                    &self.config.serving,
-                    &p.budget,
-                    None,
-                    Some(p.id),
-                );
-                self.fulfill(p, Outcome::Served(response));
+            for p in live.drain(..) {
+                let id = p.id;
+                let served = catch_unwind(AssertUnwindSafe(|| {
+                    if self.injected_panic(id) {
+                        panic!("injected scheduler fault: request {id}");
+                    }
+                    let pin = models.pin();
+                    let session = SessionState { context: &p.context, model: Some(&pin) };
+                    let ladder = RewriteLadder {
+                        cache: self.stack.cache.as_deref(),
+                        student: self.stack.student.as_deref().map(|s| s as &dyn QueryRewriter),
+                        online: None,
+                        baseline: self.stack.baseline.as_deref().map(|b| b as &dyn QueryRewriter),
+                    };
+                    self.stack.engine.search_session_traced(
+                        &p.query,
+                        session,
+                        ladder,
+                        &self.config.serving,
+                        &p.budget,
+                        None,
+                        Some(p.id),
+                    )
+                }));
+                match served {
+                    Ok(response) => self.fulfill(p, Outcome::Served(response)),
+                    Err(_) => self.fulfill(p, Outcome::Failed(ServeError::EnginePanic)),
+                }
             }
-            self.stack.engine.record_queue_depth(self.queue.depth());
             return;
         }
 
@@ -358,7 +492,8 @@ impl Runtime {
         // `BatchedQ2Q` rewrites are a pure function of the query (the
         // sampling RNG is derived from the query tokens), so sharing one
         // decode across duplicates returns bit-for-bit what each would
-        // have produced alone.
+        // have produced alone. FNV shard routing sends duplicates to the
+        // same mailbox, so coalescing is shard-local by construction.
         let mut miss_queries: Vec<&[String]> = Vec::new();
         let mut miss_slot: Vec<Option<usize>> = Vec::with_capacity(plans.len());
         for plan in &plans {
@@ -452,8 +587,11 @@ impl Runtime {
 
         // Serve every request through the engine itself. Misses replay the
         // batch-decode output (or re-panic inside the ladder's guard) under
-        // the online rewriter's name; hits take rung 1 as usual.
-        for (p, slot) in live.into_iter().zip(miss_slot) {
+        // the online rewriter's name; hits take rung 1 as usual. A panic
+        // that escapes even the engine's guards (the fault drill injects
+        // one) is contained here: the request fails, the batch's other
+        // requests and the worker itself are untouched.
+        for (p, slot) in live.drain(..).zip(miss_slot) {
             let student_rung: Option<Box<dyn QueryRewriter>> = match (student, &student_out, slot)
             {
                 (Some(st), Some(Ok(all)), Some(slot)) => {
@@ -476,27 +614,35 @@ impl Runtime {
                 }
                 _ => None,
             };
-            let ladder = RewriteLadder {
-                cache: self.stack.cache.as_deref(),
-                student: student_rung.as_deref(),
-                online: online_rung.as_deref(),
-                baseline: self
-                    .stack
-                    .baseline
-                    .as_deref()
-                    .map(|b| b as &dyn QueryRewriter),
-            };
-            let response = self.stack.engine.search_resilient_traced(
-                &p.query,
-                ladder,
-                &self.config.serving,
-                &p.budget,
-                None,
-                Some(p.id),
-            );
-            self.fulfill(p, Outcome::Served(response));
+            let id = p.id;
+            let served = catch_unwind(AssertUnwindSafe(|| {
+                if self.injected_panic(id) {
+                    panic!("injected scheduler fault: request {id}");
+                }
+                let ladder = RewriteLadder {
+                    cache: self.stack.cache.as_deref(),
+                    student: student_rung.as_deref(),
+                    online: online_rung.as_deref(),
+                    baseline: self
+                        .stack
+                        .baseline
+                        .as_deref()
+                        .map(|b| b as &dyn QueryRewriter),
+                };
+                self.stack.engine.search_resilient_traced(
+                    &p.query,
+                    ladder,
+                    &self.config.serving,
+                    &p.budget,
+                    None,
+                    Some(p.id),
+                )
+            }));
+            match served {
+                Ok(response) => self.fulfill(p, Outcome::Served(response)),
+                Err(_) => self.fulfill(p, Outcome::Failed(ServeError::EnginePanic)),
+            }
         }
-        self.stack.engine.record_queue_depth(self.queue.depth());
     }
 
     fn fulfill(&self, p: Pending, outcome: Outcome) {
@@ -506,6 +652,7 @@ impl Runtime {
                 Outcome::Served(_) => "served",
                 Outcome::Shed(_) => "shed",
                 Outcome::Rejected(_) => "rejected",
+                Outcome::Failed(_) => "failed",
             };
             t.span(p.id, None, name).finish();
         }
@@ -516,4 +663,10 @@ impl Runtime {
         }
         self.results.lock().push(record);
     }
+}
+
+/// Comma-joined request ids for batch/steal span attributes (traced runs
+/// only — the untraced hot path never calls this).
+fn join_ids(items: &[Pending]) -> String {
+    items.iter().map(|p| p.id.to_string()).collect::<Vec<_>>().join(",")
 }

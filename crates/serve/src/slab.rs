@@ -1,0 +1,167 @@
+//! Fixed-capacity slab of reusable per-request state.
+//!
+//! The scheduler's steady-state hot path must not allocate (enforced by
+//! `tests/zero_alloc.rs`), so admitted requests do not travel through the
+//! mailboxes by value: the submitter parks the request in a
+//! [`SlotArena`] slot and enqueues only a compact [`SlotRef`] — a
+//! `(generation, index)` pair packed into one `u64`. The worker that
+//! dequeues the ref takes the request back out, which frees the slot for
+//! reuse.
+//!
+//! Generation counters make stale refs harmless: a slot's generation is
+//! bumped every time its request is taken, and [`SlotArena::take`] only
+//! honours a ref whose generation matches. A ref that is accidentally
+//! popped twice (a scheduler bug this guards against — the invariant
+//! suite asserts every request terminates exactly once) yields `None`
+//! the second time instead of double-serving a request.
+//!
+//! All storage — the slots and the free list — is allocated once at
+//! construction and never grows.
+
+use qrw_tensor::sync::Mutex;
+
+use crate::queue::Pending;
+
+/// A `(generation << 32) | index` handle to a parked request.
+///
+/// The all-ones bit pattern is reserved as the mailbox "empty" sentinel;
+/// `encode` can never produce it because slot indices are bounded by the
+/// arena capacity (far below `u32::MAX`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SlotRef(pub u64);
+
+impl SlotRef {
+    fn encode(index: u32, generation: u32) -> Self {
+        SlotRef(((generation as u64) << 32) | index as u64)
+    }
+
+    fn index(self) -> usize {
+        (self.0 & u32::MAX as u64) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+struct Slot {
+    generation: u32,
+    parked: Option<Pending>,
+}
+
+/// Fixed-capacity arena of [`RequestSlot`](Slot)s with generation
+/// counters. Checkout and take are O(1) and allocation-free.
+pub struct SlotArena {
+    slots: Box<[Mutex<Slot>]>,
+    /// Stack of free slot indices; preallocated to full capacity.
+    free: Mutex<Vec<u32>>,
+}
+
+impl SlotArena {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "arena capacity must be positive");
+        assert!(capacity < u32::MAX as usize, "arena capacity must fit a u32");
+        let slots = (0..capacity)
+            .map(|_| Mutex::new(Slot { generation: 0, parked: None }))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let free = (0..capacity as u32).rev().collect::<Vec<_>>();
+        SlotArena { slots, free: Mutex::new(free) }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Parks a request, returning its ref, or gives the request back when
+    /// every slot is in use (the admission budget normally prevents this).
+    #[allow(clippy::result_large_err)] // the full-arena path returns the request unboxed, unallocated
+    pub fn checkout(&self, pending: Pending) -> Result<SlotRef, Pending> {
+        let index = match self.free.lock().pop() {
+            Some(index) => index,
+            None => return Err(pending),
+        };
+        let mut slot = self.slots[index as usize].lock();
+        debug_assert!(slot.parked.is_none(), "free-listed slot still occupied");
+        slot.parked = Some(pending);
+        Ok(SlotRef::encode(index, slot.generation))
+    }
+
+    /// Takes the parked request back out, bumps the slot's generation, and
+    /// returns the slot to the free list. `None` for a stale ref (the
+    /// request was already taken).
+    pub fn take(&self, r: SlotRef) -> Option<Pending> {
+        let index = r.index();
+        let slot = self.slots.get(index)?;
+        let mut slot = slot.lock();
+        if slot.generation != r.generation() {
+            return None;
+        }
+        let pending = slot.parked.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        drop(slot);
+        self.free.lock().push(index as u32);
+        Some(pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrw_search::DeadlineBudget;
+
+    fn pending(id: u64) -> Pending {
+        Pending {
+            id,
+            query: vec![format!("q{id}")],
+            context: Vec::new(),
+            budget: DeadlineBudget::unlimited(),
+            slot: None,
+            admitted_us: None,
+        }
+    }
+
+    #[test]
+    fn checkout_take_roundtrip() {
+        let arena = SlotArena::new(2);
+        let a = arena.checkout(pending(7)).unwrap();
+        let b = arena.checkout(pending(8)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(arena.take(b).unwrap().id, 8);
+        assert_eq!(arena.take(a).unwrap().id, 7);
+    }
+
+    #[test]
+    fn full_arena_returns_request() {
+        let arena = SlotArena::new(1);
+        let _held = arena.checkout(pending(0)).unwrap();
+        let back = arena.checkout(pending(1)).unwrap_err();
+        assert_eq!(back.id, 1);
+    }
+
+    #[test]
+    fn stale_ref_is_rejected_by_generation() {
+        let arena = SlotArena::new(1);
+        let r = arena.checkout(pending(0)).unwrap();
+        assert!(arena.take(r).is_some());
+        // Same index is reused, but the generation moved on: the old ref
+        // must not yield the new occupant.
+        let r2 = arena.checkout(pending(1)).unwrap();
+        assert_eq!(r2.index(), r.index());
+        assert!(arena.take(r).is_none());
+        assert_eq!(arena.take(r2).unwrap().id, 1);
+    }
+
+    #[test]
+    fn slots_are_reused_without_growth() {
+        let arena = SlotArena::new(4);
+        for round in 0..64u64 {
+            let refs: Vec<_> =
+                (0..4).map(|i| arena.checkout(pending(round * 4 + i)).unwrap()).collect();
+            for r in refs {
+                assert!(arena.take(r).is_some());
+            }
+        }
+        assert_eq!(arena.capacity(), 4);
+    }
+}

@@ -4,7 +4,7 @@
 //! structurally:
 //!
 //! * every admitted request's trace ends in **exactly one** terminal span
-//!   (`served` / `shed` / `rejected`);
+//!   (`served` / `shed` / `rejected` / `failed`);
 //! * sheds carry a `queue_wait` span and never a `serve` (or any decode);
 //! * rejected requests never reach the queue: no `queue_wait`, no `serve`;
 //! * a batch span's claims (`size`, `decode_slots`, `decode_requests`)
@@ -21,17 +21,17 @@ use std::time::Duration;
 use qrw_core::{CheckpointStore, QueryRewriter};
 use qrw_data::{ClickLog, LogConfig};
 use qrw_nmt::{ModelConfig, Seq2Seq};
-use qrw_obs::{canonical_structure, SpanRecord, Tracer, MINTED_TRACE_BIT};
+use qrw_obs::{canonical_structure, taxonomy, SpanRecord, Tracer, MINTED_TRACE_BIT};
 use qrw_online::{
     ContextQ2Q, FeedbackBuffer, FeedbackConfig, OnlineConfig, OnlineLoop, ONLINE_MODEL_NAME,
 };
 use qrw_search::{
     DeadlineBudget, Fault, FaultConfig, FaultInjector, InvertedIndex, ModelStore, RewriteCache,
-    RewriteLadder, SearchEngine, ServingConfig, ShardFaultInjector, SharedRewriter,
+    RewriteLadder, SearchEngine, ServeError, ServingConfig, ShardFaultInjector, SharedRewriter,
 };
 use qrw_serve::{
-    synthetic_docs, BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, ServeStack,
-    SessionMix, Workload,
+    synthetic_docs, BatchedQ2Q, MixConfig, Outcome, Runtime, RuntimeConfig, SchedFaults,
+    ServeStack, SessionMix, Workload,
 };
 use qrw_text::Vocab;
 
@@ -114,7 +114,10 @@ fn count_named(spans: &[&SpanRecord], name: &str) -> usize {
 }
 
 fn terminal_count(spans: &[&SpanRecord]) -> usize {
-    spans.iter().filter(|s| matches!(s.name, "served" | "shed" | "rejected")).count()
+    spans
+        .iter()
+        .filter(|s| matches!(s.name, "served" | "shed" | "rejected" | "failed"))
+        .count()
 }
 
 /// Runs `requests` through a fresh traced runtime and returns
@@ -221,7 +224,7 @@ fn batch_spans_claim_exactly_the_requests_and_decodes_they_contain() {
 
     let batches: Vec<&SpanRecord> = spans
         .iter()
-        .filter(|s| s.trace & MINTED_TRACE_BIT != 0 && s.name == "batch")
+        .filter(|s| s.trace & MINTED_TRACE_BIT != 0 && s.name == taxonomy::BATCH_FORM)
         .collect();
     assert!(!batches.is_empty());
 
@@ -825,4 +828,190 @@ fn feedback_train_tick_and_model_swap_spans_carry_their_attrs() {
     assert_eq!(swap.parent, Some(tick.id), "swap nests under its tick");
     assert_eq!(swap.attr("epoch").and_then(|a| a.as_int()), Some(2));
     assert_eq!(swap.attr("ok").and_then(|a| a.as_int()), Some(1));
+}
+
+// ------------------------------------------------ scheduler taxonomy (minted traces)
+
+/// Like [`run_traced`], but arms [`SchedFaults`] before the run.
+fn run_traced_with_faults(
+    config: RuntimeConfig,
+    faults: SchedFaults,
+    requests: Vec<(Vec<String>, DeadlineBudget)>,
+) -> (Vec<qrw_serve::ServedRecord>, Vec<SpanRecord>) {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let (stack, tracer) = traced_stack(&vocab, &w.head);
+    let runtime = Runtime::new(stack, config);
+    runtime.set_sched_faults(faults);
+    let records = runtime.execute(requests);
+    assert_eq!(tracer.dropped(), 0, "ring must not evict during these runs");
+    (records, tracer.snapshot())
+}
+
+/// The comma-joined `ids` attribute of a batch/steal span, parsed.
+fn ids_attr(s: &SpanRecord) -> Vec<u64> {
+    s.attr("ids")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .split(',')
+        .map(|x| x.parse().unwrap())
+        .collect()
+}
+
+/// Every admitted request records exactly one minted `mailbox_enqueue`
+/// span (the routing decision), with a shard in range; rejected requests
+/// never reach a mailbox, so they record none.
+#[test]
+fn every_admitted_request_records_exactly_one_mailbox_enqueue() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let shards = 2usize;
+    let config = RuntimeConfig { queue_capacity: 10, shards, ..pooled_config() };
+    let (records, spans) = run_traced(config, unlimited(&w.requests));
+
+    let enqueues: Vec<&SpanRecord> =
+        spans.iter().filter(|s| s.name == taxonomy::MAILBOX_ENQUEUE).collect();
+    let mut routed: Vec<u64> = Vec::new();
+    for e in &enqueues {
+        assert!(e.trace & MINTED_TRACE_BIT != 0, "routing lives in a minted trace");
+        routed.push(e.attr("id").and_then(|v| v.as_int()).unwrap() as u64);
+        let shard = e.attr("shard").and_then(|v| v.as_int()).unwrap() as usize;
+        assert!(shard < shards, "shard attr in range");
+        assert!(e.attr("depth").and_then(|v| v.as_int()).is_some());
+    }
+    routed.sort_unstable();
+
+    let mut admitted: Vec<u64> = records
+        .iter()
+        .filter(|r| !matches!(r.outcome, Outcome::Rejected(_)))
+        .map(|r| r.id)
+        .collect();
+    admitted.sort_unstable();
+    assert!(!admitted.is_empty() && admitted.len() < records.len(), "mixed outcomes");
+    assert_eq!(routed, admitted, "one mailbox_enqueue per admitted request, none rejected");
+}
+
+/// Per-request span trees are byte-identical across shard counts {1,2,4}
+/// × worker counts {1,4} — the scheduler's structural transparency claim.
+/// Everything shard-dependent (routing, batch composition, steals) lives
+/// in minted traces and is filtered out before comparing.
+#[test]
+fn span_structure_is_byte_identical_across_shard_counts() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let render = |shards: usize, workers: usize| {
+        let config = RuntimeConfig { shards, workers, ..RuntimeConfig::default() };
+        let (records, spans) = run_traced(config, unlimited(&w.requests));
+        assert!(records.iter().all(|r| matches!(r.outcome, Outcome::Served(_))));
+        let request_spans: Vec<SpanRecord> =
+            spans.into_iter().filter(|s| s.trace & MINTED_TRACE_BIT == 0).collect();
+        canonical_structure(&request_spans)
+    };
+    let baseline = render(1, 1);
+    assert!(!baseline.is_empty());
+    for shards in [2usize, 4] {
+        for workers in [1usize, 4] {
+            assert_eq!(
+                baseline,
+                render(shards, workers),
+                "per-request trees must not depend on shards={shards} workers={workers}"
+            );
+        }
+    }
+}
+
+/// A stalled shard's backlog is rescued by stealers: every request routed
+/// to the wedged shard is claimed by a `steal` span (child of a stolen
+/// `batch_form`), all requests are still served, and batch spans still
+/// partition the admitted requests exactly.
+#[test]
+fn stalled_shard_backlog_is_rescued_by_steal_spans() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let config = RuntimeConfig { shards: 2, workers: 2, ..RuntimeConfig::default() };
+    let faults = SchedFaults { stall_shards: vec![0], ..SchedFaults::default() };
+    let (records, spans) = run_traced_with_faults(config, faults, unlimited(&w.requests));
+    assert!(records.iter().all(|r| matches!(r.outcome, Outcome::Served(_))));
+
+    // What was routed to the stalled shard, per the enqueue spans.
+    let mut stalled_ids: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.name == taxonomy::MAILBOX_ENQUEUE)
+        .filter(|s| s.attr("shard").and_then(|v| v.as_int()) == Some(0))
+        .map(|s| s.attr("id").and_then(|v| v.as_int()).unwrap() as u64)
+        .collect();
+    stalled_ids.sort_unstable();
+    assert!(!stalled_ids.is_empty(), "the workload must route something to shard 0");
+
+    // Steal spans: victim is the stalled shard, the thief is not, and the
+    // union of their id claims is exactly the stalled shard's backlog.
+    let mut stolen_ids: Vec<u64> = Vec::new();
+    for s in spans.iter().filter(|s| s.name == taxonomy::STEAL) {
+        assert!(s.trace & MINTED_TRACE_BIT != 0);
+        assert_eq!(s.attr("victim").and_then(|v| v.as_int()), Some(0), "only shard 0 stalls");
+        assert_ne!(s.attr("thief").and_then(|v| v.as_int()), Some(0));
+        let ids = ids_attr(s);
+        assert_eq!(ids.len(), s.attr("count").and_then(|v| v.as_int()).unwrap() as usize);
+        // The steal span nests under a batch_form marked stolen, claiming
+        // the same requests.
+        let parent = spans
+            .iter()
+            .find(|b| b.trace == s.trace && Some(b.id) == s.parent)
+            .expect("steal nests under its batch");
+        assert_eq!(parent.name, taxonomy::BATCH_FORM);
+        assert_eq!(parent.attr("stolen").and_then(|v| v.as_int()), Some(1));
+        assert_eq!(ids_attr(parent), ids);
+        stolen_ids.extend(ids);
+    }
+    stolen_ids.sort_unstable();
+    assert_eq!(stolen_ids, stalled_ids, "the whole stalled backlog is rescued, exactly once");
+
+    // Batches marked stolen are exactly the batches with a steal child,
+    // and batch spans still partition the admitted requests.
+    let mut claimed: Vec<u64> = Vec::new();
+    for b in spans.iter().filter(|s| s.name == taxonomy::BATCH_FORM) {
+        let has_steal_child = spans
+            .iter()
+            .any(|s| s.trace == b.trace && s.parent == Some(b.id) && s.name == taxonomy::STEAL);
+        let marked = b.attr("stolen").and_then(|v| v.as_int()) == Some(1);
+        assert_eq!(marked, has_steal_child, "stolen flag iff steal child");
+        claimed.extend(ids_attr(b));
+    }
+    claimed.sort_unstable();
+    let expected: Vec<u64> = records.iter().map(|r| r.id).collect();
+    assert_eq!(claimed, expected, "every request dequeued in exactly one batch");
+}
+
+/// An injected worker panic (past the engine's own guards) is contained
+/// to the request: it fails with `ServeError::EnginePanic` and a `failed`
+/// terminal span, while every other request in the run — including the
+/// rest of its own batch — is served normally by the surviving worker.
+#[test]
+fn injected_worker_panic_is_contained_to_the_request() {
+    let vocab = vocab();
+    let w = workload(&vocab);
+    let doomed = [3u64, 11];
+    let config = RuntimeConfig { shards: 2, workers: 2, ..RuntimeConfig::default() };
+    let faults = SchedFaults { panic_on_ids: doomed.to_vec(), ..SchedFaults::default() };
+    let (records, spans) = run_traced_with_faults(config, faults, unlimited(&w.requests));
+
+    assert_eq!(records.len(), w.requests.len(), "no request lost to the panic");
+    for r in &records {
+        let t = trace_spans(&spans, r.id);
+        assert_eq!(terminal_count(&t), 1, "request {}: one terminal span", r.id);
+        if doomed.contains(&r.id) {
+            assert!(
+                matches!(r.outcome, Outcome::Failed(ServeError::EnginePanic)),
+                "request {}: expected Failed(EnginePanic), got {:?}",
+                r.id,
+                r.outcome
+            );
+            assert_eq!(count_named(&t, "failed"), 1);
+            assert_eq!(count_named(&t, "served"), 0);
+            assert_eq!(count_named(&t, "queue_wait"), 1, "it was dequeued before failing");
+        } else {
+            assert!(matches!(r.outcome, Outcome::Served(_)), "request {}", r.id);
+            assert_eq!(count_named(&t, "served"), 1);
+        }
+    }
 }

@@ -3,7 +3,7 @@
 # without touching the network (the build is fully hermetic — no external
 # crates, see CHANGES.md).
 #
-#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--shard-smoke] [--obs-smoke] [--mutate-smoke] [--distill-smoke] [--online-smoke]
+#   scripts/verify.sh [--bench-smoke] [--train-resume] [--load-smoke] [--shard-smoke] [--sched-smoke] [--obs-smoke] [--mutate-smoke] [--distill-smoke] [--online-smoke]
 #
 # With --bench-smoke, additionally runs the smoke benchmarks: they write
 # BENCH_decode.json / BENCH_matmul.json at the repo root, fail on any
@@ -29,6 +29,16 @@
 # per mille, every response ranked and stamped shards_ok = N-1). The
 # validated shard_scaling entries land in BENCH_serve.json. When
 # QRW_VERIFY_BUDGET is set to "full", the sweep covers {1, 2, 4, 8}.
+#
+# With --sched-smoke, additionally runs the load generator's
+# scheduler-scaling sweep (it shares the load_smoke binary, so the full
+# load run rides along): the mailbox scheduler at shard counts {1, 2, 4},
+# required to be byte-identical to the sequential baseline at every
+# count, plus the deterministic virtual-cost p99 scaling bar (p99 at 4
+# shards must not exceed 1 shard on the burst mix — measured in virtual
+# service units from the scheduler's minted batch_form spans, so the bar
+# holds on single-core hosts too). The validated sched_scaling entries
+# land in BENCH_serve.json and are re-checked by validate_sched_json.
 #
 # With --obs-smoke, additionally runs the observability smoke: the traced
 # load mix through the runtime, validating the exported trace JSONL
@@ -72,6 +82,7 @@ BENCH_SMOKE=0
 TRAIN_RESUME=0
 LOAD_SMOKE=0
 SHARD_SMOKE=0
+SCHED_SMOKE=0
 OBS_SMOKE=0
 MUTATE_SMOKE=0
 DISTILL_SMOKE=0
@@ -82,6 +93,7 @@ for arg in "$@"; do
     --train-resume) TRAIN_RESUME=1 ;;
     --load-smoke) LOAD_SMOKE=1 ;;
     --shard-smoke) SHARD_SMOKE=1 ;;
+    --sched-smoke) SCHED_SMOKE=1 ;;
     --obs-smoke) OBS_SMOKE=1 ;;
     --mutate-smoke) MUTATE_SMOKE=1 ;;
     --distill-smoke) DISTILL_SMOKE=1 ;;
@@ -154,7 +166,7 @@ if [ "$TRAIN_RESUME" = 1 ]; then
   cargo run --release --offline -p qrw-bench --bin train_resume -- --out .
 fi
 
-if [ "$LOAD_SMOKE" = 1 ] || [ "$SHARD_SMOKE" = 1 ]; then
+if [ "$LOAD_SMOKE" = 1 ] || [ "$SHARD_SMOKE" = 1 ] || [ "$SCHED_SMOKE" = 1 ]; then
   echo "== load smoke (offline, writes + validates BENCH_serve.json) =="
   SHARD_ARGS=""
   if [ "$SHARD_SMOKE" = 1 ] && [ "${QRW_VERIFY_BUDGET:-quick}" = "full" ]; then
